@@ -1,0 +1,117 @@
+// Computational-efficiency claim (§2, §2.5): SFQ's per-packet cost is
+// O(log Q) — the same as SCFQ and Virtual Clock — while WFQ/FQS pay extra for
+// the fluid-GPS virtual-time simulation, and DRR is O(1).
+//
+// google-benchmark microbenchmark: one enqueue+dequeue cycle per iteration at
+// steady backlog, swept over the number of flows Q.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+#include <string>
+
+#include "bench_util.h"
+#include "core/scheduler.h"
+#include "hier/hsfq_scheduler.h"
+
+namespace {
+
+using namespace sfq;
+
+void run_cycle(benchmark::State& state, const std::string& name) {
+  const int q = static_cast<int>(state.range(0));
+  auto sched = bench::make_scheduler(name, 1e9, /*quantum_per_weight=*/1e4);
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> len(500.0, 1500.0);
+  for (int i = 0; i < q; ++i)
+    sched->add_flow(1e6 + 1e3 * i, 1500.0);
+
+  // Prime a steady backlog: 4 packets per flow.
+  Time now = 0.0;
+  uint64_t seq = 0;
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < q; ++i) {
+      Packet p;
+      p.flow = static_cast<FlowId>(i);
+      p.seq = ++seq;
+      p.length_bits = len(rng);
+      p.arrival = now;
+      sched->enqueue(std::move(p), now);
+    }
+  }
+
+  for (auto _ : state) {
+    auto out = sched->dequeue(now);
+    benchmark::DoNotOptimize(out);
+    sched->on_transmit_complete(*out, now);
+    now += 1e-6;
+    Packet p;
+    p.flow = out->flow;
+    p.seq = ++seq;
+    p.length_bits = len(rng);
+    p.arrival = now;
+    sched->enqueue(std::move(p), now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Hierarchy cost: enqueue+dequeue through a chain of D nested classes (one
+// flow at the bottom plus one sibling flow per level to keep every node
+// arbitrating). Cost should grow linearly in depth, log in fan-out.
+void run_depth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  hier::HsfqScheduler sched;
+  auto cls = hier::HsfqScheduler::kRootClass;
+  std::vector<FlowId> flows;
+  for (int d = 0; d < depth; ++d) {
+    flows.push_back(sched.add_flow_in_class(cls, 1e6, 1500.0));
+    cls = sched.add_class(cls, 1e6);
+  }
+  flows.push_back(sched.add_flow_in_class(cls, 1e6, 1500.0));
+
+  uint64_t seq = 0;
+  for (int j = 0; j < 4; ++j)
+    for (FlowId f : flows) {
+      Packet p;
+      p.flow = f;
+      p.seq = ++seq;
+      p.length_bits = 1000.0;
+      sched.enqueue(std::move(p), 0.0);
+    }
+  for (auto _ : state) {
+    auto out = sched.dequeue(0.0);
+    benchmark::DoNotOptimize(out);
+    sched.on_transmit_complete(*out, 0.0);
+    Packet p;
+    p.flow = out->flow;
+    p.seq = ++seq;
+    p.length_bits = 1000.0;
+    sched.enqueue(std::move(p), 0.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HSFQ_Depth(benchmark::State& s) { run_depth(s); }
+
+void BM_SFQ(benchmark::State& s) { run_cycle(s, "SFQ"); }
+void BM_SCFQ(benchmark::State& s) { run_cycle(s, "SCFQ"); }
+void BM_WFQ(benchmark::State& s) { run_cycle(s, "WFQ"); }
+void BM_FQS(benchmark::State& s) { run_cycle(s, "FQS"); }
+void BM_DRR(benchmark::State& s) { run_cycle(s, "DRR"); }
+void BM_VirtualClock(benchmark::State& s) { run_cycle(s, "VC"); }
+void BM_FairAirport(benchmark::State& s) { run_cycle(s, "FairAirport"); }
+void BM_HSFQ_Flat(benchmark::State& s) { run_cycle(s, "H-SFQ"); }
+
+}  // namespace
+
+BENCHMARK(BM_SFQ)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_SCFQ)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_WFQ)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_FQS)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_DRR)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_VirtualClock)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_FairAirport)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_HSFQ_Flat)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_HSFQ_Depth)->DenseRange(1, 9, 2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Engineering benchmark (not a paper figure): end-to-end simulator event
+// throughput — how many simulated packet transmissions per wall-clock second
+// the whole stack (sources -> scheduler -> server -> sink) sustains. Useful
+// for keeping the substrate fast enough that 1000-second Figure-2(b)-style
+// runs stay interactive.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+namespace {
+
+using namespace sfq;
+
+void run_stack(benchmark::State& state, const std::string& sched_name) {
+  const int flows = static_cast<int>(state.range(0));
+  uint64_t packets = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto sched = bench::make_scheduler(sched_name, 1e6, 1500.0);
+    net::ScheduledServer server(sim, *sched,
+                                std::make_unique<net::ConstantRate>(1e6));
+    uint64_t delivered = 0;
+    server.set_departure([&](const Packet&, Time) { ++delivered; });
+    std::vector<std::unique_ptr<traffic::Source>> src;
+    auto emit = [&](Packet p) { server.inject(std::move(p)); };
+    for (int i = 0; i < flows; ++i) {
+      FlowId id = sched->add_flow(1e6 / flows, 1000.0);
+      src.push_back(std::make_unique<traffic::PoissonSource>(
+          sim, id, emit, 0.9 * 1e6 / flows, 1000.0, 7 + i));
+      src.back()->run(0.0, 10.0);
+    }
+    sim.run_until(10.0);
+    sim.run();
+    packets += delivered;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(packets));
+  state.counters["pkts/run"] =
+      static_cast<double>(packets) / state.iterations();
+}
+
+void BM_Stack_SFQ(benchmark::State& s) { run_stack(s, "SFQ"); }
+void BM_Stack_WFQ(benchmark::State& s) { run_stack(s, "WFQ"); }
+void BM_Stack_FIFO(benchmark::State& s) { run_stack(s, "FIFO"); }
+
+}  // namespace
+
+BENCHMARK(BM_Stack_SFQ)->Arg(4)->Arg(64);
+BENCHMARK(BM_Stack_WFQ)->Arg(4)->Arg(64);
+BENCHMARK(BM_Stack_FIFO)->Arg(4)->Arg(64);
+
+BENCHMARK_MAIN();

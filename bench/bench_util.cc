@@ -1,0 +1,41 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/sfq_scheduler.h"
+#include "hier/hsfq_scheduler.h"
+#include "sched/drr_scheduler.h"
+#include "sched/fair_airport.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/scfq_scheduler.h"
+#include "sched/virtual_clock.h"
+#include "sched/wfq_scheduler.h"
+
+namespace sfq::bench {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          double assumed_capacity,
+                                          double quantum_per_weight) {
+  if (name == "SFQ") return std::make_unique<SfqScheduler>();
+  if (name == "SCFQ") return std::make_unique<ScfqScheduler>();
+  if (name == "WFQ") return std::make_unique<WfqScheduler>(assumed_capacity);
+  if (name == "FQS") return std::make_unique<FqsScheduler>(assumed_capacity);
+  if (name == "DRR") return std::make_unique<DrrScheduler>(quantum_per_weight);
+  if (name == "VC") return std::make_unique<VirtualClockScheduler>();
+  if (name == "FIFO") return std::make_unique<FifoScheduler>();
+  if (name == "FairAirport") return std::make_unique<FairAirportScheduler>();
+  if (name == "H-SFQ") return std::make_unique<hier::HsfqScheduler>();
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reference : %s\n", paper_ref.c_str());
+  std::printf("Expected shape  : %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sfq::bench

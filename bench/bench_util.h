@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/scheduler.h"
+#include "stats/time_series.h"
+
+namespace sfq::bench {
+
+// Factory over every scheduler in the library so benches can sweep
+// disciplines uniformly. `assumed_capacity` feeds WFQ/FQS's GPS emulation;
+// `quantum_per_weight` feeds DRR.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          double assumed_capacity,
+                                          double quantum_per_weight = 1.0);
+
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const std::string& expectation);
+
+}  // namespace sfq::bench

@@ -1,0 +1,100 @@
+// Example: running a call-admission service on top of the SFQ guarantees.
+//
+// A 3-hop path of SFQ switches accepts leaky-bucket reservations. Every
+// admission decision is pure arithmetic from the paper: per-hop rate sums
+// (Theorems 2/4 premise), Theorem-4 beta terms, Corollary-1 composition and
+// the Appendix-A.5 leaky-bucket bound — including the subtle part, where a
+// *new* flow inflates the delay bound of *existing* flows (through the
+// sum l_n^max / C term) and must be rejected if it would break a standing
+// contract even though link capacity is still available.
+#include <cstdio>
+
+#include "qos/reservation.h"
+
+using namespace sfq;
+
+namespace {
+
+void report(const char* what, const qos::PathReservations::Decision& d) {
+  if (d.admitted)
+    std::printf("  ADMIT  %-18s id=%u  e2e bound %.3f ms\n", what, d.id,
+                to_milliseconds(d.e2e_bound));
+  else
+    std::printf("  reject %-18s (%s)\n", what, d.reason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Three 45 Mb/s hops, 2 ms propagation, the middle one an FC server with
+  // 30 kbit of scheduling burstiness (e.g. residual capacity behind control
+  // traffic).
+  qos::PathReservations path({
+      {megabits_per_sec(45), 0.0, milliseconds(2)},
+      {megabits_per_sec(45), 30e3, milliseconds(2)},
+      {megabits_per_sec(45), 0.0, 0.0},
+  });
+
+  std::printf("path: 3 hops x 45 Mb/s\n\n");
+
+  // A batch of voice calls: 64 Kb/s, 160-byte packets, 25 ms budget.
+  qos::PathReservations::Request call;
+  call.rate = kilobits_per_sec(64);
+  call.max_packet_bits = bytes(160);
+  call.sigma = 2 * bytes(160);
+  call.delay_budget = milliseconds(30);
+  call.name = "voice";
+  for (int i = 0; i < 3; ++i) report("voice call", path.admit(call));
+
+  // A video stream: 4 Mb/s, 1500-byte packets, generous budget.
+  qos::PathReservations::Request video;
+  video.rate = megabits_per_sec(4);
+  video.max_packet_bits = bytes(1500);
+  video.sigma = 20 * bytes(1500);
+  video.delay_budget = milliseconds(120);
+  video.name = "video";
+  report("video stream", path.admit(video));
+
+  // Bulk data wants 42 Mb/s: rejected, the rate sum would exceed a hop.
+  qos::PathReservations::Request bulk;
+  bulk.rate = megabits_per_sec(42);
+  bulk.max_packet_bits = bytes(1500);
+  bulk.sigma = 10 * bytes(1500);
+  bulk.name = "bulk-42M";
+  report("bulk transfer", path.admit(bulk));
+
+  // A jumbo-frame flow: fits rate-wise, but its 48-kbit packets would add
+  // ~1 ms per hop to every standing voice bound — watch the decision.
+  qos::PathReservations::Request jumbo;
+  jumbo.rate = megabits_per_sec(2);
+  jumbo.max_packet_bits = bits(48000);
+  jumbo.sigma = bits(96000);
+  jumbo.name = "jumbo";
+  auto jd = path.admit(jumbo);
+  report("jumbo frames", jd);
+
+  // Tear the jumbo flow down, admit a voice call whose budget sits just
+  // above the jumbo-free bound, then try the jumbo flow again: the contract
+  // check must now reject it — re-admitting it would push the tight call's
+  // bound past its budget.
+  if (jd.admitted) path.release(jd.id);
+  auto probe = call;
+  auto last = path.admit(probe);
+  std::printf("\nvoice bound without jumbo traffic: %.3f ms\n",
+              to_milliseconds(last.e2e_bound));
+  if (last.admitted) path.release(last.id);
+  probe.delay_budget = last.e2e_bound + milliseconds(0.1);
+  probe.name = "voice-tight";
+  report("tight voice call", path.admit(probe));
+  auto jd2 = path.admit(jumbo);
+  report("jumbo (vs tight contract)", jd2);
+
+  std::printf("\nactive flows: %zu, reserved %.1f Mb/s of 45 Mb/s\n",
+              path.active_flows(), path.reserved_rate() / 1e6);
+  // Expected: voice/video/tight-voice admitted, 42M and the second jumbo
+  // attempt rejected.
+  const bool ok = path.active_flows() == 5 && !jd2.admitted;
+  std::printf("%s\n", ok ? "admission logic behaved as expected"
+                         : "unexpected admission outcome");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// Example: generalized SFQ (eq. 36) — per-packet rate allocation for VBR
+// video.
+//
+// §2.3's motivation: VBR video needs more than a constant reserved rate at
+// I-frame times. Generalized SFQ lets every packet carry its own rate r_f^j;
+// the delay guarantee (Theorem 4) still holds as long as sum R_n(v) <= C in
+// the virtual-time domain.
+//
+// Here a video flow reserves a time-varying rate — 3x the base rate for
+// packets of I frames, 1x for P/B — against a base-rate-only reservation of
+// the same average. The I-frame packets' worst queueing delay drops sharply
+// because their finish tags stop overstating their cost; background traffic
+// is unaffected (its Theorem-4 bound does not depend on the video's rates).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/sfq_scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+using namespace sfq;
+
+namespace {
+
+constexpr double kLink = 10e6;
+constexpr double kPkt = bytes(500);
+constexpr double kVideoBase = 2e6;   // average reservation
+constexpr double kIRate = 6e6;       // per-packet rate for I-frame packets
+constexpr int kGop = 12;             // I followed by 11 P/B frames
+constexpr double kFps = 30.0;
+
+struct Result {
+  Time worst_iframe = 0.0;
+  Time worst_other = 0.0;
+  Time worst_bg = 0.0;
+};
+
+Result run(bool per_packet_rates) {
+  sim::Simulator sim;
+  SfqScheduler sched;
+  FlowId video = sched.add_flow(kVideoBase, kPkt, "video");
+  // Background reserves the link minus the video's *peak* (I-frame) rate, so
+  // sum R_n(v) <= C holds even while eq. 36 boosts the I packets.
+  FlowId bg = sched.add_flow(kLink - kIRate, kPkt, "bg");
+
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(kLink));
+  Result res;
+  // frag_index doubles as an "is I-frame packet" marker here (0/1).
+  server.set_departure([&](const Packet& p, Time t) {
+    const Time d = t - p.arrival;
+    if (p.flow == bg) res.worst_bg = std::max(res.worst_bg, d);
+    else if (p.frag_index == 1) res.worst_iframe = std::max(res.worst_iframe, d);
+    else res.worst_other = std::max(res.worst_other, d);
+  });
+
+  // Frame-structured video: at 30 fps, an I frame is 6x a P/B frame. With
+  // the average reservation sized to the mean, I bursts overflow a constant
+  // per-packet rate.
+  std::mt19937_64 rng(7);
+  const double mean_frame_bits = kVideoBase / kFps;
+  const double unit = mean_frame_bits * kGop / (6.0 + (kGop - 1));
+  uint64_t seq = 0;
+  for (int frame = 0; frame < 300; ++frame) {
+    const bool iframe = frame % kGop == 0;
+    const double bits = unit * (iframe ? 6.0 : 1.0);
+    const Time at = frame / kFps;
+    const int packets = static_cast<int>(std::ceil(bits / kPkt));
+    sim.at(at, [&, iframe, packets]() {
+      for (int k = 0; k < packets; ++k) {
+        Packet p;
+        p.flow = video;
+        p.seq = ++seq;
+        p.length_bits = kPkt;
+        p.frag_index = iframe ? 1 : 0;
+        if (per_packet_rates) {
+          // Eq. 36: I-frame packets get 3x the base rate; P/B packets keep
+          // the base. sum R_n(v) stays <= C because the background class
+          // under-reserves by the same headroom.
+          p.rate = iframe ? kIRate : kVideoBase;
+        }
+        server.inject(std::move(p));
+      }
+    });
+  }
+  // Background: greedy (continuously backlogged), so the scheduler — not
+  // idle capacity — decides who goes first during I-frame bursts.
+  traffic::CbrSource bgs(sim, bg,
+                         [&](Packet p) { server.inject(std::move(p)); },
+                         2.0 * (kLink - kIRate), kPkt);
+  bgs.run(0.0, 10.0);
+  sim.run_until(10.0);
+  sim.run();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const Result fixed = run(false);
+  const Result varied = run(true);
+
+  std::printf("worst queueing delay (ms), 300 frames @30fps, GoP=%d:\n\n", kGop);
+  std::printf("                       fixed-rate SFQ   generalized SFQ (eq.36)\n");
+  std::printf("  I-frame packets      %10.3f      %10.3f\n",
+              to_milliseconds(fixed.worst_iframe),
+              to_milliseconds(varied.worst_iframe));
+  std::printf("  P/B-frame packets    %10.3f      %10.3f\n",
+              to_milliseconds(fixed.worst_other),
+              to_milliseconds(varied.worst_other));
+  std::printf("  background           %10.3f      %10.3f\n",
+              to_milliseconds(fixed.worst_bg),
+              to_milliseconds(varied.worst_bg));
+
+  const bool ok = varied.worst_iframe < 0.7 * fixed.worst_iframe;
+  std::printf("\n%s\n",
+              ok ? "per-packet rates cut the I-frame worst delay"
+                 : "unexpected: generalized rates did not help");
+  return ok ? 0 : 1;
+}

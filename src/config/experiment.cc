@@ -1,0 +1,344 @@
+#include "config/experiment.h"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/scheduler_factory.h"
+#include "net/rate_profile.h"
+#include "net/network.h"
+#include "net/scheduled_server.h"
+#include "sim/simulator.h"
+#include "stats/delay_stats.h"
+#include "stats/fairness.h"
+#include "stats/service_recorder.h"
+#include "traffic/sources.h"
+#include "traffic/vbr_video.h"
+
+namespace sfq::config {
+
+namespace {
+
+// Splits "12.5Mbps" into value and suffix.
+void split_unit(const std::string& text, double& value, std::string& unit) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.' ||
+          text[i] == '-' || text[i] == '+' || text[i] == 'e' ||
+          (text[i] == 'E' && i + 1 < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i + 1])) ||
+            text[i + 1] == '-' || text[i + 1] == '+'))))
+    ++i;
+  const std::string num = text.substr(0, i);
+  unit = text.substr(i);
+  std::size_t used = 0;
+  try {
+    value = std::stod(num, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("cannot parse number in '" + text + "'");
+  }
+  if (used != num.size() || num.empty())
+    throw std::invalid_argument("cannot parse number in '" + text + "'");
+}
+
+}  // namespace
+
+double parse_rate(const std::string& text) {
+  double v;
+  std::string unit;
+  split_unit(text, v, unit);
+  if (unit.empty() || unit == "bps") return v;
+  if (unit == "Kbps") return v * 1e3;
+  if (unit == "Mbps") return v * 1e6;
+  if (unit == "Gbps") return v * 1e9;
+  throw std::invalid_argument("unknown rate unit '" + unit + "'");
+}
+
+double parse_size(const std::string& text) {
+  double v;
+  std::string unit;
+  split_unit(text, v, unit);
+  if (unit.empty() || unit == "b") return v;
+  if (unit == "Kb") return v * 1e3;
+  if (unit == "Mb") return v * 1e6;
+  if (unit == "B") return v * 8.0;
+  if (unit == "KB") return v * 8e3;
+  if (unit == "MB") return v * 8e6;
+  throw std::invalid_argument("unknown size unit '" + unit + "'");
+}
+
+Time parse_time(const std::string& text) {
+  double v;
+  std::string unit;
+  split_unit(text, v, unit);
+  if (unit.empty() || unit == "s") return v;
+  if (unit == "ms") return v * 1e-3;
+  if (unit == "us") return v * 1e-6;
+  throw std::invalid_argument("unknown time unit '" + unit + "'");
+}
+
+namespace {
+
+std::map<std::string, std::string> parse_kv(std::istringstream& ss,
+                                            std::size_t lineno) {
+  std::map<std::string, std::string> kv;
+  std::string tok;
+  while (ss >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size())
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": expected key=value, got '" + tok + "'");
+    kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
+                    std::size_t index) {
+  FlowSpec f;
+  f.name = "flow" + std::to_string(index);
+  f.seed = 1 + index;
+  for (const auto& [key, value] : kv) {
+    if (key == "name") f.name = value;
+    else if (key == "kind") f.kind = value;
+    else if (key == "rate") f.rate = parse_rate(value);
+    else if (key == "packet") f.packet = parse_size(value);
+    else if (key == "weight") f.weight = parse_rate(value);
+    else if (key == "start") f.start = parse_time(value);
+    else if (key == "stop") f.stop = parse_time(value);
+    else if (key == "mean_on") f.mean_on = parse_time(value);
+    else if (key == "mean_off") f.mean_off = parse_time(value);
+    else if (key == "seed") f.seed = std::stoull(value);
+    else
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": unknown flow key '" + key + "'");
+  }
+  if (f.kind != "cbr" && f.kind != "poisson" && f.kind != "onoff" &&
+      f.kind != "greedy" && f.kind != "vbr")
+    throw std::invalid_argument("line " + std::to_string(lineno) +
+                                ": unknown flow kind '" + f.kind + "'");
+  if (f.weight <= 0.0) f.weight = f.rate;
+  if (f.weight <= 0.0)
+    throw std::invalid_argument("line " + std::to_string(lineno) +
+                                ": flow needs rate= or weight=");
+  if (f.packet <= 0.0 && f.kind != "vbr")
+    throw std::invalid_argument("line " + std::to_string(lineno) +
+                                ": flow needs packet=");
+  return f;
+}
+
+}  // namespace
+
+ExperimentSpec ExperimentSpec::parse(std::istream& in) {
+  ExperimentSpec spec;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string directive;
+    if (!(ss >> directive)) continue;
+
+    if (directive == "scheduler") {
+      if (!(ss >> spec.scheduler))
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": scheduler needs a name");
+    } else if (directive == "duration") {
+      std::string v;
+      if (!(ss >> v))
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": duration needs a value");
+      spec.duration = parse_time(v);
+    } else if (directive == "link") {
+      HopSpec hop;
+      for (const auto& [key, value] : parse_kv(ss, lineno)) {
+        if (key == "rate") hop.rate = parse_rate(value);
+        else if (key == "delta") hop.delta = parse_size(value);
+        else if (key == "buffer") hop.buffer_packets = std::stoul(value);
+        else if (key == "prop") hop.propagation = parse_time(value);
+        else
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": unknown link key '" + key + "'");
+      }
+      spec.hops.push_back(hop);
+    } else if (directive == "flow") {
+      spec.flows.push_back(
+          parse_flow(parse_kv(ss, lineno), lineno, spec.flows.size()));
+    } else {
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": unknown directive '" + directive + "'");
+    }
+  }
+  if (spec.flows.empty())
+    throw std::invalid_argument("experiment has no flows");
+  if (spec.hops.empty()) spec.hops.push_back(HopSpec{});
+  return spec;
+}
+
+ExperimentSpec ExperimentSpec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config: " + path);
+  return parse(in);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  sim::Simulator sim;
+  SchedulerOptions opts;
+  opts.assumed_capacity = spec.link_rate();
+  // DRR: a few max-packets of quantum per weight share of the link.
+  double max_packet = 0.0;
+  for (const FlowSpec& f : spec.flows)
+    max_packet = std::max(max_packet, f.packet);
+  opts.quantum_per_weight =
+      max_packet > 0.0 ? max_packet / spec.link_rate() * 4.0 : 1.0;
+
+  auto make_profile = [](const HopSpec& hop) -> std::unique_ptr<net::RateProfile> {
+    if (hop.delta > 0.0)
+      return std::make_unique<net::FcOnOffRate>(hop.rate, hop.delta, 0.5);
+    return std::make_unique<net::ConstantRate>(hop.rate);
+  };
+
+  // Build either a single server or a tandem path; both expose an inject
+  // function, a first-hop recorder, and a delivery point.
+  stats::DelayStats delays;
+  uint64_t drops = 0;
+  std::vector<FlowId> ids;
+  std::function<void(Packet)> inject;
+  stats::ServiceRecorder* recorder = nullptr;
+  Scheduler* first_sched = nullptr;
+
+  std::unique_ptr<Scheduler> single_sched;
+  std::unique_ptr<net::ScheduledServer> single_server;
+  std::unique_ptr<net::TandemNetwork> tandem;
+  stats::ServiceRecorder single_recorder;
+
+  const bool multi_hop = spec.hops.size() > 1;
+  if (!multi_hop) {
+    single_sched = make_scheduler(spec.scheduler, opts);
+    first_sched = single_sched.get();
+    single_server = std::make_unique<net::ScheduledServer>(
+        sim, *single_sched, make_profile(spec.hops.front()));
+    if (spec.hops.front().buffer_packets)
+      single_server->set_buffer_limit(spec.hops.front().buffer_packets);
+    single_server->set_recorder(&single_recorder);
+    recorder = &single_recorder;
+    single_server->set_departure(
+        [&](const Packet& p, Time t) { delays.add(p.flow, t - p.arrival); });
+    inject = [&, server = single_server.get()](Packet p) {
+      server->inject(std::move(p));
+    };
+  } else {
+    std::vector<net::TandemNetwork::Hop> hops;
+    for (std::size_t i = 0; i < spec.hops.size(); ++i) {
+      net::TandemNetwork::Hop h;
+      h.scheduler = make_scheduler(spec.scheduler, opts);
+      h.profile = make_profile(spec.hops[i]);
+      h.propagation_to_next =
+          i + 1 < spec.hops.size() ? spec.hops[i].propagation : 0.0;
+      hops.push_back(std::move(h));
+    }
+    tandem = std::make_unique<net::TandemNetwork>(sim, std::move(hops));
+    for (std::size_t i = 0; i < spec.hops.size(); ++i)
+      if (spec.hops[i].buffer_packets)
+        tandem->server(i).set_buffer_limit(spec.hops[i].buffer_packets);
+    first_sched = &tandem->scheduler(0);
+    recorder = &tandem->recorder(0);
+    // End-to-end delay, measured from the source emission.
+    tandem->set_delivery([&](const Packet& p, Time t) {
+      delays.add(p.flow, t - p.source_departure);
+    });
+    inject = [&, t = tandem.get()](Packet p) {
+      p.source_departure = sim.now();
+      t->inject(std::move(p));
+    };
+  }
+
+  for (const FlowSpec& f : spec.flows) {
+    const double lmax = f.packet > 0.0 ? f.packet : 400.0;
+    if (multi_hop) {
+      ids.push_back(tandem->add_flow(f.weight, lmax, f.name));
+    } else {
+      ids.push_back(first_sched->add_flow(f.weight, lmax, f.name));
+    }
+  }
+
+  auto emit = [&](Packet p) { inject(std::move(p)); };
+  std::vector<std::unique_ptr<traffic::Source>> sources;
+  for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+    const FlowSpec& f = spec.flows[i];
+    const FlowId id = ids[i];
+    if (f.kind == "cbr") {
+      sources.push_back(std::make_unique<traffic::CbrSource>(
+          sim, id, emit, f.rate, f.packet));
+    } else if (f.kind == "greedy") {
+      const double offered = f.rate > 0.0 ? f.rate : 2.0 * f.weight;
+      sources.push_back(std::make_unique<traffic::CbrSource>(
+          sim, id, emit, offered, f.packet));
+    } else if (f.kind == "poisson") {
+      sources.push_back(std::make_unique<traffic::PoissonSource>(
+          sim, id, emit, f.rate, f.packet, f.seed));
+    } else if (f.kind == "onoff") {
+      sources.push_back(std::make_unique<traffic::OnOffSource>(
+          sim, id, emit, f.rate, f.packet, f.mean_on, f.mean_off, f.seed));
+    } else {  // vbr
+      traffic::MpegVbrSource::Params vp;
+      vp.average_rate = f.rate;
+      if (f.packet > 0.0) vp.packet_bits = f.packet;
+      vp.seed = f.seed;
+      sources.push_back(
+          std::make_unique<traffic::MpegVbrSource>(sim, id, emit, vp));
+    }
+    const Time stop = f.stop < 0.0 ? spec.duration : f.stop;
+    sources.back()->run(f.start, stop);
+  }
+
+  sim.run_until(spec.duration);
+  recorder->finish(sim.now());
+  if (multi_hop) tandem->finish_recording();
+
+  ExperimentResult result;
+  if (!multi_hop) {
+    drops = single_server->drops();
+  } else {
+    for (std::size_t i = 0; i < spec.hops.size(); ++i)
+      drops += tandem->server(i).drops();
+  }
+  result.drops = drops;
+
+  // Throughput / counts come from the *last* scheduling point for a tandem
+  // (what actually left the path) and the single server otherwise.
+  stats::ServiceRecorder* tail_rec =
+      multi_hop ? &tandem->recorder(spec.hops.size() - 1) : recorder;
+  for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+    FlowResult fr;
+    fr.name = spec.flows[i].name;
+    fr.packets_delivered = tail_rec->served_packets(ids[i]);
+    fr.throughput = tail_rec->served_bits(ids[i]) / spec.duration;
+    fr.mean_delay = delays.mean(ids[i]);
+    fr.max_delay = delays.max(ids[i]);
+    fr.p99_delay = delays.percentile(ids[i], 99.0);
+    result.flows.push_back(std::move(fr));
+  }
+  // Fairness evaluated at the first (usually bottleneck-shared) hop.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const double h = stats::empirical_fairness(
+          *recorder, ids[i], spec.flows[i].weight, ids[j],
+          spec.flows[j].weight);
+      const double bound = stats::sfq_fairness_bound(
+          std::max(spec.flows[i].packet, 1.0), spec.flows[i].weight,
+          std::max(spec.flows[j].packet, 1.0), spec.flows[j].weight);
+      result.worst_fairness_ratio =
+          std::max(result.worst_fairness_ratio, h / bound);
+    }
+  }
+  return result;
+}
+
+}  // namespace sfq::config

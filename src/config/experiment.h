@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::config {
+
+// ---------------------------------------------------------------------------
+// Unit-aware scalar parsing. Raw numbers pass through unchanged.
+//   rates: bps, Kbps, Mbps, Gbps          (decimal multipliers)
+//   sizes: b (bits), B, KB, MB            (bytes are 8 bits, decimal K/M)
+//   times: s, ms, us
+// Throws std::invalid_argument on malformed input.
+double parse_rate(const std::string& text);
+double parse_size(const std::string& text);
+Time parse_time(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Declarative experiment description, loadable from a small line-oriented
+// config format (see examples/sfq_lab.cpp):
+//
+//   # one switch, three flows
+//   scheduler SFQ
+//   link rate=10Mbps delta=20Kb buffer=0
+//   duration 10s
+//   flow name=voice kind=cbr     rate=64Kbps packet=160B
+//   flow name=web   kind=poisson rate=2Mbps  packet=1000B weight=1Mbps
+//   flow name=bulk  kind=greedy  packet=1500B weight=4Mbps start=2s
+//
+// Directives: `scheduler <name>`, `link k=v...`, `duration <time>`,
+// `flow k=v...`. '#' starts a comment. Flow weight defaults to the offered
+// rate; greedy flows offer 2x their weight.
+struct FlowSpec {
+  std::string name;
+  std::string kind = "cbr";  // cbr | poisson | onoff | greedy | vbr
+  double rate = 0.0;         // offered rate (bits/s); 0 for greedy
+  double packet = 0.0;       // bits
+  double weight = 0.0;       // r_f; defaults to rate
+  Time start = 0.0;
+  Time stop = -1.0;          // -1: run for the whole experiment
+  Time mean_on = 0.05;       // onoff only
+  Time mean_off = 0.05;      // onoff only
+  uint64_t seed = 1;
+};
+
+struct HopSpec {
+  double rate = 1e6;
+  double delta = 0.0;             // >0: FC on/off link with this burstiness
+  std::size_t buffer_packets = 0; // 0 = unbounded
+  Time propagation = 0.0;         // to the next hop
+};
+
+struct ExperimentSpec {
+  std::string scheduler = "SFQ";
+  // One `link` directive per hop; several build a tandem path that every
+  // flow traverses (delays are then end-to-end).
+  std::vector<HopSpec> hops;
+  Time duration = 10.0;
+  std::vector<FlowSpec> flows;
+
+  // Convenience accessors for the single-hop case.
+  double link_rate() const { return hops.front().rate; }
+
+  static ExperimentSpec parse(std::istream& in);
+  static ExperimentSpec parse_file(const std::string& path);
+};
+
+// ---------------------------------------------------------------------------
+// Runner: builds the simulator, scheduler (core/scheduler_factory), server,
+// sources and statistics; runs; reports.
+struct FlowResult {
+  std::string name;
+  uint64_t packets_delivered = 0;
+  double throughput = 0.0;  // bits/s over the experiment duration
+  Time mean_delay = 0.0;
+  Time max_delay = 0.0;
+  Time p99_delay = 0.0;
+};
+
+struct ExperimentResult {
+  std::vector<FlowResult> flows;
+  uint64_t drops = 0;
+  // Worst pairwise empirical H(f,m) over Theorem-1 bound across all flow
+  // pairs (<= 1 means every pair within the fair-queueing bound).
+  double worst_fairness_ratio = 0.0;
+};
+
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace sfq::config

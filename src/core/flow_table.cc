@@ -1,0 +1,35 @@
+#include "core/flow_table.h"
+
+#include <stdexcept>
+
+namespace sfq {
+
+FlowId FlowTable::add(double weight, double max_packet_bits, std::string name) {
+  if (weight <= 0.0) throw std::invalid_argument("flow weight must be positive");
+  FlowId id = static_cast<FlowId>(flows_.size());
+  if (name.empty()) name = "flow" + std::to_string(id);
+  flows_.push_back(FlowSpec{id, weight, max_packet_bits, std::move(name)});
+  return id;
+}
+
+double FlowTable::total_weight() const {
+  double s = 0.0;
+  for (const auto& f : flows_) s += f.weight;
+  return s;
+}
+
+double FlowTable::total_max_packet_bits() const {
+  double s = 0.0;
+  for (const auto& f : flows_) s += f.max_packet_bits;
+  return s;
+}
+
+double FlowTable::sum_other_max_packets(FlowId f) const {
+  double s = 0.0;
+  for (const auto& fl : flows_) {
+    if (fl.id != f) s += fl.max_packet_bits;
+  }
+  return s;
+}
+
+}  // namespace sfq

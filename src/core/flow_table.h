@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq {
+
+// Static description of a flow at a server.
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  double weight = 1.0;          // r_f: weight, interpreted as a rate (bits/s)
+  double max_packet_bits = 0.0; // l_f^max, used by analytic bounds
+  std::string name;             // for reports
+};
+
+// Registry of flows known to a scheduler. Flow ids are dense small integers
+// handed out by `add`, so schedulers can keep per-flow state in vectors.
+class FlowTable {
+ public:
+  FlowId add(double weight, double max_packet_bits = 0.0, std::string name = {});
+
+  const FlowSpec& spec(FlowId id) const { return flows_.at(id); }
+  FlowSpec& spec(FlowId id) { return flows_.at(id); }
+  double weight(FlowId id) const { return flows_.at(id).weight; }
+  std::size_t size() const { return flows_.size(); }
+  const std::vector<FlowSpec>& all() const { return flows_; }
+
+  // Sum of weights — admission control checks sum r_n <= C.
+  double total_weight() const;
+  // Sum over flows of l_n^max (appears in Theorem 2's bound).
+  double total_max_packet_bits() const;
+  // Sum over n != f of l_n^max / C (appears in Theorem 4's bound).
+  double sum_other_max_packets(FlowId f) const;
+
+ private:
+  std::vector<FlowSpec> flows_;
+};
+
+}  // namespace sfq

@@ -1,0 +1,133 @@
+// A binary min-heap over dense integer ids with position tracking, so a
+// scheduler can keep each backlogged flow in the heap exactly once and update
+// its key in O(log n) when the flow's head packet changes.
+//
+// Keys are compared with std::less<Key>; ties therefore resolve through the
+// key type itself (schedulers embed an explicit tie-break component in Key).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sfq {
+
+template <typename Key>
+class IndexedHeap {
+ public:
+  // `capacity_hint` is the expected id universe; ids may exceed it (storage
+  // grows on demand).
+  explicit IndexedHeap(std::size_t capacity_hint = 0) { pos_.reserve(capacity_hint); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(uint32_t id) const {
+    return id < pos_.size() && pos_[id] != kAbsent;
+  }
+
+  // Inserts id with key; id must not already be present.
+  void push(uint32_t id, const Key& key) {
+    assert(!contains(id));
+    ensure(id);
+    pos_[id] = heap_.size();
+    heap_.push_back(Entry{key, id});
+    sift_up(heap_.size() - 1);
+  }
+
+  // Replaces the key of a present id (may move either direction).
+  void update(uint32_t id, const Key& key) {
+    assert(contains(id));
+    std::size_t i = pos_[id];
+    heap_[i].key = key;
+    if (!sift_up(i)) sift_down(i);
+  }
+
+  // Inserts or updates.
+  void push_or_update(uint32_t id, const Key& key) {
+    if (contains(id)) update(id, key); else push(id, key);
+  }
+
+  uint32_t top_id() const { assert(!empty()); return heap_[0].id; }
+  const Key& top_key() const { assert(!empty()); return heap_[0].key; }
+
+  void pop() { erase(top_id()); }
+
+  void erase(uint32_t id) {
+    assert(contains(id));
+    std::size_t i = pos_[id];
+    pos_[id] = kAbsent;
+    if (i + 1 != heap_.size()) {
+      heap_[i] = heap_.back();
+      pos_[heap_[i].id] = i;
+      heap_.pop_back();
+      if (!sift_up(i)) sift_down(i);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    uint32_t id;
+  };
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  void ensure(uint32_t id) {
+    if (id >= pos_.size()) pos_.resize(id + 1, kAbsent);
+  }
+
+  bool sift_up(std::size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!(heap_[i].key < heap_[parent].key)) break;
+      swap_at(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      std::size_t left = 2 * i + 1, right = left + 1, best = i;
+      if (left < heap_.size() && heap_[left].key < heap_[best].key) best = left;
+      if (right < heap_.size() && heap_[right].key < heap_[best].key) best = right;
+      if (best == i) return;
+      swap_at(i, best);
+      i = best;
+    }
+  }
+
+  void swap_at(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].id] = a;
+    pos_[heap_[b].id] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;
+};
+
+// Common heap key for tag-based schedulers: primary tag, explicit tie-break
+// value, then a monotone sequence number for full determinism.
+struct TagKey {
+  double tag = 0.0;
+  double tiebreak = 0.0;
+  uint64_t seq = 0;
+
+  friend bool operator<(const TagKey& a, const TagKey& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    if (a.tiebreak != b.tiebreak) return a.tiebreak < b.tiebreak;
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace sfq

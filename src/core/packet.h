@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sfq {
+
+// A packet as seen by a scheduler/server. `length_bits` is the transmission
+// cost; `rate` is the per-packet rate r_f^j of generalized SFQ (eq. 36) — zero
+// means "use the flow's weight".
+struct Packet {
+  FlowId flow = kInvalidFlow;
+  uint64_t seq = 0;          // per-flow sequence number (1-based, like p_f^j)
+  double length_bits = 0.0;  // l_f^j
+  Time arrival = 0.0;        // A(p_f^j) at this server
+  double rate = 0.0;         // r_f^j for generalized SFQ; 0 => flow weight
+
+  // Tags stamped by tag-based schedulers; meaning depends on the algorithm
+  // (start/finish tags for SFQ/WFQ/SCFQ/FQS, timestamp for Virtual Clock,
+  // deadline for Delay-EDD). Kept on the packet so traces/tests can inspect
+  // the scheduling decision.
+  VirtualTime start_tag = 0.0;
+  VirtualTime finish_tag = 0.0;
+
+  // End-to-end bookkeeping for multi-hop experiments.
+  Time source_departure = 0.0;  // time the packet left its source
+  uint32_t hops = 0;
+
+  // Fragmentation (net/fragmentation.h): position within the original packet.
+  // frag_count == 1 means unfragmented.
+  uint32_t frag_index = 0;
+  uint32_t frag_count = 1;
+
+  // Scheduler-internal monotone enqueue order; the deterministic last-resort
+  // tie-break for equal tags.
+  uint64_t sched_order = 0;
+};
+
+}  // namespace sfq

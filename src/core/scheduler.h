@@ -1,0 +1,109 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow_table.h"
+#include "core/packet.h"
+#include "core/types.h"
+
+namespace sfq {
+
+// A work-conserving packet scheduling discipline. The scheduler is passive:
+// a server (net/scheduled_server.h) calls `enqueue` on packet arrival, asks
+// `dequeue` for the next packet to transmit when the output is free, and
+// reports `on_transmit_complete` when transmission ends.
+//
+// The (dequeue, on_transmit_complete) pair brackets the real-time interval in
+// which the packet is "in service"; self-clocked disciplines (SFQ, SCFQ)
+// derive their virtual time from it.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers a flow before any of its packets arrive. Weight is r_f in
+  // bits/s; `max_packet_bits` (l_f^max) is advisory and used by analytics.
+  virtual FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                          std::string name = {}) {
+    return flows_.add(weight, max_packet_bits, std::move(name));
+  }
+
+  virtual void enqueue(Packet p, Time now) = 0;
+  virtual std::optional<Packet> dequeue(Time now) = 0;
+  virtual void on_transmit_complete(const Packet& p, Time now) {
+    (void)p;
+    (void)now;
+  }
+
+  virtual bool empty() const = 0;
+  virtual std::size_t backlog_packets() const = 0;
+
+  // Bits queued for one flow (not counting a packet already handed to the
+  // server via dequeue).
+  virtual double backlog_bits(FlowId f) const = 0;
+
+  virtual std::string name() const = 0;
+
+  const FlowTable& flows() const { return flows_; }
+  FlowTable& flows() { return flows_; }
+
+ protected:
+  Scheduler() = default;
+  FlowTable flows_;
+};
+
+// Per-flow FIFO of queued packets plus the bookkeeping every tag-based
+// discipline needs. Shared by SFQ/WFQ/SCFQ/FQS/VC/EDD implementations.
+class PerFlowQueues {
+ public:
+  void ensure(FlowId f) {
+    if (f >= queues_.size()) queues_.resize(f + 1);
+  }
+
+  void push(Packet p) {
+    ensure(p.flow);
+    queues_[p.flow].q.push_back(std::move(p));
+    ++packets_;
+  }
+
+  bool flow_empty(FlowId f) const {
+    return f >= queues_.size() || queues_[f].q.empty();
+  }
+
+  const Packet& head(FlowId f) const { return queues_[f].q.front(); }
+  Packet& head(FlowId f) { return queues_[f].q.front(); }
+
+  Packet pop(FlowId f) {
+    Packet p = std::move(queues_[f].q.front());
+    queues_[f].q.pop_front();
+    --packets_;
+    return p;
+  }
+
+  std::size_t packets() const { return packets_; }
+
+  double bits(FlowId f) const {
+    if (f >= queues_.size()) return 0.0;
+    double b = 0.0;
+    for (const Packet& p : queues_[f].q) b += p.length_bits;
+    return b;
+  }
+
+  std::size_t flow_packets(FlowId f) const {
+    return f >= queues_.size() ? 0 : queues_[f].q.size();
+  }
+
+ private:
+  struct FlowQueue {
+    std::deque<Packet> q;
+  };
+  std::vector<FlowQueue> queues_;
+  std::size_t packets_ = 0;
+};
+
+}  // namespace sfq

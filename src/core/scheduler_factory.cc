@@ -1,0 +1,43 @@
+#include "core/scheduler_factory.h"
+
+#include <stdexcept>
+
+#include "core/sfq_scheduler.h"
+#include "hier/hsfq_scheduler.h"
+#include "sched/drr_scheduler.h"
+#include "sched/edd_scheduler.h"
+#include "sched/fair_airport.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/scfq_scheduler.h"
+#include "sched/virtual_clock.h"
+#include "sched/wfq_scheduler.h"
+#include "sched/wrr_scheduler.h"
+
+namespace sfq {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerOptions& options) {
+  if (name == "SFQ") return std::make_unique<SfqScheduler>();
+  if (name == "SCFQ") return std::make_unique<ScfqScheduler>();
+  if (name == "WFQ")
+    return std::make_unique<WfqScheduler>(options.assumed_capacity);
+  if (name == "FQS")
+    return std::make_unique<FqsScheduler>(options.assumed_capacity);
+  if (name == "DRR")
+    return std::make_unique<DrrScheduler>(options.quantum_per_weight);
+  if (name == "WRR") return std::make_unique<WrrScheduler>();
+  if (name == "VC") return std::make_unique<VirtualClockScheduler>();
+  if (name == "EDD") return std::make_unique<EddScheduler>();
+  if (name == "FIFO") return std::make_unique<FifoScheduler>();
+  if (name == "FairAirport") return std::make_unique<FairAirportScheduler>();
+  if (name == "HSFQ") return std::make_unique<hier::HsfqScheduler>();
+  throw std::invalid_argument("make_scheduler: unknown scheduler '" + name +
+                              "'");
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"SFQ", "SCFQ", "WFQ",  "FQS",         "DRR", "WRR",
+          "VC",  "EDD",  "FIFO", "FairAirport", "HSFQ"};
+}
+
+}  // namespace sfq

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Options consumed by schedulers that need configuration beyond flow weights.
+struct SchedulerOptions {
+  // WFQ/FQS: the capacity their GPS emulation assumes.
+  double assumed_capacity = 1e6;
+  // DRR: bits of quantum per unit of weight.
+  double quantum_per_weight = 1.0;
+};
+
+// Creates any scheduler in the library by name:
+//   SFQ, SCFQ, WFQ, FQS, DRR, WRR, VC (VirtualClock), EDD (DelayEDD),
+//   FIFO, FairAirport, HSFQ (hierarchical SFQ, flat until classes are added).
+// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerOptions& options = {});
+
+// Names accepted by make_scheduler, for help texts and sweeps.
+std::vector<std::string> scheduler_names();
+
+}  // namespace sfq

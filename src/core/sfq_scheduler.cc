@@ -1,0 +1,75 @@
+#include "core/sfq_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq {
+
+FlowId SfqScheduler::add_flow(double weight, double max_packet_bits,
+                              std::string name) {
+  FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+  flow_state_.push_back(FlowState{});
+  queues_.ensure(id);
+  return id;
+}
+
+double SfqScheduler::tiebreak_value(FlowId f) const {
+  switch (tie_break_) {
+    case TieBreak::kFifo: return 0.0;
+    case TieBreak::kLowWeightFirst: return flows_.weight(f);
+    case TieBreak::kHighWeightFirst: return -flows_.weight(f);
+  }
+  return 0.0;
+}
+
+void SfqScheduler::push_head(FlowId f) {
+  const Packet& head = queues_.head(f);
+  ready_.push_or_update(
+      f, TagKey{head.start_tag, tiebreak_value(f), head.sched_order});
+}
+
+void SfqScheduler::enqueue(Packet p, Time now) {
+  (void)now;
+  if (p.flow >= flow_state_.size())
+    throw std::out_of_range("SFQ: packet for unknown flow");
+  FlowState& st = flow_state_[p.flow];
+
+  p.start_tag = std::max(vtime_, st.last_finish);
+  const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
+  p.finish_tag = p.start_tag + p.length_bits / rate;
+  st.last_finish = p.finish_tag;
+
+  const FlowId f = p.flow;
+  const bool was_empty = queues_.flow_empty(f);
+  p.sched_order = ++enqueue_seq_;
+  queues_.push(std::move(p));
+  if (was_empty) push_head(f);
+}
+
+std::optional<Packet> SfqScheduler::dequeue(Time now) {
+  (void)now;
+  if (ready_.empty()) return std::nullopt;
+  FlowId f = ready_.top_id();
+  ready_.pop();
+  Packet p = queues_.pop(f);
+
+  // v(t) is the start tag of the packet in service (§2 rule 2).
+  vtime_ = p.start_tag;
+  in_service_ = true;
+
+  if (!queues_.flow_empty(f)) push_head(f);
+  return p;
+}
+
+void SfqScheduler::on_transmit_complete(const Packet& p, Time now) {
+  (void)now;
+  in_service_ = false;
+  max_finish_serviced_ = std::max(max_finish_serviced_, p.finish_tag);
+  if (ready_.empty() && queues_.packets() == 0) {
+    // End of busy period: v jumps to the max finish tag serviced (§2 rule 2),
+    // so flows that idle cannot bank credit for the future.
+    vtime_ = std::max(vtime_, max_finish_serviced_);
+  }
+}
+
+}  // namespace sfq

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Tie-breaking rule used when two head packets carry equal start tags
+// (paper §2: "ties are broken arbitrarily (some tie breaking rules may be
+// more desirable than others)").
+enum class TieBreak {
+  kFifo,            // earlier-enqueued head wins (deterministic default)
+  kLowWeightFirst,  // favour low-throughput (interactive) flows — §2.3
+  kHighWeightFirst, // favour high-throughput flows
+};
+
+// Start-time Fair Queuing (paper §2, eqs. 4–5 and the generalized form
+// eq. 36).
+//
+//   S(p_f^j) = max{ v(A(p_f^j)), F(p_f^{j-1}) }
+//   F(p_f^j) = S(p_f^j) + l_f^j / r_f^j          (r_f^j = flow weight unless
+//                                                 the packet carries a rate)
+//
+// Packets are transmitted in increasing start-tag order. The server virtual
+// time v(t) is the start tag of the packet in service; at the end of a busy
+// period it becomes the maximum finish tag assigned to any serviced packet.
+// v(t) never requires simulating a fluid system, which is what makes SFQ as
+// cheap as SCFQ (O(log Q) per packet) yet fair on variable-rate servers.
+class SfqScheduler : public Scheduler {
+ public:
+  explicit SfqScheduler(TieBreak tie_break = TieBreak::kFifo)
+      : tie_break_(tie_break) {}
+
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override;
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  void on_transmit_complete(const Packet& p, Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "SFQ"; }
+
+  // Current server virtual time (exposed for tests and for the analytic
+  // fairness checks, which are stated in the virtual-time domain).
+  VirtualTime vtime() const { return vtime_; }
+
+  // Finish tag of the last packet of flow f that has arrived (F(p_f^{j-1})
+  // for the next arrival). Exposed for tests.
+  VirtualTime last_finish_tag(FlowId f) const { return flow_state_.at(f).last_finish; }
+
+ private:
+  struct FlowState {
+    VirtualTime last_finish = 0.0;  // F(p_f^0) = 0
+  };
+
+  double tiebreak_value(FlowId f) const;
+  void push_head(FlowId f);
+
+  TieBreak tie_break_;
+  PerFlowQueues queues_;
+  std::vector<FlowState> flow_state_;
+  IndexedHeap<TagKey> ready_;  // backlogged flows keyed by head start tag
+  VirtualTime vtime_ = 0.0;
+  VirtualTime max_finish_serviced_ = 0.0;
+  bool in_service_ = false;
+  uint64_t enqueue_seq_ = 0;  // deterministic FIFO tie-break
+};
+
+}  // namespace sfq

@@ -1,0 +1,34 @@
+// Basic unit types shared by every module.
+//
+// Conventions (see DESIGN.md §4):
+//   * time is in seconds (double),
+//   * data is in bits (double where fractional work matters, uint64_t for
+//     packet lengths),
+//   * rates and weights are in bits/second — the paper interprets a flow
+//     weight r_f as a rate whenever throughput or delay guarantees are
+//     derived, so we use one unit for both.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sfq {
+
+using Time = double;         // seconds
+using VirtualTime = double;  // scheduler virtual-time domain (dimension: bits/weight)
+using FlowId = uint32_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+inline constexpr FlowId kInvalidFlow = static_cast<FlowId>(-1);
+
+// Unit helpers. Packet lengths in the paper are quoted in bytes; all internal
+// arithmetic is in bits.
+constexpr double bits(double b) { return b; }
+constexpr double bytes(double b) { return 8.0 * b; }
+constexpr double kilobits_per_sec(double r) { return 1e3 * r; }
+constexpr double megabits_per_sec(double r) { return 1e6 * r; }
+
+constexpr double milliseconds(double ms) { return ms * 1e-3; }
+constexpr double to_milliseconds(Time t) { return t * 1e3; }
+
+}  // namespace sfq

@@ -1,0 +1,202 @@
+#include "hier/hsfq_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq::hier {
+
+HsfqScheduler::HsfqScheduler() {
+  Node root;
+  root.parent = kRootClass;
+  root.label = "root";
+  nodes_.push_back(std::move(root));
+}
+
+uint32_t HsfqScheduler::new_node(ClassId parent, double weight, bool is_flow,
+                                 std::string name) {
+  if (parent >= nodes_.size() || nodes_[parent].is_flow)
+    throw std::invalid_argument("HSFQ: bad parent class");
+  if (weight <= 0.0)
+    throw std::invalid_argument("HSFQ: weight must be positive");
+  Node n;
+  n.parent = parent;
+  n.weight = weight;
+  n.is_flow = is_flow;
+  n.label = std::move(name);
+  nodes_.push_back(std::move(n));
+  ++nodes_[parent].child_count;
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+HsfqScheduler::ClassId HsfqScheduler::add_class(ClassId parent, double weight,
+                                                std::string name) {
+  if (parent < nodes_.size() && nodes_[parent].inner)
+    throw std::invalid_argument("HSFQ: cannot nest under a delegated class");
+  return new_node(parent, weight, /*is_flow=*/false, std::move(name));
+}
+
+void HsfqScheduler::attach_scheduler(ClassId cls,
+                                     std::unique_ptr<Scheduler> inner) {
+  if (cls == kRootClass || cls >= nodes_.size() || nodes_[cls].is_flow)
+    throw std::invalid_argument("HSFQ: bad class for attach_scheduler");
+  Node& n = nodes_[cls];
+  if (n.child_count != 0 || !n.local_to_global.empty() || n.inner)
+    throw std::invalid_argument("HSFQ: class already has children");
+  n.inner = std::move(inner);
+}
+
+FlowId HsfqScheduler::add_flow_in_class(ClassId parent, double weight,
+                                        double max_packet_bits,
+                                        std::string name) {
+  if (parent < nodes_.size() && !nodes_[parent].is_flow &&
+      nodes_[parent].inner) {
+    // Delegated class: the inner discipline owns the flow.
+    Node& cls = nodes_[parent];
+    FlowId id = Scheduler::add_flow(weight, max_packet_bits, name);
+    FlowId local = cls.inner->add_flow(weight, max_packet_bits, std::move(name));
+    if (local != cls.local_to_global.size())
+      throw std::logic_error("HSFQ: inner scheduler ids not dense");
+    cls.local_to_global.push_back(id);
+    if (id >= routes_.size()) routes_.resize(id + 1);
+    routes_[id] = FlowRoute{parent, true, local};
+    if (id >= flow_node_.size()) flow_node_.resize(id + 1, 0);
+    flow_node_[id] = parent;
+    return id;
+  }
+  FlowId id = Scheduler::add_flow(weight, max_packet_bits, name);
+  uint32_t node = new_node(parent, weight, /*is_flow=*/true, std::move(name));
+  nodes_[node].flow = id;
+  if (id >= flow_node_.size()) flow_node_.resize(id + 1, 0);
+  flow_node_[id] = node;
+  if (id >= routes_.size()) routes_.resize(id + 1);
+  routes_[id] = FlowRoute{node, false, kInvalidFlow};
+  queues_.ensure(id);
+  return id;
+}
+
+void HsfqScheduler::activate(uint32_t n) {
+  // Walk up, tagging every newly backlogged ancestor-child edge with the SFQ
+  // arrival rule S = max(v_parent, F_prev). A node that refills while its
+  // final transmission is still in flight continues its busy period, so any
+  // armed end-of-busy-period jump is cancelled.
+  while (n != kRootClass) {
+    Node& c = nodes_[n];
+    if (c.backlogged) return;
+    c.backlogged = true;
+    Node& par = nodes_[c.parent];
+    par.jump_armed = false;
+    c.start = std::max(par.vtime, c.last_finish);
+    par.children.push(n, TagKey{c.start, 0.0, ++seq_});
+    n = c.parent;
+  }
+  nodes_[kRootClass].jump_armed = false;
+}
+
+void HsfqScheduler::enqueue(Packet p, Time now) {
+  if (p.flow >= routes_.size())
+    throw std::out_of_range("HSFQ: packet for unknown flow");
+  const FlowRoute& route = routes_[p.flow];
+  if (route.delegated) {
+    Node& cls = nodes_[route.node];
+    const bool was_empty = cls.inner->empty();
+    delegated_backlog_ += 1;
+    Packet local = std::move(p);
+    local.flow = route.local;
+    cls.inner->enqueue(std::move(local), now);
+    if (was_empty) activate(route.node);
+    return;
+  }
+  const uint32_t leaf = route.node;
+  const bool was_empty = queues_.flow_empty(p.flow);
+  p.sched_order = ++seq_;
+  queues_.push(std::move(p));
+  if (was_empty) activate(leaf);
+}
+
+std::optional<Packet> HsfqScheduler::dequeue(Time now) {
+  if (nodes_[kRootClass].children.empty()) return std::nullopt;
+
+  // Descend along minimum start tags; a delegated class terminates the
+  // descent (its inner discipline picks the packet).
+  std::vector<uint32_t> path;  // class nodes visited, root first
+  uint32_t n = kRootClass;
+  while (!nodes_[n].is_flow && !nodes_[n].inner) {
+    path.push_back(n);
+    n = nodes_[n].children.top_id();
+  }
+  const uint32_t leaf = n;
+
+  Packet p;
+  if (nodes_[leaf].is_flow) {
+    p = queues_.pop(nodes_[leaf].flow);
+    last_inner_ = nullptr;
+  } else {
+    Node& cls = nodes_[leaf];
+    std::optional<Packet> got = cls.inner->dequeue(now);
+    if (!got) throw std::logic_error("HSFQ: delegated class backlogged but empty");
+    p = std::move(*got);
+    last_inner_ = cls.inner.get();
+    last_inner_local_ = p.flow;
+    p.flow = cls.local_to_global.at(p.flow);
+    --delegated_backlog_;
+  }
+
+  // Unwind bottom-up: charge the packet to every (parent, child) edge.
+  uint32_t child = leaf;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Node& par = nodes_[*it];
+    Node& c = nodes_[child];
+
+    par.vtime = c.start;  // child is now "in service" at this node
+    const double rate =
+        (c.is_flow && p.rate > 0.0) ? p.rate : c.weight;
+    c.last_finish = c.start + p.length_bits / rate;
+    par.max_finish = std::max(par.max_finish, c.last_finish);
+
+    const bool still_backlogged =
+        c.is_flow ? !queues_.flow_empty(c.flow)
+                  : (c.inner ? !c.inner->empty() : !c.children.empty());
+    if (still_backlogged) {
+      c.start = std::max(par.vtime, c.last_finish);
+      par.children.update(child, TagKey{c.start, 0.0, ++seq_});
+    } else {
+      c.backlogged = false;
+      par.children.erase(child);
+      if (par.children.empty() && !par.jump_armed) {
+        // Subtree drained while this packet transmits: arm the
+        // end-of-busy-period jump (committed in on_transmit_complete).
+        par.jump_armed = true;
+        armed_nodes_.push_back(*it);
+      }
+    }
+    child = *it;
+  }
+
+  // Stamp the leaf-level tags on the packet for traces/tests.
+  p.start_tag = nodes_[kRootClass].vtime;
+  return p;
+}
+
+void HsfqScheduler::on_transmit_complete(const Packet& p, Time now) {
+  // Forward the notification to the inner discipline that supplied the
+  // packet (the server completes transmissions one at a time and in dequeue
+  // order, so the pairing is unambiguous).
+  if (last_inner_) {
+    Packet local = p;
+    local.flow = last_inner_local_;
+    last_inner_->on_transmit_complete(local, now);
+    last_inner_ = nullptr;
+  }
+  // Commit armed busy-period jumps for nodes whose subtree stayed empty
+  // through the final transmission (flat-SFQ rule 2, per node).
+  for (uint32_t n : armed_nodes_) {
+    Node& node = nodes_[n];
+    if (node.jump_armed && node.children.empty()) {
+      node.vtime = std::max(node.vtime, node.max_finish);
+      node.jump_armed = false;
+    }
+  }
+  armed_nodes_.clear();
+}
+
+}  // namespace sfq::hier

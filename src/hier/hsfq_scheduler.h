@@ -1,0 +1,142 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+
+namespace sfq::hier {
+
+// Hierarchical SFQ link sharing (paper §3).
+//
+// The link-sharing structure is a tree of classes; leaves are flows. Every
+// internal node runs SFQ over its children, treating each child as a flow:
+// a child carries a (start, last-finish) tag pair at its parent, the parent's
+// virtual time is the start tag of the child in service, and dequeuing
+// recursively picks the minimum-start-tag child at every level. The *actual
+// length of the dequeued packet* is charged to the child's tags at every node
+// on the path, so the recursion degenerates to flat SFQ when the tree has
+// depth one (a unit test asserts this).
+//
+// Tag bookkeeping is dequeue-driven: a child's start tag is fixed when it
+// becomes backlogged (S = max(v_parent, F_prev), the SFQ arrival rule —
+// identical because only the head packet's tag ever matters) and its finish
+// tag is computed when a packet actually leaves (F = S + l / w_child). This
+// avoids needing the subtree's next packet length in advance.
+//
+// A node's end-of-busy-period jump (v := max finish tag serviced) follows the
+// flat-SFQ rule exactly: when a node's subtree drains during a dequeue, the
+// jump is only *armed*; it commits at on_transmit_complete if the subtree is
+// still empty, and is cancelled if a packet arrives while the final
+// transmission is still in progress (the busy period then continues).
+class HsfqScheduler : public Scheduler {
+ public:
+  using ClassId = uint32_t;
+  static constexpr ClassId kRootClass = 0;
+
+  HsfqScheduler();
+
+  // Adds an aggregation class under `parent` with weight (interpreted as a
+  // rate, like flow weights).
+  ClassId add_class(ClassId parent, double weight, std::string name = {});
+
+  // Adds a flow as a leaf of `parent`.
+  FlowId add_flow_in_class(ClassId parent, double weight,
+                           double max_packet_bits = 0.0,
+                           std::string name = {});
+
+  // §3 heterogeneity: delegates the *inside* of a class to a different
+  // discipline (e.g. Delay-EDD for delay/throughput separation, Theorem 7).
+  // The class still competes with its siblings under SFQ tags — its virtual
+  // server is FC by eq. 65, so the inner discipline's FC guarantees apply
+  // with the class parameters. The class must have no SFQ children; flows
+  // added to it afterwards are owned by the inner scheduler.
+  void attach_scheduler(ClassId cls, std::unique_ptr<Scheduler> inner);
+
+  // Access to a delegated class's inner scheduler (e.g. to set EDD
+  // deadlines). Returns nullptr when the class is a plain SFQ class.
+  Scheduler* inner_scheduler(ClassId cls) {
+    return cls < nodes_.size() ? nodes_[cls].inner.get() : nullptr;
+  }
+
+  // Scheduler interface; add_flow attaches directly under the root.
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override {
+    return add_flow_in_class(kRootClass, weight, max_packet_bits,
+                             std::move(name));
+  }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  void on_transmit_complete(const Packet& p, Time now) override;
+
+  bool empty() const override {
+    return queues_.packets() == 0 && delegated_backlog_ == 0;
+  }
+  std::size_t backlog_packets() const override {
+    return queues_.packets() + delegated_backlog_;
+  }
+  double backlog_bits(FlowId f) const override {
+    if (f < routes_.size() && routes_[f].delegated)
+      return nodes_[routes_[f].node].inner->backlog_bits(routes_[f].local);
+    return queues_.bits(f);
+  }
+  std::string name() const override { return "H-SFQ"; }
+
+  // Virtual time of a class node (root by default) — for tests.
+  VirtualTime class_vtime(ClassId c = kRootClass) const {
+    return nodes_.at(c).vtime;
+  }
+
+ private:
+  struct Node {
+    uint32_t parent = 0;
+    double weight = 1.0;
+    bool is_flow = false;
+    FlowId flow = kInvalidFlow;
+    std::string label;
+
+    // State as a child of `parent`.
+    bool backlogged = false;
+    VirtualTime start = 0.0;
+    VirtualTime last_finish = 0.0;
+
+    // State as a parent (class nodes only).
+    IndexedHeap<TagKey> children;
+    VirtualTime vtime = 0.0;
+    VirtualTime max_finish = 0.0;
+    bool jump_armed = false;  // subtree drained mid-transmission
+
+    // Delegated class: the subtree is run by this discipline instead of SFQ.
+    std::unique_ptr<Scheduler> inner;
+    std::vector<FlowId> local_to_global;  // inner flow id -> our flow id
+    uint32_t child_count = 0;             // structural children (SFQ classes)
+  };
+
+  uint32_t new_node(ClassId parent, double weight, bool is_flow,
+                    std::string name);
+  void activate(uint32_t n);
+
+  struct FlowRoute {
+    uint32_t node = 0;       // owning leaf node (flow node or delegated class)
+    bool delegated = false;
+    FlowId local = kInvalidFlow;  // id inside the inner scheduler
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> flow_node_;  // FlowId -> node index (flow leaves)
+  std::vector<FlowRoute> routes_;    // FlowId -> routing info
+  std::vector<uint32_t> armed_nodes_;
+  PerFlowQueues queues_;
+  std::size_t delegated_backlog_ = 0;
+  // Set when the last dequeued packet came from a delegated class, so the
+  // transmit-complete notification can be forwarded to the inner discipline.
+  Scheduler* last_inner_ = nullptr;
+  FlowId last_inner_local_ = kInvalidFlow;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace sfq::hier

@@ -1,0 +1,57 @@
+#include "hier/link_sharing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq::hier {
+
+double LinkSharingTree::subtree_lmax(ClassId c) const {
+  double m = 0.0;
+  for (ClassId i = 0; i < nodes_.size(); ++i)
+    if (i != kRoot && nodes_[i].parent == c)
+      m = std::max(m, subtree_lmax(i));
+  for (const NodeInfo& f : flow_nodes_)
+    if (f.parent == c) m = std::max(m, f.lmax);
+  return m;
+}
+
+double LinkSharingTree::children_lmax_sum(ClassId c) const {
+  double s = 0.0;
+  for (ClassId i = 0; i < nodes_.size(); ++i)
+    if (i != kRoot && nodes_[i].parent == c) s += subtree_lmax(i);
+  for (const NodeInfo& f : flow_nodes_)
+    if (f.parent == c) s += f.lmax;
+  return s;
+}
+
+qos::FcParams LinkSharingTree::class_params(ClassId c) const {
+  if (c == kRoot) return link_;
+  if (c >= nodes_.size())
+    throw std::out_of_range("LinkSharingTree: unknown class");
+  const NodeInfo& n = nodes_[c];
+  const qos::FcParams parent = class_params(n.parent);
+  return qos::hsfq_class_params(parent, n.weight,
+                                children_lmax_sum(n.parent),
+                                subtree_lmax(c));
+}
+
+Time LinkSharingTree::flow_delay_term(FlowId f, double packet_bits) const {
+  if (f >= flow_nodes_.size())
+    throw std::out_of_range("LinkSharingTree: unknown flow");
+  const NodeInfo& leaf = flow_nodes_[f];
+  const qos::FcParams server = class_params(leaf.parent);
+  const double sum_other = children_lmax_sum(leaf.parent) - leaf.lmax;
+  return qos::sfq_fc_delay_term(server, sum_other, packet_bits);
+}
+
+double LinkSharingTree::flow_throughput_bound(FlowId f, Time t1,
+                                              Time t2) const {
+  if (f >= flow_nodes_.size())
+    throw std::out_of_range("LinkSharingTree: unknown flow");
+  const NodeInfo& leaf = flow_nodes_[f];
+  const qos::FcParams server = class_params(leaf.parent);
+  return qos::sfq_fc_throughput_lower_bound(
+      server, leaf.weight, children_lmax_sum(leaf.parent), leaf.lmax, t1, t2);
+}
+
+}  // namespace sfq::hier

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hier/hsfq_scheduler.h"
+#include "qos/bounds.h"
+
+namespace sfq::hier {
+
+// Declarative link-sharing structure: builds the matching HsfqScheduler and
+// carries the analytic side of §3 — every class is a virtual FC server whose
+// parameters follow the eq. 65 recursion, so Theorems 2 and 4 apply at any
+// depth.
+class LinkSharingTree {
+ public:
+  using ClassId = HsfqScheduler::ClassId;
+  static constexpr ClassId kRoot = HsfqScheduler::kRootClass;
+
+  // `link` is the physical link modeled as an FC server (delta = 0 for a
+  // constant-rate link).
+  explicit LinkSharingTree(qos::FcParams link) : link_(link) {
+    nodes_.push_back(NodeInfo{kRoot, link.rate, 0.0, false, kInvalidFlow});
+  }
+
+  ClassId add_class(ClassId parent, double weight, std::string name = {}) {
+    ClassId id = sched_.add_class(parent, weight, name);
+    ensure_node(id);
+    nodes_[id] = NodeInfo{parent, weight, 0.0, false, kInvalidFlow};
+    return id;
+  }
+
+  FlowId add_flow(ClassId parent, double weight, double max_packet_bits,
+                  std::string name = {}) {
+    FlowId f = sched_.add_flow_in_class(parent, weight, max_packet_bits, name);
+    // Flow nodes live in the scheduler's node space right after their class;
+    // mirror them here keyed by their own id space.
+    flow_nodes_.push_back(NodeInfo{parent, weight, max_packet_bits, true, f});
+    return f;
+  }
+
+  HsfqScheduler& scheduler() { return sched_; }
+
+  // Virtual-server parameters of a class (eq. 65 recursion from the link).
+  qos::FcParams class_params(ClassId c) const;
+
+  // Theorem-4 delay term (seconds past EAT) for a flow's packets of size
+  // `packet_bits`, accounting for the whole hierarchy above it.
+  Time flow_delay_term(FlowId f, double packet_bits) const;
+
+  // Theorem-2 throughput lower bound for a backlogged flow over [t1, t2].
+  double flow_throughput_bound(FlowId f, Time t1, Time t2) const;
+
+  // Maximum packet length inside a class's subtree (the l^max of eq. 65).
+  double subtree_lmax(ClassId c) const;
+  // Sum of children l^max at a class (the Σ l_n^max of Theorems 2/4).
+  double children_lmax_sum(ClassId c) const;
+
+ private:
+  struct NodeInfo {
+    ClassId parent;
+    double weight;
+    double lmax;   // flows only; classes derive from subtree
+    bool is_flow;
+    FlowId flow;
+  };
+
+  void ensure_node(ClassId id) {
+    if (id >= nodes_.size()) nodes_.resize(id + 1);
+  }
+
+  qos::FcParams link_;
+  HsfqScheduler sched_;
+  std::vector<NodeInfo> nodes_;       // classes, indexed by ClassId
+  std::vector<NodeInfo> flow_nodes_;  // flows, indexed by FlowId
+};
+
+}  // namespace sfq::hier

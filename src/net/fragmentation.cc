@@ -1,0 +1,57 @@
+#include "net/fragmentation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq::net {
+
+Fragmenter::Fragmenter(double mtu_bits, EmitFn out)
+    : mtu_(mtu_bits), out_(std::move(out)) {
+  if (mtu_bits <= 0.0)
+    throw std::invalid_argument("Fragmenter: MTU must be positive");
+}
+
+void Fragmenter::inject(Packet p) {
+  if (p.length_bits <= mtu_) {
+    p.frag_index = 0;
+    p.frag_count = 1;
+    ++emitted_;
+    out_(std::move(p));
+    return;
+  }
+  const auto count =
+      static_cast<uint32_t>(std::ceil(p.length_bits / mtu_ - 1e-12));
+  double rest = p.length_bits;
+  for (uint32_t i = 0; i < count; ++i) {
+    Packet frag = p;
+    frag.frag_index = i;
+    frag.frag_count = count;
+    frag.length_bits = std::min(mtu_, rest);
+    rest -= frag.length_bits;
+    ++emitted_;
+    out_(frag);
+  }
+}
+
+void Reassembler::on_fragment(const Packet& fragment, Time now) {
+  if (fragment.frag_count <= 1) {
+    Packet whole = fragment;
+    out_(std::move(whole), now);
+    return;
+  }
+  const auto key = std::make_pair(fragment.flow, fragment.seq);
+  Partial& part = partial_[key];
+  if (part.received == 0) part.prototype = fragment;
+  ++part.received;
+  part.bits += fragment.length_bits;
+  if (part.received == fragment.frag_count) {
+    Packet whole = part.prototype;
+    whole.length_bits = part.bits;
+    whole.frag_index = 0;
+    whole.frag_count = 1;
+    partial_.erase(key);
+    out_(std::move(whole), now);
+  }
+}
+
+}  // namespace sfq::net

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/packet.h"
+
+namespace sfq::net {
+
+// Splits packets into MTU-sized fragments at a network ingress. The paper's
+// §2.4 notes that the Theorem-6/Corollary-1 proof method extends to networks
+// that fragment and reassemble; this pair of helpers provides the mechanism
+// so the property can be exercised (see tests/test_fragmentation.cc).
+//
+// Fragments inherit the original flow and seq; frag_index/frag_count encode
+// the position. Every fragment of an original packet carries an equal share
+// of any per-packet rate assignment.
+class Fragmenter {
+ public:
+  using EmitFn = std::function<void(Packet)>;
+
+  Fragmenter(double mtu_bits, EmitFn out);
+
+  void inject(Packet p);
+
+  double mtu_bits() const { return mtu_; }
+  uint64_t fragments_emitted() const { return emitted_; }
+
+ private:
+  double mtu_;
+  EmitFn out_;
+  uint64_t emitted_ = 0;
+};
+
+// Rebuilds original packets at the egress: delivers once all fragments of a
+// (flow, seq) pair have arrived. Tolerates out-of-order fragment arrival.
+class Reassembler {
+ public:
+  using DeliverFn = std::function<void(Packet, Time)>;
+
+  explicit Reassembler(DeliverFn out) : out_(std::move(out)) {}
+
+  void on_fragment(const Packet& fragment, Time now);
+
+  std::size_t pending() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    uint32_t received = 0;
+    double bits = 0.0;
+    Packet prototype;  // first fragment seen, carries flow/seq metadata
+  };
+
+  DeliverFn out_;
+  std::map<std::pair<FlowId, uint64_t>, Partial> partial_;
+};
+
+}  // namespace sfq::net

@@ -1,0 +1,97 @@
+#include "net/mesh.h"
+
+#include <stdexcept>
+
+namespace sfq::net {
+
+MeshNetwork::NodeId MeshNetwork::add_node(std::string name) {
+  if (name.empty()) name = "node" + std::to_string(nodes_.size());
+  nodes_.push_back(std::move(name));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+MeshNetwork::LinkId MeshNetwork::add_link(NodeId from, NodeId to,
+                                          std::unique_ptr<Scheduler> sched,
+                                          std::unique_ptr<RateProfile> profile,
+                                          Time propagation) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw std::invalid_argument("MeshNetwork: unknown node");
+  auto link = std::make_unique<Link>();
+  link->from = from;
+  link->to = to;
+  link->propagation = propagation;
+  link->sched = std::move(sched);
+  link->recorder = std::make_unique<stats::ServiceRecorder>();
+  link->server = std::make_unique<ScheduledServer>(sim_, *link->sched,
+                                                   std::move(profile));
+  link->server->set_recorder(link->recorder.get());
+  const LinkId id = static_cast<LinkId>(links_.size());
+  link->server->set_departure([this, id](const Packet& p, Time t) {
+    on_link_departure(id, p, t);
+  });
+  links_.push_back(std::move(link));
+  return id;
+}
+
+FlowId MeshNetwork::add_flow(const std::vector<LinkId>& route, double weight,
+                             double max_packet_bits, std::string name) {
+  if (route.empty()) throw std::invalid_argument("MeshNetwork: empty route");
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    if (route[i] >= links_.size())
+      throw std::invalid_argument("MeshNetwork: unknown link in route");
+    if (i > 0 && links_[route[i - 1]]->to != links_[route[i]]->from)
+      throw std::invalid_argument("MeshNetwork: route is not connected");
+  }
+  Flow f;
+  f.route = route;
+  f.name = name.empty() ? "flow" + std::to_string(flows_.size()) : name;
+  for (LinkId l : route) {
+    const FlowId local =
+        links_[l]->sched->add_flow(weight, max_packet_bits, f.name);
+    if (local != links_[l]->local_to_global.size())
+      throw std::logic_error("MeshNetwork: non-dense local flow ids");
+    links_[l]->local_to_global.push_back(
+        static_cast<FlowId>(flows_.size()));
+    f.local_ids.push_back(local);
+  }
+  flows_.push_back(std::move(f));
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void MeshNetwork::inject(FlowId flow, Packet p) {
+  if (flow >= flows_.size())
+    throw std::out_of_range("MeshNetwork: unknown flow");
+  const Flow& f = flows_[flow];
+  p.hops = 0;
+  p.flow = f.local_ids[0];
+  links_[f.route[0]]->server->inject(std::move(p));
+}
+
+void MeshNetwork::on_link_departure(LinkId l, const Packet& p, Time t) {
+  const FlowId global = links_[l]->local_to_global.at(p.flow);
+  const Flow& f = flows_[global];
+  const std::size_t pos = p.hops;  // index of `l` within the route
+  Packet next = p;
+  ++next.hops;
+  if (pos + 1 >= f.route.size()) {
+    next.flow = global;
+    if (delivery_) delivery_(next, t);
+    return;
+  }
+  next.flow = f.local_ids[pos + 1];
+  const LinkId next_link = f.route[pos + 1];
+  const Time tau = links_[l]->propagation;
+  if (tau > 0.0) {
+    sim_.at(t + tau, [this, next_link, next]() mutable {
+      links_[next_link]->server->inject(std::move(next));
+    });
+  } else {
+    links_[next_link]->server->inject(std::move(next));
+  }
+}
+
+void MeshNetwork::finish_recording() {
+  for (auto& l : links_) l->recorder->finish(sim_.now());
+}
+
+}  // namespace sfq::net

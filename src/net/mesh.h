@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sim/simulator.h"
+#include "stats/service_recorder.h"
+
+namespace sfq::net {
+
+// A general packet-switched topology: nodes connected by unidirectional
+// links, each link an independent scheduled server; flows follow explicit
+// routes (link sequences). Unlike TandemNetwork, different flows can share
+// only parts of a path, so each hop sees a different flow set — the setting
+// in which the per-hop sums of Theorem 4 and the Corollary-1 composition
+// genuinely differ per flow.
+//
+// Flow ids are global; each link's scheduler keeps its own dense local ids
+// and the mesh translates on the way through. Statistics (recorders) are
+// per link, in local-id space, with accessors to translate.
+class MeshNetwork {
+ public:
+  using NodeId = uint32_t;
+  using LinkId = uint32_t;
+  using DeliveryFn = std::function<void(const Packet&, Time)>;
+
+  explicit MeshNetwork(sim::Simulator& sim) : sim_(sim) {}
+
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+
+  NodeId add_node(std::string name = {});
+
+  // A unidirectional link from -> to with its own discipline and rate.
+  LinkId add_link(NodeId from, NodeId to, std::unique_ptr<Scheduler> sched,
+                  std::unique_ptr<RateProfile> profile,
+                  Time propagation = 0.0);
+
+  // Registers a flow along `route` (consecutive links must share a node).
+  FlowId add_flow(const std::vector<LinkId>& route, double weight,
+                  double max_packet_bits = 0.0, std::string name = {});
+
+  // Injects at the route's first link. Stamps arrival per hop internally.
+  void inject(FlowId flow, Packet p);
+
+  void set_delivery(DeliveryFn fn) { delivery_ = std::move(fn); }
+
+  Scheduler& link_scheduler(LinkId l) { return *links_.at(l)->sched; }
+  stats::ServiceRecorder& link_recorder(LinkId l) {
+    return *links_.at(l)->recorder;
+  }
+  // Local id of `flow` at hop `hop_index` of its route (for recorder lookups).
+  FlowId local_id(FlowId flow, std::size_t hop_index) const {
+    return flows_.at(flow).local_ids.at(hop_index);
+  }
+  const std::vector<LinkId>& route(FlowId flow) const {
+    return flows_.at(flow).route;
+  }
+  std::size_t link_count() const { return links_.size(); }
+  void finish_recording();
+
+ private:
+  struct Link {
+    NodeId from = 0, to = 0;
+    Time propagation = 0.0;
+    std::unique_ptr<Scheduler> sched;
+    std::unique_ptr<stats::ServiceRecorder> recorder;
+    std::unique_ptr<ScheduledServer> server;
+    std::vector<FlowId> local_to_global;
+  };
+  struct Flow {
+    std::vector<LinkId> route;
+    std::vector<FlowId> local_ids;  // one per hop
+    std::string name;
+  };
+
+  void on_link_departure(LinkId l, const Packet& p, Time t);
+
+  sim::Simulator& sim_;
+  std::vector<std::string> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Flow> flows_;
+  DeliveryFn delivery_;
+};
+
+}  // namespace sfq::net

@@ -1,0 +1,62 @@
+#include "net/priority_server.h"
+
+#include <utility>
+
+namespace sfq::net {
+
+PriorityServer::PriorityServer(sim::Simulator& sim, Scheduler& low_sched,
+                               std::unique_ptr<RateProfile> profile)
+    : sim_(sim), low_sched_(low_sched), profile_(std::move(profile)) {}
+
+void PriorityServer::inject_high(Packet p) {
+  p.arrival = sim_.now();
+  high_q_.push_back(std::move(p));
+  try_start();
+}
+
+void PriorityServer::inject_low(Packet p) {
+  const Time now = sim_.now();
+  p.arrival = now;
+  if (recorder_) recorder_->on_arrival(p.flow, now);
+  low_sched_.enqueue(std::move(p), now);
+  try_start();
+}
+
+double PriorityServer::high_backlog_bits() const {
+  double b = 0.0;
+  for (const Packet& p : high_q_) b += p.length_bits;
+  return b;
+}
+
+void PriorityServer::try_start() {
+  if (busy_) return;
+  const Time now = sim_.now();
+
+  if (!high_q_.empty()) {
+    Packet p = std::move(high_q_.front());
+    high_q_.pop_front();
+    busy_ = true;
+    const Time finish = profile_->finish_time(now, p.length_bits);
+    sim_.at(finish, [this, p = std::move(p), finish]() {
+      busy_ = false;
+      if (on_high_dep_) on_high_dep_(p, finish);
+      try_start();
+    });
+    return;
+  }
+
+  std::optional<Packet> next = low_sched_.dequeue(now);
+  if (!next) return;
+  busy_ = true;
+  const Time finish = profile_->finish_time(now, next->length_bits);
+  sim_.at(finish, [this, p = *next, start = now, finish]() {
+    busy_ = false;
+    low_sched_.on_transmit_complete(p, finish);
+    if (recorder_)
+      recorder_->on_service(p.flow, p.length_bits, p.arrival, start, finish);
+    if (on_low_dep_) on_low_dep_(p, finish);
+    try_start();
+  });
+}
+
+}  // namespace sfq::net

@@ -1,0 +1,181 @@
+#include "net/rate_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq::net {
+
+ConstantRate::ConstantRate(double rate) : rate_(rate) {
+  if (rate <= 0.0)
+    throw std::invalid_argument("ConstantRate: rate must be positive");
+}
+
+Time ConstantRate::finish_time(Time start, double bits) {
+  return start + bits / rate_;
+}
+
+double ConstantRate::work(Time t1, Time t2) {
+  return t2 > t1 ? (t2 - t1) * rate_ : 0.0;
+}
+
+PiecewiseConstantRate::PiecewiseConstantRate(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty() || segments_.front().start != 0.0)
+    throw std::invalid_argument("PiecewiseConstantRate: first segment at t=0");
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i].start <= segments_[i - 1].start)
+      throw std::invalid_argument(
+          "PiecewiseConstantRate: starts must strictly increase");
+  }
+}
+
+void PiecewiseConstantRate::append(Time start, double rate) {
+  if (!segments_.empty() && start <= segments_.back().start)
+    throw std::logic_error("PiecewiseConstantRate: non-increasing append");
+  segments_.push_back(Segment{start, rate});
+}
+
+Time PiecewiseConstantRate::finish_time(Time start, double bits) {
+  ensure_generated(start);
+  if (segments_.empty())
+    throw std::logic_error("PiecewiseConstantRate: no segments");
+
+  double remaining = bits;
+  Time t = start;
+  // Index of the segment containing t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Time v, const Segment& s) { return v < s.start; });
+  std::size_t i = static_cast<std::size_t>(it - segments_.begin());
+  i = i == 0 ? 0 : i - 1;
+
+  double grow = std::max(1e-6, bits / std::max(average_rate(), 1e-9));
+  for (;;) {
+    if (i + 1 >= segments_.size()) {
+      const std::size_t before = segments_.size();
+      ensure_generated(t + grow);
+      grow *= 2.0;
+      if (segments_.size() == before) {
+        // Static profile: final segment extends forever.
+        const double rate = segments_[i].rate;
+        if (rate <= 0.0)
+          throw std::runtime_error(
+              "PiecewiseConstantRate: link stalled at zero rate");
+        return t + remaining / rate;
+      }
+    }
+    const Time seg_end = segments_[i + 1].start;
+    const double rate = segments_[i].rate;
+    if (rate > 0.0) {
+      const double capacity = (seg_end - t) * rate;
+      if (capacity >= remaining) return t + remaining / rate;
+      remaining -= capacity;
+    }
+    t = seg_end;
+    ++i;
+  }
+}
+
+double PiecewiseConstantRate::work(Time t1, Time t2) {
+  if (t2 <= t1) return 0.0;
+  ensure_generated(t2);
+  double w = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Time seg_start = segments_[i].start;
+    const Time seg_end =
+        i + 1 < segments_.size() ? segments_[i + 1].start : kTimeInfinity;
+    const Time a = std::max(t1, seg_start);
+    const Time b = std::min(t2, seg_end);
+    if (b > a) w += (b - a) * segments_[i].rate;
+    if (seg_end >= t2) break;
+  }
+  return w;
+}
+
+double PiecewiseConstantRate::average_rate() const {
+  if (segments_.empty()) return 0.0;
+  if (segments_.size() == 1) return segments_.front().rate;
+  double w = 0.0;
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i)
+    w += (segments_[i + 1].start - segments_[i].start) * segments_[i].rate;
+  return w / segments_.back().start;
+}
+
+FcOnOffRate::FcOnOffRate(double average, double delta, double duty, Time phase)
+    : average_(average), delta_(delta), phase_(phase) {
+  if (average <= 0.0 || delta < 0.0 || duty <= 0.0 || duty >= 1.0)
+    throw std::invalid_argument("FcOnOffRate: bad parameters");
+  on_rate_ = average / duty;
+  off_len_ = delta > 0.0 ? delta / average : 0.0;
+  if (off_len_ == 0.0) {
+    // Degenerate: constant-rate server.
+    on_len_ = 1.0;
+    off_len_ = 0.0;
+    on_rate_ = average;
+  } else {
+    on_len_ = off_len_ * duty / (1.0 - duty);
+  }
+  ensure_generated(0.0);
+}
+
+void FcOnOffRate::ensure_generated(Time t) {
+  const Time period = on_len_ + off_len_;
+  if (segments_.empty()) {
+    if (off_len_ == 0.0) {
+      append(0.0, on_rate_);
+      return;
+    }
+    // Pattern position at t=0 given the phase offset (pattern = OFF then ON).
+    double pos = std::fmod(phase_, period);
+    if (pos < 0) pos += period;
+    if (pos < off_len_) {
+      append(0.0, 0.0);
+      append(off_len_ - pos, on_rate_);
+      append(off_len_ - pos + on_len_, 0.0);
+    } else {
+      append(0.0, on_rate_);
+      append(period - pos, 0.0);
+      append(period - pos + off_len_, on_rate_);
+    }
+  }
+  if (off_len_ == 0.0) return;
+  while (generated_until() < t + period) {
+    const Segment& last = segments_.back();
+    if (last.rate == 0.0)
+      append(last.start + off_len_, on_rate_);
+    else
+      append(last.start + on_len_, 0.0);
+  }
+}
+
+EbfRandomRate::EbfRandomRate(const Params& params)
+    : params_(params),
+      rng_(params.seed),
+      pause_dist_(1.0 / params.mean_pause),
+      run_dist_(1.0 / params.mean_run) {
+  const double effective =
+      params.on_rate * params.mean_run / (params.mean_run + params.mean_pause);
+  if (effective < params.average)
+    throw std::invalid_argument(
+        "EbfRandomRate: on_rate too low for the claimed average "
+        "(deficit drift must be negative)");
+  append(0.0, params_.on_rate);
+}
+
+void EbfRandomRate::ensure_generated(Time t) {
+  while (generated_until() < t + params_.mean_run) {
+    const Segment& last = segments_.back();
+    if (running_) {
+      const double run = run_dist_(rng_);
+      append(last.start + std::max(run, 1e-9), 0.0);
+      running_ = false;
+    } else {
+      const double pause = pause_dist_(rng_);
+      append(last.start + std::max(pause, 1e-9), params_.on_rate);
+      running_ = true;
+    }
+  }
+}
+
+}  // namespace sfq::net

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::net {
+
+// Service-rate model of a link/interface. A server asks when a transmission
+// of `bits` that starts at `start` finishes, and how much work the link
+// performs in an interval (used by tests that verify the FC/EBF definitions,
+// eqs. 6–7).
+class RateProfile {
+ public:
+  virtual ~RateProfile() = default;
+
+  virtual Time finish_time(Time start, double bits) = 0;
+
+  // Integral of the instantaneous rate over [t1, t2].
+  virtual double work(Time t1, Time t2) = 0;
+
+  // Long-run average rate C (bits/s) — the "C" of the FC/EBF parameters.
+  virtual double average_rate() const = 0;
+};
+
+// Fixed-capacity link: the (C, 0) FC server.
+class ConstantRate final : public RateProfile {
+ public:
+  explicit ConstantRate(double rate);
+  Time finish_time(Time start, double bits) override;
+  double work(Time t1, Time t2) override;
+  double average_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Piecewise-constant rate r(t); the last segment extends forever. Used
+// directly for scripted capacity changes (Example 2's "1 pkt/s then C
+// pkt/s") and as the backing store of the generated FC/EBF profiles.
+class PiecewiseConstantRate : public RateProfile {
+ public:
+  struct Segment {
+    Time start;
+    double rate;
+  };
+
+  // Segments must have strictly increasing start times; first at t=0.
+  explicit PiecewiseConstantRate(std::vector<Segment> segments);
+
+  Time finish_time(Time start, double bits) override;
+  double work(Time t1, Time t2) override;
+  double average_rate() const override;
+
+ protected:
+  PiecewiseConstantRate() = default;
+  // Generated profiles append segments lazily; must keep starts increasing.
+  void append(Time start, double rate);
+  Time generated_until() const {
+    return segments_.empty() ? 0.0 : segments_.back().start;
+  }
+  // Hook for lazily generated profiles: guarantee segments cover [0, t].
+  virtual void ensure_generated(Time t) { (void)t; }
+
+  std::vector<Segment> segments_;
+};
+
+// Fluctuation Constrained server (Definition 1): average rate C, burstiness
+// delta(C) bits. Constructed as a periodic on/off pattern — OFF for
+// delta/C_on, then ON at rate C_on = C/duty — whose work deficit against the
+// fluid C-server never exceeds delta in any interval. Deterministic, so
+// tests can check the FC inequality exactly.
+class FcOnOffRate final : public PiecewiseConstantRate {
+ public:
+  // duty in (0,1): fraction of each period the link is ON.
+  FcOnOffRate(double average, double delta, double duty = 0.5,
+              Time phase = 0.0);
+
+  double average_rate() const override { return average_; }
+  double delta() const { return delta_; }
+
+ private:
+  void ensure_generated(Time t) override;
+
+  double average_;
+  double delta_;
+  double on_rate_;
+  Time on_len_, off_len_;
+  Time phase_;
+};
+
+// Exponentially Bounded Fluctuation server (Definition 2): the link pauses
+// at i.i.d. exponential intervals for i.i.d. exponential durations and
+// otherwise runs faster than C. The accumulated deficit is a reflected
+// random walk with negative drift, so P(deficit > delta + gamma) decays
+// exponentially in gamma — an EBF(C, B, alpha, delta) server.
+class EbfRandomRate final : public PiecewiseConstantRate {
+ public:
+  struct Params {
+    double average;          // C
+    double on_rate;          // service rate while running (> average)
+    double mean_pause = 1e-3;      // mean pause duration (s)
+    double mean_run = 4e-3;        // mean run duration (s)
+    uint64_t seed = 1;
+  };
+  explicit EbfRandomRate(const Params& params);
+
+  double average_rate() const override { return params_.average; }
+
+ private:
+  void ensure_generated(Time t) override;
+
+  Params params_;
+  std::mt19937_64 rng_;
+  std::exponential_distribution<double> pause_dist_;
+  std::exponential_distribution<double> run_dist_;
+  bool running_ = true;
+};
+
+}  // namespace sfq::net

@@ -1,0 +1,50 @@
+#include "net/scheduled_server.h"
+
+#include <utility>
+
+namespace sfq::net {
+
+ScheduledServer::ScheduledServer(sim::Simulator& sim, Scheduler& sched,
+                                 std::unique_ptr<RateProfile> profile)
+    : sim_(sim), sched_(sched), profile_(std::move(profile)) {}
+
+bool ScheduledServer::inject(Packet p) {
+  const Time now = sim_.now();
+  if (buffer_limit_ != 0 && sched_.backlog_packets() >= buffer_limit_) {
+    ++drops_;
+    if (on_drop_) on_drop_(p, now);
+    return false;
+  }
+  p.arrival = now;
+  if (recorder_) recorder_->on_arrival(p.flow, now);
+  sched_.enqueue(std::move(p), now);
+  if (link_stats_) link_stats_->on_queue_sample(now, sched_.backlog_packets());
+  try_start();
+  return true;
+}
+
+void ScheduledServer::try_start() {
+  if (busy_) return;
+  const Time now = sim_.now();
+  std::optional<Packet> next = sched_.dequeue(now);
+  if (!next) return;
+  busy_ = true;
+  if (link_stats_) {
+    link_stats_->on_transmit_start(now);
+    link_stats_->on_queue_sample(now, sched_.backlog_packets());
+  }
+  const Time finish = profile_->finish_time(now, next->length_bits);
+  // The packet is captured by value in the completion event; schedulers keep
+  // no reference to in-flight packets.
+  sim_.at(finish, [this, p = *next, start = now, finish]() {
+    busy_ = false;
+    if (link_stats_) link_stats_->on_transmit_end(finish);
+    sched_.on_transmit_complete(p, finish);
+    if (recorder_)
+      recorder_->on_service(p.flow, p.length_bits, p.arrival, start, finish);
+    if (on_departure_) on_departure_(p, finish);
+    try_start();
+  });
+}
+
+}  // namespace sfq::net

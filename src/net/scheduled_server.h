@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/scheduler.h"
+#include "net/rate_profile.h"
+#include "sim/simulator.h"
+#include "stats/link_stats.h"
+#include "stats/service_recorder.h"
+
+namespace sfq::net {
+
+// An output link: a scheduler (queueing discipline) drained by a rate
+// profile. Work-conserving and non-preemptive: whenever the link goes idle
+// and the scheduler is non-empty, the next packet begins transmission and
+// finishes at profile->finish_time(now, length).
+class ScheduledServer {
+ public:
+  using DepartureFn = std::function<void(const Packet&, Time departure)>;
+  using DropFn = std::function<void(const Packet&, Time)>;
+
+  ScheduledServer(sim::Simulator& sim, Scheduler& sched,
+                  std::unique_ptr<RateProfile> profile);
+
+  ScheduledServer(const ScheduledServer&) = delete;
+  ScheduledServer& operator=(const ScheduledServer&) = delete;
+
+  // Packet arrival. Stamps p.arrival = now. Returns false if dropped by the
+  // buffer limit.
+  bool inject(Packet p);
+
+  void set_departure(DepartureFn fn) { on_departure_ = std::move(fn); }
+  void set_drop(DropFn fn) { on_drop_ = std::move(fn); }
+  void set_recorder(stats::ServiceRecorder* rec) { recorder_ = rec; }
+  void set_link_stats(stats::LinkStats* ls) { link_stats_ = ls; }
+
+  // Cap on queued packets (excluding the one in transmission); 0 = infinite.
+  void set_buffer_limit(std::size_t packets) { buffer_limit_ = packets; }
+
+  Scheduler& scheduler() { return sched_; }
+  RateProfile& profile() { return *profile_; }
+  bool busy() const { return busy_; }
+  uint64_t drops() const { return drops_; }
+
+ private:
+  void try_start();
+
+  sim::Simulator& sim_;
+  Scheduler& sched_;
+  std::unique_ptr<RateProfile> profile_;
+  DepartureFn on_departure_;
+  DropFn on_drop_;
+  stats::ServiceRecorder* recorder_ = nullptr;
+  stats::LinkStats* link_stats_ = nullptr;
+  std::size_t buffer_limit_ = 0;
+  bool busy_ = false;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace sfq::net

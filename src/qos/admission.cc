@@ -1,0 +1,74 @@
+#include "qos/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq::qos {
+
+bool rates_admissible(const std::vector<double>& rates, double capacity) {
+  double sum = 0.0;
+  for (double r : rates) sum += r;
+  return sum <= capacity * (1.0 + 1e-12);
+}
+
+namespace {
+
+// Demand just after time t: each flow with t >= d_n contributes
+// (floor((t - d_n) r_n / l_n) + 1) * l_n.
+double demand_after(const std::vector<EddFlow>& flows, Time t) {
+  double bits = 0.0;
+  for (const EddFlow& f : flows) {
+    if (t < f.deadline) continue;
+    const double k = std::floor((t - f.deadline) * f.rate / f.packet_bits);
+    bits += (k + 1.0) * f.packet_bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+bool edd_schedulable(const std::vector<EddFlow>& flows, double capacity,
+                     Time horizon) {
+  if (flows.empty()) return true;
+  double rate_sum = 0.0;
+  for (const EddFlow& f : flows) {
+    if (f.rate <= 0.0 || f.packet_bits <= 0.0 || f.deadline < 0.0)
+      throw std::invalid_argument("edd_schedulable: bad flow");
+    rate_sum += f.rate;
+  }
+  if (rate_sum > capacity) return false;
+
+  if (horizon <= 0.0) {
+    if (rate_sum >= capacity)
+      throw std::invalid_argument(
+          "edd_schedulable: horizon required when sum r == C");
+    double slack_bits = 0.0;
+    for (const EddFlow& f : flows)
+      slack_bits += std::max(0.0, f.packet_bits - f.deadline * f.rate);
+    horizon = slack_bits / (capacity - rate_sum);
+    horizon = std::max<Time>(horizon, 0.0);
+  }
+
+  // Enumerate jump points t = d_n + k l_n / r_n within the horizon.
+  std::vector<Time> points;
+  for (const EddFlow& f : flows) {
+    const Time step = f.packet_bits / f.rate;
+    for (Time t = f.deadline; t <= horizon + step; t += step)
+      points.push_back(t);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (Time t : points) {
+    if (t <= 0.0) {
+      // A jump at (or before) t=0 with positive demand is infeasible.
+      if (demand_after(flows, t) > 0.0) return false;
+      continue;
+    }
+    if (demand_after(flows, t) > capacity * t * (1.0 + 1e-12)) return false;
+  }
+  return true;
+}
+
+}  // namespace sfq::qos

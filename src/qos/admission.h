@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::qos {
+
+// Rate-based admission control used by Theorems 2–5: admit while
+// sum of reserved rates <= C.
+bool rates_admissible(const std::vector<double>& rates, double capacity);
+
+// Delay-EDD flow descriptor for the schedulability condition of eq. (67).
+struct EddFlow {
+  double rate;         // r_n, bits/s
+  double packet_bits;  // l_n
+  Time deadline;       // d_n, seconds
+};
+
+// Exact test of eq. (67):
+//   forall t > 0:  sum_n max{0, ceil((t - d_n) r_n / l_n)} l_n / C  <=  t.
+// The left side only jumps at t = d_n + k l_n / r_n, so it suffices to check
+// just after every jump up to a horizon; when sum r_n < C the horizon
+//   T* = sum_n max(0, l_n - d_n r_n) / (C - sum_n r_n)
+// is safe (beyond it the fluid upper bound of the demand stays below t).
+// When sum r_n == C, `horizon` must be supplied by the caller.
+bool edd_schedulable(const std::vector<EddFlow>& flows, double capacity,
+                     Time horizon = 0.0);
+
+}  // namespace sfq::qos

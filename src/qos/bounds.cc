@@ -1,0 +1,108 @@
+#include "qos/bounds.h"
+
+#include <cmath>
+
+namespace sfq::qos {
+
+double sfq_fairness_bound(double lf_max, double rf, double lm_max,
+                          double rm) {
+  return lf_max / rf + lm_max / rm;
+}
+
+double sfq_fc_throughput_lower_bound(const FcParams& server, double rf,
+                                     double sum_lmax, double lf_max,
+                                     Time t1, Time t2) {
+  const double c = server.rate;
+  return rf * (t2 - t1) - rf * sum_lmax / c - rf * server.delta / c - lf_max;
+}
+
+double sfq_ebf_throughput_violation_prob(const EbfParams& server,
+                                         double gamma) {
+  return server.b * std::exp(-server.alpha * gamma);
+}
+
+double sfq_ebf_throughput_lower_bound(const EbfParams& server, double rf,
+                                      double sum_lmax, double lf_max,
+                                      Time t1, Time t2, double gamma) {
+  const double c = server.rate;
+  return rf * (t2 - t1) - rf * sum_lmax / c - rf * server.delta / c -
+         rf * gamma / c - lf_max;
+}
+
+Time sfq_fc_delay_term(const FcParams& server, double sum_other_lmax,
+                       double packet_bits) {
+  const double c = server.rate;
+  return sum_other_lmax / c + packet_bits / c + server.delta / c;
+}
+
+Time scfq_delay_term(double capacity, double sum_other_lmax,
+                     double packet_bits, double packet_rate) {
+  return sum_other_lmax / capacity + packet_bits / packet_rate;
+}
+
+Time wfq_delay_term(double capacity, double l_max, double packet_bits,
+                    double packet_rate) {
+  return packet_bits / packet_rate + l_max / capacity;
+}
+
+Time scfq_sfq_delay_gap(double capacity, double packet_bits,
+                        double packet_rate) {
+  return packet_bits / packet_rate - packet_bits / capacity;
+}
+
+Time wfq_sfq_delay_delta(double capacity, double l_max, double sum_other_lmax,
+                         double packet_bits, double packet_rate) {
+  return packet_bits / packet_rate + l_max / capacity -
+         sum_other_lmax / capacity - packet_bits / capacity;
+}
+
+bool sfq_beats_wfq_uniform(double rf, double capacity, std::size_t num_flows) {
+  if (num_flows <= 1) return false;
+  return rf / capacity <= 1.0 / static_cast<double>(num_flows - 1);
+}
+
+double sfq_ebf_delay_violation_prob(const EbfParams& server, Time gamma) {
+  const double lambda = server.alpha * server.rate;  // §2.4
+  return server.b * std::exp(-lambda * gamma);
+}
+
+FcParams hsfq_class_params(const FcParams& parent, double rf, double sum_lmax,
+                           double lf_max) {
+  const double c = parent.rate;
+  return FcParams{
+      rf, rf * sum_lmax / c + rf * parent.delta / c + lf_max};
+}
+
+Time edd_fc_delay_slack(const FcParams& server, double l_max) {
+  return l_max / server.rate + server.delta / server.rate;
+}
+
+Time delay_shift_flat_term(const FcParams& server, std::size_t q_total,
+                           double packet_bits) {
+  const double c = server.rate;
+  // Eq. 69: (|Q| - 1) l / C + delta / C + l / C = |Q| l / C + delta / C.
+  return static_cast<double>(q_total) * packet_bits / c + server.delta / c;
+}
+
+Time delay_shift_hier_term(const FcParams& server, std::size_t q_partition,
+                           double partition_rate, std::size_t num_partitions,
+                           double packet_bits) {
+  const double c = server.rate;
+  const double k = static_cast<double>(num_partitions);
+  // Eq. 71: (|Q_i| + 1) l / C_i + (delta + K l) / C.
+  return (static_cast<double>(q_partition) + 1.0) * packet_bits /
+             partition_rate +
+         (server.delta + k * packet_bits) / c;
+}
+
+bool delay_shift_improves(std::size_t q_partition, std::size_t q_total,
+                          std::size_t num_partitions, double partition_rate,
+                          double capacity) {
+  // Eq. 73: (|Q_i| + 1) / (|Q| - K) < C_i / C.
+  const double lhs = (static_cast<double>(q_partition) + 1.0) /
+                     (static_cast<double>(q_total) -
+                      static_cast<double>(num_partitions));
+  return lhs < partition_rate / capacity;
+}
+
+}  // namespace sfq::qos

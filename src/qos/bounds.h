@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::qos {
+
+// Fluctuation Constrained server parameters (C, delta(C)) — Definition 1.
+struct FcParams {
+  double rate = 0.0;   // C, bits/s
+  double delta = 0.0;  // delta(C), bits
+};
+
+// Exponentially Bounded Fluctuation parameters (C, B, alpha, delta(C)) —
+// Definition 2.
+struct EbfParams {
+  double rate = 0.0;
+  double b = 0.0;      // B, probability prefactor
+  double alpha = 0.0;  // 1/bits
+  double delta = 0.0;  // bits
+};
+
+// ---------------------------------------------------------------------------
+// Theorem 1 — fairness bound (also stats::sfq_fairness_bound).
+double sfq_fairness_bound(double lf_max, double rf, double lm_max, double rm);
+
+// ---------------------------------------------------------------------------
+// Theorem 2 — throughput guarantee of a backlogged flow on an SFQ FC server:
+//   W_f(t1,t2) >= rf (t2-t1) - rf * sum_lmax/C - rf * delta/C - lf_max.
+// `sum_lmax` is the sum of l_n^max over every flow at the server.
+double sfq_fc_throughput_lower_bound(const FcParams& server, double rf,
+                                     double sum_lmax, double lf_max,
+                                     Time t1, Time t2);
+
+// Theorem 3 — probability that the EBF throughput guarantee with slack
+// gamma (bits) is violated: B * exp(-alpha * gamma).
+double sfq_ebf_throughput_violation_prob(const EbfParams& server,
+                                         double gamma);
+// The Theorem-3 lower bound at slack gamma.
+double sfq_ebf_throughput_lower_bound(const EbfParams& server, double rf,
+                                      double sum_lmax, double lf_max,
+                                      Time t1, Time t2, double gamma);
+
+// ---------------------------------------------------------------------------
+// Theorem 4 — single-server deadline for SFQ on an FC server. Returns the
+// latency *relative to EAT(p_f^j, r_f^j)* (the beta_f^j of §2.4):
+//   beta = sum_{n != f} l_n^max / C + l_pkt / C + delta / C.
+Time sfq_fc_delay_term(const FcParams& server, double sum_other_lmax,
+                       double packet_bits);
+
+// SCFQ counterpart (eq. 56): sum_{n != f} l_n^max / C + l_pkt / r.
+Time scfq_delay_term(double capacity, double sum_other_lmax,
+                     double packet_bits, double packet_rate);
+
+// WFQ counterpart (§2.3): l_pkt / r + l_max / C.
+Time wfq_delay_term(double capacity, double l_max, double packet_bits,
+                    double packet_rate);
+
+// Eq. 57 — the SCFQ-vs-SFQ maximum-delay gap: l/r - l/C.
+Time scfq_sfq_delay_gap(double capacity, double packet_bits,
+                        double packet_rate);
+
+// Eq. 58 — Delta(p_f^j), the WFQ-minus-SFQ maximum-delay difference.
+Time wfq_sfq_delay_delta(double capacity, double l_max, double sum_other_lmax,
+                         double packet_bits, double packet_rate);
+
+// Eq. 60 — threshold form of eq. 58 for uniform packets: SFQ beats WFQ when
+// r_f / C <= 1 / (|Q| - 1).
+bool sfq_beats_wfq_uniform(double rf, double capacity, std::size_t num_flows);
+
+// Theorem 5 — violation probability of the EBF delay bound with slack gamma
+// seconds is B * exp(-alpha * C * gamma) (lambda = alpha * C in §2.4).
+double sfq_ebf_delay_violation_prob(const EbfParams& server, Time gamma);
+
+// ---------------------------------------------------------------------------
+// Eq. 65 — the virtual server of a class with rate rf under an FC parent is
+// itself FC. This is the recursion that makes hierarchical SFQ analyzable.
+FcParams hsfq_class_params(const FcParams& parent, double rf, double sum_lmax,
+                           double lf_max);
+
+// Theorem 7 — Delay-EDD on an FC server meets D(p) within l_max/C + delta/C.
+Time edd_fc_delay_slack(const FcParams& server, double l_max);
+
+// ---------------------------------------------------------------------------
+// §3 delay shifting. Flat bound (eq. 69) and hierarchical bound (eq. 71),
+// both relative to EAT, for uniform packet length l.
+Time delay_shift_flat_term(const FcParams& server, std::size_t q_total,
+                           double packet_bits);
+Time delay_shift_hier_term(const FcParams& server, std::size_t q_partition,
+                           double partition_rate, std::size_t num_partitions,
+                           double packet_bits);
+// Eq. 73 — true when the partition gets a *smaller* bound hierarchically.
+bool delay_shift_improves(std::size_t q_partition, std::size_t q_total,
+                          std::size_t num_partitions, double partition_rate,
+                          double capacity);
+
+}  // namespace sfq::qos

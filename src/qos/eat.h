@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::qos {
+
+// Expected Arrival Time recursion (eq. 37):
+//   EAT(p^j, r^j) = max{ A(p^j), EAT(p^{j-1}, r^{j-1}) + l^{j-1}/r^{j-1} },
+//   EAT(p^0) = -infinity.
+// Every delay guarantee in the paper is stated relative to this quantity;
+// tests and benches use the tracker to evaluate Theorems 4/5/7/9 on observed
+// arrival streams.
+class EatTracker {
+ public:
+  // Feeds arrival j and returns EAT(p^j, r^j).
+  Time on_arrival(Time arrival, double bits, double rate) {
+    const Time eat =
+        any_ ? std::max(arrival, last_eat_ + last_bits_ / last_rate_)
+             : arrival;
+    any_ = true;
+    last_eat_ = eat;
+    last_bits_ = bits;
+    last_rate_ = rate;
+    return eat;
+  }
+
+  void reset() { any_ = false; }
+
+ private:
+  bool any_ = false;
+  Time last_eat_ = 0.0;
+  double last_bits_ = 0.0;
+  double last_rate_ = 1.0;
+};
+
+// Convenience: per-flow EAT trackers indexed densely.
+class PerFlowEat {
+ public:
+  Time on_arrival(FlowId f, Time arrival, double bits, double rate) {
+    if (f >= trackers_.size()) trackers_.resize(f + 1);
+    return trackers_[f].on_arrival(arrival, bits, rate);
+  }
+
+ private:
+  std::vector<EatTracker> trackers_;
+};
+
+}  // namespace sfq::qos

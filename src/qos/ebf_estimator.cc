@@ -1,0 +1,96 @@
+#include "qos/ebf_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq::qos {
+
+EbfFit estimate_ebf(net::RateProfile& profile, double average_rate,
+                    const EbfEstimatorOptions& options) {
+  if (average_rate <= 0.0)
+    throw std::invalid_argument("estimate_ebf: average_rate must be positive");
+  if (options.window_lengths.empty() || options.start_step <= 0.0 ||
+      options.horizon <= 0.0)
+    throw std::invalid_argument("estimate_ebf: bad options");
+
+  // 1. Sample the deficit process.
+  std::vector<double> deficits;
+  for (Time tau : options.window_lengths) {
+    for (Time t = 0.0; t + tau <= options.horizon; t += options.start_step) {
+      const double d = average_rate * tau - profile.work(t, t + tau);
+      deficits.push_back(std::max(0.0, d));
+    }
+  }
+  if (deficits.size() < 16)
+    throw std::invalid_argument("estimate_ebf: too few samples");
+  std::sort(deficits.begin(), deficits.end());
+
+  EbfFit fit;
+  fit.samples = deficits.size();
+  fit.max_observed_deficit = deficits.back();
+  fit.params.rate = average_rate;
+
+  // 2. delta: the requested quantile of the deficit distribution.
+  const std::size_t qidx = static_cast<std::size_t>(
+      options.delta_quantile * static_cast<double>(deficits.size() - 1));
+  fit.params.delta = deficits[qidx];
+
+  // 3. Tail fit: for thresholds gamma_k past delta, the empirical exceedance
+  // p_k = P(deficit > delta + gamma_k); regress log p_k on gamma_k.
+  const double span = fit.max_observed_deficit - fit.params.delta;
+  if (span <= 0.0) {
+    // Degenerate (constant-rate-like) link: nothing above delta.
+    fit.params.b = 1.0;
+    fit.params.alpha = 1e9;
+    return fit;
+  }
+  std::vector<double> xs, ys;
+  const int k_max = std::max(options.tail_points, 3);
+  for (int k = 0; k < k_max; ++k) {
+    const double gamma =
+        span * static_cast<double>(k) / static_cast<double>(k_max);
+    const double thr = fit.params.delta + gamma;
+    const auto it = std::upper_bound(deficits.begin(), deficits.end(), thr);
+    const double p = static_cast<double>(deficits.end() - it) /
+                     static_cast<double>(deficits.size());
+    if (p <= 0.0) break;
+    xs.push_back(gamma);
+    ys.push_back(std::log(p));
+  }
+  if (xs.size() < 2) {
+    fit.params.b = 1.0;
+    fit.params.alpha = 1.0 / std::max(span, 1e-9);
+    return fit;
+  }
+
+  // Least squares y = log(B) - alpha * x.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  double slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  double intercept = (sy - slope * sx) / n;
+  if (slope >= 0.0) slope = -1.0 / std::max(span, 1e-9);  // force decay
+
+  fit.params.alpha = -slope;
+  fit.params.b = std::exp(intercept);
+
+  // 4. Conservative inflation: raise B until the fitted curve dominates
+  // every measured tail point.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fitted = fit.params.b * std::exp(-fit.params.alpha * xs[i]);
+    const double measured = std::exp(ys[i]);
+    if (measured > fitted)
+      fit.params.b *= measured / fitted;
+  }
+  fit.params.b = std::max(fit.params.b, 1e-12);
+  return fit;
+}
+
+}  // namespace sfq::qos

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "net/rate_profile.h"
+#include "qos/bounds.h"
+
+namespace sfq::qos {
+
+// Empirical calibration of EBF parameters (Definition 2) for a measured or
+// modelled variable-rate link. The paper's EBF theorems need (C, B, alpha,
+// delta) from *somewhere*; this estimator fits them from the link's work
+// function:
+//
+//   deficit(t, tau) = C*tau - W(t, t+tau)
+//
+// sampled over a grid of window starts and lengths. delta is chosen as a low
+// quantile anchor and (B, alpha) by least-squares on the log of the deficit
+// tail beyond delta, then B is inflated so the fitted curve upper-bounds
+// every measured tail point (making the returned parameters conservative:
+// P(deficit > delta + gamma) <= B e^{-alpha gamma} holds on the sample).
+struct EbfFit {
+  EbfParams params;
+  double max_observed_deficit = 0.0;  // bits
+  std::size_t samples = 0;
+};
+
+struct EbfEstimatorOptions {
+  Time horizon = 60.0;          // observation window [0, horizon]
+  std::vector<Time> window_lengths = {0.25, 0.5, 1.0, 2.0};
+  Time start_step = 0.05;       // spacing of window starts
+  double delta_quantile = 0.5;  // deficit quantile anchoring delta
+  int tail_points = 12;         // thresholds used for the exponential fit
+};
+
+// `average_rate` is the C the caller wants to claim; must not exceed the
+// profile's long-run rate or the deficits drift and no exponential fits.
+EbfFit estimate_ebf(net::RateProfile& profile, double average_rate,
+                    const EbfEstimatorOptions& options = {});
+
+}  // namespace sfq::qos

@@ -1,0 +1,64 @@
+#include "qos/end_to_end.h"
+
+#include <cmath>
+
+namespace sfq::qos {
+
+HopGuarantee sfq_fc_hop(const FcParams& server, double sum_other_lmax,
+                        double packet_bits, Time propagation) {
+  HopGuarantee h;
+  h.beta = sfq_fc_delay_term(server, sum_other_lmax, packet_bits);
+  h.b = 0.0;
+  h.lambda = 0.0;
+  h.propagation = propagation;
+  return h;
+}
+
+HopGuarantee sfq_ebf_hop(const EbfParams& server, double sum_other_lmax,
+                         double packet_bits, Time propagation) {
+  HopGuarantee h;
+  h.beta = sfq_fc_delay_term(FcParams{server.rate, server.delta},
+                             sum_other_lmax, packet_bits);
+  h.b = server.b;
+  h.lambda = server.alpha * server.rate;
+  h.propagation = propagation;
+  return h;
+}
+
+double EndToEndGuarantee::violation_prob(Time gamma) const {
+  if (deterministic) return 0.0;
+  return b_sum * std::exp(-gamma * lambda_eff);
+}
+
+EndToEndGuarantee compose(const std::vector<HopGuarantee>& hops) {
+  EndToEndGuarantee g;
+  double inv_lambda = 0.0;
+  for (const HopGuarantee& h : hops) {
+    g.theta += h.beta + h.propagation;
+    if (h.b > 0.0) {
+      g.deterministic = false;
+      g.b_sum += h.b;
+      inv_lambda += 1.0 / h.lambda;
+    }
+  }
+  g.lambda_eff = inv_lambda > 0.0 ? 1.0 / inv_lambda : 0.0;
+  return g;
+}
+
+Time leaky_bucket_e2e_delay_bound(const EndToEndGuarantee& g, double sigma,
+                                  double rate, double packet_bits) {
+  return sigma / rate - packet_bits / rate + g.theta;
+}
+
+double lossless_buffer_bits(double sigma, double rate, Time max_hold) {
+  return sigma + rate * max_hold;
+}
+
+double loss_probability_bound(const EndToEndGuarantee& g, Time covered_delay) {
+  if (covered_delay >= g.theta) {
+    return g.violation_prob(covered_delay - g.theta);
+  }
+  return 1.0;  // the buffer does not even cover the deterministic part
+}
+
+}  // namespace sfq::qos

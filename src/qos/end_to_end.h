@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "qos/bounds.h"
+
+namespace sfq::qos {
+
+// Per-hop description for the end-to-end composition of §2.4: each server i
+// guarantees  P(L^i <= EAT^i + beta^i + gamma) >= 1 - B^i exp(-lambda^i g).
+// Deterministic (FC) hops have b = 0, lambda = +infinity.
+struct HopGuarantee {
+  Time beta = 0.0;        // max_m beta^{m,i}, seconds past EAT
+  double b = 0.0;         // B^i
+  double lambda = 0.0;    // lambda^i (1/seconds); ignored when b == 0
+  Time propagation = 0.0; // tau^{i,i+1} (0 for the last hop)
+};
+
+// Builds the hop guarantee of an SFQ FC server (Theorem 4).
+HopGuarantee sfq_fc_hop(const FcParams& server, double sum_other_lmax,
+                        double packet_bits, Time propagation);
+
+// Builds the hop guarantee of an SFQ EBF server (Theorem 5).
+HopGuarantee sfq_ebf_hop(const EbfParams& server, double sum_other_lmax,
+                         double packet_bits, Time propagation);
+
+// Corollary 1 composed over K hops:
+//   P(L^K <= EAT^1 + theta + gamma) >= 1 - (sum B^n) exp(-gamma / sum 1/l^n)
+// with theta = sum beta^n + sum tau^{n,n+1}.
+struct EndToEndGuarantee {
+  Time theta = 0.0;        // deterministic part past EAT^1
+  double b_sum = 0.0;      // sum of B^n
+  double lambda_eff = 0.0; // 1 / sum(1/lambda^n); +inf if all deterministic
+  bool deterministic = true;
+
+  // Violation probability of "delay <= theta + gamma past EAT^1".
+  double violation_prob(Time gamma) const;
+};
+
+EndToEndGuarantee compose(const std::vector<HopGuarantee>& hops);
+
+// Appendix A.5 — end-to-end *delay* bound (departure - arrival at hop 1) for
+// a flow shaped by a (sigma, rho) leaky bucket and served at rate r >= rho at
+// every hop:  EAT^1 - A^1 <= sigma/r - l/r, so
+//   d <= sigma/r - l_pkt/r + theta.
+Time leaky_bucket_e2e_delay_bound(const EndToEndGuarantee& g, double sigma,
+                                  double rate, double packet_bits);
+
+// Corollary 1's other dividends (§2.4: "can be used to determine ... packet
+// loss probability and buffer requirement for any traffic specification"):
+
+// Bits of buffering a hop must give a (sigma, rate) leaky-bucket flow so it
+// never drops: while a packet may sit for up to `max_hold` (the flow's delay
+// bound at that hop, seconds past EAT plus the burst tolerance), arrivals
+// during that window are bounded by sigma + rate * max_hold.
+double lossless_buffer_bits(double sigma, double rate, Time max_hold);
+
+// If instead the buffer only covers delays up to `covered_delay`, a packet is
+// lost when its delay would exceed it; on a stochastic (EBF) path the
+// Corollary-1 tail bounds that probability.
+double loss_probability_bound(const EndToEndGuarantee& g, Time covered_delay);
+
+}  // namespace sfq::qos

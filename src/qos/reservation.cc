@@ -1,0 +1,123 @@
+#include "qos/reservation.h"
+
+#include <stdexcept>
+
+namespace sfq::qos {
+
+PathReservations::PathReservations(std::vector<HopSpec> hops)
+    : hops_(std::move(hops)) {
+  if (hops_.empty())
+    throw std::invalid_argument("PathReservations: empty path");
+  for (const HopSpec& h : hops_)
+    if (h.capacity <= 0.0 || h.delta < 0.0)
+      throw std::invalid_argument("PathReservations: bad hop");
+}
+
+double PathReservations::sum_other_lmax(const Request& flow,
+                                        const Request* extra) const {
+  double s = 0.0;
+  for (const Entry& e : entries_)
+    if (e.active && &e.request != &flow) s += e.request.max_packet_bits;
+  if (extra && extra != &flow) s += extra->max_packet_bits;
+  return s;
+}
+
+Time PathReservations::bound_for(const Request& flow,
+                                 const Request* extra) const {
+  const double sum_other = sum_other_lmax(flow, extra);
+  std::vector<HopGuarantee> hg;
+  hg.reserve(hops_.size());
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    hg.push_back(sfq_fc_hop({hops_[i].capacity, hops_[i].delta}, sum_other,
+                            flow.max_packet_bits,
+                            i + 1 < hops_.size() ? hops_[i].propagation : 0.0));
+  }
+  return leaky_bucket_e2e_delay_bound(compose(hg), flow.sigma, flow.rate,
+                                      flow.max_packet_bits);
+}
+
+PathReservations::Decision PathReservations::admit(const Request& request) {
+  Decision d;
+  if (request.rate <= 0.0 || request.max_packet_bits <= 0.0) {
+    d.reason = "invalid request (rate and max packet must be positive)";
+    return d;
+  }
+  if (request.sigma < request.max_packet_bits) {
+    d.reason = "sigma must cover at least one packet";
+    return d;
+  }
+
+  // (1) Rate check at the tightest hop.
+  double committed = reserved_rate();
+  for (const HopSpec& h : hops_) {
+    if (committed + request.rate > h.capacity * (1.0 + 1e-12)) {
+      d.reason = "rate: hop capacity exceeded";
+      return d;
+    }
+  }
+
+  // (2) The candidate's own bound against its budget.
+  const Time own = bound_for(request, nullptr);
+  if (own > request.delay_budget) {
+    d.reason = "delay: own A.5 bound exceeds the budget";
+    return d;
+  }
+
+  // (3) Standing contracts: everyone's bound re-derived with the candidate's
+  // l^max included must stay within their budgets.
+  for (const Entry& e : entries_) {
+    if (!e.active) continue;
+    if (bound_for(e.request, &request) > e.request.delay_budget) {
+      d.reason = "delay: would break the contract of '" + e.request.name + "'";
+      return d;
+    }
+  }
+
+  // Commit.
+  FlowId id = kInvalidFlow;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].active) {
+      id = static_cast<FlowId>(i);
+      break;
+    }
+  }
+  if (id == kInvalidFlow) {
+    id = static_cast<FlowId>(entries_.size());
+    entries_.emplace_back();
+  }
+  entries_[id].request = request;
+  entries_[id].active = true;
+
+  d.admitted = true;
+  d.id = id;
+  d.e2e_bound = bound_for(entries_[id].request, nullptr);
+  return d;
+}
+
+void PathReservations::release(FlowId id) {
+  if (id >= entries_.size() || !entries_[id].active)
+    throw std::out_of_range("PathReservations: unknown reservation");
+  entries_[id].active = false;
+}
+
+Time PathReservations::current_bound(FlowId id) const {
+  if (id >= entries_.size() || !entries_[id].active)
+    throw std::out_of_range("PathReservations: unknown reservation");
+  return bound_for(entries_[id].request, nullptr);
+}
+
+std::size_t PathReservations::active_flows() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_)
+    if (e.active) ++n;
+  return n;
+}
+
+double PathReservations::reserved_rate() const {
+  double s = 0.0;
+  for (const Entry& e : entries_)
+    if (e.active) s += e.request.rate;
+  return s;
+}
+
+}  // namespace sfq::qos

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "qos/bounds.h"
+#include "qos/end_to_end.h"
+
+namespace sfq::qos {
+
+// Path-level admission control built directly on the paper's guarantees:
+// a tandem of SFQ FC servers admits leaky-bucket flows as long as
+//   (1) every hop keeps  sum of reserved rates <= C  (Theorems 2/4 premise),
+//   (2) every admitted flow's Appendix-A.5 end-to-end delay bound — which
+//       depends on the *other* flows' maximum packet sizes through
+//       Theorem 4's sum l_n^max / C term — stays within its budget,
+// including the flows admitted earlier (a new reservation inflates everyone's
+// bound and must not break any standing contract).
+class PathReservations {
+ public:
+  struct HopSpec {
+    double capacity = 0.0;   // C of the FC server
+    double delta = 0.0;      // delta(C)
+    Time propagation = 0.0;  // tau to the next hop (ignored on the last)
+  };
+
+  struct Request {
+    double rate = 0.0;             // r_f, bits/s, reserved at every hop
+    double max_packet_bits = 0.0;  // l_f^max
+    double sigma = 0.0;            // leaky-bucket burst (bits); >= one packet
+    Time delay_budget = kTimeInfinity;  // contract on the A.5 e2e bound
+    std::string name;
+  };
+
+  struct Decision {
+    bool admitted = false;
+    FlowId id = kInvalidFlow;
+    Time e2e_bound = kTimeInfinity;  // A.5 bound at admission time
+    std::string reason;              // human-readable rejection cause
+  };
+
+  explicit PathReservations(std::vector<HopSpec> hops);
+
+  // Attempts to admit; on success the reservation is committed and the
+  // decision carries the flow's current end-to-end bound.
+  Decision admit(const Request& request);
+
+  // Releases a previously admitted reservation (id from Decision::id).
+  void release(FlowId id);
+
+  // The A.5 end-to-end delay bound of an admitted flow *right now* (it
+  // shrinks when other flows leave and grows when they join).
+  Time current_bound(FlowId id) const;
+
+  std::size_t active_flows() const;
+  double reserved_rate() const;  // sum over active flows
+  const std::vector<HopSpec>& hops() const { return hops_; }
+
+ private:
+  struct Entry {
+    Request request;
+    bool active = false;
+  };
+
+  // A.5 bound for `flow` given the other currently active flows plus an
+  // optional candidate.
+  Time bound_for(const Request& flow, const Request* extra) const;
+  double sum_other_lmax(const Request& flow, const Request* extra) const;
+
+  std::vector<HopSpec> hops_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sfq::qos

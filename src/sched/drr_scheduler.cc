@@ -1,0 +1,57 @@
+#include "sched/drr_scheduler.h"
+
+#include <stdexcept>
+
+namespace sfq {
+
+void DrrScheduler::enqueue(Packet p, Time now) {
+  (void)now;
+  if (p.flow >= state_.size())
+    throw std::out_of_range("DRR: packet for unknown flow");
+  const FlowId f = p.flow;
+  queues_.push(std::move(p));
+  FlowState& st = state_[f];
+  if (!st.active) {
+    st.active = true;
+    st.round_started = false;
+    st.deficit = 0.0;  // flows rejoin with an empty deficit (paper's DRR)
+    active_.push_back(f);
+  }
+}
+
+std::optional<Packet> DrrScheduler::dequeue(Time now) {
+  (void)now;
+  while (!active_.empty()) {
+    const FlowId f = active_.front();
+    FlowState& st = state_[f];
+    if (!st.round_started) {
+      st.deficit += quantum(f);
+      st.round_started = true;
+    }
+    if (!queues_.flow_empty(f) &&
+        queues_.head(f).length_bits <= st.deficit) {
+      Packet p = queues_.pop(f);
+      st.deficit -= p.length_bits;
+      if (queues_.flow_empty(f)) {
+        // Emptied: leave the list and forfeit the residual deficit.
+        active_.pop_front();
+        st.active = false;
+        st.round_started = false;
+        st.deficit = 0.0;
+      }
+      return p;
+    }
+    // Head does not fit (or flow drained concurrently): next round.
+    active_.pop_front();
+    if (queues_.flow_empty(f)) {
+      st.active = false;
+      st.deficit = 0.0;
+    } else {
+      active_.push_back(f);
+    }
+    st.round_started = false;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sfq

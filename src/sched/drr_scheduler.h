@@ -1,0 +1,61 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Deficit Round Robin (Shreedhar–Varghese, SIGCOMM'95). O(1) per packet:
+// backlogged flows sit on a round-robin list; each visit credits the flow
+// with a quantum proportional to its weight and sends head packets while the
+// deficit covers them.
+//
+// Included as the Table-1 comparator: its fairness measure
+// (1 + l_f^max/r_f + l_m^max/r_m for min r = 1) deviates arbitrarily from
+// SFQ's as weights grow, and its maximum delay is Σ_{n≠f} quantum_n / C.
+class DrrScheduler : public Scheduler {
+ public:
+  // `quantum_per_weight` converts a flow weight into its per-round quantum in
+  // bits: quantum_f = weight_f * quantum_per_weight. For DRR to be O(1) the
+  // quantum of every flow should be >= its max packet size.
+  explicit DrrScheduler(double quantum_per_weight = 1.0)
+      : quantum_per_weight_(quantum_per_weight) {}
+
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override {
+    FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+    state_.push_back(FlowState{});
+    queues_.ensure(id);
+    return id;
+  }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "DRR"; }
+
+  double quantum(FlowId f) const {
+    return flows_.weight(f) * quantum_per_weight_;
+  }
+  double deficit(FlowId f) const { return state_.at(f).deficit; }
+
+ private:
+  struct FlowState {
+    double deficit = 0.0;
+    bool active = false;         // on the round-robin list
+    bool round_started = false;  // quantum already credited this visit
+  };
+
+  double quantum_per_weight_;
+  PerFlowQueues queues_;
+  std::vector<FlowState> state_;
+  std::deque<FlowId> active_;
+};
+
+}  // namespace sfq

@@ -1,0 +1,64 @@
+#include "sched/edd_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq {
+
+FlowId EddScheduler::add_flow_with_deadline(double weight, Time deadline,
+                                            double max_packet_bits,
+                                            std::string name) {
+  FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+  deadline_.push_back(deadline);
+  eat_.push_back(EatState{});
+  queues_.ensure(id);
+  return id;
+}
+
+FlowId EddScheduler::add_flow(double weight, double max_packet_bits,
+                              std::string name) {
+  const Time d = max_packet_bits > 0.0 ? max_packet_bits / weight : 0.0;
+  return add_flow_with_deadline(weight, d, max_packet_bits, std::move(name));
+}
+
+void EddScheduler::enqueue(Packet p, Time now) {
+  (void)now;
+  if (p.flow >= eat_.size())
+    throw std::out_of_range("EDD: packet for unknown flow");
+  EatState& st = eat_[p.flow];
+  const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
+
+  const Time prev_term =
+      st.any ? st.last_eat + st.last_bits / rate : -kTimeInfinity;
+  const Time eat = std::max<Time>(p.arrival, prev_term);
+  st.last_eat = eat;
+  st.last_bits = p.length_bits;
+  st.any = true;
+
+  p.start_tag = eat;
+  p.finish_tag = eat + deadline_[p.flow];  // D(p_f^j), eq. 66
+  p.sched_order = ++order_;
+
+  const FlowId f = p.flow;
+  const bool was_empty = queues_.flow_empty(f);
+  queues_.push(std::move(p));
+  if (was_empty) {
+    const Packet& head = queues_.head(f);
+    ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+}
+
+std::optional<Packet> EddScheduler::dequeue(Time now) {
+  (void)now;
+  if (ready_.empty()) return std::nullopt;
+  FlowId f = ready_.top_id();
+  ready_.pop();
+  Packet p = queues_.pop(f);
+  if (!queues_.flow_empty(f)) {
+    const Packet& head = queues_.head(f);
+    ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+  return p;
+}
+
+}  // namespace sfq

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Delay Earliest-Due-Date (paper §3, eq. 66): packet p_f^j gets deadline
+//
+//   D(p_f^j) = EAT(p_f^j, r_f) + d_f
+//
+// and packets are served earliest-deadline-first. With the schedulability
+// condition of eq. (67) (see qos/admission.h) a (C, δ(C)) FC server meets
+// every deadline within l_max/C + δ(C)/C (Theorem 7). Used to decouple delay
+// from throughput inside one class of a hierarchical SFQ tree.
+class EddScheduler : public Scheduler {
+ public:
+  // Registers a flow with rate `weight` and per-flow deadline offset d_f.
+  FlowId add_flow_with_deadline(double weight, Time deadline,
+                                double max_packet_bits = 0.0,
+                                std::string name = {});
+
+  // Scheduler interface; flows added this way get deadline l_max/weight
+  // (one packet service time) unless set_deadline is called.
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override;
+  void set_deadline(FlowId f, Time deadline) { deadline_.at(f) = deadline; }
+  Time deadline_offset(FlowId f) const { return deadline_.at(f); }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "DelayEDD"; }
+
+ private:
+  struct EatState {
+    Time last_eat = -kTimeInfinity;
+    double last_bits = 0.0;
+    bool any = false;
+  };
+
+  PerFlowQueues queues_;
+  std::vector<Time> deadline_;
+  std::vector<EatState> eat_;
+  IndexedHeap<TagKey> ready_;  // flows keyed by head deadline
+  uint64_t order_ = 0;
+};
+
+}  // namespace sfq

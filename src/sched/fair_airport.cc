@@ -1,0 +1,163 @@
+#include "sched/fair_airport.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq {
+
+FlowId FairAirportScheduler::add_flow(double weight, double max_packet_bits,
+                                      std::string name) {
+  FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+  state_.push_back(FlowState{});
+  return id;
+}
+
+double FairAirportScheduler::backlog_bits(FlowId f) const {
+  if (f >= state_.size()) return 0.0;
+  double b = 0.0;
+  for (const Packet& p : state_[f].q) b += p.length_bits;
+  return b;
+}
+
+Time FairAirportScheduler::regulator_head_eligibility(
+    const FlowState& st) const {
+  if (st.eligible >= st.q.size()) return kTimeInfinity;
+  const Packet& head = st.q[st.eligible];
+  const double rate = flows_.weight(head.flow);
+  Time e = head.arrival;
+  if (st.any_release)
+    e = std::max(e, st.last_release_eat + st.last_release_bits / rate);
+  return e;
+}
+
+void FairAirportScheduler::refresh_regulator(FlowId f) {
+  const Time e = regulator_head_eligibility(state_[f]);
+  if (e == kTimeInfinity) {
+    if (regulator_.contains(f)) regulator_.erase(f);
+  } else {
+    regulator_.push_or_update(f, TagKey{e, 0.0, ++order_});
+  }
+}
+
+void FairAirportScheduler::refresh_asq(FlowId f) {
+  const FlowState& st = state_[f];
+  if (st.q.empty()) {
+    if (asq_.contains(f)) asq_.erase(f);
+  } else {
+    asq_.push_or_update(f, TagKey{st.head_start, 0.0, ++order_});
+  }
+}
+
+void FairAirportScheduler::refresh_gsq(FlowId f) {
+  const FlowState& st = state_[f];
+  if (st.gsq_stamps.empty()) {
+    if (gsq_.contains(f)) gsq_.erase(f);
+  } else {
+    gsq_.push_or_update(f, TagKey{st.gsq_stamps.front(), 0.0, ++order_});
+  }
+}
+
+void FairAirportScheduler::enqueue(Packet p, Time now) {
+  (void)now;
+  if (p.flow >= state_.size())
+    throw std::out_of_range("FairAirport: packet for unknown flow");
+  const FlowId f = p.flow;
+  FlowState& st = state_[f];
+
+  const bool was_empty = st.q.empty();
+  p.sched_order = ++order_;
+  st.q.push_back(std::move(p));
+  ++total_packets_;
+
+  if (was_empty) {
+    // Rule 1: the packet joins the ASQ (SFQ start tag) and the regulator.
+    st.head_start = std::max(v_asq_, st.last_finish);
+    refresh_asq(f);
+  }
+  refresh_regulator(f);
+}
+
+void FairAirportScheduler::promote_eligible(Time now) {
+  while (!regulator_.empty() && regulator_.top_key().tag <= now) {
+    const FlowId f = regulator_.top_id();
+    FlowState& st = state_[f];
+    const Time e = regulator_head_eligibility(st);
+
+    Packet& pkt = st.q[st.eligible];
+    const double rate = flows_.weight(f);
+    // Rule 3: VC stamp = EAT^GSQ + l/r with EAT^GSQ == EAT^RC (eq. 124).
+    st.gsq_stamps.push_back(e + pkt.length_bits / rate);
+    ++st.eligible;
+    st.last_release_eat = e;
+    st.last_release_bits = pkt.length_bits;
+    st.any_release = true;
+
+    refresh_gsq(f);
+    refresh_regulator(f);
+  }
+}
+
+std::optional<Packet> FairAirportScheduler::dequeue(Time now) {
+  promote_eligible(now);
+
+  // Rule 6: GSQ first.
+  if (!gsq_.empty()) {
+    const FlowId f = gsq_.top_id();
+    FlowState& st = state_[f];
+    Packet p = std::move(st.q.front());
+    st.q.pop_front();
+    --total_packets_;
+    p.start_tag = st.gsq_stamps.front() -
+                  p.length_bits / flows_.weight(f);  // EAT^GSQ
+    p.finish_tag = st.gsq_stamps.front();            // VC stamp
+    st.gsq_stamps.pop_front();
+    --st.eligible;
+    ++served_gsq_;
+
+    // Rule 5: the next ASQ packet inherits the removed packet's start tag —
+    // st.head_start simply keeps its value.
+    refresh_gsq(f);
+    refresh_asq(f);
+    refresh_regulator(f);
+    return p;
+  }
+
+  // GSQ empty implies no eligible unserved packet exists, so every ASQ head
+  // is still inside its regulator.
+  if (!asq_.empty()) {
+    const FlowId f = asq_.top_id();
+    FlowState& st = state_[f];
+    Packet p = std::move(st.q.front());
+    st.q.pop_front();
+    --total_packets_;
+
+    const double rate = flows_.weight(f);
+    p.start_tag = st.head_start;
+    p.finish_tag = st.head_start + p.length_bits / rate;
+
+    // SFQ self-clocking on the ASQ.
+    v_asq_ = p.start_tag;
+    st.last_finish = p.finish_tag;
+    max_finish_asq_ = std::max(max_finish_asq_, p.finish_tag);
+    if (!st.q.empty()) st.head_start = st.last_finish;
+    ++served_asq_;
+
+    // Rule 4: starting ASQ service removes the packet from the regulator;
+    // the regulator clock (GSQ-served subsequence) is NOT advanced.
+    refresh_asq(f);
+    refresh_regulator(f);
+    return p;
+  }
+  return std::nullopt;
+}
+
+void FairAirportScheduler::on_transmit_complete(const Packet& p, Time now) {
+  (void)p;
+  (void)now;
+  if (total_packets_ == 0) {
+    // End of the ASQ busy period (no unserved packets at all).
+    v_asq_ = std::max(v_asq_, max_finish_asq_);
+  }
+}
+
+}  // namespace sfq

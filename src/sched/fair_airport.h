@@ -1,0 +1,81 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Fair Airport scheduling (paper Appendix B): the delay guarantee of WFQ
+// plus fairness on variable-rate servers, at O(log Q) per packet.
+//
+// Every arriving packet joins a per-flow rate regulator *and* the Auxiliary
+// Service Queue (an SFQ). When the regulator releases a packet (at its
+// expected arrival time EAT^RC, computed over the subsequence of packets that
+// go through the guaranteed path), the packet joins the Guaranteed Service
+// Queue (a Virtual Clock). The server always prefers GSQ, non-preemptively.
+// Rules 1–6 of the appendix, including the start-tag inheritance of rule 5:
+// when GSQ serves a packet, the flow's next ASQ packet inherits its start
+// tag, so the ASQ's fairness bookkeeping (Lemmas 1–2) keeps holding.
+//
+// Eligibility is evaluated lazily at dequeue time, which is exactly the
+// non-preemptive semantics of the appendix.
+class FairAirportScheduler : public Scheduler {
+ public:
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override;
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  void on_transmit_complete(const Packet& p, Time now) override;
+
+  bool empty() const override { return total_packets_ == 0; }
+  std::size_t backlog_packets() const override { return total_packets_; }
+  double backlog_bits(FlowId f) const override;
+  std::string name() const override { return "FairAirport"; }
+
+  // Introspection for tests/benches.
+  uint64_t served_via_gsq() const { return served_gsq_; }
+  uint64_t served_via_asq() const { return served_asq_; }
+  VirtualTime asq_vtime() const { return v_asq_; }
+
+ private:
+  struct FlowState {
+    std::deque<Packet> q;          // unserved packets, arrival order
+    std::deque<double> gsq_stamps; // VC stamps of the eligible prefix of q
+    std::size_t eligible = 0;      // # of q's head packets already in GSQ
+
+    // ASQ (SFQ) bookkeeping — dequeue-driven, see enqueue/serve paths.
+    VirtualTime head_start = 0.0;  // start tag of q.front() in the ASQ
+    VirtualTime last_finish = 0.0; // F of last ASQ-served packet
+
+    // Rate-regulator state: EAT over the GSQ-served subsequence.
+    Time last_release_eat = 0.0;
+    double last_release_bits = 0.0;
+    bool any_release = false;
+  };
+
+  // Eligibility time of the flow's regulator head (first non-eligible
+  // packet), or kTimeInfinity when none.
+  Time regulator_head_eligibility(const FlowState& st) const;
+  void refresh_regulator(FlowId f);
+  void refresh_asq(FlowId f);
+  void refresh_gsq(FlowId f);
+  void promote_eligible(Time now);
+
+  std::vector<FlowState> state_;
+  IndexedHeap<TagKey> regulator_;  // flows keyed by next eligibility time
+  IndexedHeap<TagKey> gsq_;        // flows keyed by earliest eligible VC stamp
+  IndexedHeap<TagKey> asq_;        // flows keyed by head start tag
+  std::size_t total_packets_ = 0;
+  VirtualTime v_asq_ = 0.0;
+  VirtualTime max_finish_asq_ = 0.0;
+  uint64_t served_gsq_ = 0;
+  uint64_t served_asq_ = 0;
+  uint64_t order_ = 0;
+};
+
+}  // namespace sfq

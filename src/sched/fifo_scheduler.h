@@ -1,0 +1,44 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// First-come-first-served baseline. No isolation, no fairness — included so
+// experiments have a null comparator and the server machinery can be tested
+// independently of tag arithmetic.
+class FifoScheduler : public Scheduler {
+ public:
+  void enqueue(Packet p, Time now) override {
+    (void)now;
+    p.sched_order = ++order_;
+    q_.push_back(std::move(p));
+  }
+
+  std::optional<Packet> dequeue(Time now) override {
+    (void)now;
+    if (q_.empty()) return std::nullopt;
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    return p;
+  }
+
+  bool empty() const override { return q_.empty(); }
+  std::size_t backlog_packets() const override { return q_.size(); }
+  double backlog_bits(FlowId f) const override {
+    double b = 0.0;
+    for (const Packet& p : q_)
+      if (p.flow == f) b += p.length_bits;
+    return b;
+  }
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  std::deque<Packet> q_;
+  uint64_t order_ = 0;
+};
+
+}  // namespace sfq

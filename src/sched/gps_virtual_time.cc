@@ -1,0 +1,80 @@
+#include "sched/gps_virtual_time.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sfq {
+
+GpsVirtualTime::GpsVirtualTime(double capacity) : capacity_(capacity) {
+  if (capacity <= 0.0)
+    throw std::invalid_argument("GPS: capacity must be positive");
+}
+
+void GpsVirtualTime::add_flow(double weight) {
+  if (weight <= 0.0) throw std::invalid_argument("GPS: weight must be positive");
+  FlowState st;
+  st.weight = weight;
+  flows_.push_back(std::move(st));
+}
+
+void GpsVirtualTime::fluid_depart(uint32_t flow) {
+  FlowState& st = flows_[flow];
+  st.fluid_queue.pop_front();
+  if (st.fluid_queue.empty()) {
+    fluid_heads_.erase(flow);
+    backlogged_weight_ -= st.weight;
+    if (backlogged_weight_ < 1e-12) backlogged_weight_ = 0.0;
+  } else {
+    fluid_heads_.update(flow, TagKey{st.fluid_queue.front(), 0.0, ++seq_});
+  }
+}
+
+VirtualTime GpsVirtualTime::advance(Time t) {
+  // Walk fluid departure epochs until the next one lies beyond t.
+  while (!fluid_heads_.empty()) {
+    const double next_finish = fluid_heads_.top_key().tag;
+    const uint32_t flow = fluid_heads_.top_id();
+    // Real time at which v reaches next_finish, at the current slope.
+    const Time t_depart =
+        last_real_ + (next_finish - v_) * backlogged_weight_ / capacity_;
+    if (t_depart > t) break;
+    v_ = next_finish;
+    last_real_ = std::max(last_real_, t_depart);
+    fluid_depart(flow);
+  }
+  if (fluid_heads_.empty()) {
+    // Fluid system idle: v holds its value (tags are max'ed against
+    // last_finish on the next arrival, so freezing is order-equivalent to
+    // the textbook reset-to-zero).
+    last_real_ = std::max(last_real_, t);
+    return v_;
+  }
+  if (t > last_real_) {
+    v_ += (t - last_real_) * capacity_ / backlogged_weight_;
+    last_real_ = t;
+  }
+  return v_;
+}
+
+GpsVirtualTime::Tags GpsVirtualTime::on_arrival(uint32_t flow, double bits,
+                                                Time t) {
+  if (flow >= flows_.size())
+    throw std::out_of_range("GPS: unknown flow");
+  advance(t);
+  FlowState& st = flows_[flow];
+
+  const VirtualTime start = std::max(v_, st.last_finish);
+  const VirtualTime finish = start + bits / st.weight;
+  st.last_finish = finish;
+
+  const bool was_empty = st.fluid_queue.empty();
+  st.fluid_queue.push_back(finish);
+  if (was_empty) {
+    backlogged_weight_ += st.weight;
+    fluid_heads_.push(flow, TagKey{finish, 0.0, ++seq_});
+  }
+  return Tags{start, finish};
+}
+
+}  // namespace sfq

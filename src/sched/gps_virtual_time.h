@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/types.h"
+
+namespace sfq {
+
+// Exact event-driven simulation of the bit-by-bit weighted round-robin
+// (fluid GPS) virtual time v(t) of eq. (3):
+//
+//     dv/dt = C / sum_{j in B(t)} r_j
+//
+// where B(t) is the set of flows backlogged *in the fluid system*. A packet
+// with GPS finish tag F departs the fluid system exactly when v reaches F, so
+// v(t) is piecewise linear with breakpoints at arrivals and fluid departures.
+// `advance` replays all fluid departures between the last update and `t`.
+//
+// This is precisely the machinery whose cost (and whose hard-wired capacity
+// C) the paper holds against WFQ/FQS: v(t) must be integrated against the
+// *configured* C even when the real server is slower or faster, which is why
+// WFQ mis-shares variable-rate servers (Example 2, Figure 1).
+class GpsVirtualTime {
+ public:
+  explicit GpsVirtualTime(double capacity);
+
+  // Registers flow with weight r_f; ids must be dense (0,1,2,...).
+  void add_flow(double weight);
+
+  // Processes an arrival of `bits` for `flow` at real time `t` and returns
+  // the packet's GPS {start, finish} tags (eqs. 1–2).
+  struct Tags {
+    VirtualTime start;
+    VirtualTime finish;
+  };
+  Tags on_arrival(uint32_t flow, double bits, Time t);
+
+  // Advances the fluid system to real time t and returns v(t).
+  VirtualTime advance(Time t);
+
+  VirtualTime vtime() const { return v_; }
+  double capacity() const { return capacity_; }
+
+ private:
+  struct FlowState {
+    double weight = 0.0;
+    VirtualTime last_finish = 0.0;          // F(p_f^{j-1}) for tag computation
+    std::deque<VirtualTime> fluid_queue;    // finish tags not yet departed in GPS
+  };
+
+  void fluid_depart(uint32_t flow);
+
+  double capacity_;
+  std::vector<FlowState> flows_;
+  IndexedHeap<TagKey> fluid_heads_;  // backlogged-in-GPS flows by head finish tag
+  double backlogged_weight_ = 0.0;
+  VirtualTime v_ = 0.0;
+  Time last_real_ = 0.0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace sfq

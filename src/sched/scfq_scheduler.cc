@@ -1,0 +1,45 @@
+#include "sched/scfq_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq {
+
+void ScfqScheduler::enqueue(Packet p, Time now) {
+  (void)now;
+  if (p.flow >= last_finish_.size())
+    throw std::out_of_range("SCFQ: packet for unknown flow");
+  const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
+
+  p.start_tag = std::max(vtime_, last_finish_[p.flow]);
+  p.finish_tag = p.start_tag + p.length_bits / rate;
+  last_finish_[p.flow] = p.finish_tag;
+  p.sched_order = ++order_;
+
+  const FlowId f = p.flow;
+  const bool was_empty = queues_.flow_empty(f);
+  queues_.push(std::move(p));
+  if (was_empty) {
+    const Packet& head = queues_.head(f);
+    ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+}
+
+std::optional<Packet> ScfqScheduler::dequeue(Time now) {
+  (void)now;
+  if (ready_.empty()) return std::nullopt;
+  FlowId f = ready_.top_id();
+  ready_.pop();
+  Packet p = queues_.pop(f);
+
+  // Self-clocking: v(t) is the finish tag of the packet in service.
+  vtime_ = p.finish_tag;
+
+  if (!queues_.flow_empty(f)) {
+    const Packet& head = queues_.head(f);
+    ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+  return p;
+}
+
+}  // namespace sfq

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Self-Clocked Fair Queuing (Davin–Heybey / Golestani '94).
+//
+// Tags are computed exactly as WFQ's (eqs. 1–2) except that the virtual time
+// v(t) is approximated by the *finish tag of the packet in service* at t.
+// Packets are served in increasing finish-tag order. Same fairness measure
+// as SFQ (l_f^max/r_f + l_m^max/r_m) and same O(log Q) cost, but a packet can
+// be delayed an extra l_f^j/r_f - l_f^j/C relative to SFQ (paper eq. 56/57)
+// because service order follows finish, not start, tags.
+class ScfqScheduler : public Scheduler {
+ public:
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override {
+    FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+    last_finish_.push_back(0.0);
+    queues_.ensure(id);
+    return id;
+  }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "SCFQ"; }
+
+  VirtualTime vtime() const { return vtime_; }
+
+ private:
+  PerFlowQueues queues_;
+  std::vector<VirtualTime> last_finish_;
+  IndexedHeap<TagKey> ready_;  // flows keyed by head finish tag
+  VirtualTime vtime_ = 0.0;
+  uint64_t order_ = 0;
+};
+
+}  // namespace sfq

@@ -1,0 +1,48 @@
+#include "sched/virtual_clock.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq {
+
+void VirtualClockScheduler::enqueue(Packet p, Time now) {
+  if (p.flow >= eat_.size())
+    throw std::out_of_range("VirtualClock: packet for unknown flow");
+  EatState& st = eat_[p.flow];
+  const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
+
+  const Time prev_eat_term =
+      st.any ? st.last_eat + st.last_bits / rate : -kTimeInfinity;
+  const Time eat = std::max<Time>(p.arrival, prev_eat_term);
+  st.last_eat = eat;
+  st.last_bits = p.length_bits;
+  st.any = true;
+
+  p.start_tag = eat;                         // EAT doubles as the start tag
+  p.finish_tag = eat + p.length_bits / rate; // the Virtual Clock stamp
+  p.sched_order = ++order_;
+  (void)now;
+
+  const FlowId f = p.flow;
+  const bool was_empty = queues_.flow_empty(f);
+  queues_.push(std::move(p));
+  if (was_empty) {
+    const Packet& head = queues_.head(f);
+    ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+}
+
+std::optional<Packet> VirtualClockScheduler::dequeue(Time now) {
+  (void)now;
+  if (ready_.empty()) return std::nullopt;
+  FlowId f = ready_.top_id();
+  ready_.pop();
+  Packet p = queues_.pop(f);
+  if (!queues_.flow_empty(f)) {
+    const Packet& head = queues_.head(f);
+    ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+  return p;
+}
+
+}  // namespace sfq

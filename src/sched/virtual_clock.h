@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+
+namespace sfq {
+
+// Virtual Clock (Zhang, SIGCOMM'90). Each packet is stamped
+//
+//   VC(p_f^j) = EAT(p_f^j, r_f) + l_f^j / r_f,
+//   EAT(p_f^j) = max{ A(p_f^j), EAT(p_f^{j-1}) + l_f^{j-1}/r_f }   (eq. 37)
+//
+// and packets are served in increasing stamp order. Provides the delay
+// guarantee of a Guaranteed Rate scheduler but is *unfair*: a flow that used
+// idle capacity builds far-future stamps and is starved afterwards — the
+// behaviour the paper's §1.1 holds against real-time (non-fair) schedulers.
+// Also the GSQ discipline inside Fair Airport (Appendix B).
+class VirtualClockScheduler : public Scheduler {
+ public:
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override {
+    FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+    eat_.push_back(EatState{});
+    queues_.ensure(id);
+    return id;
+  }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "VirtualClock"; }
+
+  // EAT(p_f^j, r_f) of the most recent arrival (for tests of eq. 37).
+  Time last_eat(FlowId f) const { return eat_.at(f).last_eat; }
+
+ private:
+  struct EatState {
+    Time last_eat = -kTimeInfinity;  // EAT(p_f^0) = -inf
+    double last_bits = 0.0;
+    bool any = false;
+  };
+
+  PerFlowQueues queues_;
+  std::vector<EatState> eat_;
+  IndexedHeap<TagKey> ready_;  // flows keyed by head packet stamp
+  uint64_t order_ = 0;
+};
+
+}  // namespace sfq

@@ -1,0 +1,67 @@
+#include "sched/wfq_scheduler.h"
+
+#include <stdexcept>
+
+namespace sfq {
+
+void WfqScheduler::enqueue(Packet p, Time now) {
+  if (p.flow >= flows_.size())
+    throw std::out_of_range("WFQ: packet for unknown flow");
+  auto tags = gps_.on_arrival(p.flow, p.length_bits, now);
+  p.start_tag = tags.start;
+  p.finish_tag = tags.finish;
+  p.sched_order = ++order_seq_;
+
+  const FlowId f = p.flow;
+  const bool was_empty = queues_.flow_empty(f);
+  queues_.push(std::move(p));
+  if (was_empty) {
+    const Packet& head = queues_.head(f);
+    ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+}
+
+std::optional<Packet> WfqScheduler::dequeue(Time now) {
+  gps_.advance(now);  // keep the fluid system current even without arrivals
+  if (ready_.empty()) return std::nullopt;
+  FlowId f = ready_.top_id();
+  ready_.pop();
+  Packet p = queues_.pop(f);
+  if (!queues_.flow_empty(f)) {
+    const Packet& head = queues_.head(f);
+    ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
+  }
+  return p;
+}
+
+void FqsScheduler::enqueue(Packet p, Time now) {
+  if (p.flow >= flows_.size())
+    throw std::out_of_range("FQS: packet for unknown flow");
+  auto tags = gps_.on_arrival(p.flow, p.length_bits, now);
+  p.start_tag = tags.start;
+  p.finish_tag = tags.finish;
+  p.sched_order = ++order_seq_;
+
+  const FlowId f = p.flow;
+  const bool was_empty = queues_.flow_empty(f);
+  queues_.push(std::move(p));
+  if (was_empty) {
+    const Packet& head = queues_.head(f);
+    ready_.push_or_update(f, TagKey{head.start_tag, 0.0, head.sched_order});
+  }
+}
+
+std::optional<Packet> FqsScheduler::dequeue(Time now) {
+  gps_.advance(now);
+  if (ready_.empty()) return std::nullopt;
+  FlowId f = ready_.top_id();
+  ready_.pop();
+  Packet p = queues_.pop(f);
+  if (!queues_.flow_empty(f)) {
+    const Packet& head = queues_.head(f);
+    ready_.push(f, TagKey{head.start_tag, 0.0, head.sched_order});
+  }
+  return p;
+}
+
+}  // namespace sfq

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/indexed_heap.h"
+#include "core/scheduler.h"
+#include "sched/gps_virtual_time.h"
+
+namespace sfq {
+
+// Weighted Fair Queuing (Demers–Keshav–Shenker '89), a.k.a. PGPS
+// (Parekh–Gallager). Tags per eqs. (1)–(2) with the fluid-GPS virtual time of
+// eq. (3); packets served in increasing *finish-tag* order.
+//
+// The constructor takes the capacity the GPS emulation assumes. When the
+// real server rate differs (variable-rate links, residual capacity behind a
+// priority class), v(t) drifts from reality and WFQ mis-shares — Example 2
+// and Figure 1 of the paper, reproduced in tests/bench.
+class WfqScheduler : public Scheduler {
+ public:
+  explicit WfqScheduler(double assumed_capacity) : gps_(assumed_capacity) {}
+
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override {
+    FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+    gps_.add_flow(weight);
+    queues_.ensure(id);
+    return id;
+  }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "WFQ"; }
+
+  VirtualTime gps_vtime(Time t) { return gps_.advance(t); }
+
+ private:
+  GpsVirtualTime gps_;
+  PerFlowQueues queues_;
+  IndexedHeap<TagKey> ready_;
+  uint64_t order_seq_ = 0;
+};
+
+// Fair Queuing based on Start-time (Greenberg–Madras). Identical tag
+// computation to WFQ (fluid-GPS v(t)), but service in increasing *start-tag*
+// order. Kept as a comparator: same cost and variable-rate unfairness as
+// WFQ, fairness measure no better than SFQ (paper §2.5).
+class FqsScheduler : public Scheduler {
+ public:
+  explicit FqsScheduler(double assumed_capacity) : gps_(assumed_capacity) {}
+
+  FlowId add_flow(double weight, double max_packet_bits = 0.0,
+                  std::string name = {}) override {
+    FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+    gps_.add_flow(weight);
+    queues_.ensure(id);
+    return id;
+  }
+
+  void enqueue(Packet p, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+
+  bool empty() const override { return queues_.packets() == 0; }
+  std::size_t backlog_packets() const override { return queues_.packets(); }
+  double backlog_bits(FlowId f) const override { return queues_.bits(f); }
+  std::string name() const override { return "FQS"; }
+
+ private:
+  GpsVirtualTime gps_;
+  PerFlowQueues queues_;
+  IndexedHeap<TagKey> ready_;
+  uint64_t order_seq_ = 0;
+};
+
+}  // namespace sfq

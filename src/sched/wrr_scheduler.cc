@@ -1,0 +1,67 @@
+#include "sched/wrr_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq {
+
+FlowId WrrScheduler::add_flow(double weight, double max_packet_bits,
+                              std::string name) {
+  FlowId id = Scheduler::add_flow(weight, max_packet_bits, std::move(name));
+  state_.push_back(FlowState{});
+  queues_.ensure(id);
+  return id;
+}
+
+uint64_t WrrScheduler::packets_per_round(FlowId f) const {
+  double min_w = kTimeInfinity;
+  for (const auto& spec : flows_.all()) min_w = std::min(min_w, spec.weight);
+  const double ratio = flows_.weight(f) / min_w;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(ratio)));
+}
+
+void WrrScheduler::enqueue(Packet p, Time now) {
+  (void)now;
+  if (p.flow >= state_.size())
+    throw std::out_of_range("WRR: packet for unknown flow");
+  const FlowId f = p.flow;
+  queues_.push(std::move(p));
+  if (!state_[f].active) {
+    state_[f].active = true;
+    state_[f].sent_this_visit = 0;
+    ring_.push_back(f);
+  }
+}
+
+std::optional<Packet> WrrScheduler::dequeue(Time now) {
+  (void)now;
+  while (!ring_.empty()) {
+    const FlowId f = ring_.front();
+    FlowState& st = state_[f];
+    if (queues_.flow_empty(f)) {
+      ring_.pop_front();
+      st.active = false;
+      st.sent_this_visit = 0;
+      continue;
+    }
+    if (st.sent_this_visit >= packets_per_round(f)) {
+      // Visit exhausted: rotate.
+      ring_.pop_front();
+      ring_.push_back(f);
+      st.sent_this_visit = 0;
+      continue;
+    }
+    ++st.sent_this_visit;
+    Packet p = queues_.pop(f);
+    if (queues_.flow_empty(f)) {
+      ring_.pop_front();
+      st.active = false;
+      st.sent_this_visit = 0;
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sfq

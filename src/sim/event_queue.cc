@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace sfq::sim {
+
+EventId EventQueue::schedule(Time when, std::function<void()> action) {
+  EventId id = next_id_++;
+  if (id >= cancelled_.size()) cancelled_.resize(id + 64, false);
+  pq_.push(Entry{when, next_seq_++, id, std::move(action)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= cancelled_.size() || cancelled_[id]) return;
+  cancelled_[id] = true;
+  if (live_ > 0) --live_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!pq_.empty() && cancelled_[pq_.top().id]) pq_.pop();
+}
+
+Time EventQueue::run_one() {
+  Popped p;
+  if (!pop(p)) return kTimeInfinity;
+  p.action();
+  return p.when;
+}
+
+bool EventQueue::pop(Popped& out) {
+  drop_cancelled();
+  if (pq_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast of the entry we are
+  // about to pop — standard idiom to avoid copying the std::function.
+  Entry e = std::move(const_cast<Entry&>(pq_.top()));
+  pq_.pop();
+  --live_;
+  out.when = e.when;
+  out.action = std::move(e.action);
+  return true;
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  return pq_.empty() ? kTimeInfinity : pq_.top().when;
+}
+
+}  // namespace sfq::sim

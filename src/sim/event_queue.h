@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+// Time-ordered queue of callbacks. Equal-time events fire in scheduling
+// order (monotone sequence numbers), which keeps every simulation
+// deterministic. Cancellation is lazy: cancelled entries are skipped on pop.
+class EventQueue {
+ public:
+  EventId schedule(Time when, std::function<void()> action);
+  void cancel(EventId id);
+
+  bool empty() const { return live_ != 0 ? false : true; }
+  std::size_t size() const { return live_; }
+
+  // Fires the earliest live event and returns its time; kTimeInfinity when
+  // the queue is empty.
+  Time run_one();
+
+  // Removes and returns the earliest live event without running it, so the
+  // caller can update its clock before invoking the action.
+  struct Popped {
+    Time when;
+    std::function<void()> action;
+  };
+  bool pop(Popped& out);
+
+  Time next_time() const;
+
+ private:
+  struct Entry {
+    Time when;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> pq_;
+  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sfq::sim

@@ -1,0 +1,30 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace sfq::sim {
+
+EventId Simulator::at(Time when, std::function<void()> action) {
+  if (when < now_) throw std::invalid_argument("Simulator: event in the past");
+  return events_.schedule(when, std::move(action));
+}
+
+void Simulator::run_until(Time deadline) {
+  while (events_.next_time() <= deadline) {
+    EventQueue::Popped e;
+    if (!events_.pop(e)) break;
+    now_ = e.when;  // the action observes the correct clock
+    e.action();
+  }
+  if (deadline > now_ && deadline != kTimeInfinity) now_ = deadline;
+}
+
+void Simulator::run() {
+  EventQueue::Popped e;
+  while (events_.pop(e)) {
+    now_ = e.when;
+    e.action();
+  }
+}
+
+}  // namespace sfq::sim

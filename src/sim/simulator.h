@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace sfq::sim {
+
+// The simulation clock plus event queue. All components hold a Simulator&
+// and schedule callbacks on it; `run_until`/`run` advance the clock.
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  EventId at(Time when, std::function<void()> action);
+  EventId after(Time delay, std::function<void()> action) {
+    return at(now_ + delay, std::move(action));
+  }
+  void cancel(EventId id) { events_.cancel(id); }
+
+  // Runs events until the queue drains or the clock would pass `deadline`
+  // (events at exactly `deadline` run). The clock ends at
+  // min(deadline, last event time).
+  void run_until(Time deadline);
+
+  // Runs until the event queue is empty.
+  void run();
+
+  std::size_t pending_events() const { return events_.size(); }
+
+ private:
+  EventQueue events_;
+  Time now_ = 0.0;
+};
+
+}  // namespace sfq::sim

@@ -1,0 +1,63 @@
+#include "stats/delay_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq::stats {
+
+void DelayStats::ensure(FlowId f) {
+  if (f >= samples_.size()) samples_.resize(f + 1);
+}
+
+void DelayStats::add(FlowId f, Time delay) {
+  ensure(f);
+  samples_[f].push_back(delay);
+}
+
+uint64_t DelayStats::count(FlowId f) const {
+  return f < samples_.size() ? samples_[f].size() : 0;
+}
+
+double DelayStats::mean(FlowId f) const {
+  if (count(f) == 0) return 0.0;
+  double s = 0.0;
+  for (Time d : samples_[f]) s += d;
+  return s / static_cast<double>(samples_[f].size());
+}
+
+Time DelayStats::max(FlowId f) const {
+  if (count(f) == 0) return 0.0;
+  return *std::max_element(samples_[f].begin(), samples_[f].end());
+}
+
+Time DelayStats::percentile(FlowId f, double p) const {
+  if (count(f) == 0) return 0.0;
+  std::vector<Time> v = samples_[f];
+  std::sort(v.begin(), v.end());
+  const double idx = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double DelayStats::mean_over(const std::vector<FlowId>& fs) const {
+  double s = 0.0;
+  uint64_t n = 0;
+  for (FlowId f : fs) {
+    if (f < samples_.size()) {
+      for (Time d : samples_[f]) s += d;
+      n += samples_[f].size();
+    }
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+Time DelayStats::max_over(const std::vector<FlowId>& fs) const {
+  Time m = 0.0;
+  for (FlowId f : fs) m = std::max(m, max(f));
+  return m;
+}
+
+}  // namespace sfq::stats

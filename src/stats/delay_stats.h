@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::stats {
+
+// Streaming per-flow delay accumulator. Stores every sample so exact maxima
+// and percentiles are available (all experiments in this repo are
+// laptop-scale).
+class DelayStats {
+ public:
+  void add(FlowId f, Time delay);
+
+  uint64_t count(FlowId f) const;
+  double mean(FlowId f) const;
+  Time max(FlowId f) const;
+  Time percentile(FlowId f, double p) const;  // p in [0, 100]
+
+  // Aggregate over a set of flows (e.g. "all low-throughput flows" in
+  // Figure 2b).
+  double mean_over(const std::vector<FlowId>& fs) const;
+  Time max_over(const std::vector<FlowId>& fs) const;
+
+ private:
+  void ensure(FlowId f);
+  std::vector<std::vector<Time>> samples_;
+};
+
+}  // namespace sfq::stats

@@ -1,0 +1,55 @@
+#include "stats/fairness.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sfq::stats {
+
+namespace {
+
+// Overlap of two interval lists (both sorted by construction).
+std::vector<ServiceRecorder::Interval> intersect(
+    const std::vector<ServiceRecorder::Interval>& a,
+    const std::vector<ServiceRecorder::Interval>& b) {
+  std::vector<ServiceRecorder::Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Time lo = std::max(a[i].begin, b[j].begin);
+    const Time hi = std::min(a[i].end, b[j].end);
+    if (hi > lo) out.push_back({lo, hi});
+    if (a[i].end < b[j].end) ++i; else ++j;
+  }
+  return out;
+}
+
+}  // namespace
+
+double empirical_fairness(const ServiceRecorder& rec, FlowId f, double rf,
+                          FlowId m, double rm) {
+  const auto windows =
+      intersect(rec.backlog_intervals(f), rec.backlog_intervals(m));
+  const auto& tx = rec.transmissions();
+
+  double h = 0.0;
+  std::size_t k = 0;
+  for (const auto& w : windows) {
+    // Transmissions fully inside the window, in service order.
+    while (k < tx.size() && tx[k].start < w.begin) ++k;
+    // Kadane over signed normalized service, both signs.
+    double best_hi = 0.0, run_hi = 0.0;  // max subarray sum
+    double best_lo = 0.0, run_lo = 0.0;  // min subarray sum
+    for (std::size_t i = k; i < tx.size() && tx[i].end <= w.end; ++i) {
+      double v = 0.0;
+      if (tx[i].flow == f) v = tx[i].bits / rf;
+      else if (tx[i].flow == m) v = -tx[i].bits / rm;
+      run_hi = std::max(run_hi + v, v);
+      best_hi = std::max(best_hi, run_hi);
+      run_lo = std::min(run_lo + v, v);
+      best_lo = std::min(best_lo, run_lo);
+    }
+    h = std::max({h, best_hi, -best_lo});
+  }
+  return h;
+}
+
+}  // namespace sfq::stats

@@ -1,0 +1,55 @@
+#include "stats/link_stats.h"
+
+#include <algorithm>
+
+namespace sfq::stats {
+
+void LinkStats::on_transmit_start(Time t) {
+  tx_started_ = t;
+  ++transmissions_;
+  // A new busy period begins unless this transmission is back-to-back with
+  // the previous one.
+  if (period_started_ < 0.0) {
+    period_started_ = t;
+    ++busy_periods_;
+  } else if (last_end_ >= 0.0 && t > last_end_) {
+    longest_busy_ = std::max(longest_busy_, last_end_ - period_started_);
+    period_started_ = t;
+    ++busy_periods_;
+  }
+}
+
+void LinkStats::on_transmit_end(Time t) {
+  if (tx_started_ >= 0.0) busy_ += t - tx_started_;
+  tx_started_ = -1.0;
+  last_end_ = t;
+}
+
+void LinkStats::on_queue_sample(Time t, std::size_t packets) {
+  if (any_sample_) {
+    queue_time_integral_ +=
+        static_cast<double>(last_queue_) * (t - last_sample_time_);
+    observed_ += t - last_sample_time_;
+  }
+  any_sample_ = true;
+  last_sample_time_ = t;
+  last_queue_ = packets;
+  max_queue_ = std::max(max_queue_, packets);
+}
+
+void LinkStats::finish(Time t) {
+  if (tx_started_ >= 0.0) on_transmit_end(t);
+  if (period_started_ >= 0.0 && last_end_ >= 0.0)
+    longest_busy_ = std::max(longest_busy_, last_end_ - period_started_);
+  if (any_sample_) on_queue_sample(t, last_queue_);
+}
+
+double LinkStats::utilization(Time horizon) const {
+  return horizon > 0.0 ? busy_ / horizon : 0.0;
+}
+
+double LinkStats::mean_queue_packets() const {
+  return observed_ > 0.0 ? queue_time_integral_ / observed_ : 0.0;
+}
+
+}  // namespace sfq::stats

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::stats {
+
+// Link-level operating statistics: busy-time integral (utilization), queue
+// length observations, and busy-period structure. Fed by ScheduledServer
+// when attached via set_link_stats.
+class LinkStats {
+ public:
+  // Transmission lifecycle.
+  void on_transmit_start(Time t);
+  void on_transmit_end(Time t);
+  // Queue length right after an enqueue or dequeue event.
+  void on_queue_sample(Time t, std::size_t packets);
+  void finish(Time t);
+
+  // Fraction of [0, horizon] the link spent transmitting.
+  double utilization(Time horizon) const;
+  Time busy_time() const { return busy_; }
+  uint64_t transmissions() const { return transmissions_; }
+
+  // Busy periods: maximal intervals of continuous transmission.
+  uint64_t busy_periods() const { return busy_periods_; }
+  Time longest_busy_period() const { return longest_busy_; }
+
+  // Time-averaged queue length (piecewise-constant between samples).
+  double mean_queue_packets() const;
+  std::size_t max_queue_packets() const { return max_queue_; }
+
+ private:
+  Time busy_ = 0.0;
+  Time tx_started_ = -1.0;
+  Time period_started_ = -1.0;
+  Time last_end_ = -1.0;
+  Time longest_busy_ = 0.0;
+  uint64_t transmissions_ = 0;
+  uint64_t busy_periods_ = 0;
+
+  Time last_sample_time_ = 0.0;
+  std::size_t last_queue_ = 0;
+  double queue_time_integral_ = 0.0;
+  Time observed_ = 0.0;
+  std::size_t max_queue_ = 0;
+  bool any_sample_ = false;
+};
+
+}  // namespace sfq::stats

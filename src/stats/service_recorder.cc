@@ -1,0 +1,73 @@
+#include "stats/service_recorder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfq::stats {
+
+void ServiceRecorder::ensure(FlowId f) {
+  if (f >= backlog_.size()) {
+    backlog_.resize(f + 1);
+    outstanding_.resize(f + 1, 0);
+    open_since_.resize(f + 1, 0.0);
+  }
+}
+
+void ServiceRecorder::on_arrival(FlowId f, Time t) {
+  ensure(f);
+  if (outstanding_[f]++ == 0) open_since_[f] = t;
+}
+
+void ServiceRecorder::on_service(FlowId f, double bits, Time arrival,
+                                 Time start, Time end) {
+  ensure(f);
+  tx_.push_back(Transmission{f, bits, start, end, arrival});
+  if (outstanding_[f] == 0)
+    throw std::logic_error("ServiceRecorder: service without arrival");
+  if (--outstanding_[f] == 0)
+    backlog_[f].push_back(Interval{open_since_[f], end});
+}
+
+void ServiceRecorder::finish(Time t) {
+  for (FlowId f = 0; f < backlog_.size(); ++f) {
+    if (outstanding_[f] > 0) {
+      backlog_[f].push_back(Interval{open_since_[f], t});
+      outstanding_[f] = 0;
+    }
+  }
+}
+
+const std::vector<ServiceRecorder::Interval>& ServiceRecorder::backlog_intervals(
+    FlowId f) const {
+  static const std::vector<Interval> kEmpty;
+  return f < backlog_.size() ? backlog_[f] : kEmpty;
+}
+
+double ServiceRecorder::served_bits(FlowId f, Time t1, Time t2) const {
+  double w = 0.0;
+  for (const Transmission& t : tx_)
+    if (t.flow == f && t.start >= t1 && t.end <= t2) w += t.bits;
+  return w;
+}
+
+double ServiceRecorder::served_bits(FlowId f) const {
+  double w = 0.0;
+  for (const Transmission& t : tx_)
+    if (t.flow == f) w += t.bits;
+  return w;
+}
+
+uint64_t ServiceRecorder::served_packets(FlowId f) const {
+  uint64_t n = 0;
+  for (const Transmission& t : tx_)
+    if (t.flow == f) ++n;
+  return n;
+}
+
+bool ServiceRecorder::backlogged_throughout(FlowId f, Time t1, Time t2) const {
+  for (const Interval& iv : backlog_intervals(f))
+    if (iv.begin <= t1 && iv.end >= t2) return true;
+  return false;
+}
+
+}  // namespace sfq::stats

@@ -1,0 +1,71 @@
+#include "stats/time_series.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sfq::stats {
+
+void TimeSeries::ensure(FlowId f) {
+  if (f >= samples_.size()) samples_.resize(f + 1);
+}
+
+void TimeSeries::add(FlowId f, Time t, double value) {
+  ensure(f);
+  samples_[f].push_back(Sample{t, value});
+}
+
+std::vector<double> TimeSeries::bucket_sums(FlowId f, Time until) const {
+  const std::size_t n =
+      static_cast<std::size_t>(std::ceil(until / width_ - 1e-12));
+  std::vector<double> out(n, 0.0);
+  if (f >= samples_.size()) return out;
+  for (const Sample& s : samples_[f]) {
+    if (s.t >= until) continue;
+    const std::size_t b = static_cast<std::size_t>(s.t / width_);
+    if (b < n) out[b] += s.v;
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::cumulative(FlowId f, Time until) const {
+  std::vector<double> buckets = bucket_sums(f, until);
+  double run = 0.0;
+  for (double& b : buckets) {
+    run += b;
+    b = run;
+  }
+  return buckets;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  widths_.reserve(headers_.size());
+  for (const auto& h : headers_) widths_.push_back(h.size() + 2);
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: wrong cell count");
+  auto print_line = [&](const std::vector<std::string>& vals) {
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const std::size_t w =
+          widths_[i] > vals[i].size() ? widths_[i] : vals[i].size() + 1;
+      std::printf("%-*s", static_cast<int>(w), vals[i].c_str());
+    }
+    std::printf("\n");
+  };
+  if (!header_printed_) {
+    print_line(headers_);
+    header_printed_ = true;
+  }
+  print_line(cells);
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace sfq::stats

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sfq::stats {
+
+// Per-flow event log bucketed into fixed windows — used to print the
+// time-series the paper plots (Figure 1(b) sequence numbers, Figure 3(b)
+// throughput).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Time bucket_width) : width_(bucket_width) {}
+
+  void add(FlowId f, Time t, double value);
+
+  // Sum of values per bucket for one flow; buckets run [0,width), [width,...)
+  std::vector<double> bucket_sums(FlowId f, Time until) const;
+
+  // Cumulative count of events up to each bucket boundary (sequence-number
+  // style curves).
+  std::vector<double> cumulative(FlowId f, Time until) const;
+
+  Time bucket_width() const { return width_; }
+
+ private:
+  struct Sample {
+    Time t;
+    double v;
+  };
+  void ensure(FlowId f);
+
+  Time width_;
+  std::vector<std::vector<Sample>> samples_;
+};
+
+// Fixed-width table printer for bench binaries: aligned columns, reproducible
+// formatting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void row(const std::vector<std::string>& cells);
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::vector<std::size_t> widths_;
+  bool header_printed_ = false;
+  std::vector<std::string> headers_;
+};
+
+}  // namespace sfq::stats

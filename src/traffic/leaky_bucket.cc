@@ -1,0 +1,59 @@
+#include "traffic/leaky_bucket.h"
+
+#include <algorithm>
+
+namespace sfq::traffic {
+
+LeakyBucketShaper::LeakyBucketShaper(sim::Simulator& sim, double sigma,
+                                     double rho, EmitFn out)
+    : sim_(sim), sigma_(sigma), rho_(rho), out_(std::move(out)) {
+  tokens_ = sigma_;
+  last_fill_ = 0.0;
+}
+
+double LeakyBucketShaper::tokens(Time now) const {
+  return std::min(sigma_, tokens_ + rho_ * (now - last_fill_));
+}
+
+void LeakyBucketShaper::inject(Packet p) {
+  q_.push_back(std::move(p));
+  drain();
+}
+
+void LeakyBucketShaper::drain() {
+  // Tolerance absorbs floating-point residue when a refill event lands
+  // exactly at the conformance instant; without it the shaper can re-arm
+  // itself at the same timestamp forever.
+  constexpr double kTolBits = 1e-9;
+  const Time now = sim_.now();
+  tokens_ = std::min(sigma_, tokens_ + rho_ * (now - last_fill_));
+  last_fill_ = now;
+
+  while (!q_.empty() && q_.front().length_bits <= tokens_ + kTolBits) {
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    tokens_ = std::max(0.0, tokens_ - p.length_bits);
+    out_(std::move(p));
+  }
+  if (!q_.empty() && !drain_pending_) {
+    const double need =
+        std::max(q_.front().length_bits - tokens_, kTolBits);
+    const Time when = now + need / rho_;
+    drain_pending_ = true;
+    sim_.at(when, [this]() {
+      drain_pending_ = false;
+      drain();
+    });
+  }
+}
+
+bool LeakyBucketMeter::observe(Time t, double bits) {
+  if (any_) tokens_ = std::min(sigma_, tokens_ + rho_ * (t - last_));
+  any_ = true;
+  last_ = t;
+  if (bits > tokens_ + 1e-9) return false;
+  tokens_ -= bits;
+  return true;
+}
+
+}  // namespace sfq::traffic

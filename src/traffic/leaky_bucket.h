@@ -1,0 +1,59 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "core/packet.h"
+#include "sim/simulator.h"
+
+namespace sfq::traffic {
+
+// (sigma, rho) leaky-bucket shaper: delays packets until they conform, so the
+// output satisfies  A(t1,t2) <= sigma + rho (t2 - t1)  for all intervals.
+// Used to build the residual-capacity construction of §2.3 (shaped
+// high-priority traffic => residual server is FC(C - rho, sigma)) and the
+// leaky-bucket end-to-end delay bound of Appendix A.5.
+class LeakyBucketShaper {
+ public:
+  using EmitFn = std::function<void(Packet)>;
+
+  LeakyBucketShaper(sim::Simulator& sim, double sigma, double rho, EmitFn out);
+
+  void inject(Packet p);
+
+  // Tokens currently in the bucket (bits).
+  double tokens(Time now) const;
+
+ private:
+  void drain();
+
+  sim::Simulator& sim_;
+  double sigma_;
+  double rho_;
+  EmitFn out_;
+  std::deque<Packet> q_;
+  double tokens_ = 0.0;
+  Time last_fill_ = 0.0;
+  bool drain_pending_ = false;
+};
+
+// Pure conformance checker: feeds observations, answers whether the stream
+// conformed to (sigma, rho). Used by property tests.
+class LeakyBucketMeter {
+ public:
+  LeakyBucketMeter(double sigma, double rho) : sigma_(sigma), rho_(rho) {
+    tokens_ = sigma;
+  }
+
+  // Returns false if this arrival violates the bucket.
+  bool observe(Time t, double bits);
+
+ private:
+  double sigma_;
+  double rho_;
+  double tokens_;
+  Time last_ = 0.0;
+  bool any_ = false;
+};
+
+}  // namespace sfq::traffic

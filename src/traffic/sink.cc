@@ -1,0 +1,28 @@
+#include "traffic/sink.h"
+
+namespace sfq::traffic {
+
+void PacketSink::ensure(FlowId f) {
+  if (f >= count_.size()) {
+    count_.resize(f + 1, 0);
+    bits_.resize(f + 1, 0.0);
+  }
+}
+
+void PacketSink::deliver(const Packet& p, Time t) {
+  ensure(p.flow);
+  ++count_[p.flow];
+  bits_[p.flow] += p.length_bits;
+  delays_.add(p.flow, t - p.source_departure);
+  if (series_enabled_) series_.add(p.flow, t, 1.0);
+}
+
+uint64_t PacketSink::packets(FlowId f) const {
+  return f < count_.size() ? count_[f] : 0;
+}
+
+double PacketSink::bits(FlowId f) const {
+  return f < bits_.size() ? bits_[f] : 0.0;
+}
+
+}  // namespace sfq::traffic

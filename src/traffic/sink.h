@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/packet.h"
+#include "stats/delay_stats.h"
+#include "stats/time_series.h"
+
+namespace sfq::traffic {
+
+// Terminal measurement point: counts deliveries per flow, accumulates
+// end-to-end delays (departure - source emission) and per-server delays
+// (departure - arrival at the last server), and optionally logs a
+// sequence-number time series (Figure 1(b) style).
+class PacketSink {
+ public:
+  explicit PacketSink(Time series_bucket = 0.0)
+      : series_(series_bucket > 0.0 ? series_bucket : 1.0),
+        series_enabled_(series_bucket > 0.0) {}
+
+  void deliver(const Packet& p, Time t);
+
+  uint64_t packets(FlowId f) const;
+  double bits(FlowId f) const;
+  const stats::DelayStats& delays() const { return delays_; }
+  const stats::TimeSeries& series() const { return series_; }
+
+ private:
+  void ensure(FlowId f);
+
+  std::vector<uint64_t> count_;
+  std::vector<double> bits_;
+  stats::DelayStats delays_;
+  stats::TimeSeries series_;
+  bool series_enabled_;
+};
+
+}  // namespace sfq::traffic

@@ -1,0 +1,144 @@
+#include "traffic/tcp_reno.h"
+
+#include <algorithm>
+
+namespace sfq::traffic {
+
+TcpRenoSource::TcpRenoSource(sim::Simulator& sim, FlowId flow, Params params,
+                             SendFn send)
+    : sim_(sim),
+      flow_(flow),
+      p_(params),
+      send_(std::move(send)),
+      ssthresh_(params.initial_ssthresh),
+      rto_(params.rto_initial) {}
+
+void TcpRenoSource::start(Time at) {
+  sim_.at(at, [this]() {
+    running_ = true;
+    try_send();
+  });
+}
+
+void TcpRenoSource::send_segment(uint64_t seq, bool retransmit) {
+  Packet p;
+  p.flow = flow_;
+  p.seq = seq;
+  p.length_bits = p_.packet_bits;
+  p.source_departure = sim_.now();
+  if (!retransmit) {
+    send_time_.emplace(seq, sim_.now());
+  } else {
+    ++retransmits_;
+    send_time_.erase(seq);  // Karn's rule: no RTT sample from retransmits
+  }
+  send_(std::move(p));
+}
+
+void TcpRenoSource::try_send() {
+  if (!running_) return;
+  const double wnd = std::min(cwnd_, p_.max_window);
+  while (static_cast<double>(next_seq_ - snd_una_) < wnd) {
+    send_segment(next_seq_, /*retransmit=*/false);
+    ++next_seq_;
+  }
+  if (next_seq_ > snd_una_ && rto_event_ == sim::kInvalidEvent) arm_rto();
+}
+
+void TcpRenoSource::arm_rto() {
+  rto_event_ = sim_.after(rto_, [this]() {
+    rto_event_ = sim::kInvalidEvent;
+    on_rto();
+  });
+}
+
+void TcpRenoSource::on_rto() {
+  if (!running_ || snd_una_ >= next_seq_) return;
+  ++timeouts_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  // Everything in flight is suspect; recover the whole window via partial
+  // acks (NewReno semantics) rather than one backed-off RTO per hole.
+  in_recovery_ = true;
+  recovery_point_ = next_seq_ - 1;
+  rto_ = std::min(rto_ * 2.0, 60.0);
+  send_segment(snd_una_, /*retransmit=*/true);
+  arm_rto();
+}
+
+void TcpRenoSource::on_ack(uint64_t cum_seq) {
+  if (!running_) return;
+  if (cum_seq + 1 > snd_una_) {
+    // New data acknowledged.
+    const uint64_t newly = cum_seq + 1 - snd_una_;
+
+    // RTT sample from the highest newly acked, first-transmission segment.
+    auto it = send_time_.find(cum_seq);
+    if (it != send_time_.end()) {
+      const Time sample = sim_.now() - it->second;
+      if (!have_rtt_) {
+        srtt_ = sample;
+        rttvar_ = sample / 2.0;
+        have_rtt_ = true;
+      } else {
+        rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+        srtt_ = 0.875 * srtt_ + 0.125 * sample;
+      }
+      rto_ = std::max(p_.rto_min, srtt_ + 4.0 * rttvar_);
+    }
+    send_time_.erase(send_time_.begin(), send_time_.upper_bound(cum_seq));
+
+    snd_una_ = cum_seq + 1;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (snd_una_ > recovery_point_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // NewReno partial ack: the cumulative ack stopped at the next hole in
+        // the loss window — retransmit it immediately instead of waiting out
+        // one RTO per hole.
+        send_segment(snd_una_, /*retransmit=*/true);
+      }
+    } else {
+      if (cwnd_ < ssthresh_)
+        cwnd_ += static_cast<double>(newly);  // slow start
+      else
+        cwnd_ += static_cast<double>(newly) / cwnd_;  // congestion avoidance
+    }
+
+    if (rto_event_ != sim::kInvalidEvent) {
+      sim_.cancel(rto_event_);
+      rto_event_ = sim::kInvalidEvent;
+    }
+    if (next_seq_ > snd_una_) arm_rto();
+    try_send();
+    return;
+  }
+
+  // Duplicate ack.
+  ++dup_acks_;
+  if (dup_acks_ == 3 && !in_recovery_ && snd_una_ < next_seq_) {
+    in_recovery_ = true;
+    recovery_point_ = next_seq_ - 1;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_;  // simplified Reno (no window inflation)
+    send_segment(snd_una_, /*retransmit=*/true);
+  }
+}
+
+void TcpRenoSink::on_segment(const Packet& p) {
+  if (p.seq == expected_) {
+    ++expected_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++expected_;
+    }
+  } else if (p.seq > expected_) {
+    out_of_order_.insert(p.seq);
+  }
+  ack_(expected_ - 1);
+}
+
+}  // namespace sfq::traffic

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/packet.h"
+#include "sim/simulator.h"
+
+namespace sfq::traffic {
+
+// Simplified TCP Reno sender: slow start, congestion avoidance, triple-dupack
+// fast retransmit, NewReno-style partial-ack retransmission while recovering
+// a multi-loss window, retransmission timeout with exponential backoff, and a
+// receiver-window cap. Fixed-size segments.
+//
+// This is the closed-loop, ack-clocked source the Figure-1 experiment needs:
+// it keeps a standing queue at the bottleneck (window > BDP), so WFQ's stale
+// virtual time lets the early flow lock out the late one, while SFQ splits
+// the residual capacity evenly.
+//
+// Wiring is explicit at the experiment level: `send` injects a data segment
+// into the network; the receiving TcpRenoSink calls source.on_ack() (usually
+// through a fixed-delay return path).
+class TcpRenoSource {
+ public:
+  struct Params {
+    double packet_bits = 1600.0;  // 200-byte segments (the paper's size)
+    double max_window = 64.0;     // receiver window, segments
+    double initial_ssthresh = 32.0;
+    Time rto_initial = 0.5;
+    Time rto_min = 0.2;
+  };
+
+  using SendFn = std::function<void(Packet)>;
+
+  TcpRenoSource(sim::Simulator& sim, FlowId flow, Params params, SendFn send);
+
+  // Opens the connection at `at`; data flows until stop() or forever.
+  void start(Time at);
+  void stop() { running_ = false; }
+
+  // Cumulative ack: highest in-order segment received (1-based).
+  void on_ack(uint64_t cum_seq);
+
+  double cwnd() const { return cwnd_; }
+  uint64_t sent() const { return next_seq_ - 1; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void try_send();
+  void send_segment(uint64_t seq, bool retransmit);
+  void arm_rto();
+  void on_rto();
+
+  sim::Simulator& sim_;
+  FlowId flow_;
+  Params p_;
+  SendFn send_;
+
+  bool running_ = false;
+  uint64_t next_seq_ = 1;  // next new segment to send
+  uint64_t snd_una_ = 1;   // lowest unacked segment
+  double cwnd_ = 1.0;
+  double ssthresh_;
+  uint32_t dup_acks_ = 0;
+  bool in_recovery_ = false;
+  uint64_t recovery_point_ = 0;
+
+  // RTT estimation (RFC 6298 style, coarse).
+  std::map<uint64_t, Time> send_time_;  // first transmissions only
+  Time srtt_ = 0.0;
+  Time rttvar_ = 0.0;
+  bool have_rtt_ = false;
+  Time rto_;
+  sim::EventId rto_event_ = sim::kInvalidEvent;
+  uint64_t retransmits_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+// Receiver: delivers cumulative acks, buffers out-of-order segments.
+class TcpRenoSink {
+ public:
+  using AckFn = std::function<void(uint64_t cum_seq)>;
+
+  explicit TcpRenoSink(AckFn ack) : ack_(std::move(ack)) {}
+
+  void on_segment(const Packet& p);
+
+  uint64_t received_in_order() const { return expected_ - 1; }
+
+ private:
+  AckFn ack_;
+  uint64_t expected_ = 1;
+  std::set<uint64_t> out_of_order_;
+};
+
+}  // namespace sfq::traffic

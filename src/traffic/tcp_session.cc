@@ -1,0 +1,39 @@
+#include "traffic/tcp_session.h"
+
+namespace sfq::traffic {
+
+TcpSessionGroup::TcpSessionGroup(sim::Simulator& sim,
+                                 net::TandemNetwork& network)
+    : sim_(sim), net_(network) {
+  net_.set_delivery([this](const Packet& p, Time t) {
+    auto it = sessions_.find(p.flow);
+    if (it == sessions_.end()) {
+      if (fallback_) fallback_(p, t);
+      return;
+    }
+    Session& s = *it->second;
+    ++s.delivered;
+    s.sink->on_segment(p);
+  });
+}
+
+FlowId TcpSessionGroup::add_session(double weight,
+                                    const TcpRenoSource::Params& params,
+                                    Time ack_delay, Time start,
+                                    std::string name) {
+  const FlowId id =
+      net_.add_flow(weight, params.packet_bits, std::move(name));
+  auto session = std::make_unique<Session>();
+  Session* raw = session.get();
+  session->ack_delay = ack_delay;
+  session->sink = std::make_unique<TcpRenoSink>([this, raw](uint64_t cum) {
+    sim_.after(raw->ack_delay, [raw, cum] { raw->source->on_ack(cum); });
+  });
+  session->source = std::make_unique<TcpRenoSource>(
+      sim_, id, params, [this](Packet p) { net_.inject(std::move(p)); });
+  session->source->start(start);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+}  // namespace sfq::traffic

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "traffic/tcp_reno.h"
+
+namespace sfq::traffic {
+
+// Wires any number of TCP Reno connections across a TandemNetwork: data
+// segments traverse the network, acks return over a per-session fixed-delay
+// reverse path (modelling an uncongested return direction). Owns the
+// network's delivery callback and dispatches by flow id; non-TCP flows fall
+// through to an optional fallback handler.
+class TcpSessionGroup {
+ public:
+  using FallbackFn = std::function<void(const Packet&, Time)>;
+
+  TcpSessionGroup(sim::Simulator& sim, net::TandemNetwork& network);
+
+  // Registers the flow in the network (at every hop) and creates the
+  // source/sink pair. The connection starts pushing data at `start`.
+  FlowId add_session(double weight, const TcpRenoSource::Params& params,
+                     Time ack_delay, Time start, std::string name = {});
+
+  // Non-TCP deliveries are forwarded here.
+  void set_fallback(FallbackFn fn) { fallback_ = std::move(fn); }
+
+  TcpRenoSource& source(FlowId f) { return *sessions_.at(f)->source; }
+  const TcpRenoSink& sink(FlowId f) const { return *sessions_.at(f)->sink; }
+  uint64_t delivered(FlowId f) const { return sessions_.at(f)->delivered; }
+
+ private:
+  struct Session {
+    std::unique_ptr<TcpRenoSource> source;
+    std::unique_ptr<TcpRenoSink> sink;
+    Time ack_delay = 0.0;
+    uint64_t delivered = 0;
+  };
+
+  sim::Simulator& sim_;
+  net::TandemNetwork& net_;
+  std::map<FlowId, std::unique_ptr<Session>> sessions_;
+  FallbackFn fallback_;
+};
+
+}  // namespace sfq::traffic

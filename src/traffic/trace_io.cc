@@ -1,0 +1,76 @@
+#include "traffic/trace_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/types.h"
+
+namespace sfq::traffic {
+
+namespace {
+
+bool blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TraceSource::Item> load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  std::vector<TraceSource::Item> items;
+  std::string line;
+  std::size_t lineno = 0;
+  Time last = -kTimeInfinity;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (blank_or_comment(line)) continue;
+    std::istringstream ss(line);
+    double t = 0.0, bytes_len = 0.0;
+    char comma = 0;
+    if (!(ss >> t >> comma >> bytes_len) || comma != ',')
+      throw std::runtime_error("load_trace_csv: bad line " +
+                               std::to_string(lineno) + " in " + path);
+    if (t < last)
+      throw std::runtime_error("load_trace_csv: timestamps must be "
+                               "non-decreasing (line " +
+                               std::to_string(lineno) + ")");
+    if (bytes_len <= 0.0)
+      throw std::runtime_error("load_trace_csv: non-positive length (line " +
+                               std::to_string(lineno) + ")");
+    last = t;
+    items.push_back(TraceSource::Item{t, bytes(bytes_len)});
+  }
+  return items;
+}
+
+void save_trace_csv(const std::vector<TraceSource::Item>& items,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_csv: cannot open " + path);
+  out << "# time_seconds,length_bytes\n";
+  for (const auto& it : items)
+    out << it.t << ',' << it.bits / 8.0 << '\n';
+  if (!out) throw std::runtime_error("save_trace_csv: write failed: " + path);
+}
+
+void save_transmissions_csv(const stats::ServiceRecorder& recorder,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_transmissions_csv: cannot open " + path);
+  out << "# flow,length_bits,arrival,start,end\n";
+  for (const auto& tx : recorder.transmissions())
+    out << tx.flow << ',' << tx.bits << ',' << tx.arrival << ',' << tx.start
+        << ',' << tx.end << '\n';
+  if (!out)
+    throw std::runtime_error("save_transmissions_csv: write failed: " + path);
+}
+
+}  // namespace sfq::traffic

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/service_recorder.h"
+#include "traffic/sources.h"
+
+namespace sfq::traffic {
+
+// CSV trace import/export, so experiments can be driven by external packet
+// traces and their results post-processed outside the simulator.
+//
+// Trace format (one packet per line, '#' comments and blank lines ignored):
+//   time_seconds,length_bytes
+//
+// Transmission-log format written by save_transmissions_csv:
+//   flow,length_bits,arrival,start,end
+
+// Loads a packet trace; throws std::runtime_error on unreadable files or
+// malformed lines, and requires non-decreasing timestamps.
+std::vector<TraceSource::Item> load_trace_csv(const std::string& path);
+
+void save_trace_csv(const std::vector<TraceSource::Item>& items,
+                    const std::string& path);
+
+void save_transmissions_csv(const stats::ServiceRecorder& recorder,
+                            const std::string& path);
+
+}  // namespace sfq::traffic

@@ -1,0 +1,76 @@
+#include "traffic/vbr_video.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfq::traffic {
+
+namespace {
+double type_ratio(char type) {
+  switch (type) {
+    case 'I': return 5.0;
+    case 'P': return 2.0;
+    case 'B': return 1.0;
+    default: throw std::invalid_argument("MpegVbrSource: bad GoP symbol");
+  }
+}
+}  // namespace
+
+MpegVbrSource::MpegVbrSource(sim::Simulator& sim, FlowId flow, EmitFn emit,
+                             const Params& params)
+    : Source(sim, flow, std::move(emit)),
+      p_(params),
+      rng_(params.seed),
+      gauss_(0.0, 1.0) {
+  if (p_.gop.empty()) throw std::invalid_argument("MpegVbrSource: empty GoP");
+  double ratio_sum = 0.0;
+  for (char c : p_.gop) ratio_sum += type_ratio(c);
+  const double gop_bits =
+      p_.average_rate * static_cast<double>(p_.gop.size()) / p_.fps;
+  i_mean_ = type_ratio('I') * gop_bits / ratio_sum;
+}
+
+double MpegVbrSource::mean_frame_bits(char type) const {
+  return i_mean_ * type_ratio(type) / type_ratio('I');
+}
+
+double MpegVbrSource::draw_frame_bits(char type) {
+  const double mean = mean_frame_bits(type);
+  const double s = p_.sigma_log;
+  // Lognormal with the requested mean: E[e^{sZ - s^2/2}] = 1.
+  const double size = mean * std::exp(s * gauss_(rng_) - 0.5 * s * s);
+  return std::max(size, p_.packet_bits);
+}
+
+void MpegVbrSource::packetize(double frame_bits) {
+  pending_.clear();
+  pending_pos_ = 0;
+  double rest = frame_bits;
+  while (rest > 1e-9) {
+    const double chunk = rest >= p_.packet_bits ? p_.packet_bits : rest;
+    pending_.push_back(chunk);
+    rest -= chunk;
+  }
+}
+
+Time MpegVbrSource::first_emission(Time at, double& bits_out) {
+  next_frame_ = at;
+  gop_pos_ = 0;
+  return next_emission(at, bits_out);
+}
+
+Time MpegVbrSource::next_emission(Time now, double& bits_out) {
+  if (pending_pos_ < pending_.size()) {
+    bits_out = pending_[pending_pos_++];
+    return now;  // back-to-back within the frame burst
+  }
+  const char type = p_.gop[gop_pos_ % p_.gop.size()];
+  ++gop_pos_;
+  packetize(draw_frame_bits(type));
+  const Time t = next_frame_;
+  next_frame_ += 1.0 / p_.fps;
+  bits_out = pending_[pending_pos_++];
+  return t;
+}
+
+}  // namespace sfq::traffic

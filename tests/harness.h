@@ -1,0 +1,117 @@
+// Shared helpers for scheduler tests: run a discipline on a server with a
+// mixed workload and return the exact service record.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "qos/eat.h"
+#include "sim/simulator.h"
+#include "stats/delay_stats.h"
+#include "stats/service_recorder.h"
+#include "traffic/sink.h"
+#include "traffic/sources.h"
+
+namespace sfq::test {
+
+enum class Kind { kGreedy, kPoisson, kCbr, kOnOff };
+
+struct FlowCfg {
+  double weight;          // r_f (bits/s)
+  double packet_bits;
+  Kind kind = Kind::kGreedy;
+  double rate = 0.0;      // offered rate; 0 => 2x weight for greedy
+  Time start = 0.0;
+  Time stop = -1.0;       // -1 => full duration
+};
+
+struct RunResult {
+  std::vector<FlowId> ids;
+  stats::ServiceRecorder recorder;
+  traffic::PacketSink sink;
+  stats::DelayStats queueing_delay;    // departure - arrival at server
+  std::vector<Time> max_eat_lateness;  // per cfg index: max(depart - EAT)
+  Time end = 0.0;
+};
+
+// Runs `sched` on a server with the given rate profile. Greedy flows offer
+// well above their weight so they stay continuously backlogged. Collects the
+// recorder, sink, queueing delays, and per-flow max lateness past the EAT
+// (eq. 37) so callers can check the paper's delay theorems directly.
+inline std::unique_ptr<RunResult> run_workload(
+    Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
+    const std::vector<FlowCfg>& cfgs, Time duration, uint64_t seed = 1) {
+  auto result = std::make_unique<RunResult>();
+  sim::Simulator sim;
+  net::ScheduledServer server(sim, sched, std::move(profile));
+  server.set_recorder(&result->recorder);
+
+  for (const FlowCfg& c : cfgs) {
+    FlowId id = sched.add_flow(c.weight, c.packet_bits);
+    result->ids.push_back(id);
+    result->max_eat_lateness.push_back(-kTimeInfinity);
+  }
+  const FlowId max_id =
+      *std::max_element(result->ids.begin(), result->ids.end());
+
+  // EAT(p^j) per flow, indexed by the source's 1-based seq.
+  std::vector<std::vector<Time>> eats(max_id + 1);
+  std::vector<std::size_t> cfg_of_flow(max_id + 1, 0);
+  for (std::size_t i = 0; i < cfgs.size(); ++i)
+    cfg_of_flow[result->ids[i]] = i;
+  qos::PerFlowEat eat;
+
+  server.set_departure([&, r = result.get()](const Packet& p, Time t) {
+    r->sink.deliver(p, t);
+    r->queueing_delay.add(p.flow, t - p.arrival);
+    const Time e = eats[p.flow][p.seq - 1];
+    Time& m = r->max_eat_lateness[cfg_of_flow[p.flow]];
+    if (t - e > m) m = t - e;
+  });
+
+  auto emit = [&](Packet p) {
+    const double rate = p.rate > 0.0 ? p.rate : sched.flows().weight(p.flow);
+    eats[p.flow].push_back(
+        eat.on_arrival(p.flow, sim.now(), p.length_bits, rate));
+    server.inject(std::move(p));
+  };
+
+  std::vector<std::unique_ptr<traffic::Source>> sources;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const FlowCfg& c = cfgs[i];
+    const FlowId id = result->ids[i];
+    const double offered = c.rate > 0.0 ? c.rate : 2.0 * c.weight;
+    switch (c.kind) {
+      case Kind::kGreedy:
+      case Kind::kCbr:
+        sources.push_back(std::make_unique<traffic::CbrSource>(
+            sim, id, emit, offered, c.packet_bits));
+        break;
+      case Kind::kPoisson:
+        sources.push_back(std::make_unique<traffic::PoissonSource>(
+            sim, id, emit, offered, c.packet_bits, seed + i));
+        break;
+      case Kind::kOnOff:
+        sources.push_back(std::make_unique<traffic::OnOffSource>(
+            sim, id, emit, offered, c.packet_bits, /*mean_on=*/0.05,
+            /*mean_off=*/0.05, seed + i));
+        break;
+    }
+    const Time stop = c.stop < 0.0 ? duration : c.stop;
+    sources.back()->run(c.start, stop);
+  }
+
+  sim.run_until(duration);
+  // Drain queued packets so delay bounds see complete information.
+  sim.run();
+  result->end = sim.now();
+  result->recorder.finish(sim.now());
+  return result;
+}
+
+}  // namespace sfq::test

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sfq_scheduler.h"
+#include "harness.h"
+#include "net/rate_profile.h"
+#include "qos/bounds.h"
+#include "sched/drr_scheduler.h"
+#include "stats/fairness.h"
+
+namespace sfq {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+TEST(Drr, QuantumProportionalToWeight) {
+  DrrScheduler s(100.0);
+  FlowId a = s.add_flow(1.0);
+  FlowId b = s.add_flow(3.0);
+  EXPECT_DOUBLE_EQ(s.quantum(a), 100.0);
+  EXPECT_DOUBLE_EQ(s.quantum(b), 300.0);
+}
+
+TEST(Drr, RoundRobinHonorsDeficits) {
+  // Quanta: a=100, b=100. Packets of 60 bits: each visit serves one packet
+  // (deficit 100 -> 40, next head 60 > 40 -> next round starts at 140 - 60...)
+  DrrScheduler s(100.0);
+  FlowId a = s.add_flow(1.0);
+  FlowId b = s.add_flow(1.0);
+  for (int j = 1; j <= 3; ++j) {
+    s.enqueue(mk(a, j, 60.0), 0.0);
+    s.enqueue(mk(b, j, 60.0), 0.0);
+  }
+  // Round 1: a gets quantum 100, sends one 60 (deficit 40), head 60 > 40 ->
+  // moves on; b likewise. Round 2: deficit 40+100=140 -> two packets each.
+  std::vector<FlowId> order;
+  while (auto p = s.dequeue(0.0)) order.push_back(p->flow);
+  EXPECT_EQ(order, (std::vector<FlowId>{a, b, a, a, b, b}));
+}
+
+TEST(Drr, ResidualDeficitForfeitedWhenQueueEmpties) {
+  DrrScheduler s(100.0);
+  FlowId a = s.add_flow(1.0);
+  s.enqueue(mk(a, 1, 10.0), 0.0);
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(s.deficit(a), 0.0);  // reset on emptying
+}
+
+TEST(Drr, LongRunSharesProportionalToWeights) {
+  DrrScheduler s(/*quantum_per_weight=*/1.0);  // quantum = weight bits
+  const double w0 = 100.0, w1 = 300.0, len = 50.0;
+  // Oversubscribe so the shares reflect scheduling, measured inside the
+  // overloaded window (the harness drains queues afterwards).
+  auto r = test::run_workload(
+      s, std::make_unique<net::ConstantRate>(1000.0),
+      {{w0, len, test::Kind::kGreedy, 5.0 * w0},
+       {w1, len, test::Kind::kGreedy, 5.0 * w1}},
+      10.0);
+  const double b0 = r->recorder.served_bits(r->ids[0], 0.0, 10.0);
+  const double b1 = r->recorder.served_bits(r->ids[1], 0.0, 10.0);
+  EXPECT_NEAR(b1 / b0, 3.0, 0.1);
+}
+
+// Table 1: DRR's fairness measure deviates arbitrarily from SFQ's as weights
+// grow. With r_f = r_m = 100 and l^max = 1 the paper computes H_DRR ~ 1.02 vs
+// H_SFQ = 0.02 (50x). Reproduce the separation empirically: DRR serves a
+// whole quantum (100 packets) from one flow before switching, so the
+// co-backlogged service imbalance reaches ~ quantum/weight ~ 1, while SFQ
+// alternates packet by packet and stays within 0.02.
+TEST(Drr, FairnessGapVsSfqGrowsWithWeights) {
+  const double w = 100.0, len = 1.0;
+  // Capacity below the offered load so both flows stay backlogged.
+  auto drr_run = [&] {
+    DrrScheduler s(1.0);  // quantum = 100 bits = 100 packets
+    return test::run_workload(
+        s, std::make_unique<net::ConstantRate>(100.0),
+        {{w, len, test::Kind::kGreedy}, {w, len, test::Kind::kGreedy}}, 5.0);
+  };
+  auto sfq_run = [&] {
+    SfqScheduler s;
+    return test::run_workload(
+        s, std::make_unique<net::ConstantRate>(100.0),
+        {{w, len, test::Kind::kGreedy}, {w, len, test::Kind::kGreedy}}, 5.0);
+  };
+  auto rd = drr_run();
+  auto rs = sfq_run();
+  const double h_drr = stats::empirical_fairness(rd->recorder, rd->ids[0], w,
+                                                 rd->ids[1], w);
+  const double h_sfq = stats::empirical_fairness(rs->recorder, rs->ids[0], w,
+                                                 rs->ids[1], w);
+  EXPECT_LE(h_sfq, qos::sfq_fairness_bound(len, w, len, w) + 1e-9);  // 0.02
+  EXPECT_GT(h_drr, 10.0 * h_sfq);  // an order of magnitude worse, at least
+}
+
+TEST(Drr, HeadLargerThanQuantumEventuallySent) {
+  // A packet bigger than one quantum accumulates deficit across rounds.
+  DrrScheduler s(10.0);
+  FlowId a = s.add_flow(1.0);  // quantum 10
+  FlowId b = s.add_flow(1.0);
+  s.enqueue(mk(a, 1, 35.0), 0.0);
+  s.enqueue(mk(b, 1, 5.0), 0.0);
+  std::vector<FlowId> order;
+  while (auto p = s.dequeue(0.0)) order.push_back(p->flow);
+  // a needs 4 rounds of quantum; b's small packet goes out on round 1.
+  EXPECT_EQ(order, (std::vector<FlowId>{b, a}));
+}
+
+TEST(Drr, UnknownFlowThrows) {
+  DrrScheduler s;
+  EXPECT_THROW(s.enqueue(mk(5, 1, 1.0), 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sfq

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/rate_profile.h"
+#include "qos/ebf_estimator.h"
+
+namespace sfq::qos {
+namespace {
+
+TEST(EbfEstimator, ConstantRateLinkIsTrivialEbf) {
+  net::ConstantRate link(1000.0);
+  const auto fit = estimate_ebf(link, 1000.0);
+  EXPECT_DOUBLE_EQ(fit.params.rate, 1000.0);
+  EXPECT_LE(fit.params.delta, 1e-9);
+  EXPECT_LE(fit.max_observed_deficit, 1e-9);
+}
+
+TEST(EbfEstimator, FittedParamsUpperBoundTheSampleTail) {
+  net::EbfRandomRate::Params p;
+  p.average = 1000.0;
+  p.on_rate = 2200.0;
+  p.mean_pause = 0.01;
+  p.mean_run = 0.015;
+  p.seed = 31;
+  net::EbfRandomRate link(p);
+  const auto fit = estimate_ebf(link, p.average);
+
+  ASSERT_GT(fit.params.alpha, 0.0);
+  ASSERT_GT(fit.params.b, 0.0);
+  // Validate Definition 2 on an *independent* sample grid: the exceedance
+  // frequency at several slacks must sit below B e^{-alpha gamma}.
+  std::vector<double> deficits;
+  for (Time t = 61.0; t < 120.0; t += 0.037)
+    deficits.push_back(
+        std::max(0.0, p.average * 0.8 - link.work(t, t + 0.8)));
+  std::sort(deficits.begin(), deficits.end());
+  for (double gamma : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double thr = fit.params.delta + gamma;
+    const auto it = std::upper_bound(deficits.begin(), deficits.end(), thr);
+    const double measured = static_cast<double>(deficits.end() - it) /
+                            static_cast<double>(deficits.size());
+    const double bound = sfq_ebf_throughput_violation_prob(fit.params, gamma);
+    // Allow modest sampling noise: the bound must not be beaten by more
+    // than a factor ~1.5 anywhere.
+    EXPECT_LE(measured, std::max(1.5 * bound, 0.02)) << "gamma=" << gamma;
+  }
+}
+
+TEST(EbfEstimator, FcProfileGetsFiniteDeltaNearItsBurstiness) {
+  net::FcOnOffRate link(1000.0, 300.0, 0.5);
+  EbfEstimatorOptions opt;
+  opt.delta_quantile = 0.95;
+  const auto fit = estimate_ebf(link, 1000.0, opt);
+  // The deterministic FC profile's deficit never exceeds its delta.
+  EXPECT_LE(fit.max_observed_deficit, 300.0 + 1e-6);
+  EXPECT_LE(fit.params.delta, 300.0 + 1e-6);
+}
+
+TEST(EbfEstimator, ValidatesArguments) {
+  net::ConstantRate link(100.0);
+  EXPECT_THROW(estimate_ebf(link, 0.0), std::invalid_argument);
+  EbfEstimatorOptions opt;
+  opt.window_lengths.clear();
+  EXPECT_THROW(estimate_ebf(link, 100.0, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfq::qos

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness.h"
+#include "net/rate_profile.h"
+#include "qos/admission.h"
+#include "qos/bounds.h"
+#include "sched/edd_scheduler.h"
+
+namespace sfq {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits, Time arrival) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  p.arrival = arrival;
+  return p;
+}
+
+TEST(Edd, DeadlineIsEatPlusOffset) {
+  EddScheduler s;
+  FlowId f = s.add_flow_with_deadline(2.0, /*deadline=*/0.5);
+  s.enqueue(mk(f, 1, 4.0, 0.0), 0.0);  // EAT=0, D=0.5
+  s.enqueue(mk(f, 2, 4.0, 0.0), 0.0);  // EAT=2, D=2.5
+  auto p1 = s.dequeue(0.0);
+  ASSERT_TRUE(p1);
+  EXPECT_DOUBLE_EQ(p1->finish_tag, 0.5);
+  auto p2 = s.dequeue(0.0);
+  ASSERT_TRUE(p2);
+  EXPECT_DOUBLE_EQ(p2->finish_tag, 2.5);
+}
+
+TEST(Edd, EarliestDeadlineFirstAcrossFlows) {
+  EddScheduler s;
+  FlowId lax = s.add_flow_with_deadline(1.0, 5.0);
+  FlowId tight = s.add_flow_with_deadline(1.0, 0.1);
+  s.enqueue(mk(lax, 1, 1.0, 0.0), 0.0);
+  s.enqueue(mk(tight, 1, 1.0, 0.0), 0.0);
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, tight);
+}
+
+// --- Schedulability test, eq. (67) -----------------------------------------
+
+TEST(EddAdmission, AcceptsFeasibleSet) {
+  // Two flows, each with rate 100 b/s, packets 50 bits, deadline 1 s on a
+  // 1000 b/s link: demand is far below capacity.
+  std::vector<qos::EddFlow> flows = {{100.0, 50.0, 1.0}, {100.0, 50.0, 1.0}};
+  EXPECT_TRUE(qos::edd_schedulable(flows, 1000.0));
+}
+
+TEST(EddAdmission, RejectsOverCapacity) {
+  std::vector<qos::EddFlow> flows = {{600.0, 50.0, 1.0}, {600.0, 50.0, 1.0}};
+  EXPECT_FALSE(qos::edd_schedulable(flows, 1000.0));
+}
+
+TEST(EddAdmission, RejectsDeadlineTighterThanServiceTime) {
+  // One flow wants each 500-bit packet out within 0.1 s, but its reserved
+  // rate only justifies one packet per second and a competitor eats slack.
+  std::vector<qos::EddFlow> flows = {
+      {400.0, 500.0, 0.1},  // needs 500 bits within 0.1 s => 5000 b/s burst
+      {400.0, 500.0, 1.0},
+  };
+  // C = 1000: at t = 0.1+, demand is 500 (flow 1) but capacity*t = 100.
+  EXPECT_FALSE(qos::edd_schedulable(flows, 1000.0));
+}
+
+TEST(EddAdmission, TightButFeasibleSingleFlow) {
+  // d = l/C exactly: demand at t = d+ is l = C*d. Feasible.
+  std::vector<qos::EddFlow> flows = {{100.0, 100.0, 0.1}};
+  EXPECT_TRUE(qos::edd_schedulable(flows, 1000.0));
+}
+
+TEST(EddAdmission, EqualRateSumNeedsHorizon) {
+  std::vector<qos::EddFlow> flows = {{500.0, 50.0, 1.0}, {500.0, 50.0, 1.0}};
+  EXPECT_THROW(qos::edd_schedulable(flows, 1000.0), std::invalid_argument);
+  EXPECT_TRUE(qos::edd_schedulable(flows, 1000.0, /*horizon=*/100.0));
+}
+
+// --- Theorem 7: Delay-EDD on an FC server -----------------------------------
+
+TEST(Edd, TheoremSevenDeadlinesMetOnFcServer) {
+  const double C = 1000.0, delta = 100.0, len = 50.0;
+  std::vector<qos::EddFlow> spec = {
+      {300.0, len, 0.3}, {300.0, len, 0.5}, {200.0, len, 0.8}};
+  ASSERT_TRUE(qos::edd_schedulable(spec, C));
+
+  EddScheduler s;
+  sim::Simulator sim;
+  std::vector<FlowId> ids;
+  for (const auto& f : spec)
+    ids.push_back(s.add_flow_with_deadline(f.rate, f.deadline, f.packet_bits));
+  net::ScheduledServer server(
+      sim, s, std::make_unique<net::FcOnOffRate>(C, delta, 0.5));
+
+  // Track deadline D(p) per packet (EAT + d_f) and check the Theorem 7 slack.
+  qos::PerFlowEat eat;
+  std::vector<std::vector<Time>> deadlines(ids.size());
+  Time worst_overrun = -kTimeInfinity;
+  server.set_departure([&](const Packet& p, Time t) {
+    const Time d = deadlines[p.flow][p.seq - 1];
+    worst_overrun = std::max(worst_overrun, t - d);
+  });
+  auto emit = [&](Packet p) {
+    const Time e =
+        eat.on_arrival(p.flow, sim.now(), p.length_bits, spec[p.flow].rate);
+    deadlines[p.flow].push_back(e + spec[p.flow].deadline);
+    server.inject(std::move(p));
+  };
+
+  std::vector<std::unique_ptr<traffic::Source>> sources;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    sources.push_back(std::make_unique<traffic::PoissonSource>(
+        sim, ids[i], emit, spec[i].rate * 0.9, len, 7 + i));
+    sources.back()->run(0.0, 10.0);
+  }
+  sim.run_until(10.0);
+  sim.run();
+
+  const Time slack = qos::edd_fc_delay_slack({C, delta}, len);
+  EXPECT_LE(worst_overrun, slack + 1e-9);
+}
+
+}  // namespace
+}  // namespace sfq

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace sfq::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  while (q.run_one() != kTimeInfinity) {}
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [&, i] { order.push_back(i); });
+  while (q.run_one() != kTimeInfinity) {}
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId a = q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.cancel(a);
+  while (q.run_one() != kTimeInfinity) {}
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  EventId a = q.schedule(1.0, [] {});
+  q.cancel(a);
+  q.cancel(a);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId a = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = -1.0;
+  sim.at(1.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline run
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<Time> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.after(1.0, chain);
+  };
+  sim.at(0.5, chain);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{0.5, 1.5, 2.5, 3.5}));
+}
+
+TEST(Simulator, PastEventThrows) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(0.5, [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfq::sim

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness.h"
+#include "net/rate_profile.h"
+#include "qos/bounds.h"
+#include "sched/fair_airport.h"
+#include "stats/fairness.h"
+
+namespace sfq {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits, Time arrival = 0.0) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  p.arrival = arrival;
+  return p;
+}
+
+TEST(FairAirport, FirstPacketIsImmediatelyEligible) {
+  // EAT(p^1) = A(p^1), so a flow's first packet passes the regulator at once
+  // and is served through the GSQ.
+  FairAirportScheduler s;
+  FlowId f = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 10.0, 0.0), 0.0);
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(s.served_via_gsq(), 1u);
+  EXPECT_EQ(s.served_via_asq(), 0u);
+}
+
+TEST(FairAirport, EligiblePacketPreferredThroughGsq) {
+  FairAirportScheduler s;
+  FlowId a = s.add_flow(1.0);
+  FlowId b = s.add_flow(1.0);
+  // Both enqueue at t=0 (EAT=0, eligible immediately). GSQ stamps:
+  // a: 0 + 10/1 = 10, b: 0 + 2/1 = 2 -> b first via GSQ.
+  s.enqueue(mk(a, 1, 10.0, 0.0), 0.0);
+  s.enqueue(mk(b, 1, 2.0, 0.0), 0.0);
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, b);
+  EXPECT_EQ(s.served_via_gsq(), 1u);
+}
+
+TEST(FairAirport, RegulatorHoldsSecondPacketBackFromGsq) {
+  // Two back-to-back packets of one flow: p1 eligible at 0; p2's release is
+  // EAT = l/r = 10 s away, so at t=0 only p1 sits in the GSQ.
+  FairAirportScheduler s;
+  FlowId f = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 10.0, 0.0), 0.0);
+  s.enqueue(mk(f, 2, 10.0, 0.0), 0.0);
+  auto p1 = s.dequeue(0.0);
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(s.served_via_gsq(), 1u);
+  // p2 is not yet eligible -> ASQ path if asked before t=10.
+  auto p2 = s.dequeue(1.0);
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(s.served_via_asq(), 1u);
+}
+
+TEST(FairAirport, LateDequeuePromotesThroughRegulator) {
+  FairAirportScheduler s;
+  FlowId f = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 10.0, 0.0), 0.0);
+  s.enqueue(mk(f, 2, 10.0, 0.0), 0.0);
+  auto p1 = s.dequeue(0.0);
+  ASSERT_TRUE(p1);
+  // Ask again at t=10: p2's release (EAT=10) has passed -> GSQ.
+  auto p2 = s.dequeue(10.0);
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(s.served_via_gsq(), 2u);
+}
+
+// --- Theorem 9: Fair Airport delivers WFQ's delay bound --------------------
+
+TEST(FairAirport, TheoremNineDelayBound) {
+  const double C = 1000.0, len = 50.0;
+  FairAirportScheduler s;
+  std::vector<test::FlowCfg> cfgs = {
+      {400.0, len, test::Kind::kPoisson, 360.0},
+      {300.0, len, test::Kind::kPoisson, 270.0},
+      {300.0, len, test::Kind::kGreedy},
+  };
+  auto r = test::run_workload(s, std::make_unique<net::ConstantRate>(C), cfgs,
+                              10.0, 23);
+  // L_FA <= EAT + l/r + l_max/C (eq. 137; beta = l_max/C).
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const Time bound = len / cfgs[i].weight + len / C;
+    EXPECT_LE(r->max_eat_lateness[i], bound + 1e-9) << "flow " << i;
+  }
+}
+
+// --- Theorem 8: fairness, even on a variable-rate server -------------------
+
+TEST(FairAirport, TheoremEightFairnessOnVariableRateServer) {
+  // FC server with minimum instantaneous... the theorem needs minimum
+  // capacity C; use an on/off profile and evaluate against its *on* pattern
+  // average as the working capacity with the Theorem-8 slack terms.
+  const double Cavg = 1000.0;
+  FairAirportScheduler s;
+  const double w0 = 300.0, w1 = 700.0, l0 = 40.0, l1 = 80.0;
+  auto r = test::run_workload(
+      s, std::make_unique<net::FcOnOffRate>(Cavg, 200.0, 0.5),
+      {{w0, l0, test::Kind::kGreedy}, {w1, l1, test::Kind::kGreedy}}, 8.0);
+
+  const double h =
+      stats::empirical_fairness(r->recorder, r->ids[0], w0, r->ids[1], w1);
+  // Theorem 8: |W_f/r_f - W_m/r_m| <= 3(l_f/r_f + l_m/r_m) + 2 l_max/C.
+  const double beta = std::max(l0, l1) / Cavg;
+  const double bound = 3.0 * (l0 / w0 + l1 / w1) + 2.0 * beta;
+  EXPECT_LE(h, bound + 1e-9);
+  // Shares track the weights over the overloaded window (the harness drains
+  // queues afterwards, so totals would just reflect the offered load).
+  const double b0 = r->recorder.served_bits(r->ids[0], 0.0, 8.0);
+  const double b1 = r->recorder.served_bits(r->ids[1], 0.0, 8.0);
+  EXPECT_NEAR(b1 / b0, w1 / w0, 0.35);
+}
+
+TEST(FairAirport, AsqStartTagInheritance) {
+  // Rule 5: when GSQ serves a packet, the next ASQ packet of that flow
+  // inherits its start tag. Observable effect: the flow is not double-charged
+  // in the ASQ virtual-time domain, so long-run fairness holds even when all
+  // service flows through the GSQ. Covered behaviourally: ASQ vtime never
+  // exceeds the inherited tags.
+  FairAirportScheduler s;
+  FlowId f = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 1.0, 0.0), 0.0);
+  s.enqueue(mk(f, 2, 1.0, 0.0), 0.0);
+  auto p1 = s.dequeue(0.0);  // GSQ (eligible at 0)
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(s.served_via_gsq(), 1u);
+  // ASQ vtime untouched by GSQ service.
+  EXPECT_DOUBLE_EQ(s.asq_vtime(), 0.0);
+  auto p2 = s.dequeue(0.5);  // not yet eligible -> ASQ, inherited start = 0
+  ASSERT_TRUE(p2);
+  EXPECT_DOUBLE_EQ(p2->start_tag, 0.0);
+}
+
+TEST(FairAirport, CountsBacklogPerFlow) {
+  FairAirportScheduler s;
+  FlowId f = s.add_flow(1.0);
+  FlowId g = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 7.0, 0.0), 0.0);
+  s.enqueue(mk(g, 1, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.backlog_bits(f), 7.0);
+  EXPECT_DOUBLE_EQ(s.backlog_bits(g), 3.0);
+  EXPECT_EQ(s.backlog_packets(), 2u);
+}
+
+}  // namespace
+}  // namespace sfq

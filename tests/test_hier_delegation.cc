@@ -1,0 +1,187 @@
+// §3 heterogeneity: a class whose inside runs a different discipline
+// (Delay-EDD, FIFO, or a nested fair queue) while competing with its
+// siblings under SFQ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "hier/hsfq_scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "qos/admission.h"
+#include "qos/bounds.h"
+#include "qos/eat.h"
+#include "sched/edd_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "sim/simulator.h"
+#include "stats/service_recorder.h"
+#include "traffic/sources.h"
+
+namespace sfq::hier {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits, Time arrival = 0.0) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  p.arrival = arrival;
+  return p;
+}
+
+TEST(HsfqDelegation, InnerDisciplineOrdersWithinClass) {
+  // FIFO inside the class: packets leave in arrival order even though their
+  // weights differ (plain SFQ would interleave).
+  HsfqScheduler s;
+  auto cls = s.add_class(HsfqScheduler::kRootClass, 1.0, "fifo-class");
+  s.attach_scheduler(cls, std::make_unique<FifoScheduler>());
+  FlowId a = s.add_flow_in_class(cls, 1.0, 10.0);
+  FlowId b = s.add_flow_in_class(cls, 100.0, 10.0);
+
+  s.enqueue(mk(a, 1, 10.0), 0.0);
+  s.enqueue(mk(b, 1, 10.0), 0.0);
+  s.enqueue(mk(a, 2, 10.0), 0.0);
+
+  std::vector<std::pair<FlowId, uint64_t>> order;
+  while (auto p = s.dequeue(0.0)) {
+    order.push_back({p->flow, p->seq});
+    s.on_transmit_complete(*p, 0.0);
+  }
+  EXPECT_EQ(order, (std::vector<std::pair<FlowId, uint64_t>>{
+                       {a, 1}, {b, 1}, {a, 2}}));
+}
+
+TEST(HsfqDelegation, ClassCompetesWithSfqSiblings) {
+  // A delegated class with weight 1 against a plain flow with weight 1:
+  // long-run split must still be 50/50 — delegation changes the inside, not
+  // the class's share.
+  sim::Simulator sim;
+  HsfqScheduler s;
+  auto cls = s.add_class(HsfqScheduler::kRootClass, 1.0, "edd");
+  s.attach_scheduler(cls, std::make_unique<EddScheduler>());
+  auto* edd = dynamic_cast<EddScheduler*>(s.inner_scheduler(cls));
+  ASSERT_NE(edd, nullptr);
+  FlowId in_cls = s.add_flow_in_class(cls, 100.0, 10.0);
+  edd->set_deadline(0, 0.2);  // local id 0
+  FlowId plain = s.add_flow_in_class(HsfqScheduler::kRootClass, 1.0, 10.0);
+
+  net::ScheduledServer server(sim, s,
+                              std::make_unique<net::ConstantRate>(100.0));
+  stats::ServiceRecorder rec;
+  server.set_recorder(&rec);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  traffic::CbrSource s1(sim, in_cls, emit, 200.0, 10.0);
+  traffic::CbrSource s2(sim, plain, emit, 200.0, 10.0);
+  s1.run(0.0, 10.0);
+  s2.run(0.0, 10.0);
+  sim.run_until(10.0);
+  rec.finish(10.0);
+
+  EXPECT_NEAR(rec.served_bits(in_cls), rec.served_bits(plain),
+              0.1 * rec.served_bits(plain));
+}
+
+TEST(HsfqDelegation, BacklogAccountingSpansInnerScheduler) {
+  HsfqScheduler s;
+  auto cls = s.add_class(HsfqScheduler::kRootClass, 1.0);
+  s.attach_scheduler(cls, std::make_unique<FifoScheduler>());
+  FlowId f = s.add_flow_in_class(cls, 1.0, 10.0);
+  FlowId g = s.add_flow_in_class(HsfqScheduler::kRootClass, 1.0, 10.0);
+
+  EXPECT_TRUE(s.empty());
+  s.enqueue(mk(f, 1, 7.0), 0.0);
+  s.enqueue(mk(g, 1, 3.0), 0.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.backlog_packets(), 2u);
+  EXPECT_DOUBLE_EQ(s.backlog_bits(f), 7.0);
+  EXPECT_DOUBLE_EQ(s.backlog_bits(g), 3.0);
+  while (auto p = s.dequeue(0.0)) s.on_transmit_complete(*p, 0.0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.backlog_packets(), 0u);
+}
+
+// Theorem 7 inside an eq.-65 class: EDD deadlines are met within
+// l_max/C_cls + delta_cls/C_cls, where (C_cls, delta_cls) are the class's
+// virtual-server parameters — the §3 "separation of delay and throughput".
+TEST(HsfqDelegation, TheoremSevenInsideClass) {
+  const double C = 1000.0;
+  const double len = 20.0;
+  const double cls_rate = 500.0;
+
+  sim::Simulator sim;
+  HsfqScheduler s;
+  auto cls = s.add_class(HsfqScheduler::kRootClass, cls_rate, "rt");
+  s.attach_scheduler(cls, std::make_unique<EddScheduler>());
+  auto* edd = dynamic_cast<EddScheduler*>(s.inner_scheduler(cls));
+
+  // Two EDD flows, same rate, very different deadlines.
+  std::vector<qos::EddFlow> spec = {{200.0, len, 0.15}, {200.0, len, 0.6}};
+  FlowId f_tight = s.add_flow_in_class(cls, spec[0].rate, len);
+  FlowId f_loose = s.add_flow_in_class(cls, spec[1].rate, len);
+  edd->set_deadline(0, spec[0].deadline);
+  edd->set_deadline(1, spec[1].deadline);
+  // A greedy best-effort sibling takes the other half of the link.
+  FlowId be = s.add_flow_in_class(HsfqScheduler::kRootClass, C - cls_rate, len);
+
+  // Class virtual server: FC(cls_rate, delta) with
+  // delta = cls_rate*(sum lmax at root)/C + lmax  (eq. 65, link delta = 0).
+  const qos::FcParams cls_params =
+      qos::hsfq_class_params({C, 0.0}, cls_rate, 2.0 * len, len);
+  ASSERT_TRUE(qos::edd_schedulable(spec, cls_params.rate));
+  const Time slack = qos::edd_fc_delay_slack(cls_params, len);
+
+  net::ScheduledServer server(sim, s, std::make_unique<net::ConstantRate>(C));
+  qos::PerFlowEat eat;
+  std::vector<std::vector<Time>> deadline(2);
+  Time worst_overrun = -kTimeInfinity;
+  server.set_departure([&](const Packet& p, Time t) {
+    if (p.flow == f_tight || p.flow == f_loose) {
+      const std::size_t i = p.flow == f_tight ? 0 : 1;
+      worst_overrun = std::max(worst_overrun, t - deadline[i][p.seq - 1]);
+    }
+  });
+  auto emit_rt = [&](Packet p) {
+    const std::size_t i = p.flow == f_tight ? 0 : 1;
+    const Time e = eat.on_arrival(p.flow, sim.now(), p.length_bits,
+                                  spec[i].rate);
+    deadline[i].push_back(e + spec[i].deadline);
+    server.inject(std::move(p));
+  };
+  auto emit_be = [&](Packet p) { server.inject(std::move(p)); };
+
+  traffic::PoissonSource p1(sim, f_tight, emit_rt, spec[0].rate * 0.9, len, 3);
+  traffic::PoissonSource p2(sim, f_loose, emit_rt, spec[1].rate * 0.9, len, 4);
+  traffic::CbrSource p3(sim, be, emit_be, C, len);
+  p1.run(0.0, 15.0);
+  p2.run(0.0, 15.0);
+  p3.run(0.0, 15.0);
+  sim.run_until(15.0);
+  sim.run();
+
+  EXPECT_LE(worst_overrun, slack + 1e-9);
+}
+
+TEST(HsfqDelegation, StructureValidation) {
+  HsfqScheduler s;
+  auto cls = s.add_class(HsfqScheduler::kRootClass, 1.0);
+  // Cannot attach to the root or to a class with children.
+  EXPECT_THROW(s.attach_scheduler(HsfqScheduler::kRootClass,
+                                  std::make_unique<FifoScheduler>()),
+               std::invalid_argument);
+  auto busy = s.add_class(HsfqScheduler::kRootClass, 1.0);
+  s.add_flow_in_class(busy, 1.0);
+  EXPECT_THROW(s.attach_scheduler(busy, std::make_unique<FifoScheduler>()),
+               std::invalid_argument);
+  // Cannot nest a class under a delegated class.
+  s.attach_scheduler(cls, std::make_unique<FifoScheduler>());
+  EXPECT_THROW(s.add_class(cls, 1.0), std::invalid_argument);
+  // Double-attach rejected.
+  EXPECT_THROW(s.attach_scheduler(cls, std::make_unique<FifoScheduler>()),
+               std::invalid_argument);
+  EXPECT_EQ(s.inner_scheduler(cls)->name(), "FIFO");
+  EXPECT_EQ(s.inner_scheduler(HsfqScheduler::kRootClass), nullptr);
+}
+
+}  // namespace
+}  // namespace sfq::hier

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "core/sfq_scheduler.h"
+#include "harness.h"
+#include "hier/hsfq_scheduler.h"
+#include "hier/link_sharing.h"
+#include "net/rate_profile.h"
+#include "stats/fairness.h"
+
+namespace sfq::hier {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+// Depth-1 H-SFQ must degenerate to flat SFQ: identical dequeue sequences on
+// a randomized workload.
+TEST(Hsfq, FlatTreeEquivalentToSfq) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> len(8.0, 64.0);
+
+  HsfqScheduler h;
+  SfqScheduler s;
+  const std::vector<double> weights = {1.0, 2.0, 5.0};
+  for (double w : weights) {
+    h.add_flow(w);
+    s.add_flow(w);
+  }
+
+  std::vector<uint64_t> seqs(weights.size(), 0);
+  for (int round = 0; round < 400; ++round) {
+    const bool arrive = (rng() % 2) == 0;
+    if (arrive) {
+      const FlowId f = static_cast<FlowId>(rng() % weights.size());
+      const double l = len(rng);
+      const uint64_t q = ++seqs[f];
+      h.enqueue(mk(f, q, l), 0.0);
+      s.enqueue(mk(f, q, l), 0.0);
+    } else {
+      auto ph = h.dequeue(0.0);
+      auto ps = s.dequeue(0.0);
+      ASSERT_EQ(ph.has_value(), ps.has_value());
+      if (ph) {
+        EXPECT_EQ(ph->flow, ps->flow) << "round " << round;
+        EXPECT_EQ(ph->seq, ps->seq);
+        h.on_transmit_complete(*ph, 0.0);
+        s.on_transmit_complete(*ps, 0.0);
+      }
+    }
+  }
+}
+
+// Example 3 of the paper: A and B under the root; C and D under A. While B
+// idles, A's subtree gets the whole link and C/D split it 50/50; when B is
+// active, A's subtree gets 50% and C/D split *that* 50/50.
+TEST(Hsfq, ExampleThreeLinkSharing) {
+  HsfqScheduler sched;
+  auto class_a = sched.add_class(HsfqScheduler::kRootClass, 1.0, "A");
+  FlowId b = sched.add_flow_in_class(HsfqScheduler::kRootClass, 1.0, 10.0, "B");
+  FlowId c = sched.add_flow_in_class(class_a, 1.0, 10.0, "C");
+  FlowId d = sched.add_flow_in_class(class_a, 1.0, 10.0, "D");
+
+  sim::Simulator sim;
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(100.0));
+  stats::ServiceRecorder rec;
+  server.set_recorder(&rec);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+
+  // C and D greedy from t=0; B greedy only during [5, 10).
+  traffic::CbrSource sc(sim, c, emit, 200.0, 10.0);
+  traffic::CbrSource sd(sim, d, emit, 200.0, 10.0);
+  traffic::CbrSource sb(sim, b, emit, 200.0, 10.0);
+  sc.run(0.0, 10.0);
+  sd.run(0.0, 10.0);
+  sb.run(5.0, 10.0);
+  sim.run_until(10.0);
+  rec.finish(10.0);
+
+  // Phase 1 [0,5): B idle; C+D share the link equally, ~250 bits each... the
+  // link does 100 b/s * 5 s = 500 bits.
+  EXPECT_NEAR(rec.served_bits(c, 0.0, 5.0), 250.0, 25.0);
+  EXPECT_NEAR(rec.served_bits(d, 0.0, 5.0), 250.0, 25.0);
+  // Phase 2 [5,10): B gets 50%, C and D get 25% each.
+  EXPECT_NEAR(rec.served_bits(b, 5.0, 10.0), 250.0, 25.0);
+  EXPECT_NEAR(rec.served_bits(c, 5.0, 10.0), 125.0, 25.0);
+  EXPECT_NEAR(rec.served_bits(d, 5.0, 10.0), 125.0, 25.0);
+}
+
+// Weighted multi-level hierarchy distributes in proportion at every level.
+TEST(Hsfq, WeightedTwoLevelShares) {
+  HsfqScheduler sched;
+  auto real_time = sched.add_class(HsfqScheduler::kRootClass, 3.0, "rt");
+  auto best_effort = sched.add_class(HsfqScheduler::kRootClass, 1.0, "be");
+  FlowId audio = sched.add_flow_in_class(real_time, 1.0, 10.0, "audio");
+  FlowId video = sched.add_flow_in_class(real_time, 2.0, 10.0, "video");
+  FlowId ftp = sched.add_flow_in_class(best_effort, 1.0, 10.0, "ftp");
+
+  sim::Simulator sim;
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(400.0));
+  stats::ServiceRecorder rec;
+  server.set_recorder(&rec);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  traffic::CbrSource s1(sim, audio, emit, 800.0, 10.0);
+  traffic::CbrSource s2(sim, video, emit, 800.0, 10.0);
+  traffic::CbrSource s3(sim, ftp, emit, 800.0, 10.0);
+  s1.run(0.0, 10.0);
+  s2.run(0.0, 10.0);
+  s3.run(0.0, 10.0);
+  sim.run_until(10.0);
+  rec.finish(10.0);
+
+  const double total = 400.0 * 10.0;
+  // rt gets 3/4 of the link; inside it audio:video = 1:2.
+  EXPECT_NEAR(rec.served_bits(audio), total * 0.75 / 3.0, total * 0.02);
+  EXPECT_NEAR(rec.served_bits(video), total * 0.75 * 2.0 / 3.0, total * 0.02);
+  EXPECT_NEAR(rec.served_bits(ftp), total * 0.25, total * 0.02);
+}
+
+// Theorem-1-style fairness between sibling flows *inside* a class whose
+// bandwidth fluctuates because of a sibling class coming and going: this is
+// the variable-rate fairness requirement of Example 3 and needs SFQ at every
+// node.
+TEST(Hsfq, SiblingFairnessUnderFluctuatingClassBandwidth) {
+  HsfqScheduler sched;
+  auto a = sched.add_class(HsfqScheduler::kRootClass, 1.0, "A");
+  FlowId b = sched.add_flow_in_class(HsfqScheduler::kRootClass, 1.0, 10.0);
+  FlowId c = sched.add_flow_in_class(a, 1.0, 10.0);
+  FlowId d = sched.add_flow_in_class(a, 3.0, 10.0);
+
+  sim::Simulator sim;
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(100.0));
+  stats::ServiceRecorder rec;
+  server.set_recorder(&rec);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  traffic::CbrSource scc(sim, c, emit, 200.0, 10.0);
+  traffic::CbrSource sd(sim, d, emit, 200.0, 10.0);
+  scc.run(0.0, 12.0);
+  sd.run(0.0, 12.0);
+  // B toggles on and off, modulating class A's bandwidth.
+  std::vector<traffic::TraceSource::Item> items;
+  for (int burst = 0; burst < 6; ++burst)
+    for (int i = 0; i < 10; ++i)
+      items.push_back({burst * 2.0 + i * 0.05, 10.0});
+  traffic::TraceSource sb(sim, b, emit, items);
+  sb.run(0.0, 12.0);
+
+  sim.run_until(12.0);
+  rec.finish(12.0);
+
+  const double h = stats::empirical_fairness(rec, c, 1.0, d, 3.0);
+  EXPECT_LE(h, stats::sfq_fairness_bound(10.0, 1.0, 10.0, 3.0) + 1e-9);
+}
+
+TEST(Hsfq, RejectsBadStructure) {
+  HsfqScheduler s;
+  EXPECT_THROW(s.add_class(99, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add_class(HsfqScheduler::kRootClass, 0.0),
+               std::invalid_argument);
+  FlowId f = s.add_flow(1.0);
+  (void)f;
+  EXPECT_THROW(s.enqueue(mk(42, 1, 1.0), 0.0), std::out_of_range);
+}
+
+TEST(Hsfq, ClassVirtualTimeAdvances) {
+  HsfqScheduler s;
+  FlowId f = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 5.0), 0.0);
+  s.enqueue(mk(f, 2, 5.0), 0.0);
+  auto p1 = s.dequeue(0.0);
+  ASSERT_TRUE(p1);
+  EXPECT_DOUBLE_EQ(s.class_vtime(), 0.0);
+  s.on_transmit_complete(*p1, 0.0);
+  auto p2 = s.dequeue(0.0);
+  ASSERT_TRUE(p2);
+  // v = start tag of the in-service packet; the busy-period jump to the max
+  // finish tag (10) only commits once the last transmission completes.
+  EXPECT_DOUBLE_EQ(s.class_vtime(), 5.0);
+  s.on_transmit_complete(*p2, 0.0);
+  EXPECT_DOUBLE_EQ(s.class_vtime(), 10.0);
+}
+
+TEST(Hsfq, BusyPeriodJumpCancelledByArrivalDuringLastTransmission) {
+  // The subtree drains at dequeue time, but a packet arriving before
+  // on_transmit_complete keeps the busy period alive: no jump, so the
+  // arrival's start tag is v (not max finish) and it is not penalized.
+  HsfqScheduler s;
+  FlowId f = s.add_flow(1.0);
+  FlowId g = s.add_flow(1.0);
+  s.enqueue(mk(f, 1, 10.0), 0.0);
+  auto p1 = s.dequeue(0.0);  // drains the tree; jump armed
+  ASSERT_TRUE(p1);
+  s.enqueue(mk(g, 1, 10.0), 0.0);  // arrives mid-transmission
+  s.on_transmit_complete(*p1, 1.0);
+  auto p2 = s.dequeue(1.0);
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p2->flow, g);
+  // g's start tag is v = 0 (same busy period), not f's finish tag 10.
+  EXPECT_DOUBLE_EQ(s.class_vtime(), 0.0);
+}
+
+
+// Three-level tree mixing classes, flows, and weights: shares multiply down
+// the hierarchy (the §3 services picture: hard/soft real-time + best effort).
+TEST(Hsfq, ThreeLevelTreeSharesMultiply) {
+  HsfqScheduler sched;
+  auto rt = sched.add_class(HsfqScheduler::kRootClass, 3.0, "rt");
+  auto be = sched.add_class(HsfqScheduler::kRootClass, 1.0, "be");
+  auto soft = sched.add_class(rt, 2.0, "soft");
+  FlowId hard = sched.add_flow_in_class(rt, 1.0, 10.0, "hard");
+  FlowId soft_hi = sched.add_flow_in_class(soft, 3.0, 10.0, "soft-hi");
+  FlowId soft_lo = sched.add_flow_in_class(soft, 1.0, 10.0, "soft-lo");
+  FlowId bulk = sched.add_flow_in_class(be, 1.0, 10.0, "bulk");
+
+  sim::Simulator sim;
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(1200.0));
+  stats::ServiceRecorder rec;
+  server.set_recorder(&rec);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  std::vector<std::unique_ptr<traffic::Source>> src;
+  for (FlowId f : {hard, soft_hi, soft_lo, bulk}) {
+    src.push_back(
+        std::make_unique<traffic::CbrSource>(sim, f, emit, 2400.0, 10.0));
+    src.back()->run(0.0, 10.0);
+  }
+  sim.run_until(10.0);
+  rec.finish(10.0);
+
+  // Root: rt 3/4 = 900, be 1/4 = 300. Inside rt: hard 1/3 = 300,
+  // soft 2/3 = 600. Inside soft: hi 450, lo 150. (bits/s x 10 s)
+  EXPECT_NEAR(rec.served_bits(hard), 3000.0, 150.0);
+  EXPECT_NEAR(rec.served_bits(soft_hi), 4500.0, 200.0);
+  EXPECT_NEAR(rec.served_bits(soft_lo), 1500.0, 100.0);
+  EXPECT_NEAR(rec.served_bits(bulk), 3000.0, 150.0);
+}
+
+// --- LinkSharingTree analytics (eq. 65 recursion) ---------------------------
+
+TEST(LinkSharing, Eq65RecursionMatchesHandComputation) {
+  // Link: FC(1000, 100). Class A: rate 400. Children of root: A (lmax 50)
+  // and flow B (lmax 80). Then A is FC(400, 400*(50+80)/1000 + 400*100/1000
+  // + 50) = FC(400, 52+40+50 = 142).
+  LinkSharingTree tree({1000.0, 100.0});
+  auto a = tree.add_class(LinkSharingTree::kRoot, 400.0, "A");
+  tree.add_flow(LinkSharingTree::kRoot, 600.0, 80.0, "B");
+  FlowId c = tree.add_flow(a, 200.0, 50.0, "C");
+  (void)c;
+
+  const auto pa = tree.class_params(a);
+  EXPECT_DOUBLE_EQ(pa.rate, 400.0);
+  EXPECT_NEAR(pa.delta, 400.0 * 130.0 / 1000.0 + 400.0 * 100.0 / 1000.0 + 50.0,
+              1e-9);
+}
+
+TEST(LinkSharing, FlowDelayTermUsesParentClassServer) {
+  LinkSharingTree tree({1000.0, 0.0});
+  auto a = tree.add_class(LinkSharingTree::kRoot, 500.0, "A");
+  FlowId f = tree.add_flow(a, 250.0, 100.0, "f");
+  FlowId g = tree.add_flow(a, 250.0, 100.0, "g");
+  (void)g;
+
+  // A is the root's only child, so the root-level sum of l^max is A's
+  // subtree l^max = 100: class A = FC(500, 500*100/1000 + 0 + 100)
+  //                              = FC(500, 150).
+  // Theorem 4 at A: beta = l_other/C_A + l/C_A + delta_A/C_A
+  //               = 100/500 + 100/500 + 150/500 = 0.7.
+  EXPECT_NEAR(tree.flow_delay_term(f, 100.0), 0.7, 1e-9);
+}
+
+TEST(LinkSharing, ThroughputBoundIsSane) {
+  LinkSharingTree tree({1000.0, 0.0});
+  FlowId f = tree.add_flow(LinkSharingTree::kRoot, 400.0, 50.0, "f");
+  tree.add_flow(LinkSharingTree::kRoot, 600.0, 50.0, "g");
+  // Over 10 s, the bound approaches 400*10 minus constants.
+  const double b = tree.flow_throughput_bound(f, 0.0, 10.0);
+  EXPECT_GT(b, 400.0 * 10.0 - 200.0);
+  EXPECT_LT(b, 400.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace sfq::hier

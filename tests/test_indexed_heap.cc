@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/indexed_heap.h"
+
+namespace sfq {
+namespace {
+
+TEST(IndexedHeap, PushPopOrdersByKey) {
+  IndexedHeap<TagKey> h;
+  h.push(0, TagKey{3.0, 0, 0});
+  h.push(1, TagKey{1.0, 0, 1});
+  h.push(2, TagKey{2.0, 0, 2});
+  EXPECT_EQ(h.top_id(), 1u);
+  h.pop();
+  EXPECT_EQ(h.top_id(), 2u);
+  h.pop();
+  EXPECT_EQ(h.top_id(), 0u);
+  h.pop();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, UpdateMovesBothDirections) {
+  IndexedHeap<TagKey> h;
+  h.push(0, TagKey{1.0, 0, 0});
+  h.push(1, TagKey{2.0, 0, 1});
+  h.update(0, TagKey{3.0, 0, 2});  // down
+  EXPECT_EQ(h.top_id(), 1u);
+  h.update(0, TagKey{0.5, 0, 3});  // up
+  EXPECT_EQ(h.top_id(), 0u);
+}
+
+TEST(IndexedHeap, EraseMiddle) {
+  IndexedHeap<TagKey> h;
+  for (uint32_t i = 0; i < 10; ++i)
+    h.push(i, TagKey{static_cast<double>(i), 0, i});
+  h.erase(4);
+  EXPECT_FALSE(h.contains(4));
+  std::vector<uint32_t> out;
+  while (!h.empty()) {
+    out.push_back(h.top_id());
+    h.pop();
+  }
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1, 2, 3, 5, 6, 7, 8, 9}));
+}
+
+TEST(IndexedHeap, TagKeyTieBreaksBySecondaryThenSeq) {
+  IndexedHeap<TagKey> h;
+  h.push(0, TagKey{1.0, 2.0, 0});
+  h.push(1, TagKey{1.0, 1.0, 5});
+  h.push(2, TagKey{1.0, 1.0, 3});
+  EXPECT_EQ(h.top_id(), 2u);  // same tag, same secondary, lower seq
+  h.pop();
+  EXPECT_EQ(h.top_id(), 1u);
+  h.pop();
+  EXPECT_EQ(h.top_id(), 0u);
+}
+
+TEST(IndexedHeap, PushOrUpdate) {
+  IndexedHeap<TagKey> h;
+  h.push_or_update(7, TagKey{2.0, 0, 0});
+  h.push_or_update(7, TagKey{1.0, 0, 1});
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.top_key().tag, 1.0);
+}
+
+TEST(IndexedHeap, RandomizedAgainstSort) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> key(0.0, 100.0);
+  for (int round = 0; round < 20; ++round) {
+    IndexedHeap<TagKey> h;
+    std::vector<std::pair<double, uint32_t>> ref;
+    for (uint32_t i = 0; i < 200; ++i) {
+      const double k = key(rng);
+      h.push(i, TagKey{k, 0, i});
+      ref.emplace_back(k, i);
+    }
+    // Random updates.
+    for (int u = 0; u < 100; ++u) {
+      const uint32_t id = static_cast<uint32_t>(rng() % 200);
+      const double k = key(rng);
+      h.update(id, TagKey{k, 0, id});
+      ref[id].first = k;
+    }
+    std::vector<uint32_t> expect;
+    std::sort(ref.begin(), ref.end());
+    for (auto& [k, id] : ref) expect.push_back(id);
+    std::vector<uint32_t> got;
+    while (!h.empty()) {
+      got.push_back(h.top_id());
+      h.pop();
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(IndexedHeap, ClearResets) {
+  IndexedHeap<TagKey> h;
+  h.push(0, TagKey{1, 0, 0});
+  h.push(1, TagKey{2, 0, 1});
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(0));
+  h.push(0, TagKey{5, 0, 2});
+  EXPECT_EQ(h.top_id(), 0u);
+}
+
+}  // namespace
+}  // namespace sfq

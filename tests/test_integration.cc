@@ -1,0 +1,186 @@
+// Cross-module integration tests: whole-path scenarios exercising simulator +
+// schedulers + servers + traffic + stats together.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/sfq_scheduler.h"
+#include "net/network.h"
+#include "net/priority_server.h"
+#include "net/rate_profile.h"
+#include "qos/eat.h"
+#include "qos/end_to_end.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/sink.h"
+#include "traffic/sources.h"
+#include "traffic/tcp_reno.h"
+
+namespace sfq {
+namespace {
+
+// End-to-end Corollary 1 on a 3-hop all-FC tandem with cross traffic: every
+// tagged packet leaves within EAT^1 + theta.
+TEST(Integration, CorollaryOneDeterministicBoundHolds) {
+  const double C = 1e6, delta = 4e4, len = 1000.0;
+  const Time prop = 0.001;
+  const int hops_n = 3;
+
+  sim::Simulator sim;
+  std::vector<net::TandemNetwork::Hop> hops;
+  for (int i = 0; i < hops_n; ++i) {
+    net::TandemNetwork::Hop h;
+    h.scheduler = std::make_unique<SfqScheduler>();
+    h.profile = std::make_unique<net::FcOnOffRate>(C, delta, 0.5, 0.003 * i);
+    h.propagation_to_next = i + 1 < hops_n ? prop : 0.0;
+    hops.push_back(std::move(h));
+  }
+  net::TandemNetwork net(sim, std::move(hops));
+  FlowId tagged = net.add_flow(0.25 * C, len);
+  FlowId cross1 = net.add_flow(0.35 * C, len);
+  FlowId cross2 = net.add_flow(0.40 * C, len);
+
+  std::vector<qos::HopGuarantee> hg;
+  for (int i = 0; i < hops_n; ++i)
+    hg.push_back(qos::sfq_fc_hop({C, delta}, 2.0 * len, len,
+                                 i + 1 < hops_n ? prop : 0.0));
+  const auto g = qos::compose(hg);
+
+  std::vector<Time> eat1;
+  Time worst = -kTimeInfinity;
+  net.set_delivery([&](const Packet& p, Time t) {
+    if (p.flow == tagged) worst = std::max(worst, t - eat1[p.seq - 1]);
+  });
+  qos::EatTracker eat;
+  traffic::PoissonSource tag(
+      sim, tagged,
+      [&](Packet p) {
+        eat1.push_back(eat.on_arrival(sim.now(), p.length_bits, 0.25 * C));
+        net.inject(std::move(p));
+      },
+      0.22 * C, len, 91);
+  tag.run(0.0, 10.0);
+
+  auto emit = [&](Packet p) { net.inject(std::move(p)); };
+  traffic::CbrSource c1(sim, cross1, emit, 0.7 * C, len);
+  traffic::OnOffSource c2(sim, cross2, emit, 0.8 * C, len, 0.02, 0.03, 92);
+  c1.run(0.0, 10.0);
+  c2.run(0.0, 10.0);
+
+  sim.run_until(10.0);
+  sim.run();
+  EXPECT_GT(eat1.size(), 500u);
+  EXPECT_LE(worst, g.theta + 1e-9);
+}
+
+// Residual-capacity fairness: behind a leaky-bucket-shaped priority class,
+// two SFQ flows share the FC(C - rho, sigma) residual server fairly (§2.3's
+// construction).
+TEST(Integration, ResidualServerFairnessBehindShapedPriority) {
+  const double C = 1e6, rho = 4e5, sigma = 2e4, len = 1000.0;
+  sim::Simulator sim;
+  SfqScheduler low;
+  FlowId a = low.add_flow(1.0, len);
+  FlowId b = low.add_flow(1.0, len);
+  net::PriorityServer server(sim, low, std::make_unique<net::ConstantRate>(C));
+  stats::ServiceRecorder rec;
+  server.set_low_recorder(&rec);
+
+  // Priority class: bursty on-off through a (sigma, rho) bucket.
+  traffic::LeakyBucketShaper shaper(
+      sim, sigma, rho, [&](Packet p) { server.inject_high(std::move(p)); });
+  traffic::OnOffSource hp(sim, 0,
+                          [&](Packet p) { shaper.inject(std::move(p)); },
+                          3.0 * rho, len, 0.02, 0.02, 71);
+  hp.run(0.0, 15.0);
+
+  auto emit = [&](Packet p) { server.inject_low(std::move(p)); };
+  traffic::CbrSource sa(sim, a, emit, C, len);
+  traffic::CbrSource sb(sim, b, emit, C, len);
+  sa.run(0.0, 15.0);
+  sb.run(0.0, 15.0);
+  sim.run_until(15.0);
+  rec.finish(15.0);
+
+  // Theorem 1 on the residual server.
+  const double h = stats::empirical_fairness(rec, a, 1.0, b, 1.0);
+  EXPECT_LE(h, 2.0 * len + 1e-6);  // l/1 + l/1 in weight units
+  // And the residual throughput is about C - rho.
+  const double got = (rec.served_bits(a) + rec.served_bits(b)) / 15.0;
+  EXPECT_NEAR(got, C - rho, 0.08 * C);
+}
+
+// Two TCP flows under SFQ on one bottleneck converge to an even split even
+// when one starts much later (no WFQ-style lockout).
+TEST(Integration, TcpFlowsConvergeUnderSfq) {
+  const double C = 1e6;
+  sim::Simulator sim;
+  SfqScheduler sched;
+  FlowId f1 = sched.add_flow(1.0, 1600.0);
+  FlowId f2 = sched.add_flow(1.0, 1600.0);
+  net::ScheduledServer link(sim, sched,
+                            std::make_unique<net::ConstantRate>(C));
+  stats::ServiceRecorder rec;
+  link.set_recorder(&rec);
+
+  traffic::TcpRenoSource::Params p;
+  p.packet_bits = 1600.0;
+  p.max_window = 128.0;
+
+  std::unique_ptr<traffic::TcpRenoSource> s1, s2;
+  traffic::TcpRenoSink k1(
+      [&](uint64_t cum) { sim.after(0.005, [&, cum] { s1->on_ack(cum); }); });
+  traffic::TcpRenoSink k2(
+      [&](uint64_t cum) { sim.after(0.005, [&, cum] { s2->on_ack(cum); }); });
+  link.set_departure([&](const Packet& q, Time) {
+    if (q.flow == f1) k1.on_segment(q);
+    else k2.on_segment(q);
+  });
+  s1 = std::make_unique<traffic::TcpRenoSource>(
+      sim, f1, p, [&](Packet q) { link.inject(std::move(q)); });
+  s2 = std::make_unique<traffic::TcpRenoSource>(
+      sim, f2, p, [&](Packet q) { link.inject(std::move(q)); });
+  s1->start(0.0);
+  s2->start(2.0);
+
+  sim.run_until(10.0);
+  rec.finish(10.0);
+  const double w1 = rec.served_bits(f1, 3.0, 10.0);
+  const double w2 = rec.served_bits(f2, 3.0, 10.0);
+  EXPECT_GT(w2, 0.6 * w1);
+  EXPECT_LT(w2, 1.67 * w1);
+}
+
+// PacketSink end-to-end accounting.
+TEST(Integration, SinkCountsAndDelays) {
+  sim::Simulator sim;
+  SfqScheduler sched;
+  FlowId f = sched.add_flow(100.0, 10.0);
+  net::ScheduledServer link(sim, sched,
+                            std::make_unique<net::ConstantRate>(100.0));
+  traffic::PacketSink sink(/*series_bucket=*/0.5);
+  link.set_departure([&](const Packet& p, Time t) { sink.deliver(p, t); });
+  traffic::CbrSource src(
+      sim, f,
+      [&](Packet p) {
+        p.source_departure = sim.now();
+        link.inject(std::move(p));
+      },
+      100.0, 10.0);
+  src.run(0.0, 2.0);
+  sim.run();
+
+  EXPECT_EQ(sink.packets(f), 20u);
+  EXPECT_DOUBLE_EQ(sink.bits(f), 200.0);
+  // Each packet takes exactly its transmission time (no queueing).
+  EXPECT_NEAR(sink.delays().mean(f), 0.1, 1e-9);
+  // Deliveries land at 0.1 .. 2.0; use a horizon past the last one.
+  const auto series = sink.series().cumulative(f, 2.5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.back(), 20.0);
+}
+
+}  // namespace
+}  // namespace sfq

@@ -1,0 +1,107 @@
+// §2.4 interoperability: Corollary 1 only requires each hop to satisfy the
+// guarantee template (62); SFQ, Virtual Clock and SCFQ hops can therefore be
+// composed on one path. This test builds a mixed tandem, uses each
+// discipline's own beta term, and checks every delivered packet against the
+// composed deterministic bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/sfq_scheduler.h"
+#include "net/network.h"
+#include "net/rate_profile.h"
+#include "qos/bounds.h"
+#include "qos/eat.h"
+#include "qos/end_to_end.h"
+#include "sched/scfq_scheduler.h"
+#include "sched/virtual_clock.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+namespace sfq {
+namespace {
+
+TEST(InteropE2E, MixedSfqVcScfqPathMeetsComposedBound) {
+  const double C = 1e6, len = 1000.0;
+  const Time prop = 0.001;
+  const double rates[3] = {0.25 * C, 0.35 * C, 0.40 * C};
+
+  sim::Simulator sim;
+  std::vector<net::TandemNetwork::Hop> hops;
+  auto add_hop = [&](std::unique_ptr<Scheduler> s, Time p) {
+    net::TandemNetwork::Hop h;
+    h.scheduler = std::move(s);
+    h.profile = std::make_unique<net::ConstantRate>(C);
+    h.propagation_to_next = p;
+    hops.push_back(std::move(h));
+  };
+  add_hop(std::make_unique<SfqScheduler>(), prop);
+  add_hop(std::make_unique<VirtualClockScheduler>(), prop);
+  add_hop(std::make_unique<ScfqScheduler>(), 0.0);
+  net::TandemNetwork net(sim, std::move(hops));
+  std::vector<FlowId> ids;
+  for (double r : rates) ids.push_back(net.add_flow(r, len));
+
+  // Per-hop beta for the tagged flow (flow 0):
+  //   SFQ  (Thm 4): sum_{n!=f} l/C + l/C
+  //   VC   (GR):    l/r + l_max/C          (Virtual Clock's GR guarantee)
+  //   SCFQ (eq.56): sum_{n!=f} l/C + l/r
+  const double sum_other = 2.0 * len;
+  std::vector<qos::HopGuarantee> hg;
+  hg.push_back(qos::sfq_fc_hop({C, 0.0}, sum_other, len, prop));
+  hg.push_back(
+      {len / rates[0] + len / C, 0.0, 0.0, prop});
+  hg.push_back({qos::scfq_delay_term(C, sum_other, len, rates[0]), 0.0, 0.0,
+                0.0});
+  const auto g = qos::compose(hg);
+
+  std::vector<Time> eat1;
+  Time worst = -kTimeInfinity;
+  uint64_t delivered = 0;
+  net.set_delivery([&](const Packet& p, Time t) {
+    if (p.flow != ids[0]) return;
+    worst = std::max(worst, t - eat1[p.seq - 1]);
+    ++delivered;
+  });
+  qos::EatTracker eat;
+  traffic::PoissonSource tagged(
+      sim, ids[0],
+      [&](Packet p) {
+        eat1.push_back(eat.on_arrival(sim.now(), p.length_bits, rates[0]));
+        net.inject(std::move(p));
+      },
+      0.22 * C, len, 7);
+  tagged.run(0.0, 10.0);
+
+  auto emit = [&](Packet p) { net.inject(std::move(p)); };
+  traffic::CbrSource x1(sim, ids[1], emit, 0.7 * C, len);
+  traffic::OnOffSource x2(sim, ids[2], emit, 0.8 * C, len, 0.02, 0.03, 8);
+  x1.run(0.0, 10.0);
+  x2.run(0.0, 10.0);
+
+  sim.run_until(10.0);
+  sim.run();
+
+  EXPECT_GT(delivered, 400u);
+  EXPECT_LE(worst, g.theta + 1e-9);
+}
+
+// The reverse sanity: the bound is not vacuous — it is within a small factor
+// of what the worst packet actually experienced.
+TEST(InteropE2E, ComposedBoundIsNotAbsurdlyLoose) {
+  const double C = 1e6, len = 1000.0;
+  const double r = 0.25 * C;
+  const double sum_other = 2.0 * len;
+  std::vector<qos::HopGuarantee> hg;
+  hg.push_back(qos::sfq_fc_hop({C, 0.0}, sum_other, len, 0.001));
+  hg.push_back({len / r + len / C, 0.0, 0.0, 0.001});
+  hg.push_back({qos::scfq_delay_term(C, sum_other, len, r), 0.0, 0.0, 0.0});
+  const auto g = qos::compose(hg);
+  // 3 hops with ~ms-scale terms: the bound stays in the low tens of ms.
+  EXPECT_LT(g.theta, 0.05);
+  EXPECT_GT(g.theta, 0.005);
+}
+
+}  // namespace
+}  // namespace sfq

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sched/fifo_scheduler.h"
+#include "sim/simulator.h"
+#include "stats/link_stats.h"
+#include "traffic/sources.h"
+
+namespace sfq::stats {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+TEST(LinkStats, HandComputedBusyAndQueue) {
+  LinkStats ls;
+  // Two back-to-back transmissions, a gap, one more.
+  ls.on_queue_sample(0.0, 2);
+  ls.on_transmit_start(0.0);
+  ls.on_queue_sample(0.0, 1);
+  ls.on_transmit_end(1.0);
+  ls.on_transmit_start(1.0);
+  ls.on_queue_sample(1.0, 0);
+  ls.on_transmit_end(2.0);
+  ls.on_transmit_start(5.0);
+  ls.on_transmit_end(6.0);
+  ls.finish(10.0);
+
+  EXPECT_DOUBLE_EQ(ls.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(ls.utilization(10.0), 0.3);
+  EXPECT_EQ(ls.transmissions(), 3u);
+  EXPECT_EQ(ls.busy_periods(), 2u);
+  EXPECT_DOUBLE_EQ(ls.longest_busy_period(), 2.0);
+  // Queue: 2 for [0,0] (zero span), 1 for [0,1], 0 afterwards.
+  EXPECT_NEAR(ls.mean_queue_packets(), 1.0 / 10.0, 1e-9);
+  EXPECT_EQ(ls.max_queue_packets(), 2u);
+}
+
+TEST(LinkStats, ServerIntegrationSaturatedLink) {
+  sim::Simulator sim;
+  FifoScheduler sched;
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(100.0));
+  LinkStats ls;
+  server.set_link_stats(&ls);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  traffic::CbrSource src(sim, 0, emit, 200.0, 10.0);  // 2x overload
+  src.run(0.0, 10.0);
+  sim.run_until(10.0);
+  ls.finish(10.0);
+
+  EXPECT_NEAR(ls.utilization(10.0), 1.0, 0.02);
+  EXPECT_EQ(ls.busy_periods(), 1u);
+  EXPECT_GT(ls.mean_queue_packets(), 20.0);  // the standing queue grows
+}
+
+TEST(LinkStats, ServerIntegrationLightLoad) {
+  sim::Simulator sim;
+  FifoScheduler sched;
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(100.0));
+  LinkStats ls;
+  server.set_link_stats(&ls);
+  sim.at(0.0, [&] { server.inject(mk(0, 1, 10.0)); });
+  sim.at(5.0, [&] { server.inject(mk(0, 2, 10.0)); });
+  sim.run();
+  ls.finish(10.0);
+
+  EXPECT_NEAR(ls.utilization(10.0), 0.02, 1e-9);
+  EXPECT_EQ(ls.busy_periods(), 2u);
+  EXPECT_EQ(ls.transmissions(), 2u);
+  // The post-enqueue sample sees each packet for an instant before it enters
+  // service; no standing queue ever forms beyond that.
+  EXPECT_EQ(ls.max_queue_packets(), 1u);
+  EXPECT_NEAR(ls.mean_queue_packets(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sfq::stats

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/sfq_scheduler.h"
+#include "net/mesh.h"
+#include "net/rate_profile.h"
+#include "qos/eat.h"
+#include "qos/end_to_end.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+namespace sfq::net {
+namespace {
+
+Packet mk(uint64_t seq, double bits) {
+  Packet p;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+struct YTopology {
+  // a --l0--> c --l2--> d     (flow "long" takes l0,l2; flow "cross" l1,l2)
+  // b --l1--> c
+  sim::Simulator sim;
+  std::unique_ptr<MeshNetwork> mesh;
+  MeshNetwork::LinkId l0, l1, l2;
+
+  explicit YTopology(double trunk_rate = 1000.0) {
+    mesh = std::make_unique<MeshNetwork>(sim);
+    auto a = mesh->add_node("a");
+    auto b = mesh->add_node("b");
+    auto c = mesh->add_node("c");
+    auto d = mesh->add_node("d");
+    l0 = mesh->add_link(a, c, std::make_unique<SfqScheduler>(),
+                        std::make_unique<ConstantRate>(2000.0), 0.01);
+    l1 = mesh->add_link(b, c, std::make_unique<SfqScheduler>(),
+                        std::make_unique<ConstantRate>(2000.0), 0.01);
+    l2 = mesh->add_link(c, d, std::make_unique<SfqScheduler>(),
+                        std::make_unique<ConstantRate>(trunk_rate), 0.0);
+  }
+};
+
+TEST(Mesh, RoutesValidateConnectivity) {
+  YTopology y;
+  EXPECT_THROW(y.mesh->add_flow({y.l0, y.l1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(y.mesh->add_flow({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(y.mesh->add_flow({99}, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(y.mesh->add_flow({y.l0, y.l2}, 1.0));
+}
+
+TEST(Mesh, DeliversAlongRouteWithPropagation) {
+  YTopology y;
+  FlowId f = y.mesh->add_flow({y.l0, y.l2}, 1.0, 100.0, "long");
+  Time delivered = -1.0;
+  uint32_t hops = 0;
+  FlowId seen = kInvalidFlow;
+  y.mesh->set_delivery([&](const Packet& p, Time t) {
+    delivered = t;
+    hops = p.hops;
+    seen = p.flow;
+  });
+  y.sim.at(0.0, [&] { y.mesh->inject(f, mk(1, 100.0)); });
+  y.sim.run();
+  // 100 bits at 2000 b/s (0.05) + 0.01 prop + 100 bits at 1000 b/s (0.1).
+  EXPECT_DOUBLE_EQ(delivered, 0.16);
+  EXPECT_EQ(hops, 2u);
+  EXPECT_EQ(seen, f);  // global id restored at delivery
+}
+
+TEST(Mesh, CrossFlowsShareOnlyTheTrunk) {
+  YTopology y;
+  FlowId lng = y.mesh->add_flow({y.l0, y.l2}, 1.0, 50.0, "long");
+  FlowId crs = y.mesh->add_flow({y.l1, y.l2}, 1.0, 50.0, "cross");
+
+  uint64_t got_long = 0, got_cross = 0;
+  y.mesh->set_delivery([&](const Packet& p, Time) {
+    (p.flow == lng ? got_long : got_cross)++;
+  });
+  auto emit_long = [&](Packet p) { y.mesh->inject(lng, std::move(p)); };
+  auto emit_cross = [&](Packet p) { y.mesh->inject(crs, std::move(p)); };
+  traffic::CbrSource s1(y.sim, 0, emit_long, 1500.0, 50.0);
+  traffic::CbrSource s2(y.sim, 0, emit_cross, 1500.0, 50.0);
+  s1.run(0.0, 10.0);
+  s2.run(0.0, 10.0);
+  y.sim.run_until(10.0);
+  y.mesh->finish_recording();
+
+  // Access links (2000 b/s) pass 1500 b/s untouched; the 1000 b/s trunk is
+  // the bottleneck and SFQ splits it evenly.
+  const double share_long =
+      y.mesh->link_recorder(y.l2).served_bits(y.mesh->local_id(lng, 1));
+  const double share_cross =
+      y.mesh->link_recorder(y.l2).served_bits(y.mesh->local_id(crs, 1));
+  EXPECT_NEAR(share_long / share_cross, 1.0, 0.1);
+  EXPECT_NEAR(share_long + share_cross, 1000.0 * 10.0, 600.0);
+  EXPECT_GT(got_long, 90u);
+  EXPECT_GT(got_cross, 90u);
+}
+
+// Corollary 1 on a mesh: per-hop beta uses each hop's *own* competitor set.
+// The tagged flow shares hop l0 with nothing and hop l2 with the cross flow.
+TEST(Mesh, CorollaryOneWithPerHopFlowSets) {
+  YTopology y(1000.0);
+  const double r_tag = 400.0, r_cross = 600.0, len = 50.0;
+  FlowId tag = y.mesh->add_flow({y.l0, y.l2}, r_tag, len, "tag");
+  FlowId crs = y.mesh->add_flow({y.l1, y.l2}, r_cross, len, "cross");
+
+  // Hop 1 (l0): tagged alone -> sum_other = 0. Hop 2 (l2): one competitor.
+  std::vector<qos::HopGuarantee> hg = {
+      qos::sfq_fc_hop({2000.0, 0.0}, 0.0, len, 0.01),
+      qos::sfq_fc_hop({1000.0, 0.0}, len, len, 0.0),
+  };
+  const auto g = qos::compose(hg);
+
+  std::vector<Time> eat1;
+  qos::EatTracker eat;
+  Time worst = -kTimeInfinity;
+  y.mesh->set_delivery([&](const Packet& p, Time t) {
+    if (p.flow == tag) worst = std::max(worst, t - eat1[p.seq - 1]);
+  });
+  auto emit_tag = [&](Packet p) {
+    eat1.push_back(eat.on_arrival(y.sim.now(), p.length_bits, r_tag));
+    y.mesh->inject(tag, std::move(p));
+  };
+  auto emit_cross = [&](Packet p) { y.mesh->inject(crs, std::move(p)); };
+  traffic::PoissonSource s1(y.sim, 0, emit_tag, 0.9 * r_tag, len, 3);
+  traffic::CbrSource s2(y.sim, 0, emit_cross, 2.0 * r_cross, len);
+  s1.run(0.0, 10.0);
+  s2.run(0.0, 10.0);
+  y.sim.run_until(10.0);
+  y.sim.run();
+
+  EXPECT_GT(eat1.size(), 50u);
+  EXPECT_LE(worst, g.theta + 1e-9);
+}
+
+TEST(Mesh, PerFlowOrderPreservedAcrossMesh) {
+  YTopology y;
+  FlowId f = y.mesh->add_flow({y.l0, y.l2}, 1.0, 50.0);
+  FlowId g = y.mesh->add_flow({y.l1, y.l2}, 1.0, 50.0);
+  std::vector<uint64_t> seq_f;
+  y.mesh->set_delivery([&](const Packet& p, Time) {
+    if (p.flow == f) seq_f.push_back(p.seq);
+  });
+  auto emit_f = [&](Packet p) { y.mesh->inject(f, std::move(p)); };
+  auto emit_g = [&](Packet p) { y.mesh->inject(g, std::move(p)); };
+  traffic::PoissonSource s1(y.sim, 0, emit_f, 800.0, 50.0, 5);
+  traffic::PoissonSource s2(y.sim, 0, emit_g, 800.0, 50.0, 6);
+  s1.run(0.0, 5.0);
+  s2.run(0.0, 5.0);
+  y.sim.run();
+  ASSERT_GT(seq_f.size(), 20u);
+  for (std::size_t i = 1; i < seq_f.size(); ++i)
+    EXPECT_EQ(seq_f[i], seq_f[i - 1] + 1);
+}
+
+}  // namespace
+}  // namespace sfq::net

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/types.h"
+#include "qos/admission.h"
+#include "qos/bounds.h"
+#include "qos/eat.h"
+#include "qos/end_to_end.h"
+
+namespace sfq::qos {
+namespace {
+
+// --- The paper's §2.3 numeric example --------------------------------------
+
+TEST(Bounds, Section23ScfqGapNumericExample) {
+  // r = 64 Kb/s (the paper's 24.4 ms figure implies the 1024-based Kb),
+  // l = 200 bytes, C = 100 Mb/s: gap = l/r - l/C = 24.4 ms.
+  const double r = 64.0 * 1024.0;
+  const double l = bytes(200);
+  const double c = megabits_per_sec(100);
+  EXPECT_NEAR(to_milliseconds(scfq_sfq_delay_gap(c, l, r)), 24.4, 0.05);
+}
+
+TEST(Bounds, Section23WfqComparisonExample) {
+  // 70 x 1 Mb/s + 200 x 64 Kb/s flows on 100 Mb/s, 200-byte packets. The
+  // paper quotes a ~20.39 ms drop for the 64 Kb/s flows and a ~2.48 ms rise
+  // for the 1 Mb/s flows; evaluating eq. 58 exactly gives 20.1 / -2.7 ms
+  // (the paper's numbers carry its own rounding), so we assert the shape.
+  const double c = megabits_per_sec(100);
+  const double l = bytes(200);
+  const std::size_t q = 270;
+  const double sum_other = static_cast<double>(q - 1) * l;
+
+  const Time d_low = wfq_sfq_delay_delta(c, l, sum_other, l, 64.0 * 1024.0);
+  EXPECT_GT(to_milliseconds(d_low), 19.0);
+  EXPECT_LT(to_milliseconds(d_low), 21.0);
+
+  const Time d_high = wfq_sfq_delay_delta(c, l, sum_other, l, megabits_per_sec(1));
+  EXPECT_GT(to_milliseconds(d_high), -3.0);
+  EXPECT_LT(to_milliseconds(d_high), -2.0);
+}
+
+TEST(Bounds, Eq60ThresholdMatchesDeltaSignUniform) {
+  const double c = megabits_per_sec(100);
+  const double l = bytes(200);
+  for (std::size_t q : {2u, 5u, 20u, 100u}) {
+    for (double r : {64e3, 1e6, 10e6, 60e6}) {
+      const double sum_other = static_cast<double>(q - 1) * l;
+      const Time delta = wfq_sfq_delay_delta(c, l, sum_other, l, r);
+      EXPECT_EQ(delta >= -1e-12, sfq_beats_wfq_uniform(r, c, q))
+          << "q=" << q << " r=" << r;
+    }
+  }
+}
+
+TEST(Bounds, FairnessBoundSymmetricAndPositive) {
+  EXPECT_DOUBLE_EQ(sfq_fairness_bound(100, 10, 200, 20),
+                   sfq_fairness_bound(200, 20, 100, 10));
+  EXPECT_GT(sfq_fairness_bound(1, 1, 1, 1), 0.0);
+}
+
+TEST(Bounds, TheoremTwoReducesToConstantRateWhenDeltaZero) {
+  const double b1 = sfq_fc_throughput_lower_bound({1000, 0}, 100, 200, 50,
+                                                  0.0, 10.0);
+  const double b2 = sfq_fc_throughput_lower_bound({1000, 500}, 100, 200, 50,
+                                                  0.0, 10.0);
+  EXPECT_GT(b1, b2);  // burstiness only weakens the guarantee
+  EXPECT_NEAR(b1, 100 * 10 - 100 * 200 / 1000.0 - 50, 1e-9);
+}
+
+TEST(Bounds, EbfViolationProbabilityDecaysExponentially) {
+  EbfParams p{1000.0, 2.0, 0.01, 100.0};
+  EXPECT_NEAR(sfq_ebf_throughput_violation_prob(p, 0.0), 2.0, 1e-12);
+  const double a = sfq_ebf_throughput_violation_prob(p, 100.0);
+  const double b = sfq_ebf_throughput_violation_prob(p, 200.0);
+  EXPECT_NEAR(a / b, std::exp(0.01 * 100.0), 1e-9);
+  // Delay-domain lambda = alpha * C.
+  EXPECT_NEAR(sfq_ebf_delay_violation_prob(p, 0.01),
+              2.0 * std::exp(-0.01 * 1000.0 * 0.01), 1e-12);
+}
+
+// --- Eq. 65 class recursion --------------------------------------------------
+
+TEST(Bounds, ClassParamsRecursion) {
+  const FcParams link{1000.0, 0.0};
+  const FcParams a = hsfq_class_params(link, 500.0, 300.0, 100.0);
+  EXPECT_DOUBLE_EQ(a.rate, 500.0);
+  EXPECT_DOUBLE_EQ(a.delta, 500.0 * 300.0 / 1000.0 + 0.0 + 100.0);
+  // Recursing again uses the class as the server.
+  const FcParams b = hsfq_class_params(a, 250.0, 200.0, 100.0);
+  EXPECT_DOUBLE_EQ(b.rate, 250.0);
+  EXPECT_DOUBLE_EQ(b.delta, 250.0 * 200.0 / 500.0 + 250.0 * a.delta / 500.0 +
+                                100.0);
+}
+
+// --- §3 delay shifting -------------------------------------------------------
+
+TEST(Bounds, DelayShiftConditionEq73) {
+  // |Q| = 40 flows, K = 4 partitions of 10 each; a partition holding 10% of
+  // the flows but 40% of the capacity gets a better bound.
+  EXPECT_TRUE(delay_shift_improves(4, 40, 4, 400.0, 1000.0));
+  // A partition with proportional capacity does not (LHS (11)/36 > 0.25).
+  EXPECT_FALSE(delay_shift_improves(10, 40, 4, 250.0, 1000.0));
+}
+
+TEST(Bounds, DelayShiftTermsConsistentWithCondition) {
+  const FcParams link{1000.0, 0.0};
+  const double l = 100.0;
+  const std::size_t q_total = 40, k = 4;
+  // Favoured partition: few flows, large share.
+  {
+    const std::size_t qi = 4;
+    const double ci = 400.0;
+    const Time flat = delay_shift_flat_term(link, q_total, l);
+    const Time hier = delay_shift_hier_term(link, qi, ci, k, l);
+    EXPECT_EQ(hier < flat, delay_shift_improves(qi, q_total, k, ci, 1000.0));
+    EXPECT_LT(hier, flat);
+  }
+  // Un-favoured partition pays for it.
+  {
+    const std::size_t qi = 12;
+    const double ci = 200.0;
+    const Time flat = delay_shift_flat_term(link, q_total, l);
+    const Time hier = delay_shift_hier_term(link, qi, ci, k, l);
+    EXPECT_GT(hier, flat);
+  }
+}
+
+// --- End-to-end composition (Theorem 6 / Corollary 1) ------------------------
+
+TEST(EndToEnd, DeterministicCompositionAddsBetasAndPropagation) {
+  std::vector<HopGuarantee> hops = {
+      sfq_fc_hop({1e6, 0.0}, 3000.0, 1000.0, 0.010),
+      sfq_fc_hop({2e6, 1e4}, 5000.0, 1000.0, 0.020),
+      sfq_fc_hop({1e6, 0.0}, 3000.0, 1000.0, 0.0),
+  };
+  const auto g = compose(hops);
+  EXPECT_TRUE(g.deterministic);
+  const Time beta1 = (3000.0 + 1000.0) / 1e6;
+  const Time beta2 = (5000.0 + 1000.0 + 1e4) / 2e6;
+  EXPECT_NEAR(g.theta, beta1 * 2 + beta2 + 0.030, 1e-12);
+  EXPECT_DOUBLE_EQ(g.violation_prob(0.0), 0.0);
+}
+
+TEST(EndToEnd, StochasticCompositionSumsBAndHarmonicLambda) {
+  EbfParams e1{1e6, 1.0, 1e-4, 0.0};
+  EbfParams e2{1e6, 0.5, 2e-4, 0.0};
+  std::vector<HopGuarantee> hops = {
+      sfq_ebf_hop(e1, 3000.0, 1000.0, 0.0),
+      sfq_ebf_hop(e2, 3000.0, 1000.0, 0.0),
+  };
+  const auto g = compose(hops);
+  EXPECT_FALSE(g.deterministic);
+  EXPECT_DOUBLE_EQ(g.b_sum, 1.5);
+  const double l1 = 1e-4 * 1e6, l2 = 2e-4 * 1e6;
+  EXPECT_NEAR(g.lambda_eff, 1.0 / (1.0 / l1 + 1.0 / l2), 1e-9);
+  EXPECT_NEAR(g.violation_prob(0.01),
+              1.5 * std::exp(-0.01 * g.lambda_eff), 1e-12);
+}
+
+TEST(EndToEnd, MixedFcEbfComposition) {
+  std::vector<HopGuarantee> hops = {
+      sfq_fc_hop({1e6, 0.0}, 1000.0, 500.0, 0.005),
+      sfq_ebf_hop({1e6, 1.0, 1e-4, 0.0}, 1000.0, 500.0, 0.0),
+  };
+  const auto g = compose(hops);
+  EXPECT_FALSE(g.deterministic);
+  EXPECT_DOUBLE_EQ(g.b_sum, 1.0);  // only the EBF hop contributes
+  EXPECT_NEAR(g.lambda_eff, 1e-4 * 1e6, 1e-9);
+}
+
+TEST(EndToEnd, LeakyBucketDelayBound) {
+  // A.5: d <= sigma/r - l/r + theta.
+  std::vector<HopGuarantee> hops = {sfq_fc_hop({1e6, 0.0}, 2000.0, 500.0, 0.0)};
+  const auto g = compose(hops);
+  const Time d =
+      leaky_bucket_e2e_delay_bound(g, /*sigma=*/5000.0, /*rate=*/1e5, 500.0);
+  EXPECT_NEAR(d, 5000.0 / 1e5 - 500.0 / 1e5 + g.theta, 1e-12);
+}
+
+// --- EAT tracker --------------------------------------------------------------
+
+TEST(Eat, RecursionMatchesEq37) {
+  EatTracker t;
+  EXPECT_DOUBLE_EQ(t.on_arrival(0.0, 4.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.on_arrival(1.0, 2.0, 2.0), 2.0);   // max(1, 0+2)
+  EXPECT_DOUBLE_EQ(t.on_arrival(10.0, 2.0, 2.0), 10.0); // max(10, 3)
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.on_arrival(5.0, 1.0, 1.0), 5.0);
+}
+
+TEST(Eat, PerPacketRatesAffectSpacing) {
+  EatTracker t;
+  EXPECT_DOUBLE_EQ(t.on_arrival(0.0, 10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.on_arrival(0.0, 10.0, 2.0), 1.0);  // prev l/r = 1
+  EXPECT_DOUBLE_EQ(t.on_arrival(0.0, 10.0, 2.0), 6.0);  // prev l/r = 5
+}
+
+// --- rates admissible ----------------------------------------------------------
+
+TEST(Admission, SumRateCheck) {
+  EXPECT_TRUE(rates_admissible({100, 200, 300}, 600));
+  EXPECT_TRUE(rates_admissible({100, 200, 300}, 601));
+  EXPECT_FALSE(rates_admissible({100, 200, 302}, 600));
+  EXPECT_TRUE(rates_admissible({}, 0));
+}
+
+
+TEST(EndToEnd, BufferSizingAndLossBound) {
+  // Deterministic path: a buffer covering theta implies zero loss.
+  std::vector<HopGuarantee> fc = {sfq_fc_hop({1e6, 0.0}, 2000.0, 500.0, 0.0)};
+  const auto g = compose(fc);
+  EXPECT_DOUBLE_EQ(loss_probability_bound(g, g.theta), 0.0);
+  EXPECT_DOUBLE_EQ(loss_probability_bound(g, g.theta / 2.0), 1.0);
+
+  // Stochastic path: loss probability decays with extra headroom.
+  std::vector<HopGuarantee> ebf = {
+      sfq_ebf_hop({1e6, 1.0, 1e-4, 0.0}, 2000.0, 500.0, 0.0)};
+  const auto gs = compose(ebf);
+  const double p1 = loss_probability_bound(gs, gs.theta + 0.01);
+  const double p2 = loss_probability_bound(gs, gs.theta + 0.02);
+  EXPECT_GT(p1, p2);
+  EXPECT_GT(p2, 0.0);
+
+  // Buffer arithmetic: burst plus rate x holding time.
+  EXPECT_DOUBLE_EQ(lossless_buffer_bits(5000.0, 1e5, 0.05), 5000.0 + 5000.0);
+}
+
+}  // namespace
+}  // namespace sfq::qos

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "net/rate_profile.h"
+
+namespace sfq::net {
+namespace {
+
+TEST(ConstantRate, FinishAndWork) {
+  ConstantRate r(100.0);
+  EXPECT_DOUBLE_EQ(r.finish_time(2.0, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(r.work(1.0, 3.0), 200.0);
+  EXPECT_DOUBLE_EQ(r.work(3.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.average_rate(), 100.0);
+}
+
+TEST(ConstantRate, RejectsNonPositive) {
+  EXPECT_THROW(ConstantRate(0.0), std::invalid_argument);
+  EXPECT_THROW(ConstantRate(-1.0), std::invalid_argument);
+}
+
+TEST(PiecewiseConstantRate, WalksSegments) {
+  PiecewiseConstantRate r({{0.0, 10.0}, {1.0, 0.0}, {2.0, 20.0}});
+  // 15 bits from t=0: 10 bits by t=1, stall to t=2, 5 more by t=2.25.
+  EXPECT_DOUBLE_EQ(r.finish_time(0.0, 15.0), 2.25);
+  EXPECT_DOUBLE_EQ(r.work(0.0, 3.0), 10.0 + 0.0 + 20.0);
+  EXPECT_DOUBLE_EQ(r.work(0.5, 2.5), 5.0 + 10.0);
+}
+
+TEST(PiecewiseConstantRate, FinishWithinOneSegment) {
+  PiecewiseConstantRate r({{0.0, 10.0}, {100.0, 1.0}});
+  EXPECT_DOUBLE_EQ(r.finish_time(5.0, 20.0), 7.0);
+}
+
+TEST(PiecewiseConstantRate, LastSegmentExtendsForever) {
+  PiecewiseConstantRate r({{0.0, 1.0}, {1.0, 5.0}});
+  EXPECT_DOUBLE_EQ(r.finish_time(1.0, 500.0), 101.0);
+}
+
+TEST(PiecewiseConstantRate, StalledForeverThrows) {
+  PiecewiseConstantRate r({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_THROW(r.finish_time(2.0, 1.0), std::runtime_error);
+}
+
+TEST(PiecewiseConstantRate, ValidatesSegments) {
+  EXPECT_THROW(PiecewiseConstantRate(std::vector<PiecewiseConstantRate::Segment>{}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstantRate({{1.0, 5.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstantRate({{0.0, 1.0}, {0.0, 2.0}}),
+               std::invalid_argument);
+}
+
+// --- Definition 1: the FC inequality -----------------------------------
+
+TEST(FcOnOffRate, SatisfiesFluctuationConstraint) {
+  const double C = 1000.0, delta = 250.0;
+  FcOnOffRate r(C, delta, 0.5);
+  // W(t1,t2) >= C (t2-t1) - delta for a dense grid of intervals.
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> t(0.0, 20.0);
+  for (int i = 0; i < 4000; ++i) {
+    double a = t(rng), b = t(rng);
+    if (a > b) std::swap(a, b);
+    const double w = r.work(a, b);
+    EXPECT_GE(w, C * (b - a) - delta - 1e-6) << "[" << a << "," << b << "]";
+  }
+}
+
+TEST(FcOnOffRate, FluctuationBoundIsTight) {
+  // Some interval should get close to the bound, otherwise the profile is a
+  // weaker server than advertised and variable-rate tests prove nothing.
+  const double C = 1000.0, delta = 250.0;
+  FcOnOffRate r(C, delta, 0.5);
+  double worst = 0.0;
+  for (double a = 0.0; a < 5.0; a += 0.01) {
+    for (double len = 0.05; len < 1.0; len += 0.05) {
+      worst = std::max(worst, C * len - r.work(a, a + len));
+    }
+  }
+  EXPECT_GT(worst, 0.9 * delta);
+  EXPECT_LE(worst, delta + 1e-6);
+}
+
+TEST(FcOnOffRate, LongRunAverageMatches) {
+  const double C = 800.0;
+  FcOnOffRate r(C, 400.0, 0.4);
+  EXPECT_NEAR(r.work(0.0, 50.0) / 50.0, C, C * 0.02);
+}
+
+TEST(FcOnOffRate, ZeroDeltaIsConstantRate) {
+  FcOnOffRate r(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.finish_time(0.0, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.work(3.0, 7.0), 400.0);
+}
+
+TEST(FcOnOffRate, PhaseShiftsPattern) {
+  FcOnOffRate a(1000.0, 200.0, 0.5, 0.0);
+  FcOnOffRate b(1000.0, 200.0, 0.5, 0.1);
+  // Different phases give different instantaneous work but same average.
+  EXPECT_NEAR(a.work(0.0, 40.0), b.work(0.0, 40.0), 1000.0 * 0.4 + 1.0);
+}
+
+TEST(FcOnOffRate, RejectsBadParameters) {
+  EXPECT_THROW(FcOnOffRate(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(FcOnOffRate(10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(FcOnOffRate(10.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FcOnOffRate(10.0, 1.0, 1.0), std::invalid_argument);
+}
+
+// --- EBF profile ------------------------------------------------------------
+
+TEST(EbfRandomRate, LongRunAverageAtLeastClaimed) {
+  EbfRandomRate::Params p;
+  p.average = 500.0;
+  p.on_rate = 1000.0;
+  p.mean_pause = 0.01;
+  p.mean_run = 0.02;
+  p.seed = 5;
+  EbfRandomRate r(p);
+  // Effective average = 1000 * 2/3 ~ 667 >= 500.
+  EXPECT_GE(r.work(0.0, 100.0) / 100.0, p.average);
+}
+
+TEST(EbfRandomRate, DeficitTailDecays) {
+  // The accumulated deficit against the claimed average should exceed small
+  // thresholds often and large thresholds rarely (exponential-ish tail).
+  EbfRandomRate::Params p;
+  p.average = 500.0;
+  p.on_rate = 900.0;
+  p.mean_pause = 0.02;
+  p.mean_run = 0.04;
+  p.seed = 11;
+  EbfRandomRate r(p);
+
+  int small_exceed = 0, large_exceed = 0;
+  const int n = 2000;
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> start(0.0, 50.0);
+  for (int i = 0; i < n; ++i) {
+    const double a = start(rng);
+    const double deficit = p.average * 0.5 - r.work(a, a + 0.5);
+    if (deficit > 5.0) ++small_exceed;
+    if (deficit > 25.0) ++large_exceed;
+  }
+  EXPECT_GT(small_exceed, large_exceed);
+}
+
+TEST(EbfRandomRate, RejectsInsufficientOnRate) {
+  EbfRandomRate::Params p;
+  p.average = 500.0;
+  p.on_rate = 600.0;
+  p.mean_pause = 0.05;
+  p.mean_run = 0.05;  // effective = 300 < 500
+  EXPECT_THROW(EbfRandomRate{p}, std::invalid_argument);
+}
+
+TEST(EbfRandomRate, DeterministicForFixedSeed) {
+  EbfRandomRate::Params p;
+  p.average = 500.0;
+  p.on_rate = 1500.0;
+  p.seed = 9;
+  EbfRandomRate a(p), b(p);
+  EXPECT_DOUBLE_EQ(a.finish_time(0.0, 10000.0), b.finish_time(0.0, 10000.0));
+  EXPECT_DOUBLE_EQ(a.work(1.0, 7.0), b.work(1.0, 7.0));
+}
+
+}  // namespace
+}  // namespace sfq::net

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sfq_scheduler.h"
+#include "net/network.h"
+#include "net/rate_profile.h"
+#include "qos/reservation.h"
+#include "sim/simulator.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/sources.h"
+
+namespace sfq::qos {
+namespace {
+
+PathReservations two_hop_path() {
+  return PathReservations({{1e6, 0.0, 0.001}, {1e6, 5e4, 0.0}});
+}
+
+PathReservations::Request voice(Time budget = kTimeInfinity) {
+  PathReservations::Request r;
+  r.rate = 64e3;
+  r.max_packet_bits = 1280.0;
+  r.sigma = 2.0 * 1280.0;
+  r.delay_budget = budget;
+  r.name = "voice";
+  return r;
+}
+
+TEST(Reservation, AdmitsWithinCapacity) {
+  auto path = two_hop_path();
+  auto d = path.admit(voice());
+  EXPECT_TRUE(d.admitted);
+  EXPECT_LT(d.e2e_bound, 1.0);
+  EXPECT_EQ(path.active_flows(), 1u);
+  EXPECT_DOUBLE_EQ(path.reserved_rate(), 64e3);
+}
+
+TEST(Reservation, RejectsRateOverCommit) {
+  auto path = two_hop_path();
+  PathReservations::Request big = voice();
+  big.rate = 0.7e6;
+  EXPECT_TRUE(path.admit(big).admitted);
+  auto d = path.admit(big);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("rate"), std::string::npos);
+}
+
+TEST(Reservation, RejectsWhenOwnBudgetUnmeetable) {
+  auto path = two_hop_path();
+  auto d = path.admit(voice(/*budget=*/1e-6));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("own"), std::string::npos);
+}
+
+TEST(Reservation, ProtectsStandingContracts) {
+  auto path = two_hop_path();
+  // First flow admitted with a budget barely above its solo bound.
+  auto solo = path.admit(voice());
+  ASSERT_TRUE(solo.admitted);
+  path.release(solo.id);
+  auto tight = voice(solo.e2e_bound + 1e-6);
+  ASSERT_TRUE(path.admit(tight).admitted);
+
+  // A jumbo-packet flow would inflate the first flow's Theorem-4 term past
+  // its budget: must be rejected even though capacity is available.
+  PathReservations::Request jumbo;
+  jumbo.rate = 1e5;
+  jumbo.max_packet_bits = 12000.0;
+  jumbo.sigma = 12000.0;
+  jumbo.name = "jumbo";
+  auto d = path.admit(jumbo);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("contract"), std::string::npos);
+}
+
+TEST(Reservation, ReleaseRestoresHeadroom) {
+  auto path = two_hop_path();
+  PathReservations::Request half = voice();
+  half.rate = 0.5e6;
+  auto a = path.admit(half);
+  auto b = path.admit(half);
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(b.admitted);
+  EXPECT_FALSE(path.admit(voice()).admitted);  // full
+  path.release(a.id);
+  EXPECT_TRUE(path.admit(voice()).admitted);
+}
+
+TEST(Reservation, BoundShrinksWhenOthersLeave) {
+  auto path = two_hop_path();
+  auto a = path.admit(voice());
+  PathReservations::Request big = voice();
+  big.max_packet_bits = 12000.0;
+  big.sigma = 12000.0;
+  big.name = "big";
+  auto b = path.admit(big);
+  ASSERT_TRUE(a.admitted && b.admitted);
+  const Time with_big = path.current_bound(a.id);
+  path.release(b.id);
+  EXPECT_LT(path.current_bound(a.id), with_big);
+}
+
+TEST(Reservation, ValidatesInputs) {
+  EXPECT_THROW(PathReservations({}), std::invalid_argument);
+  auto path = two_hop_path();
+  PathReservations::Request bad = voice();
+  bad.rate = 0.0;
+  EXPECT_FALSE(path.admit(bad).admitted);
+  bad = voice();
+  bad.sigma = 10.0;  // less than one packet
+  EXPECT_FALSE(path.admit(bad).admitted);
+  EXPECT_THROW(path.release(42), std::out_of_range);
+  EXPECT_THROW(path.current_bound(42), std::out_of_range);
+}
+
+// End-to-end: the bound handed out at admission time is honoured by an
+// actual simulation of the reserved path under saturating cross traffic.
+TEST(Reservation, AdmittedBoundHoldsInSimulation) {
+  PathReservations path({{1e6, 0.0, 0.002}, {1e6, 0.0, 0.0}});
+
+  auto v = voice();
+  auto cross_req = PathReservations::Request{
+      1e6 - 64e3, 8000.0, 16000.0, kTimeInfinity, "cross"};
+  auto dv = path.admit(v);
+  auto dx = path.admit(cross_req);
+  ASSERT_TRUE(dv.admitted && dx.admitted);
+
+  sim::Simulator sim;
+  std::vector<net::TandemNetwork::Hop> hops;
+  for (int i = 0; i < 2; ++i) {
+    net::TandemNetwork::Hop h;
+    h.scheduler = std::make_unique<SfqScheduler>();
+    h.profile = std::make_unique<net::ConstantRate>(1e6);
+    h.propagation_to_next = i == 0 ? 0.002 : 0.0;
+    hops.push_back(std::move(h));
+  }
+  net::TandemNetwork net(sim, std::move(hops));
+  FlowId fv = net.add_flow(v.rate, v.max_packet_bits);
+  FlowId fx = net.add_flow(cross_req.rate, cross_req.max_packet_bits);
+
+  Time worst = 0.0;
+  net.set_delivery([&](const Packet& p, Time t) {
+    if (p.flow == fv) worst = std::max(worst, t - p.source_departure);
+  });
+
+  traffic::LeakyBucketShaper shaper(sim, v.sigma, v.rate, [&](Packet p) {
+    p.source_departure = sim.now();
+    net.inject(std::move(p));
+  });
+  traffic::OnOffSource voice_src(
+      sim, fv, [&](Packet p) { shaper.inject(std::move(p)); },
+      3.0 * v.rate, v.max_packet_bits, 0.02, 0.05, 5);
+  traffic::CbrSource cross(sim, fx,
+                           [&](Packet p) { net.inject(std::move(p)); },
+                           1.2e6, cross_req.max_packet_bits);
+  voice_src.run(0.0, 20.0);
+  cross.run(0.0, 20.0);
+  sim.run_until(20.0);
+  sim.run();
+
+  EXPECT_LE(worst, path.current_bound(dv.id) + 1e-9);
+}
+
+}  // namespace
+}  // namespace sfq::qos

@@ -1,0 +1,160 @@
+// Scale and numeric-robustness tests: many flows, extreme weights, long
+// virtual-time horizons, and stress on the event queue.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "core/sfq_scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sched/scfq_scheduler.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "stats/service_recorder.h"
+#include "traffic/sources.h"
+
+namespace sfq {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+TEST(Scale, ThousandFlowsRoundRobinUnderSfq) {
+  SfqScheduler s;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) s.add_flow(1.0);
+  // One packet per flow, all equal tags: every flow served exactly once
+  // before any is served twice (round-robin at equal weights).
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < n; ++i)
+      s.enqueue(mk(static_cast<FlowId>(i), round + 1, 1.0), 0.0);
+
+  std::vector<int> served(n, 0);
+  for (int k = 0; k < n; ++k) {
+    auto p = s.dequeue(0.0);
+    ASSERT_TRUE(p);
+    s.on_transmit_complete(*p, 0.0);
+    ++served[p->flow];
+  }
+  for (int i = 0; i < n; ++i) EXPECT_EQ(served[i], 1) << i;
+}
+
+TEST(Scale, ExtremeWeightRatiosStayFair) {
+  // 1 : 1e6 weight ratio with tiny and huge packets; Theorem 1 must hold
+  // without numeric blowups.
+  SfqScheduler s;
+  const double w0 = 1e-3, w1 = 1e3;
+  const double l0 = 1.0, l1 = 1e6;
+  auto run = [&] {
+    sim::Simulator sim;
+    net::ScheduledServer server(sim, s,
+                                std::make_unique<net::ConstantRate>(1e6));
+    stats::ServiceRecorder rec;
+    server.set_recorder(&rec);
+    auto emit = [&](Packet p) { server.inject(std::move(p)); };
+    traffic::CbrSource a(sim, 0, emit, 10.0, l0);
+    traffic::CbrSource b(sim, 1, emit, 2e6, l1);
+    a.run(0.0, 20.0);
+    b.run(0.0, 20.0);
+    sim.run_until(20.0);
+    rec.finish(20.0);
+    return stats::empirical_fairness(rec, 0, w0, 1, w1);
+  };
+  s.add_flow(w0, l0);
+  s.add_flow(w1, l1);
+  const double h = run();
+  EXPECT_LE(h, stats::sfq_fairness_bound(l0, w0, l1, w1) * (1.0 + 1e-12));
+  EXPECT_TRUE(std::isfinite(h));
+}
+
+TEST(Scale, LongHorizonVirtualTimeStaysMonotone) {
+  // Billions of virtual-time units accumulated across busy periods.
+  SfqScheduler s;
+  FlowId f = s.add_flow(1e-6);  // 1 bit per 1e6 virtual units
+  double last_v = 0.0;
+  for (int burst = 0; burst < 2000; ++burst) {
+    s.enqueue(mk(f, burst + 1, 1000.0), 0.0);
+    auto p = s.dequeue(0.0);
+    ASSERT_TRUE(p);
+    s.on_transmit_complete(*p, 0.0);  // busy period ends, v jumps
+    EXPECT_GE(s.vtime(), last_v);
+    last_v = s.vtime();
+  }
+  EXPECT_GT(last_v, 1e12);
+  EXPECT_TRUE(std::isfinite(last_v));
+}
+
+TEST(Scale, ScfqManyFlowsManyPacketsDrainCleanly) {
+  ScfqScheduler s;
+  std::mt19937_64 rng(5);
+  const int n = 200;
+  for (int i = 0; i < n; ++i)
+    s.add_flow(1.0 + static_cast<double>(rng() % 100));
+  uint64_t enq = 0;
+  std::vector<uint64_t> seq(n, 0);
+  for (int k = 0; k < 20000; ++k) {
+    const FlowId f = static_cast<FlowId>(rng() % n);
+    s.enqueue(mk(f, ++seq[f], 1.0 + static_cast<double>(rng() % 1000)), 0.0);
+    ++enq;
+    if (rng() % 3 == 0) {
+      auto p = s.dequeue(0.0);
+      ASSERT_TRUE(p);
+      s.on_transmit_complete(*p, 0.0);
+      --enq;
+    }
+  }
+  while (auto p = s.dequeue(0.0)) {
+    s.on_transmit_complete(*p, 0.0);
+    --enq;
+  }
+  EXPECT_EQ(enq, 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scale, EventQueueStressAgainstReference) {
+  sim::EventQueue q;
+  std::multimap<Time, int> reference;
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> when(0.0, 100.0);
+  std::vector<int> fired;
+  int tag = 0;
+
+  std::vector<sim::EventId> ids;
+  std::vector<std::pair<Time, int>> meta;
+  for (int i = 0; i < 3000; ++i) {
+    const Time t = when(rng);
+    const int my_tag = tag++;
+    ids.push_back(q.schedule(t, [&fired, my_tag] { fired.push_back(my_tag); }));
+    meta.emplace_back(t, my_tag);
+  }
+  // Cancel a random third.
+  std::vector<bool> cancelled(ids.size(), false);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rng() % 3 == 0) {
+      q.cancel(ids[i]);
+      cancelled[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < meta.size(); ++i)
+    if (!cancelled[i]) reference.emplace(meta[i].first, meta[i].second);
+
+  while (q.run_one() != kTimeInfinity) {
+  }
+  ASSERT_EQ(fired.size(), reference.size());
+  // Same multiset ordered by time; equal-time order is schedule order, which
+  // multimap preserves for equal keys (insertion order guaranteed).
+  std::size_t i = 0;
+  for (const auto& [t, tg] : reference) {
+    EXPECT_EQ(fired[i], tg) << "position " << i << " time " << t;
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace sfq

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "stats/delay_stats.h"
+#include "stats/fairness.h"
+#include "stats/service_recorder.h"
+#include "stats/time_series.h"
+
+namespace sfq::stats {
+namespace {
+
+// --- ServiceRecorder ---------------------------------------------------------
+
+TEST(ServiceRecorder, ServedBitsCountsWholePacketsOnly) {
+  ServiceRecorder rec;
+  rec.on_arrival(0, 0.0);
+  rec.on_arrival(0, 0.0);
+  rec.on_service(0, 10.0, 0.0, 0.0, 1.0);
+  rec.on_service(0, 10.0, 0.0, 1.0, 2.0);
+  rec.finish(2.0);
+  // W(t1,t2) requires start >= t1 AND end <= t2 (paper §1.2).
+  EXPECT_DOUBLE_EQ(rec.served_bits(0, 0.0, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(rec.served_bits(0, 0.5, 2.0), 10.0);  // first straddles t1
+  EXPECT_DOUBLE_EQ(rec.served_bits(0, 0.0, 1.5), 10.0);  // second straddles t2
+  EXPECT_DOUBLE_EQ(rec.served_bits(0, 0.5, 1.5), 0.0);
+}
+
+TEST(ServiceRecorder, BacklogIntervalsOpenAndClose) {
+  ServiceRecorder rec;
+  rec.on_arrival(0, 1.0);
+  rec.on_service(0, 5.0, 1.0, 1.0, 2.0);
+  rec.on_arrival(0, 4.0);
+  rec.on_arrival(0, 4.5);
+  rec.on_service(0, 5.0, 4.0, 4.5, 5.0);
+  rec.on_service(0, 5.0, 4.5, 5.0, 6.0);
+  rec.finish(10.0);
+  const auto& iv = rec.backlog_intervals(0);
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_DOUBLE_EQ(iv[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(iv[0].end, 2.0);
+  EXPECT_DOUBLE_EQ(iv[1].begin, 4.0);
+  EXPECT_DOUBLE_EQ(iv[1].end, 6.0);
+  EXPECT_TRUE(rec.backlogged_throughout(0, 4.2, 5.8));
+  EXPECT_FALSE(rec.backlogged_throughout(0, 1.5, 4.2));
+}
+
+TEST(ServiceRecorder, FinishClosesOpenIntervals) {
+  ServiceRecorder rec;
+  rec.on_arrival(3, 2.0);
+  rec.finish(9.0);
+  const auto& iv = rec.backlog_intervals(3);
+  ASSERT_EQ(iv.size(), 1u);
+  EXPECT_DOUBLE_EQ(iv[0].end, 9.0);
+}
+
+TEST(ServiceRecorder, ServiceWithoutArrivalThrows) {
+  ServiceRecorder rec;
+  EXPECT_THROW(rec.on_service(0, 1.0, 0.0, 0.0, 1.0), std::logic_error);
+}
+
+// --- empirical_fairness --------------------------------------------------------
+
+// Hand-built record: alternating unit packets => perfectly fair.
+TEST(Fairness, AlternatingServiceIsNearFair) {
+  ServiceRecorder rec;
+  rec.on_arrival(0, 0.0);
+  rec.on_arrival(1, 0.0);
+  Time t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    rec.on_arrival(i % 2, t);
+    rec.on_service(i % 2, 1.0, 0.0, t, t + 1.0);
+    t += 1.0;
+  }
+  rec.on_service(0, 1.0, 0.0, t, t + 1.0);
+  rec.on_service(1, 1.0, 0.0, t + 1.0, t + 2.0);
+  rec.finish(t + 2.0);
+  const double h = empirical_fairness(rec, 0, 1.0, 1, 1.0);
+  EXPECT_LE(h, 1.0 + 1e-12);  // at most one packet of imbalance
+  EXPECT_GT(h, 0.0);
+}
+
+// A long one-sided run inside a co-backlogged window is found by the scan.
+TEST(Fairness, DetectsOneSidedRun) {
+  ServiceRecorder rec;
+  rec.on_arrival(0, 0.0);
+  rec.on_arrival(1, 0.0);
+  Time t = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    rec.on_arrival(0, t);
+    rec.on_service(0, 1.0, 0.0, t, t + 1.0);
+    t += 1.0;
+  }
+  rec.on_service(0, 1.0, 0.0, t, t + 1.0);
+  rec.on_service(1, 1.0, 0.0, t + 1.0, t + 2.0);
+  rec.finish(t + 2.0);
+  const double h = empirical_fairness(rec, 0, 1.0, 1, 1.0);
+  EXPECT_NEAR(h, 6.0, 1e-12);  // six flow-0 packets before flow 1 got one
+}
+
+TEST(Fairness, IgnoresServiceOutsideCoBackloggedWindows) {
+  ServiceRecorder rec;
+  // Flow 0 served alone (flow 1 idle): not unfair by definition.
+  rec.on_arrival(0, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    rec.on_arrival(0, static_cast<Time>(i));
+    rec.on_service(0, 1.0, 0.0, i, i + 1.0);
+  }
+  rec.on_service(0, 1.0, 0.0, 4.0, 5.0);
+  // Flow 1 becomes backlogged only at t=10, served immediately.
+  rec.on_arrival(1, 10.0);
+  rec.on_service(1, 1.0, 10.0, 10.0, 11.0);
+  rec.finish(11.0);
+  const double h = empirical_fairness(rec, 0, 1.0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+TEST(Fairness, WeightsNormalizeService) {
+  ServiceRecorder rec;
+  rec.on_arrival(0, 0.0);
+  rec.on_arrival(1, 0.0);
+  // Flow 1 has weight 3 and receives 3 packets for each of flow 0's: fair.
+  Time t = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    rec.on_arrival(0, t);
+    rec.on_service(0, 1.0, 0.0, t, t + 1.0);
+    t += 1.0;
+    for (int k = 0; k < 3; ++k) {
+      rec.on_arrival(1, t);
+      rec.on_service(1, 1.0, 0.0, t, t + 1.0);
+      t += 1.0;
+    }
+  }
+  rec.on_service(0, 1.0, 0.0, t, t + 1.0);
+  rec.on_service(1, 1.0, 0.0, t + 1.0, t + 2.0);
+  rec.finish(t + 2.0);
+  const double h = empirical_fairness(rec, 0, 1.0, 1, 3.0);
+  EXPECT_LE(h, 1.0 + 1.0 / 3.0 + 1e-12);
+}
+
+TEST(Fairness, BoundsHelpers) {
+  EXPECT_DOUBLE_EQ(sfq_fairness_bound(10, 5, 20, 4), 2.0 + 5.0);
+  EXPECT_DOUBLE_EQ(fairness_lower_bound(10, 5, 20, 4), 3.5);
+}
+
+// --- DelayStats -----------------------------------------------------------------
+
+TEST(DelayStats, MeanMaxPercentile) {
+  DelayStats d;
+  for (int i = 1; i <= 100; ++i) d.add(0, i * 0.01);
+  EXPECT_EQ(d.count(0), 100u);
+  EXPECT_NEAR(d.mean(0), 0.505, 1e-9);
+  EXPECT_DOUBLE_EQ(d.max(0), 1.0);
+  EXPECT_NEAR(d.percentile(0, 50), 0.505, 0.01);
+  EXPECT_NEAR(d.percentile(0, 99), 1.0, 0.011);
+}
+
+TEST(DelayStats, AggregatesOverFlows) {
+  DelayStats d;
+  d.add(0, 1.0);
+  d.add(1, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean_over({0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(d.max_over({0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(d.mean_over({2}), 0.0);
+}
+
+// --- TimeSeries ------------------------------------------------------------------
+
+TEST(TimeSeries, BucketsAndCumulative) {
+  TimeSeries ts(1.0);
+  ts.add(0, 0.5, 1.0);
+  ts.add(0, 1.5, 1.0);
+  ts.add(0, 1.7, 1.0);
+  ts.add(0, 3.2, 1.0);
+  const auto sums = ts.bucket_sums(0, 4.0);
+  ASSERT_EQ(sums.size(), 4u);
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 2.0);
+  EXPECT_DOUBLE_EQ(sums[2], 0.0);
+  EXPECT_DOUBLE_EQ(sums[3], 1.0);
+  const auto cum = ts.cumulative(0, 4.0);
+  EXPECT_DOUBLE_EQ(cum[3], 4.0);
+}
+
+TEST(TimeSeries, UnknownFlowGivesZeros) {
+  TimeSeries ts(1.0);
+  const auto sums = ts.bucket_sums(7, 2.0);
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0], 0.0);
+}
+
+}  // namespace
+}  // namespace sfq::stats

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sched/fifo_scheduler.h"
+#include "sim/simulator.h"
+#include "traffic/tcp_reno.h"
+
+namespace sfq::traffic {
+namespace {
+
+// One TCP connection over a single bottleneck with a fixed-delay ack path.
+struct TcpHarness {
+  sim::Simulator sim;
+  FifoScheduler sched;
+  net::ScheduledServer link;
+  std::unique_ptr<TcpRenoSource> src;
+  std::unique_ptr<TcpRenoSink> sink;
+  Time ack_delay;
+  uint64_t delivered = 0;
+
+  TcpHarness(double capacity, Time ack_delay_, TcpRenoSource::Params p,
+             std::size_t buffer_limit = 0)
+      : link(sim, sched, std::make_unique<net::ConstantRate>(capacity)),
+        ack_delay(ack_delay_) {
+    if (buffer_limit) link.set_buffer_limit(buffer_limit);
+    sink = std::make_unique<TcpRenoSink>([this](uint64_t cum) {
+      sim.after(ack_delay, [this, cum] { src->on_ack(cum); });
+    });
+    link.set_departure([this](const Packet& q, Time) {
+      ++delivered;
+      sink->on_segment(q);
+    });
+    src = std::make_unique<TcpRenoSource>(
+        sim, 0, p, [this](Packet q) { link.inject(std::move(q)); });
+  }
+};
+
+TEST(TcpRenoSink, CumulativeAcksInOrder) {
+  uint64_t last = 0;
+  TcpRenoSink sink([&](uint64_t cum) { last = cum; });
+  Packet p;
+  p.seq = 1;
+  sink.on_segment(p);
+  EXPECT_EQ(last, 1u);
+  p.seq = 3;  // gap
+  sink.on_segment(p);
+  EXPECT_EQ(last, 1u);  // dup ack
+  p.seq = 2;  // fills the gap
+  sink.on_segment(p);
+  EXPECT_EQ(last, 3u);
+  EXPECT_EQ(sink.received_in_order(), 3u);
+}
+
+TEST(TcpReno, SlowStartDoublesWindow) {
+  TcpRenoSource::Params p;
+  p.packet_bits = 100.0;
+  p.max_window = 64.0;
+  TcpHarness h(1e6, 0.05, p);  // fast link, 100 ms RTT
+  h.src->start(0.0);
+  h.sim.run_until(0.32);  // ~3 RTTs
+  // cwnd should have grown well beyond 1 (roughly doubling per RTT).
+  EXPECT_GE(h.src->cwnd(), 6.0);
+  EXPECT_EQ(h.src->timeouts(), 0u);
+}
+
+TEST(TcpReno, WindowCapLimitsInFlight) {
+  TcpRenoSource::Params p;
+  p.packet_bits = 100.0;
+  p.max_window = 4.0;
+  p.initial_ssthresh = 64.0;
+  TcpHarness h(1e9, 0.5, p);  // huge link, long RTT: window-limited
+  h.src->start(0.0);
+  // After several RTTs cwnd has grown past the cap, but unacknowledged data
+  // never exceeds the receiver window.
+  h.sim.run_until(8.0);
+  EXPECT_GT(h.src->sent(), 8u);
+  EXPECT_LE(h.src->sent(), h.sink->received_in_order() + 4);
+}
+
+TEST(TcpReno, AckClockedThroughputMatchesBottleneck) {
+  TcpRenoSource::Params p;
+  p.packet_bits = 1000.0;
+  p.max_window = 100.0;
+  TcpHarness h(1e5, 0.01, p);  // 100 kb/s bottleneck
+  h.src->start(0.0);
+  h.sim.run_until(20.0);
+  // Goodput approaches the bottleneck rate.
+  const double goodput =
+      static_cast<double>(h.delivered) * p.packet_bits / 20.0;
+  EXPECT_GT(goodput, 0.85 * 1e5);
+  EXPECT_EQ(h.src->timeouts(), 0u);  // infinite buffer: no loss
+}
+
+TEST(TcpReno, RecoversFromLossViaFastRetransmit) {
+  TcpRenoSource::Params p;
+  p.packet_bits = 1000.0;
+  p.max_window = 64.0;
+  p.initial_ssthresh = 64.0;
+  TcpHarness h(1e5, 0.01, p, /*buffer_limit=*/10);  // small buffer => drops
+  h.src->start(0.0);
+  h.sim.run_until(30.0);
+  EXPECT_GT(h.link.drops(), 0u);
+  EXPECT_GT(h.src->retransmits(), 0u);
+  // Despite losses the connection keeps moving: most offered data arrives.
+  const double goodput =
+      static_cast<double>(h.sink->received_in_order()) * p.packet_bits / 30.0;
+  EXPECT_GT(goodput, 0.7 * 1e5);
+}
+
+TEST(TcpReno, TimeoutPathRecovers) {
+  // Tiny window prevents 3 dupacks, forcing RTO on a drop.
+  TcpRenoSource::Params p;
+  p.packet_bits = 1000.0;
+  p.max_window = 2.0;
+  p.rto_initial = 0.3;
+  TcpHarness h(1e5, 0.01, p, /*buffer_limit=*/1);
+  h.src->start(0.0);
+  h.sim.run_until(30.0);
+  if (h.link.drops() > 0) {
+    EXPECT_GT(h.src->timeouts(), 0u);
+  }
+  // Connection still delivers in order.
+  EXPECT_GT(h.sink->received_in_order(), 100u);
+}
+
+TEST(TcpReno, StopHaltsTransmission) {
+  TcpRenoSource::Params p;
+  TcpHarness h(1e6, 0.05, p);
+  h.src->start(0.0);
+  h.sim.run_until(0.5);
+  const uint64_t sent = h.src->sent();
+  h.src->stop();
+  h.sim.run_until(2.0);
+  EXPECT_EQ(h.src->sent(), sent);
+}
+
+}  // namespace
+}  // namespace sfq::traffic

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness.h"
+#include "net/rate_profile.h"
+#include "qos/bounds.h"
+#include "sched/virtual_clock.h"
+#include "stats/fairness.h"
+
+namespace sfq {
+namespace {
+
+Packet mk(FlowId f, uint64_t seq, double bits, Time arrival = 0.0) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  p.arrival = arrival;
+  return p;
+}
+
+TEST(VirtualClock, EatRecursionMatchesEq37) {
+  VirtualClockScheduler s;
+  FlowId f = s.add_flow(2.0);  // rate 2 bits/s
+
+  // EAT(p1) = A(p1) = 0; EAT(p2) = max(A=1, 0 + 4/2) = 2;
+  // EAT(p3) = max(A=10, 2 + 2/2) = 10.
+  s.enqueue(mk(f, 1, 4.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.last_eat(f), 0.0);
+  s.enqueue(mk(f, 2, 2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.last_eat(f), 2.0);
+  s.enqueue(mk(f, 3, 2.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.last_eat(f), 10.0);
+}
+
+TEST(VirtualClock, StampIsEatPlusServiceTime) {
+  VirtualClockScheduler s;
+  FlowId f = s.add_flow(4.0);
+  s.enqueue(mk(f, 1, 8.0, 0.0), 0.0);
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->start_tag, 0.0);   // EAT
+  EXPECT_DOUBLE_EQ(p->finish_tag, 2.0);  // EAT + l/r
+}
+
+TEST(VirtualClock, ServesSmallestStampFirst) {
+  VirtualClockScheduler s;
+  FlowId slow = s.add_flow(1.0);
+  FlowId fast = s.add_flow(10.0);
+  s.enqueue(mk(slow, 1, 10.0, 0.0), 0.0);  // stamp 10
+  s.enqueue(mk(fast, 1, 10.0, 0.0), 0.0);  // stamp 1
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, fast);
+}
+
+// The §1.1 complaint that motivates fair schedulers: Virtual Clock punishes
+// a flow for having used idle capacity. Flow A transmits alone during [0,5)
+// (banking far-future stamps); at t=5 flow B dumps a large burst and then
+// monopolizes the link, starving A even though both have equal reservations.
+TEST(VirtualClock, PunishesUseOfIdleBandwidth) {
+  const double C = 100.0, len = 10.0;
+  sim::Simulator sim;
+  VirtualClockScheduler sched;
+  FlowId a = sched.add_flow(10.0, len);
+  FlowId b = sched.add_flow(10.0, len);
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(C));
+  stats::ServiceRecorder rec;
+  server.set_recorder(&rec);
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+
+  // A uses the whole idle link during [0,5): 50 packets, stamps run to ~50.
+  traffic::CbrSource sa(sim, a, emit, /*rate=*/C, len);
+  sa.run(0.0, 5.0);
+  // A keeps offering 80 b/s after t=5.
+  traffic::CbrSource sa2(sim, a, emit, 80.0, len);
+  sa2.run(5.0, 10.0);
+  // B bursts 100 packets at t=5 (its stamps start at EAT=5).
+  std::vector<traffic::TraceSource::Item> burst;
+  for (int i = 0; i < 100; ++i) burst.push_back({5.0, len});
+  traffic::TraceSource sb(sim, b, emit, burst);
+  sb.run(0.0, 11.0);
+
+  sim.run_until(10.0);
+  rec.finish(10.0);
+
+  // During [5,10) B gets nearly all the capacity; A is serving out "debt".
+  const double wa = rec.served_bits(a, 5.0, 10.0);
+  const double wb = rec.served_bits(b, 5.0, 10.0);
+  EXPECT_GT(wb, 3.0 * wa);
+
+  // The unfairness blows through the fair-scheduler bound (Theorem 1 value).
+  const double h = stats::empirical_fairness(rec, a, 10.0, b, 10.0);
+  EXPECT_GT(h, 2.0 * qos::sfq_fairness_bound(len, 10.0, len, 10.0));
+}
+
+TEST(VirtualClock, UnknownFlowThrows) {
+  VirtualClockScheduler s;
+  EXPECT_THROW(s.enqueue(mk(3, 1, 1.0), 0.0), std::out_of_range);
+}
+
+TEST(VirtualClock, PerFlowOrderPreserved) {
+  VirtualClockScheduler s;
+  FlowId f = s.add_flow(1.0);
+  for (int j = 1; j <= 5; ++j) s.enqueue(mk(f, j, 1.0, 0.0), 0.0);
+  for (int j = 1; j <= 5; ++j) {
+    auto p = s.dequeue(0.0);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->seq, static_cast<uint64_t>(j));
+  }
+}
+
+}  // namespace
+}  // namespace sfq
