@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tiebreak"
+  "../bench/bench_ablation_tiebreak.pdb"
+  "CMakeFiles/bench_ablation_tiebreak.dir/bench_ablation_tiebreak.cc.o"
+  "CMakeFiles/bench_ablation_tiebreak.dir/bench_ablation_tiebreak.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiebreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

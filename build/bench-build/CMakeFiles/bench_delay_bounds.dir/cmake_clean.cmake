@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delay_bounds"
+  "../bench/bench_delay_bounds.pdb"
+  "CMakeFiles/bench_delay_bounds.dir/bench_delay_bounds.cc.o"
+  "CMakeFiles/bench_delay_bounds.dir/bench_delay_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

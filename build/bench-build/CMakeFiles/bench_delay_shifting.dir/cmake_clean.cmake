@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delay_shifting"
+  "../bench/bench_delay_shifting.pdb"
+  "CMakeFiles/bench_delay_shifting.dir/bench_delay_shifting.cc.o"
+  "CMakeFiles/bench_delay_shifting.dir/bench_delay_shifting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_shifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

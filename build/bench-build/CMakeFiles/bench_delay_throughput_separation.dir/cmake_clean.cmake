@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delay_throughput_separation"
+  "../bench/bench_delay_throughput_separation.pdb"
+  "CMakeFiles/bench_delay_throughput_separation.dir/bench_delay_throughput_separation.cc.o"
+  "CMakeFiles/bench_delay_throughput_separation.dir/bench_delay_throughput_separation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_throughput_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_delay_throughput_separation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2e_delay"
+  "../bench/bench_e2e_delay.pdb"
+  "CMakeFiles/bench_e2e_delay.dir/bench_e2e_delay.cc.o"
+  "CMakeFiles/bench_e2e_delay.dir/bench_e2e_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fair_airport"
+  "../bench/bench_fair_airport.pdb"
+  "CMakeFiles/bench_fair_airport.dir/bench_fair_airport.cc.o"
+  "CMakeFiles/bench_fair_airport.dir/bench_fair_airport.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fair_airport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

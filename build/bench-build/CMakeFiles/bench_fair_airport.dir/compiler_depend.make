@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fair_airport.
+# This may be replaced when dependencies are built.

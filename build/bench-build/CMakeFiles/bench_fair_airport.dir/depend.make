@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fair_airport.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_variable_rate"
+  "../bench/bench_fig1_variable_rate.pdb"
+  "CMakeFiles/bench_fig1_variable_rate.dir/bench_fig1_variable_rate.cc.o"
+  "CMakeFiles/bench_fig1_variable_rate.dir/bench_fig1_variable_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_variable_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

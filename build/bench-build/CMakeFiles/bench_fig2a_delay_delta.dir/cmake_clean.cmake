@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2a_delay_delta"
+  "../bench/bench_fig2a_delay_delta.pdb"
+  "CMakeFiles/bench_fig2a_delay_delta.dir/bench_fig2a_delay_delta.cc.o"
+  "CMakeFiles/bench_fig2a_delay_delta.dir/bench_fig2a_delay_delta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_delay_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2b_avg_delay"
+  "../bench/bench_fig2b_avg_delay.pdb"
+  "CMakeFiles/bench_fig2b_avg_delay.dir/bench_fig2b_avg_delay.cc.o"
+  "CMakeFiles/bench_fig2b_avg_delay.dir/bench_fig2b_avg_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_avg_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2b_avg_delay.
+# This may be replaced when dependencies are built.

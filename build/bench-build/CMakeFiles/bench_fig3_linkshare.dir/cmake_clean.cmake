@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_linkshare"
+  "../bench/bench_fig3_linkshare.pdb"
+  "CMakeFiles/bench_fig3_linkshare.dir/bench_fig3_linkshare.cc.o"
+  "CMakeFiles/bench_fig3_linkshare.dir/bench_fig3_linkshare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_linkshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scfq_delay_gap"
+  "../bench/bench_scfq_delay_gap.pdb"
+  "CMakeFiles/bench_scfq_delay_gap.dir/bench_scfq_delay_gap.cc.o"
+  "CMakeFiles/bench_scfq_delay_gap.dir/bench_scfq_delay_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scfq_delay_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_scfq_delay_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scheduler_perf"
+  "../bench/bench_scheduler_perf.pdb"
+  "CMakeFiles/bench_scheduler_perf.dir/bench_scheduler_perf.cc.o"
+  "CMakeFiles/bench_scheduler_perf.dir/bench_scheduler_perf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sim_throughput"
+  "../bench/bench_sim_throughput.pdb"
+  "CMakeFiles/bench_sim_throughput.dir/bench_sim_throughput.cc.o"
+  "CMakeFiles/bench_sim_throughput.dir/bench_sim_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_fairness"
+  "../bench/bench_table1_fairness.pdb"
+  "CMakeFiles/bench_table1_fairness.dir/bench_table1_fairness.cc.o"
+  "CMakeFiles/bench_table1_fairness.dir/bench_table1_fairness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

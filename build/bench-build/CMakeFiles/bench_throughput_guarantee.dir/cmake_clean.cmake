@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_throughput_guarantee"
+  "../bench/bench_throughput_guarantee.pdb"
+  "CMakeFiles/bench_throughput_guarantee.dir/bench_throughput_guarantee.cc.o"
+  "CMakeFiles/bench_throughput_guarantee.dir/bench_throughput_guarantee.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_control.dir/admission_control.cpp.o"
+  "CMakeFiles/admission_control.dir/admission_control.cpp.o.d"
+  "admission_control"
+  "admission_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

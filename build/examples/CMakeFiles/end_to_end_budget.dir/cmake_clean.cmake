@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_budget.dir/end_to_end_budget.cpp.o"
+  "CMakeFiles/end_to_end_budget.dir/end_to_end_budget.cpp.o.d"
+  "end_to_end_budget"
+  "end_to_end_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

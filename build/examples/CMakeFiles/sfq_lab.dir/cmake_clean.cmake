@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_lab.dir/sfq_lab.cpp.o"
+  "CMakeFiles/sfq_lab.dir/sfq_lab.cpp.o.d"
+  "sfq_lab"
+  "sfq_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_rate_fairness.dir/variable_rate_fairness.cpp.o"
+  "CMakeFiles/variable_rate_fairness.dir/variable_rate_fairness.cpp.o.d"
+  "variable_rate_fairness"
+  "variable_rate_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_rate_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_rate_allocation.dir/vbr_rate_allocation.cpp.o"
+  "CMakeFiles/vbr_rate_allocation.dir/vbr_rate_allocation.cpp.o.d"
+  "vbr_rate_allocation"
+  "vbr_rate_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_rate_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

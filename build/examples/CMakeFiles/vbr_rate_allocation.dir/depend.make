@@ -1,0 +1,2 @@
+# Empty dependencies file for vbr_rate_allocation.
+# This may be replaced when dependencies are built.

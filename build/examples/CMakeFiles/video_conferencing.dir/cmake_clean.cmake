@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_conferencing.dir/video_conferencing.cpp.o"
+  "CMakeFiles/video_conferencing.dir/video_conferencing.cpp.o.d"
+  "video_conferencing"
+  "video_conferencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_conferencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/experiment.cc" "src/CMakeFiles/sfq.dir/config/experiment.cc.o" "gcc" "src/CMakeFiles/sfq.dir/config/experiment.cc.o.d"
+  "/root/repo/src/core/flow_table.cc" "src/CMakeFiles/sfq.dir/core/flow_table.cc.o" "gcc" "src/CMakeFiles/sfq.dir/core/flow_table.cc.o.d"
+  "/root/repo/src/core/scheduler_factory.cc" "src/CMakeFiles/sfq.dir/core/scheduler_factory.cc.o" "gcc" "src/CMakeFiles/sfq.dir/core/scheduler_factory.cc.o.d"
+  "/root/repo/src/core/sfq_scheduler.cc" "src/CMakeFiles/sfq.dir/core/sfq_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/core/sfq_scheduler.cc.o.d"
+  "/root/repo/src/hier/hsfq_scheduler.cc" "src/CMakeFiles/sfq.dir/hier/hsfq_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/hier/hsfq_scheduler.cc.o.d"
+  "/root/repo/src/hier/link_sharing.cc" "src/CMakeFiles/sfq.dir/hier/link_sharing.cc.o" "gcc" "src/CMakeFiles/sfq.dir/hier/link_sharing.cc.o.d"
+  "/root/repo/src/net/fragmentation.cc" "src/CMakeFiles/sfq.dir/net/fragmentation.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/fragmentation.cc.o.d"
+  "/root/repo/src/net/mesh.cc" "src/CMakeFiles/sfq.dir/net/mesh.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/mesh.cc.o.d"
+  "/root/repo/src/net/multi_priority_server.cc" "src/CMakeFiles/sfq.dir/net/multi_priority_server.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/multi_priority_server.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/sfq.dir/net/network.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/network.cc.o.d"
+  "/root/repo/src/net/priority_server.cc" "src/CMakeFiles/sfq.dir/net/priority_server.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/priority_server.cc.o.d"
+  "/root/repo/src/net/rate_profile.cc" "src/CMakeFiles/sfq.dir/net/rate_profile.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/rate_profile.cc.o.d"
+  "/root/repo/src/net/scheduled_server.cc" "src/CMakeFiles/sfq.dir/net/scheduled_server.cc.o" "gcc" "src/CMakeFiles/sfq.dir/net/scheduled_server.cc.o.d"
+  "/root/repo/src/qos/admission.cc" "src/CMakeFiles/sfq.dir/qos/admission.cc.o" "gcc" "src/CMakeFiles/sfq.dir/qos/admission.cc.o.d"
+  "/root/repo/src/qos/bounds.cc" "src/CMakeFiles/sfq.dir/qos/bounds.cc.o" "gcc" "src/CMakeFiles/sfq.dir/qos/bounds.cc.o.d"
+  "/root/repo/src/qos/ebf_estimator.cc" "src/CMakeFiles/sfq.dir/qos/ebf_estimator.cc.o" "gcc" "src/CMakeFiles/sfq.dir/qos/ebf_estimator.cc.o.d"
+  "/root/repo/src/qos/end_to_end.cc" "src/CMakeFiles/sfq.dir/qos/end_to_end.cc.o" "gcc" "src/CMakeFiles/sfq.dir/qos/end_to_end.cc.o.d"
+  "/root/repo/src/qos/reservation.cc" "src/CMakeFiles/sfq.dir/qos/reservation.cc.o" "gcc" "src/CMakeFiles/sfq.dir/qos/reservation.cc.o.d"
+  "/root/repo/src/sched/drr_scheduler.cc" "src/CMakeFiles/sfq.dir/sched/drr_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/drr_scheduler.cc.o.d"
+  "/root/repo/src/sched/edd_scheduler.cc" "src/CMakeFiles/sfq.dir/sched/edd_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/edd_scheduler.cc.o.d"
+  "/root/repo/src/sched/fair_airport.cc" "src/CMakeFiles/sfq.dir/sched/fair_airport.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/fair_airport.cc.o.d"
+  "/root/repo/src/sched/gps_virtual_time.cc" "src/CMakeFiles/sfq.dir/sched/gps_virtual_time.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/gps_virtual_time.cc.o.d"
+  "/root/repo/src/sched/scfq_scheduler.cc" "src/CMakeFiles/sfq.dir/sched/scfq_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/scfq_scheduler.cc.o.d"
+  "/root/repo/src/sched/virtual_clock.cc" "src/CMakeFiles/sfq.dir/sched/virtual_clock.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/virtual_clock.cc.o.d"
+  "/root/repo/src/sched/wfq_scheduler.cc" "src/CMakeFiles/sfq.dir/sched/wfq_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/wfq_scheduler.cc.o.d"
+  "/root/repo/src/sched/wrr_scheduler.cc" "src/CMakeFiles/sfq.dir/sched/wrr_scheduler.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sched/wrr_scheduler.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/sfq.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/sfq.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/sfq.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/delay_stats.cc" "src/CMakeFiles/sfq.dir/stats/delay_stats.cc.o" "gcc" "src/CMakeFiles/sfq.dir/stats/delay_stats.cc.o.d"
+  "/root/repo/src/stats/fairness.cc" "src/CMakeFiles/sfq.dir/stats/fairness.cc.o" "gcc" "src/CMakeFiles/sfq.dir/stats/fairness.cc.o.d"
+  "/root/repo/src/stats/link_stats.cc" "src/CMakeFiles/sfq.dir/stats/link_stats.cc.o" "gcc" "src/CMakeFiles/sfq.dir/stats/link_stats.cc.o.d"
+  "/root/repo/src/stats/service_recorder.cc" "src/CMakeFiles/sfq.dir/stats/service_recorder.cc.o" "gcc" "src/CMakeFiles/sfq.dir/stats/service_recorder.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/CMakeFiles/sfq.dir/stats/time_series.cc.o" "gcc" "src/CMakeFiles/sfq.dir/stats/time_series.cc.o.d"
+  "/root/repo/src/traffic/leaky_bucket.cc" "src/CMakeFiles/sfq.dir/traffic/leaky_bucket.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/leaky_bucket.cc.o.d"
+  "/root/repo/src/traffic/sink.cc" "src/CMakeFiles/sfq.dir/traffic/sink.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/sink.cc.o.d"
+  "/root/repo/src/traffic/sources.cc" "src/CMakeFiles/sfq.dir/traffic/sources.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/sources.cc.o.d"
+  "/root/repo/src/traffic/tcp_reno.cc" "src/CMakeFiles/sfq.dir/traffic/tcp_reno.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/tcp_reno.cc.o.d"
+  "/root/repo/src/traffic/tcp_session.cc" "src/CMakeFiles/sfq.dir/traffic/tcp_session.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/tcp_session.cc.o.d"
+  "/root/repo/src/traffic/trace_io.cc" "src/CMakeFiles/sfq.dir/traffic/trace_io.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/trace_io.cc.o.d"
+  "/root/repo/src/traffic/vbr_video.cc" "src/CMakeFiles/sfq.dir/traffic/vbr_video.cc.o" "gcc" "src/CMakeFiles/sfq.dir/traffic/vbr_video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

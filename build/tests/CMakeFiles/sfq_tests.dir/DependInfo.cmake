@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_drr.cc" "tests/CMakeFiles/sfq_tests.dir/test_drr.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_drr.cc.o.d"
+  "/root/repo/tests/test_ebf_estimator.cc" "tests/CMakeFiles/sfq_tests.dir/test_ebf_estimator.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_ebf_estimator.cc.o.d"
+  "/root/repo/tests/test_edd.cc" "tests/CMakeFiles/sfq_tests.dir/test_edd.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_edd.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/sfq_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment_config.cc" "tests/CMakeFiles/sfq_tests.dir/test_experiment_config.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_experiment_config.cc.o.d"
+  "/root/repo/tests/test_fair_airport.cc" "tests/CMakeFiles/sfq_tests.dir/test_fair_airport.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_fair_airport.cc.o.d"
+  "/root/repo/tests/test_fragmentation.cc" "tests/CMakeFiles/sfq_tests.dir/test_fragmentation.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_fragmentation.cc.o.d"
+  "/root/repo/tests/test_gps_reference.cc" "tests/CMakeFiles/sfq_tests.dir/test_gps_reference.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_gps_reference.cc.o.d"
+  "/root/repo/tests/test_hier_delegation.cc" "tests/CMakeFiles/sfq_tests.dir/test_hier_delegation.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_hier_delegation.cc.o.d"
+  "/root/repo/tests/test_hsfq.cc" "tests/CMakeFiles/sfq_tests.dir/test_hsfq.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_hsfq.cc.o.d"
+  "/root/repo/tests/test_indexed_heap.cc" "tests/CMakeFiles/sfq_tests.dir/test_indexed_heap.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_indexed_heap.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/sfq_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interop_e2e.cc" "tests/CMakeFiles/sfq_tests.dir/test_interop_e2e.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_interop_e2e.cc.o.d"
+  "/root/repo/tests/test_link_stats.cc" "tests/CMakeFiles/sfq_tests.dir/test_link_stats.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_link_stats.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/sfq_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_misc_coverage.cc" "tests/CMakeFiles/sfq_tests.dir/test_misc_coverage.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_misc_coverage.cc.o.d"
+  "/root/repo/tests/test_multi_priority.cc" "tests/CMakeFiles/sfq_tests.dir/test_multi_priority.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_multi_priority.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/sfq_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_qos.cc" "tests/CMakeFiles/sfq_tests.dir/test_qos.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_qos.cc.o.d"
+  "/root/repo/tests/test_rate_profile.cc" "tests/CMakeFiles/sfq_tests.dir/test_rate_profile.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_rate_profile.cc.o.d"
+  "/root/repo/tests/test_reservation.cc" "tests/CMakeFiles/sfq_tests.dir/test_reservation.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_reservation.cc.o.d"
+  "/root/repo/tests/test_scale_robustness.cc" "tests/CMakeFiles/sfq_tests.dir/test_scale_robustness.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_scale_robustness.cc.o.d"
+  "/root/repo/tests/test_scfq.cc" "tests/CMakeFiles/sfq_tests.dir/test_scfq.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_scfq.cc.o.d"
+  "/root/repo/tests/test_scheduler_properties.cc" "tests/CMakeFiles/sfq_tests.dir/test_scheduler_properties.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_scheduler_properties.cc.o.d"
+  "/root/repo/tests/test_servers.cc" "tests/CMakeFiles/sfq_tests.dir/test_servers.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_servers.cc.o.d"
+  "/root/repo/tests/test_sfq_scheduler.cc" "tests/CMakeFiles/sfq_tests.dir/test_sfq_scheduler.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_sfq_scheduler.cc.o.d"
+  "/root/repo/tests/test_sources.cc" "tests/CMakeFiles/sfq_tests.dir/test_sources.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_sources.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/sfq_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_tcp_reno.cc" "tests/CMakeFiles/sfq_tests.dir/test_tcp_reno.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_tcp_reno.cc.o.d"
+  "/root/repo/tests/test_tcp_session.cc" "tests/CMakeFiles/sfq_tests.dir/test_tcp_session.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_tcp_session.cc.o.d"
+  "/root/repo/tests/test_virtual_clock.cc" "tests/CMakeFiles/sfq_tests.dir/test_virtual_clock.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_virtual_clock.cc.o.d"
+  "/root/repo/tests/test_wfq.cc" "tests/CMakeFiles/sfq_tests.dir/test_wfq.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_wfq.cc.o.d"
+  "/root/repo/tests/test_wrr_trace_io.cc" "tests/CMakeFiles/sfq_tests.dir/test_wrr_trace_io.cc.o" "gcc" "tests/CMakeFiles/sfq_tests.dir/test_wrr_trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sfq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
