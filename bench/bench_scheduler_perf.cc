@@ -13,14 +13,23 @@
 #include "bench_util.h"
 #include "core/scheduler.h"
 #include "hier/hsfq_scheduler.h"
+#include "obs/trace.h"
 
 namespace {
 
 using namespace sfq;
 
-void run_cycle(benchmark::State& state, const std::string& name) {
+enum class Trace { kOff, kNullSink };
+
+void run_cycle(benchmark::State& state, const std::string& name,
+               Trace trace = Trace::kOff) {
   const int q = static_cast<int>(state.range(0));
   auto sched = bench::make_scheduler(name, 1e9, /*quantum_per_weight=*/1e4);
+  obs::Tracer tracer;
+  if (trace == Trace::kNullSink) {
+    tracer.own(std::make_unique<obs::NullSink>());
+    sched->set_tracer(&tracer);
+  }
   std::mt19937_64 rng(42);
   std::uniform_real_distribution<double> len(500.0, 1500.0);
   for (int i = 0; i < q; ++i)
@@ -94,6 +103,11 @@ void run_depth(benchmark::State& state) {
 void BM_HSFQ_Depth(benchmark::State& s) { run_depth(s); }
 
 void BM_SFQ(benchmark::State& s) { run_cycle(s, "SFQ"); }
+// The untaken-branch cost of the observability hooks (docs/OBSERVABILITY.md):
+// must stay within noise of BM_SFQ.
+void BM_SFQ_NullTracer(benchmark::State& s) {
+  run_cycle(s, "SFQ", Trace::kNullSink);
+}
 void BM_SCFQ(benchmark::State& s) { run_cycle(s, "SCFQ"); }
 void BM_WFQ(benchmark::State& s) { run_cycle(s, "WFQ"); }
 void BM_FQS(benchmark::State& s) { run_cycle(s, "FQS"); }
@@ -105,6 +119,7 @@ void BM_HSFQ_Flat(benchmark::State& s) { run_cycle(s, "H-SFQ"); }
 }  // namespace
 
 BENCHMARK(BM_SFQ)->RangeMultiplier(8)->Range(8, 4096);
+BENCHMARK(BM_SFQ_NullTracer)->RangeMultiplier(8)->Range(8, 4096);
 BENCHMARK(BM_SCFQ)->RangeMultiplier(8)->Range(8, 4096);
 BENCHMARK(BM_WFQ)->RangeMultiplier(8)->Range(8, 4096);
 BENCHMARK(BM_FQS)->RangeMultiplier(8)->Range(8, 4096);

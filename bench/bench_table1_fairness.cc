@@ -155,6 +155,10 @@ int main() {
   const double bound = sfq::stats::sfq_fairness_bound(kLen, kWeight, kLen, kWeight);
   const double lower = sfq::stats::fairness_lower_bound(kLen, kWeight, kLen, kWeight);
 
+  sfq::bench::JsonReport report("table1_fairness");
+  report.add("bounds", "h_bound_s", bound);
+  report.add("bounds", "lower_bound_s", lower);
+
   sfq::stats::TablePrinter table(
       {"scheduler", "worst-H(s)", "H-bound(s)", "x-lower", "varH(s)",
        "var-fair"});
@@ -168,6 +172,8 @@ int main() {
                sfq::stats::TablePrinter::num(h / lower, 2),
                sfq::stats::TablePrinter::num(hv, 4),
                var_fair ? "yes" : "NO"});
+    report.add(name, "worst_h_s", h);
+    report.add(name, "variable_rate_h_s", hv);
     if (name == "SFQ" && (h > bound + 1e-9 || !var_fair)) sfq_ok = false;
   }
   std::printf("\nlower bound (any packet algorithm): %.4f s\n", lower);
@@ -184,6 +190,7 @@ int main() {
     const double o = low_rate_overhang(name);
     d.row({name, sfq::stats::TablePrinter::num(o * 1e3, 2),
            sfq::stats::TablePrinter::num((o - wfq_overhang) * 1e3, 2)});
+    report.add(name, "eat_overhang_s", o);
   }
 
   // Table 1's DRR row is "unbounded": H grows linearly with the quantum
@@ -196,6 +203,10 @@ int main() {
     drr.row({sfq::stats::TablePrinter::num(qw * kWeight / kLen, 0),
              sfq::stats::TablePrinter::num(h, 4),
              sfq::stats::TablePrinter::num(h / bound, 2)});
+    report.add("DRR_quantum_" + sfq::stats::TablePrinter::num(qw, 0),
+               "worst_h_s", h);
   }
+  const std::string json_path = report.write();
+  if (!json_path.empty()) std::printf("\nwrote %s\n", json_path.c_str());
   return sfq_ok ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 #include "core/sfq_scheduler.h"
 #include "hier/hsfq_scheduler.h"
@@ -27,6 +30,36 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   if (name == "FairAirport") return std::make_unique<FairAirportScheduler>();
   if (name == "H-SFQ") return std::make_unique<hier::HsfqScheduler>();
   throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {}
+
+JsonReport::~JsonReport() {
+  if (!written_) write();
+}
+
+void JsonReport::add(const std::string& scenario, const std::string& metric,
+                     double value) {
+  records_.push_back(Record{scenario, metric, value});
+  written_ = false;
+}
+
+std::string JsonReport::write() {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out.precision(17);
+  out << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    out << "  {\"bench\":\"" << obs::json_escape(name_) << "\",\"scenario\":\""
+        << obs::json_escape(r.scenario) << "\",\"metric\":\""
+        << obs::json_escape(r.metric) << "\",\"value\":" << r.value << "}"
+        << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  written_ = true;
+  return path;
 }
 
 void print_header(const std::string& experiment, const std::string& paper_ref,

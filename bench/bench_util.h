@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/scheduler.h"
 #include "stats/time_series.h"
@@ -17,5 +18,32 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
 
 void print_header(const std::string& experiment, const std::string& paper_ref,
                   const std::string& expectation);
+
+// Machine-readable companion to the printed tables: collects
+// (scenario, metric, value) records and writes them as a JSON array to
+// BENCH_<name>.json in the current directory on write() (or destruction).
+// Offline tooling diffs these files across commits without scraping tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+  ~JsonReport();
+
+  void add(const std::string& scenario, const std::string& metric,
+           double value);
+
+  // Writes BENCH_<name>.json; returns the path written ("" on failure).
+  // Idempotent: later calls (and the destructor) rewrite the same file.
+  std::string write();
+
+ private:
+  struct Record {
+    std::string scenario;
+    std::string metric;
+    double value;
+  };
+  std::string name_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 }  // namespace sfq::bench

@@ -4,6 +4,12 @@
 //   sfq_lab --sweep experiment.conf  run it under every scheduler
 //   sfq_lab                        run a built-in demo config
 //
+// Observability overrides (equivalent to `trace` / `metrics` directives in
+// the config; see docs/OBSERVABILITY.md):
+//   --trace FILE     write a JSONL packet-lifecycle trace of the first hop
+//   --metrics FILE   write a MetricsRegistry JSON dump ("-" = stdout)
+//   --check          run the online invariant checker; exit 1 on violations
+//
 // Config format (see src/config/experiment.h):
 //
 //   scheduler SFQ
@@ -49,21 +55,33 @@ void print_result(const config::ExperimentSpec& spec,
                 f.throughput / 1e6, to_milliseconds(f.mean_delay),
                 to_milliseconds(f.p99_delay), to_milliseconds(f.max_delay));
   }
-  std::printf("  worst pairwise H / Theorem-1 bound: %.3f %s\n\n",
+  std::printf("  worst pairwise H / Theorem-1 bound: %.3f %s\n",
               r.worst_fairness_ratio,
               r.worst_fairness_ratio <= 1.0 + 1e-9
                   ? "(within fair-queueing bound)"
                   : "(UNFAIR)");
+  if (spec.obs.enabled())
+    std::printf("  trace: %llu events%s%s\n",
+                static_cast<unsigned long long>(r.trace_events),
+                spec.obs.trace_jsonl.empty() ? "" : " -> ",
+                spec.obs.trace_jsonl.c_str());
+  if (!r.invariant_report.empty())
+    std::printf("  %s\n", r.invariant_report.c_str());
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool sweep = false;
-  std::string file;
+  bool check = false;
+  std::string file, trace_file, metrics_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sweep") sweep = true;
+    else if (arg == "--check") check = true;
+    else if (arg == "--trace" && i + 1 < argc) trace_file = argv[++i];
+    else if (arg == "--metrics" && i + 1 < argc) metrics_file = argv[++i];
     else file = arg;
   }
 
@@ -75,15 +93,23 @@ int main(int argc, char** argv) {
   } else {
     spec = config::ExperimentSpec::parse_file(file);
   }
+  if (!trace_file.empty()) spec.obs.trace_jsonl = trace_file;
+  if (!metrics_file.empty()) spec.obs.metrics_json = metrics_file;
+  if (check) spec.obs.check_invariants = true;
 
+  uint64_t violations = 0;
   if (!sweep) {
-    print_result(spec, config::run_experiment(spec));
-    return 0;
+    const auto r = config::run_experiment(spec);
+    print_result(spec, r);
+    violations = r.invariant_violations;
+  } else {
+    for (const std::string& name : scheduler_names()) {
+      if (name == "EDD") continue;  // needs per-flow deadlines, not in configs
+      spec.scheduler = name;
+      const auto r = config::run_experiment(spec);
+      print_result(spec, r);
+      violations += r.invariant_violations;
+    }
   }
-  for (const std::string& name : scheduler_names()) {
-    if (name == "EDD") continue;  // needs per-flow deadlines, not in configs
-    spec.scheduler = name;
-    print_result(spec, config::run_experiment(spec));
-  }
-  return 0;
+  return violations == 0 ? 0 : 1;
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: warning-clean Release build, the whole test suite, and
+# a traced example run whose JSONL output must parse and whose invariants
+# must hold (docs/OBSERVABILITY.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD_DIR:-build-check}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DSFQ_WERROR=ON
+cmake --build "$BUILD" -j"$(nproc)"
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+
+# Traced run: every event line must be valid JSON, zero invariant violations
+# (non-zero exit from --check), and the metrics dump must be valid JSON.
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+"$BUILD/examples/sfq_lab" --check --trace "$out/run.jsonl" \
+    --metrics "$out/run.metrics.json" examples/configs/single_switch.conf
+
+test -s "$out/run.jsonl"
+if command -v python3 >/dev/null; then
+  python3 - "$out/run.jsonl" "$out/run.metrics.json" <<'EOF'
+import json, sys
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        json.loads(line)
+        n += 1
+assert n > 0, "empty trace"
+m = json.load(open(sys.argv[2]))
+assert "flow.voice.delay" in m["histograms"], m["histograms"].keys()
+assert "sched.drops.buffer_limit" in m["counters"]
+print(f"trace OK: {n} JSONL lines, metrics OK: "
+      f"{len(m['counters'])} counters, {len(m['histograms'])} histograms")
+EOF
+else
+  echo "python3 not found - skipping JSONL parse check"
+fi
+
+echo "check.sh: all gates passed"

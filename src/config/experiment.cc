@@ -3,6 +3,7 @@
 #include <cctype>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -12,6 +13,9 @@
 #include "net/rate_profile.h"
 #include "net/network.h"
 #include "net/scheduled_server.h"
+#include "obs/invariant_checker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "stats/delay_stats.h"
 #include "stats/fairness.h"
@@ -97,6 +101,13 @@ std::map<std::string, std::string> parse_kv(std::istringstream& ss,
   return kv;
 }
 
+bool parse_bool(const std::string& value, std::size_t lineno) {
+  if (value == "on" || value == "true" || value == "1") return true;
+  if (value == "off" || value == "false" || value == "0") return false;
+  throw std::invalid_argument("line " + std::to_string(lineno) +
+                              ": expected on/off, got '" + value + "'");
+}
+
 FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
                     std::size_t index) {
   FlowSpec f;
@@ -170,6 +181,23 @@ ExperimentSpec ExperimentSpec::parse(std::istream& in) {
     } else if (directive == "flow") {
       spec.flows.push_back(
           parse_flow(parse_kv(ss, lineno), lineno, spec.flows.size()));
+    } else if (directive == "trace") {
+      for (const auto& [key, value] : parse_kv(ss, lineno)) {
+        if (key == "jsonl") spec.obs.trace_jsonl = value;
+        else if (key == "invariants")
+          spec.obs.check_invariants = parse_bool(value, lineno);
+        else
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": unknown trace key '" + key + "'");
+      }
+    } else if (directive == "metrics") {
+      for (const auto& [key, value] : parse_kv(ss, lineno)) {
+        if (key == "json") spec.obs.metrics_json = value;
+        else if (key == "text") spec.obs.metrics_text = value;
+        else
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": unknown metrics key '" + key + "'");
+      }
     } else {
       throw std::invalid_argument("line " + std::to_string(lineno) +
                                   ": unknown directive '" + directive + "'");
@@ -268,6 +296,34 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     }
   }
 
+  // Observability: instrument the first (usually bottleneck-shared) hop.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::InvariantChecker* checker = nullptr;
+  if (spec.obs.enabled()) {
+    std::vector<std::string> flow_names;
+    for (const FlowSpec& f : spec.flows) flow_names.push_back(f.name);
+    if (!spec.obs.trace_jsonl.empty()) {
+      auto jsonl = std::make_unique<obs::JsonlSink>(spec.obs.trace_jsonl);
+      jsonl->meta("scheduler", spec.scheduler);
+      for (std::size_t i = 0; i < spec.flows.size(); ++i)
+        jsonl->meta("flow." + std::to_string(ids[i]), spec.flows[i].name);
+      tracer.own(std::move(jsonl));
+    }
+    if (spec.obs.check_invariants) {
+      auto c = std::make_unique<obs::InvariantChecker>(
+          obs::InvariantChecker::for_scheduler(spec.scheduler));
+      checker = c.get();
+      tracer.own(std::move(c));
+    }
+    if (spec.obs.metrics_enabled()) {
+      tracer.own(std::make_unique<obs::MetricsSink>(metrics, flow_names));
+      sim.set_metrics(&metrics);
+    }
+    if (multi_hop) tandem->server(0).set_tracer(&tracer);
+    else single_server->set_tracer(&tracer);
+  }
+
   auto emit = [&](Packet p) { inject(std::move(p)); };
   std::vector<std::unique_ptr<traffic::Source>> sources;
   for (std::size_t i = 0; i < spec.flows.size(); ++i) {
@@ -303,6 +359,35 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (multi_hop) tandem->finish_recording();
 
   ExperimentResult result;
+  if (spec.obs.enabled()) {
+    tracer.finish();
+    result.trace_events = tracer.emitted();
+    if (checker) {
+      result.invariant_violations = checker->violation_count();
+      result.invariant_report = checker->report();
+    }
+    if (spec.obs.metrics_enabled()) {
+      result.metrics_json = metrics.json();
+      auto write_to = [&](const std::string& target, bool as_json) {
+        if (target.empty()) return;
+        if (target == "-") {
+          if (as_json) {
+            std::cout << result.metrics_json << "\n";
+          } else {
+            metrics.dump_text(std::cout);
+          }
+          return;
+        }
+        std::ofstream out(target);
+        if (!out)
+          throw std::runtime_error("cannot open metrics file: " + target);
+        if (as_json) out << result.metrics_json << "\n";
+        else metrics.dump_text(out);
+      };
+      write_to(spec.obs.metrics_json, /*as_json=*/true);
+      write_to(spec.obs.metrics_text, /*as_json=*/false);
+    }
+  }
   if (!multi_hop) {
     drops = single_server->drops();
   } else {

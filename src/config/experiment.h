@@ -27,13 +27,16 @@ Time parse_time(const std::string& text);
 //   scheduler SFQ
 //   link rate=10Mbps delta=20Kb buffer=0
 //   duration 10s
+//   trace jsonl=run.jsonl invariants=on
+//   metrics json=metrics.json
 //   flow name=voice kind=cbr     rate=64Kbps packet=160B
 //   flow name=web   kind=poisson rate=2Mbps  packet=1000B weight=1Mbps
 //   flow name=bulk  kind=greedy  packet=1500B weight=4Mbps start=2s
 //
 // Directives: `scheduler <name>`, `link k=v...`, `duration <time>`,
-// `flow k=v...`. '#' starts a comment. Flow weight defaults to the offered
-// rate; greedy flows offer 2x their weight.
+// `flow k=v...`, `trace k=v...`, `metrics k=v...`. '#' starts a comment.
+// Flow weight defaults to the offered rate; greedy flows offer 2x their
+// weight. Tracing/metrics instrument the first hop (docs/OBSERVABILITY.md).
 struct FlowSpec {
   std::string name;
   std::string kind = "cbr";  // cbr | poisson | onoff | greedy | vbr
@@ -54,6 +57,22 @@ struct HopSpec {
   Time propagation = 0.0;         // to the next hop
 };
 
+// Observability switches (`trace` / `metrics` directives). All off by
+// default; any active field attaches an obs::Tracer to the first hop.
+struct ObsSpec {
+  std::string trace_jsonl;    // `trace jsonl=PATH`: JSONL event file
+  bool check_invariants = false;  // `trace invariants=on`: online checker
+  std::string metrics_json;   // `metrics json=PATH` ("-" = stdout)
+  std::string metrics_text;   // `metrics text=PATH` ("-" = stdout)
+
+  bool metrics_enabled() const {
+    return !metrics_json.empty() || !metrics_text.empty();
+  }
+  bool enabled() const {
+    return !trace_jsonl.empty() || check_invariants || metrics_enabled();
+  }
+};
+
 struct ExperimentSpec {
   std::string scheduler = "SFQ";
   // One `link` directive per hop; several build a tandem path that every
@@ -61,6 +80,7 @@ struct ExperimentSpec {
   std::vector<HopSpec> hops;
   Time duration = 10.0;
   std::vector<FlowSpec> flows;
+  ObsSpec obs;
 
   // Convenience accessors for the single-hop case.
   double link_rate() const { return hops.front().rate; }
@@ -87,6 +107,12 @@ struct ExperimentResult {
   // Worst pairwise empirical H(f,m) over Theorem-1 bound across all flow
   // pairs (<= 1 means every pair within the fair-queueing bound).
   double worst_fairness_ratio = 0.0;
+
+  // Filled when spec.obs is active.
+  uint64_t trace_events = 0;
+  uint64_t invariant_violations = 0;   // valid when check_invariants was on
+  std::string invariant_report;        // "" when the checker did not run
+  std::string metrics_json;            // "" when metrics were off
 };
 
 ExperimentResult run_experiment(const ExperimentSpec& spec);

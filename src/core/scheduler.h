@@ -8,6 +8,7 @@
 #include "core/flow_table.h"
 #include "core/packet.h"
 #include "core/types.h"
+#include "obs/trace.h"
 
 namespace sfq {
 
@@ -49,12 +50,55 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
+  // Whether packets must belong to a flow registered via add_flow. Servers
+  // drop (with cause) rather than enqueue when this holds and the flow is
+  // unknown; FIFO-like disciplines that take any packet return false.
+  virtual bool requires_registered_flows() const { return true; }
+
   const FlowTable& flows() const { return flows_; }
   FlowTable& flows() { return flows_; }
 
+  // Attaches a packet-lifecycle tracer (obs/trace.h). nullptr (the default)
+  // disables tracing; every hook below is then a single predictable branch.
+  // Tracer::active() is latched here, so attach sinks before the tracer.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    trace_on_ = tracer != nullptr && tracer->active();
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+
  protected:
   Scheduler() = default;
+
+  // Hot-path hooks for implementations. `p` must already carry the fields
+  // the event reports (tags for trace_tag, etc.).
+  void trace_tag(const Packet& p, Time now, VirtualTime vtime,
+                 std::size_t backlog) const {
+    if (trace_on_) [[unlikely]]
+      tracer_->emit(obs::make_event(obs::TraceEventType::kTag, p, now, vtime,
+                                    backlog));
+  }
+  void trace_dequeue(const Packet& p, Time now, VirtualTime vtime,
+                     std::size_t backlog) const {
+    if (trace_on_) [[unlikely]]
+      tracer_->emit(obs::make_event(obs::TraceEventType::kDequeue, p, now,
+                                    vtime, backlog));
+  }
+  // Virtual-time changes outside a dequeue (e.g. the end-of-busy-period jump).
+  void trace_vtime(Time now, VirtualTime vtime, std::size_t backlog) const {
+    if (trace_on_) [[unlikely]] {
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kVtime;
+      e.t = now;
+      e.vtime = vtime;
+      e.backlog = backlog;
+      tracer_->emit(e);
+    }
+  }
+
   FlowTable flows_;
+  obs::Tracer* tracer_ = nullptr;
+  bool trace_on_ = false;  // tracer_ set AND it has a consuming sink
 };
 
 // Per-flow FIFO of queued packets plus the bookkeeping every tag-based

@@ -29,7 +29,6 @@ void SfqScheduler::push_head(FlowId f) {
 }
 
 void SfqScheduler::enqueue(Packet p, Time now) {
-  (void)now;
   if (p.flow >= flow_state_.size())
     throw std::out_of_range("SFQ: packet for unknown flow");
   FlowState& st = flow_state_[p.flow];
@@ -42,12 +41,12 @@ void SfqScheduler::enqueue(Packet p, Time now) {
   const FlowId f = p.flow;
   const bool was_empty = queues_.flow_empty(f);
   p.sched_order = ++enqueue_seq_;
+  trace_tag(p, now, vtime_, queues_.packets() + 1);
   queues_.push(std::move(p));
   if (was_empty) push_head(f);
 }
 
 std::optional<Packet> SfqScheduler::dequeue(Time now) {
-  (void)now;
   if (ready_.empty()) return std::nullopt;
   FlowId f = ready_.top_id();
   ready_.pop();
@@ -58,17 +57,20 @@ std::optional<Packet> SfqScheduler::dequeue(Time now) {
   in_service_ = true;
 
   if (!queues_.flow_empty(f)) push_head(f);
+  trace_dequeue(p, now, vtime_, queues_.packets());
   return p;
 }
 
 void SfqScheduler::on_transmit_complete(const Packet& p, Time now) {
-  (void)now;
   in_service_ = false;
   max_finish_serviced_ = std::max(max_finish_serviced_, p.finish_tag);
   if (ready_.empty() && queues_.packets() == 0) {
     // End of busy period: v jumps to the max finish tag serviced (§2 rule 2),
     // so flows that idle cannot bank credit for the future.
-    vtime_ = std::max(vtime_, max_finish_serviced_);
+    if (max_finish_serviced_ > vtime_) {
+      vtime_ = max_finish_serviced_;
+      trace_vtime(now, vtime_, 0);
+    }
   }
 }
 

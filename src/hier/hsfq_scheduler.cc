@@ -96,6 +96,9 @@ void HsfqScheduler::enqueue(Packet p, Time now) {
   if (p.flow >= routes_.size())
     throw std::out_of_range("HSFQ: packet for unknown flow");
   const FlowRoute& route = routes_[p.flow];
+  // Tags are dequeue-driven in H-SFQ, so the tag event reports the packet
+  // as-queued (root virtual time, no start/finish yet).
+  trace_tag(p, now, nodes_[kRootClass].vtime, backlog_packets() + 1);
   if (route.delegated) {
     Node& cls = nodes_[route.node];
     const bool was_empty = cls.inner->empty();
@@ -174,6 +177,7 @@ std::optional<Packet> HsfqScheduler::dequeue(Time now) {
 
   // Stamp the leaf-level tags on the packet for traces/tests.
   p.start_tag = nodes_[kRootClass].vtime;
+  trace_dequeue(p, now, nodes_[kRootClass].vtime, backlog_packets());
   return p;
 }
 
@@ -189,6 +193,7 @@ void HsfqScheduler::on_transmit_complete(const Packet& p, Time now) {
   }
   // Commit armed busy-period jumps for nodes whose subtree stayed empty
   // through the final transmission (flat-SFQ rule 2, per node).
+  const VirtualTime root_before = nodes_[kRootClass].vtime;
   for (uint32_t n : armed_nodes_) {
     Node& node = nodes_[n];
     if (node.jump_armed && node.children.empty()) {
@@ -197,6 +202,8 @@ void HsfqScheduler::on_transmit_complete(const Packet& p, Time now) {
     }
   }
   armed_nodes_.clear();
+  if (nodes_[kRootClass].vtime != root_before)
+    trace_vtime(now, nodes_[kRootClass].vtime, backlog_packets());
 }
 
 }  // namespace sfq::hier

@@ -8,16 +8,43 @@ ScheduledServer::ScheduledServer(sim::Simulator& sim, Scheduler& sched,
                                  std::unique_ptr<RateProfile> profile)
     : sim_(sim), sched_(sched), profile_(std::move(profile)) {}
 
+bool ScheduledServer::drop(Packet&& p, Time now, obs::DropCause cause) {
+  ++drops_;
+  if (cause == obs::DropCause::kBufferLimit) ++buffer_drops_;
+  else if (cause == obs::DropCause::kUnknownFlow) ++unknown_flow_drops_;
+  if (trace_on_) [[unlikely]]
+    tracer_->emit(obs::make_event(obs::TraceEventType::kDrop, p, now,
+                                  /*vtime=*/0.0, sched_.backlog_packets(),
+                                  cause));
+  if (on_drop_) on_drop_(p, now);
+  return false;
+}
+
 bool ScheduledServer::inject(Packet p) {
   const Time now = sim_.now();
-  if (buffer_limit_ != 0 && sched_.backlog_packets() >= buffer_limit_) {
-    ++drops_;
-    if (on_drop_) on_drop_(p, now);
-    return false;
-  }
+  if (sched_.requires_registered_flows() && p.flow >= sched_.flows().size())
+    return drop(std::move(p), now, obs::DropCause::kUnknownFlow);
+  if (buffer_limit_ != 0 && sched_.backlog_packets() >= buffer_limit_)
+    return drop(std::move(p), now, obs::DropCause::kBufferLimit);
   p.arrival = now;
   if (recorder_) recorder_->on_arrival(p.flow, now);
+  const FlowId flow = p.flow;
+  const uint64_t seq = p.seq;
+  const double bits = p.length_bits;
   sched_.enqueue(std::move(p), now);
+  if (trace_on_) [[unlikely]] {
+    // The scheduler's kTag event carries the tag detail; this one marks
+    // server acceptance (post-enqueue backlog).
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kEnqueue;
+    e.flow = flow;
+    e.seq = seq;
+    e.length_bits = bits;
+    e.t = now;
+    e.arrival = now;
+    e.backlog = sched_.backlog_packets();
+    tracer_->emit(e);
+  }
   if (link_stats_) link_stats_->on_queue_sample(now, sched_.backlog_packets());
   try_start();
   return true;
@@ -34,12 +61,18 @@ void ScheduledServer::try_start() {
     link_stats_->on_queue_sample(now, sched_.backlog_packets());
   }
   const Time finish = profile_->finish_time(now, next->length_bits);
+  if (trace_on_) [[unlikely]]
+    tracer_->emit(obs::make_event(obs::TraceEventType::kTxStart, *next, now,
+                                  /*vtime=*/0.0, sched_.backlog_packets()));
   // The packet is captured by value in the completion event; schedulers keep
   // no reference to in-flight packets.
   sim_.at(finish, [this, p = *next, start = now, finish]() {
     busy_ = false;
     if (link_stats_) link_stats_->on_transmit_end(finish);
     sched_.on_transmit_complete(p, finish);
+    if (trace_on_) [[unlikely]]
+      tracer_->emit(obs::make_event(obs::TraceEventType::kTxEnd, p, finish,
+                                    /*vtime=*/0.0, sched_.backlog_packets()));
     if (recorder_)
       recorder_->on_service(p.flow, p.length_bits, p.arrival, start, finish);
     if (on_departure_) on_departure_(p, finish);

@@ -6,6 +6,7 @@
 
 #include "core/scheduler.h"
 #include "net/rate_profile.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "stats/link_stats.h"
 #include "stats/service_recorder.h"
@@ -27,14 +28,25 @@ class ScheduledServer {
   ScheduledServer(const ScheduledServer&) = delete;
   ScheduledServer& operator=(const ScheduledServer&) = delete;
 
-  // Packet arrival. Stamps p.arrival = now. Returns false if dropped by the
-  // buffer limit.
+  // Packet arrival. Stamps p.arrival = now. Returns false if dropped (buffer
+  // limit, or a flow never registered with the scheduler); the drop cause is
+  // counted and reported through the trace stream.
   bool inject(Packet p);
 
   void set_departure(DepartureFn fn) { on_departure_ = std::move(fn); }
   void set_drop(DropFn fn) { on_drop_ = std::move(fn); }
   void set_recorder(stats::ServiceRecorder* rec) { recorder_ = rec; }
   void set_link_stats(stats::LinkStats* ls) { link_stats_ = ls; }
+
+  // Attaches a packet-lifecycle tracer to this server *and* its scheduler:
+  // the server emits enqueue/tx_start/tx_end/drop events, the scheduler
+  // emits tag/dequeue/vtime events into the same stream. Tracer::active()
+  // is latched here, so attach sinks before the tracer.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    trace_on_ = tracer != nullptr && tracer->active();
+    sched_.set_tracer(tracer);
+  }
 
   // Cap on queued packets (excluding the one in transmission); 0 = infinite.
   void set_buffer_limit(std::size_t packets) { buffer_limit_ = packets; }
@@ -43,9 +55,19 @@ class ScheduledServer {
   RateProfile& profile() { return *profile_; }
   bool busy() const { return busy_; }
   uint64_t drops() const { return drops_; }
+  // Per-cause breakdown of drops().
+  uint64_t drops(obs::DropCause cause) const {
+    switch (cause) {
+      case obs::DropCause::kBufferLimit: return buffer_drops_;
+      case obs::DropCause::kUnknownFlow: return unknown_flow_drops_;
+      case obs::DropCause::kNone: break;
+    }
+    return 0;
+  }
 
  private:
   void try_start();
+  bool drop(Packet&& p, Time now, obs::DropCause cause);
 
   sim::Simulator& sim_;
   Scheduler& sched_;
@@ -54,9 +76,13 @@ class ScheduledServer {
   DropFn on_drop_;
   stats::ServiceRecorder* recorder_ = nullptr;
   stats::LinkStats* link_stats_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  bool trace_on_ = false;  // tracer_ set AND it has a consuming sink
   std::size_t buffer_limit_ = 0;
   bool busy_ = false;
   uint64_t drops_ = 0;
+  uint64_t buffer_drops_ = 0;
+  uint64_t unknown_flow_drops_ = 0;
 };
 
 }  // namespace sfq::net

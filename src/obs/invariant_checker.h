@@ -1,0 +1,87 @@
+// Online validation of SFQ-family semantics from the trace stream.
+//
+// Checks (all configurable, defaults match flat SFQ):
+//   * order        — the tag that defines service order (start tag for
+//                    SFQ/FQS/H-SFQ, finish tag for SCFQ/VC) is non-decreasing
+//                    across dequeues. WFQ serves min-finish among *currently
+//                    queued* packets, which is not globally monotone, so the
+//                    check is disabled there.
+//   * vtime        — v(t) is monotone non-decreasing (paper §2: within a busy
+//                    period v follows the packet in service; at the end of a
+//                    busy period it jumps *up* to the max finish tag).
+//   * tags         — finish tag >= start tag for every tagged packet, and a
+//                    flow's start tag >= its previous packet's finish tag
+//                    (S = max(v, F_prev) implies both).
+//   * conservation — packets tagged == packets dequeued + backlog after the
+//                    last event (drops never reach the scheduler), checked in
+//                    finish(). Schedulers without tag hooks (FIFO, DRR, ...)
+//                    are accounted at the server level instead: enqueues ==
+//                    transmissions started + backlog.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sfq::obs {
+
+class InvariantChecker final : public TraceSink {
+ public:
+  enum class OrderTag { kNone, kStartTag, kFinishTag };
+
+  struct Options {
+    OrderTag order = OrderTag::kStartTag;
+    bool check_vtime_monotone = true;
+    bool check_tags = true;
+    bool check_conservation = true;
+    double epsilon = 1e-9;             // tolerance on tag comparisons
+    std::size_t max_violations = 64;   // stop recording past this many
+  };
+
+  // Per-discipline defaults keyed by Scheduler::name() / factory name
+  // ("SFQ", "SCFQ", "WFQ", "H-SFQ", ...). Unknown names get conservation +
+  // vtime only.
+  static Options for_scheduler(const std::string& name);
+
+  InvariantChecker();  // default Options (flat-SFQ semantics)
+  explicit InvariantChecker(Options opts);
+
+  void on_event(const TraceEvent& e) override;
+  void finish() override;
+
+  struct Violation {
+    std::string what;
+    uint64_t event_index;  // 0-based index into the event stream
+  };
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t violation_count() const { return total_violations_; }
+  uint64_t events_seen() const { return seen_; }
+
+  // Human-readable multi-line summary ("OK (N events)" or the violations).
+  std::string report() const;
+
+ private:
+  void flag(std::string what);
+
+  Options opts_;
+  std::vector<Violation> violations_;
+  uint64_t total_violations_ = 0;
+  uint64_t seen_ = 0;
+
+  uint64_t tagged_ = 0;
+  uint64_t enqueued_ = 0;
+  uint64_t dequeued_ = 0;
+  uint64_t tx_started_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t last_backlog_ = 0;
+  bool saw_packet_event_ = false;
+  double last_order_tag_ = -std::numeric_limits<double>::infinity();
+  double last_vtime_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> flow_last_finish_;
+};
+
+}  // namespace sfq::obs

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sfq::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::default_delay_bounds() {
+  std::vector<double> b;
+  // 1e-6 .. 1e2 seconds, 4 buckets per decade (x ~1.78).
+  for (double v = 1e-6; v < 2e2; v *= 1.7782794100389228) b.push_back(v);
+  return b;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  sum_ += v;
+  ++count_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate within bucket i; clamp to observed extremes so q=0/1
+    // return min/max rather than bucket edges.
+    const double lo = i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+    const double hi = i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+    const double frac =
+        (target - static_cast<double>(prev)) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_.try_emplace(name).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+void MetricsRegistry::dump_text(std::ostream& out) const {
+  for (const auto& [name, c] : counters_) out << name << " " << c.value() << "\n";
+  for (const auto& [name, g] : gauges_) out << name << " " << g.value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    out << name << "_count " << h.count() << "\n";
+    out << name << "_mean " << h.mean() << "\n";
+    out << name << "_p50 " << h.quantile(0.50) << "\n";
+    out << name << "_p99 " << h.quantile(0.99) << "\n";
+    out << name << "_max " << h.max() << "\n";
+  }
+}
+
+void MetricsRegistry::dump_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << c.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << g.value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
+        << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+        << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
+        << ",\"p50\":" << h.quantile(0.5) << ",\"p99\":" << h.quantile(0.99)
+        << ",\"buckets\":[";
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) out << ",";
+      out << counts[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+std::string MetricsRegistry::text() const {
+  std::ostringstream ss;
+  dump_text(ss);
+  return ss.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream ss;
+  ss.precision(17);
+  dump_json(ss);
+  return ss.str();
+}
+
+MetricsSink::MetricsSink(MetricsRegistry& reg,
+                         std::vector<std::string> flow_names)
+    : reg_(reg), names_(std::move(flow_names)) {
+  // Materialize the drop counters up front so a clean run still reports
+  // them (as zeros) instead of omitting the names.
+  reg_.counter("sched.drops.buffer_limit");
+  reg_.counter("sched.drops.unknown_flow");
+}
+
+const std::string& MetricsSink::flow_label(FlowId f) {
+  if (f >= names_.size()) names_.resize(f + 1);
+  std::string& label = names_[f];
+  if (label.empty()) label = "flow" + std::to_string(f);
+  return label;
+}
+
+void MetricsSink::on_event(const TraceEvent& e) {
+  switch (e.type) {
+    case TraceEventType::kEnqueue:
+      reg_.counter("sched.enqueued").inc();
+      reg_.counter("flow." + flow_label(e.flow) + ".enqueued").inc();
+      reg_.gauge("sched.backlog_packets").set(static_cast<double>(e.backlog));
+      break;
+    case TraceEventType::kTag:
+      if (e.finish_tag > max_finish_tag_) max_finish_tag_ = e.finish_tag;
+      break;
+    case TraceEventType::kDequeue:
+      reg_.counter("sched.dequeued").inc();
+      reg_.gauge("sched.backlog_packets").set(static_cast<double>(e.backlog));
+      reg_.gauge("sched.vtime").set(e.vtime);
+      // How far the virtual clock trails the newest tag assigned: the
+      // backlog expressed in the virtual-time domain.
+      reg_.gauge("sched.vtime_lag")
+          .set(std::max(0.0, max_finish_tag_ - e.vtime));
+      break;
+    case TraceEventType::kTxStart:
+      break;
+    case TraceEventType::kTxEnd: {
+      const std::string& label = flow_label(e.flow);
+      reg_.counter("sched.tx_packets").inc();
+      reg_.counter("sched.tx_bits").inc(static_cast<uint64_t>(e.length_bits));
+      reg_.counter("flow." + label + ".tx_packets").inc();
+      reg_.counter("flow." + label + ".tx_bits")
+          .inc(static_cast<uint64_t>(e.length_bits));
+      reg_.histogram("flow." + label + ".delay").observe(e.t - e.arrival);
+      break;
+    }
+    case TraceEventType::kDrop:
+      reg_.counter(std::string("sched.drops.") + to_string(e.drop_cause)).inc();
+      reg_.counter("flow." + flow_label(e.flow) + ".drops").inc();
+      break;
+    case TraceEventType::kVtime:
+      reg_.gauge("sched.vtime").set(e.vtime);
+      reg_.gauge("sched.vtime_lag")
+          .set(std::max(0.0, max_finish_tag_ - e.vtime));
+      break;
+  }
+}
+
+}  // namespace sfq::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sfq::obs {
+
+const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kEnqueue: return "enqueue";
+    case TraceEventType::kTag: return "tag";
+    case TraceEventType::kDequeue: return "dequeue";
+    case TraceEventType::kTxStart: return "tx_start";
+    case TraceEventType::kTxEnd: return "tx_end";
+    case TraceEventType::kDrop: return "drop";
+    case TraceEventType::kVtime: return "vtime";
+  }
+  return "?";
+}
+
+const char* to_string(DropCause c) {
+  switch (c) {
+    case DropCause::kNone: return "none";
+    case DropCause::kBufferLimit: return "buffer_limit";
+    case DropCause::kUnknownFlow: return "unknown_flow";
+  }
+  return "?";
+}
+
+TraceEvent make_event(TraceEventType type, const Packet& p, Time t,
+                      VirtualTime vtime, uint64_t backlog, DropCause cause) {
+  TraceEvent e;
+  e.type = type;
+  e.drop_cause = cause;
+  e.flow = p.flow;
+  e.seq = p.seq;
+  e.length_bits = p.length_bits;
+  e.t = t;
+  e.arrival = p.arrival;
+  e.start_tag = p.start_tag;
+  e.finish_tag = p.finish_tag;
+  e.vtime = vtime;
+  e.backlog = backlog;
+  return e;
+}
+
+void Tracer::add_sink(TraceSink* sink) {
+  if (!sink) return;
+  sinks_.push_back(sink);
+  active_ = active_ || !sink->discards_events();
+}
+
+void Tracer::own(std::unique_ptr<TraceSink> sink) {
+  if (!sink) return;
+  add_sink(sink.get());
+  owned_.push_back(std::move(sink));
+}
+
+void Tracer::finish() {
+  for (TraceSink* s : sinks_) s->finish();
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : buf_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::on_event(const TraceEvent& e) {
+  buf_[next_] = e;
+  next_ = (next_ + 1) % buf_.size();
+  if (size_ < buf_.size()) ++size_;
+  ++seen_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest retained event sits at next_ once the buffer has wrapped.
+  const std::size_t start = size_ == buf_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {
+  out_->precision(17);  // doubles round-trip exactly
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path);
+  if (!*f) throw std::runtime_error("JsonlSink: cannot open " + path);
+  f->precision(17);
+  out_ = f.get();
+  owned_ = std::move(f);
+}
+
+void JsonlSink::meta(const std::string& key, const std::string& value) {
+  *out_ << "{\"type\":\"meta\",\"key\":\"" << json_escape(key)
+        << "\",\"value\":\"" << json_escape(value) << "\"}\n";
+  ++lines_;
+}
+
+void JsonlSink::on_event(const TraceEvent& e) {
+  std::ostream& o = *out_;
+  o << "{\"type\":\"" << to_string(e.type) << "\",\"t\":" << e.t
+    << ",\"flow\":" << e.flow << ",\"seq\":" << e.seq
+    << ",\"bits\":" << e.length_bits;
+  if (e.type == TraceEventType::kDrop)
+    o << ",\"cause\":\"" << to_string(e.drop_cause) << "\"";
+  o << ",\"arrival\":" << e.arrival << ",\"start_tag\":" << e.start_tag
+    << ",\"finish_tag\":" << e.finish_tag << ",\"vtime\":" << e.vtime
+    << ",\"backlog\":" << e.backlog << "}\n";
+  ++lines_;
+}
+
+void JsonlSink::finish() { out_->flush(); }
+
+}  // namespace sfq::obs

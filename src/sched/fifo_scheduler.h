@@ -35,6 +35,7 @@ class FifoScheduler : public Scheduler {
     return b;
   }
   std::string name() const override { return "FIFO"; }
+  bool requires_registered_flows() const override { return false; }
 
  private:
   std::deque<Packet> q_;

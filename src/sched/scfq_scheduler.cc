@@ -6,7 +6,6 @@
 namespace sfq {
 
 void ScfqScheduler::enqueue(Packet p, Time now) {
-  (void)now;
   if (p.flow >= last_finish_.size())
     throw std::out_of_range("SCFQ: packet for unknown flow");
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
@@ -15,6 +14,7 @@ void ScfqScheduler::enqueue(Packet p, Time now) {
   p.finish_tag = p.start_tag + p.length_bits / rate;
   last_finish_[p.flow] = p.finish_tag;
   p.sched_order = ++order_;
+  trace_tag(p, now, vtime_, queues_.packets() + 1);
 
   const FlowId f = p.flow;
   const bool was_empty = queues_.flow_empty(f);
@@ -26,7 +26,6 @@ void ScfqScheduler::enqueue(Packet p, Time now) {
 }
 
 std::optional<Packet> ScfqScheduler::dequeue(Time now) {
-  (void)now;
   if (ready_.empty()) return std::nullopt;
   FlowId f = ready_.top_id();
   ready_.pop();
@@ -39,6 +38,7 @@ std::optional<Packet> ScfqScheduler::dequeue(Time now) {
     const Packet& head = queues_.head(f);
     ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
   }
+  trace_dequeue(p, now, vtime_, queues_.packets());
   return p;
 }
 

@@ -11,6 +11,7 @@ void WfqScheduler::enqueue(Packet p, Time now) {
   p.start_tag = tags.start;
   p.finish_tag = tags.finish;
   p.sched_order = ++order_seq_;
+  trace_tag(p, now, gps_.vtime(), queues_.packets() + 1);
 
   const FlowId f = p.flow;
   const bool was_empty = queues_.flow_empty(f);
@@ -31,6 +32,7 @@ std::optional<Packet> WfqScheduler::dequeue(Time now) {
     const Packet& head = queues_.head(f);
     ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
   }
+  trace_dequeue(p, now, gps_.vtime(), queues_.packets());
   return p;
 }
 
@@ -41,6 +43,7 @@ void FqsScheduler::enqueue(Packet p, Time now) {
   p.start_tag = tags.start;
   p.finish_tag = tags.finish;
   p.sched_order = ++order_seq_;
+  trace_tag(p, now, gps_.vtime(), queues_.packets() + 1);
 
   const FlowId f = p.flow;
   const bool was_empty = queues_.flow_empty(f);
@@ -61,6 +64,7 @@ std::optional<Packet> FqsScheduler::dequeue(Time now) {
     const Packet& head = queues_.head(f);
     ready_.push(f, TagKey{head.start_tag, 0.0, head.sched_order});
   }
+  trace_dequeue(p, now, gps_.vtime(), queues_.packets());
   return p;
 }
 

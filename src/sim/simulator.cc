@@ -2,11 +2,16 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace sfq::sim {
 
 EventId Simulator::at(Time when, std::function<void()> action) {
   if (when < now_) throw std::invalid_argument("Simulator: event in the past");
-  return events_.schedule(when, std::move(action));
+  ++scheduled_;
+  EventId id = events_.schedule(when, std::move(action));
+  if (events_.size() > max_pending_) max_pending_ = events_.size();
+  return id;
 }
 
 void Simulator::run_until(Time deadline) {
@@ -14,17 +19,32 @@ void Simulator::run_until(Time deadline) {
     EventQueue::Popped e;
     if (!events_.pop(e)) break;
     now_ = e.when;  // the action observes the correct clock
+    ++executed_;
     e.action();
   }
   if (deadline > now_ && deadline != kTimeInfinity) now_ = deadline;
+  publish_metrics();
 }
 
 void Simulator::run() {
   EventQueue::Popped e;
   while (events_.pop(e)) {
     now_ = e.when;
+    ++executed_;
     e.action();
   }
+  publish_metrics();
+}
+
+void Simulator::publish_metrics() {
+  if (!metrics_) return;
+  obs::MetricsRegistry& m = *metrics_;
+  // Counters are cumulative; set-to-current keeps re-publication idempotent.
+  m.gauge("sim.events_executed").set(static_cast<double>(executed_));
+  m.gauge("sim.events_scheduled").set(static_cast<double>(scheduled_));
+  m.gauge("sim.pending_events").set(static_cast<double>(events_.size()));
+  m.gauge("sim.max_pending_events").set(static_cast<double>(max_pending_));
+  m.gauge("sim.now").set(now_);
 }
 
 }  // namespace sfq::sim

@@ -1,8 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "sim/event_queue.h"
+
+namespace sfq::obs {
+class MetricsRegistry;
+}
 
 namespace sfq::sim {
 
@@ -28,9 +33,25 @@ class Simulator {
 
   std::size_t pending_events() const { return events_.size(); }
 
+  // Event-loop counters (always maintained; they cost one increment each).
+  uint64_t events_executed() const { return executed_; }
+  uint64_t events_scheduled() const { return scheduled_; }
+  std::size_t max_pending_events() const { return max_pending_; }
+
+  // Publishes the counters above into `reg` at the end of every run/run_until
+  // (sim.events_executed, sim.events_scheduled, sim.pending_events,
+  // sim.max_pending_events, sim.now). nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* reg) { metrics_ = reg; }
+
  private:
+  void publish_metrics();
+
   EventQueue events_;
   Time now_ = 0.0;
+  uint64_t executed_ = 0;
+  uint64_t scheduled_ = 0;
+  std::size_t max_pending_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sfq::sim

@@ -1,0 +1,186 @@
+// InvariantChecker (src/obs/invariant_checker.h): live SFQ/SCFQ/WFQ runs
+// must come out clean, and corrupted tag streams must be flagged.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/scheduler_factory.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "obs/invariant_checker.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+namespace sfq {
+namespace {
+
+using obs::InvariantChecker;
+using obs::TraceEvent;
+using obs::TraceEventType;
+
+// Two CBR flows (one oversubscribed) through a 1 Mb/s server for a second,
+// with the checker attached using the discipline's own defaults.
+InvariantChecker run_checked(const std::string& sched_name,
+                             std::size_t buffer_limit = 0) {
+  sim::Simulator sim;
+  SchedulerOptions opts;
+  opts.assumed_capacity = 1e6;
+  auto sched = make_scheduler(sched_name, opts);
+  FlowId a = sched->add_flow(6e5, 8000.0, "a");
+  FlowId b = sched->add_flow(4e5, 8000.0, "b");
+  net::ScheduledServer server(sim, *sched,
+                              std::make_unique<net::ConstantRate>(1e6));
+  if (buffer_limit) server.set_buffer_limit(buffer_limit);
+
+  InvariantChecker checker(InvariantChecker::for_scheduler(sched_name));
+  obs::Tracer tracer;
+  tracer.add_sink(&checker);
+  server.set_tracer(&tracer);
+
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  traffic::CbrSource sa(sim, a, emit, 9e5, 8000.0);  // oversubscribed
+  traffic::CbrSource sb(sim, b, emit, 3e5, 8000.0);
+  sa.run(0.0, 1.0);
+  sb.run(0.0, 1.0);
+  sim.run_until(1.0);
+  sim.run();
+  tracer.finish();
+  EXPECT_GT(checker.events_seen(), 0u);
+  return checker;
+}
+
+TEST(InvariantChecker, CleanSfqRunPasses) {
+  const auto c = run_checked("SFQ");
+  EXPECT_TRUE(c.ok()) << c.report();
+  EXPECT_NE(c.report().find("invariants OK"), std::string::npos);
+}
+
+TEST(InvariantChecker, CleanScfqRunPasses) {
+  const auto c = run_checked("SCFQ");
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, CleanWfqRunPasses) {
+  const auto c = run_checked("WFQ");
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, FifoUsesServerLevelConservation) {
+  // FIFO emits no kTag/kDequeue events; the checker must fall back to the
+  // enqueue / tx-start ledger instead of reporting a bogus mismatch.
+  const auto c = run_checked("FIFO");
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, DropsDoNotBreakConservation) {
+  const auto c = run_checked("SFQ", /*buffer_limit=*/4);
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, ForSchedulerPicksDisciplineSemantics) {
+  auto sfq = InvariantChecker::for_scheduler("SFQ");
+  EXPECT_EQ(sfq.order, InvariantChecker::OrderTag::kStartTag);
+  EXPECT_TRUE(sfq.check_tags);
+
+  auto scfq = InvariantChecker::for_scheduler("SCFQ");
+  EXPECT_EQ(scfq.order, InvariantChecker::OrderTag::kFinishTag);
+
+  // WFQ serves min-finish among queued packets only; no global order.
+  auto wfq = InvariantChecker::for_scheduler("WFQ");
+  EXPECT_EQ(wfq.order, InvariantChecker::OrderTag::kNone);
+
+  auto fifo = InvariantChecker::for_scheduler("FIFO");
+  EXPECT_EQ(fifo.order, InvariantChecker::OrderTag::kNone);
+  EXPECT_FALSE(fifo.check_tags);
+  EXPECT_TRUE(fifo.check_conservation);
+}
+
+// --- Corrupted streams ----------------------------------------------------
+
+TraceEvent tagged(TraceEventType type, double start, double finish,
+                  FlowId flow = 0, uint64_t seq = 1) {
+  TraceEvent e;
+  e.type = type;
+  e.flow = flow;
+  e.seq = seq;
+  e.start_tag = start;
+  e.finish_tag = finish;
+  e.vtime = start;
+  e.backlog = 0;
+  return e;
+}
+
+TEST(InvariantChecker, FlagsFinishTagBelowStartTag) {
+  InvariantChecker c;
+  c.on_event(tagged(TraceEventType::kTag, /*start=*/5.0, /*finish=*/4.0));
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("finish tag < start tag"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsStartTagRegressionWithinFlow) {
+  InvariantChecker c;
+  c.on_event(tagged(TraceEventType::kTag, 0.0, 2.0, /*flow=*/3, /*seq=*/1));
+  // S = max(v, F_prev) can never sit below the flow's previous finish tag.
+  c.on_event(tagged(TraceEventType::kTag, 1.0, 3.0, /*flow=*/3, /*seq=*/2));
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("start tag regressed"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsOutOfOrderDequeues) {
+  InvariantChecker c;  // default: start-tag order (SFQ)
+  TraceEvent first = tagged(TraceEventType::kDequeue, 2.0, 3.0);
+  first.backlog = 1;
+  c.on_event(first);
+  TraceEvent second = tagged(TraceEventType::kDequeue, 1.0, 2.0);
+  second.vtime = first.vtime;  // keep v(t) monotone; isolate the order check
+  c.on_event(second);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.violation_count(), 1u);
+  EXPECT_NE(c.report().find("out of order"), std::string::npos);
+  EXPECT_EQ(c.violations()[0].event_index, 1u);
+}
+
+TEST(InvariantChecker, FlagsVirtualTimeRegression) {
+  InvariantChecker c;
+  TraceEvent e;
+  e.type = TraceEventType::kVtime;
+  e.vtime = 10.0;
+  c.on_event(e);
+  e.vtime = 9.0;
+  c.on_event(e);
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("v(t) regressed"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsConservationMismatch) {
+  InvariantChecker c;
+  // Two packets tagged, none dequeued, but backlog claims empty.
+  c.on_event(tagged(TraceEventType::kTag, 0.0, 1.0, 0, 1));
+  c.on_event(tagged(TraceEventType::kTag, 1.0, 2.0, 0, 2));
+  c.finish();
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("conservation violated"), std::string::npos);
+}
+
+TEST(InvariantChecker, TieBreaksAndEqualTagsAreNotViolations) {
+  InvariantChecker c;
+  c.on_event(tagged(TraceEventType::kDequeue, 1.0, 2.0, 0));
+  c.on_event(tagged(TraceEventType::kDequeue, 1.0, 1.5, 1));  // tie on S
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, SuppressesViolationsPastTheCap) {
+  InvariantChecker::Options o;
+  o.max_violations = 2;
+  InvariantChecker c(o);
+  for (int i = 0; i < 5; ++i)
+    c.on_event(tagged(TraceEventType::kTag, 5.0, 4.0, 0, i + 1));
+  EXPECT_EQ(c.violation_count(), 5u);
+  EXPECT_EQ(c.violations().size(), 2u);
+  EXPECT_NE(c.report().find("3 more suppressed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfq
