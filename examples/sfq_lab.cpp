@@ -10,6 +10,11 @@
 //   --metrics FILE   write a MetricsRegistry JSON dump ("-" = stdout)
 //   --check          run the online invariant checker; exit 1 on violations
 //
+// Fault injection (equivalent to `fault` directives; docs/ROBUSTNESS.md):
+//   --faults "link down=3s up=4s; loss p=0.02 from=1s until=9s"
+// Each semicolon-separated group is one `fault` directive appended to the
+// config before parsing.
+//
 // Config format (see src/config/experiment.h):
 //
 //   scheduler SFQ
@@ -19,6 +24,7 @@
 //   flow name=tv    kind=vbr     rate=1.21Mbps packet=50B
 //   flow name=bulk  kind=greedy  packet=1500B weight=4Mbps
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -60,6 +66,13 @@ void print_result(const config::ExperimentSpec& spec,
               r.worst_fairness_ratio <= 1.0 + 1e-9
                   ? "(within fair-queueing bound)"
                   : "(UNFAIR)");
+  if (!r.drop_causes.empty()) {
+    std::printf("  drops by cause:");
+    for (const auto& [cause, n] : r.drop_causes)
+      std::printf(" %s=%llu", cause.c_str(),
+                  static_cast<unsigned long long>(n));
+    std::printf("\n");
+  }
   if (spec.obs.enabled())
     std::printf("  trace: %llu events%s%s\n",
                 static_cast<unsigned long long>(r.trace_events),
@@ -75,23 +88,43 @@ void print_result(const config::ExperimentSpec& spec,
 int main(int argc, char** argv) {
   bool sweep = false;
   bool check = false;
-  std::string file, trace_file, metrics_file;
+  std::string file, trace_file, metrics_file, faults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sweep") sweep = true;
     else if (arg == "--check") check = true;
     else if (arg == "--trace" && i + 1 < argc) trace_file = argv[++i];
     else if (arg == "--metrics" && i + 1 < argc) metrics_file = argv[++i];
+    else if (arg == "--faults" && i + 1 < argc) faults = argv[++i];
     else file = arg;
   }
 
-  config::ExperimentSpec spec;
+  // Load the config text so --faults directives can be appended before the
+  // (single-pass) parse.
+  std::string text;
   if (file.empty()) {
     std::printf("no config given - running the built-in demo\n\n");
-    std::istringstream in(kDemoConfig);
-    spec = config::ExperimentSpec::parse(in);
+    text = kDemoConfig;
   } else {
-    spec = config::ExperimentSpec::parse_file(file);
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open config: %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  std::istringstream fs(faults);
+  for (std::string group; std::getline(fs, group, ';');) {
+    if (group.find_first_not_of(" \t") == std::string::npos) continue;
+    text += "\nfault " + group + "\n";
+  }
+
+  config::ExperimentSpec spec;
+  {
+    std::istringstream in(text);
+    spec = config::ExperimentSpec::parse(in);
   }
   if (!trace_file.empty()) spec.obs.trace_jsonl = trace_file;
   if (!metrics_file.empty()) spec.obs.metrics_json = metrics_file;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: warning-clean Release build, the whole test suite, and
 # a traced example run whose JSONL output must parse and whose invariants
-# must hold (docs/OBSERVABILITY.md).
+# must hold (docs/OBSERVABILITY.md). A fault-injection run (outage + loss +
+# churn + pushout; docs/ROBUSTNESS.md) must also keep the invariants clean.
+# Set SANITIZE=1 to additionally run the ASan+UBSan sweep (scripts/sanitize.sh).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +38,18 @@ print(f"trace OK: {n} JSONL lines, metrics OK: "
 EOF
 else
   echo "python3 not found - skipping JSONL parse check"
+fi
+
+# Faulted run: link outage, brown-out, random loss, and flow churn on a
+# pushout-policy port. All losses must surface as counted drops; the online
+# invariant checker must stay clean (non-zero exit otherwise).
+"$BUILD/examples/sfq_lab" --check examples/configs/faulty_link.conf \
+    > "$out/faulty.txt"
+grep -q "drops by cause:" "$out/faulty.txt"
+echo "fault gate OK: $(grep 'drops by cause:' "$out/faulty.txt" | head -1)"
+
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  scripts/sanitize.sh
 fi
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# ASan + UBSan sweep: Debug build with both sanitizers, full test suite, and
+# the fault-injection example (the code path that exercises mid-run flow
+# removal, pushout, and profile swapping). Any sanitizer report fails the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${SAN_BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$BUILD" -j"$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+export UBSAN_OPTIONS=print_stacktrace=1
+
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+
+"$BUILD/examples/sfq_lab" --check examples/configs/faulty_link.conf > /dev/null
+
+echo "sanitize.sh: ASan+UBSan clean"

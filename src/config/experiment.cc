@@ -10,6 +10,8 @@
 #include <stdexcept>
 
 #include "core/scheduler_factory.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "net/rate_profile.h"
 #include "net/network.h"
 #include "net/scheduled_server.h"
@@ -108,6 +110,45 @@ bool parse_bool(const std::string& value, std::size_t lineno) {
                               ": expected on/off, got '" + value + "'");
 }
 
+// Non-negative integer fields (buffer sizes, seeds). std::stoul would accept
+// "-1" and wrap it to a huge value — reject anything but digits outright.
+uint64_t parse_u64(const std::string& value, std::size_t lineno,
+                   const char* what) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                what + " must be a non-negative integer, got '" +
+                                value + "'");
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                what + " out of range: '" + value + "'");
+  }
+}
+
+Time parse_nonneg_time(const std::string& value, std::size_t lineno,
+                       const char* what) {
+  const Time t = parse_time(value);
+  if (t < 0.0)
+    throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                what + " must not be negative, got '" + value +
+                                "'");
+  return t;
+}
+
+double parse_fraction(const std::string& value, std::size_t lineno,
+                      const char* what) {
+  double v;
+  std::string unit;
+  split_unit(value, v, unit);
+  if (!unit.empty() || v < 0.0 || v > 1.0)
+    throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                what + " must be in [0,1], got '" + value +
+                                "'");
+  return v;
+}
+
 FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
                     std::size_t index) {
   FlowSpec f;
@@ -119,11 +160,15 @@ FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
     else if (key == "rate") f.rate = parse_rate(value);
     else if (key == "packet") f.packet = parse_size(value);
     else if (key == "weight") f.weight = parse_rate(value);
-    else if (key == "start") f.start = parse_time(value);
-    else if (key == "stop") f.stop = parse_time(value);
-    else if (key == "mean_on") f.mean_on = parse_time(value);
-    else if (key == "mean_off") f.mean_off = parse_time(value);
-    else if (key == "seed") f.seed = std::stoull(value);
+    else if (key == "start") f.start = parse_nonneg_time(value, lineno, "start");
+    else if (key == "stop") f.stop = parse_nonneg_time(value, lineno, "stop");
+    else if (key == "mean_on")
+      f.mean_on = parse_nonneg_time(value, lineno, "mean_on");
+    else if (key == "mean_off")
+      f.mean_off = parse_nonneg_time(value, lineno, "mean_off");
+    else if (key == "seed") f.seed = parse_u64(value, lineno, "seed");
+    else if (key == "leave") f.leave = parse_nonneg_time(value, lineno, "leave");
+    else if (key == "join") f.rejoin = parse_nonneg_time(value, lineno, "join");
     else
       throw std::invalid_argument("line " + std::to_string(lineno) +
                                   ": unknown flow key '" + key + "'");
@@ -132,6 +177,10 @@ FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
       f.kind != "greedy" && f.kind != "vbr")
     throw std::invalid_argument("line " + std::to_string(lineno) +
                                 ": unknown flow kind '" + f.kind + "'");
+  if (f.rate < 0.0 || f.packet < 0.0 || f.weight < 0.0)
+    throw std::invalid_argument(
+        "line " + std::to_string(lineno) +
+        ": flow rate/packet/weight must not be negative");
   if (f.weight <= 0.0) f.weight = f.rate;
   if (f.weight <= 0.0)
     throw std::invalid_argument("line " + std::to_string(lineno) +
@@ -139,6 +188,15 @@ FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
   if (f.packet <= 0.0 && f.kind != "vbr")
     throw std::invalid_argument("line " + std::to_string(lineno) +
                                 ": flow needs packet=");
+  if (f.stop >= 0.0 && f.stop < f.start)
+    throw std::invalid_argument("line " + std::to_string(lineno) +
+                                ": flow stop= precedes start=");
+  if (f.rejoin >= 0.0 && f.leave < 0.0)
+    throw std::invalid_argument("line " + std::to_string(lineno) +
+                                ": flow join= needs leave=");
+  if (f.rejoin >= 0.0 && f.rejoin <= f.leave)
+    throw std::invalid_argument("line " + std::to_string(lineno) +
+                                ": flow join= must come after leave=");
   return f;
 }
 
@@ -166,18 +224,102 @@ ExperimentSpec ExperimentSpec::parse(std::istream& in) {
         throw std::invalid_argument("line " + std::to_string(lineno) +
                                     ": duration needs a value");
       spec.duration = parse_time(v);
+      if (spec.duration <= 0.0)
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": duration must be positive");
     } else if (directive == "link") {
       HopSpec hop;
       for (const auto& [key, value] : parse_kv(ss, lineno)) {
         if (key == "rate") hop.rate = parse_rate(value);
         else if (key == "delta") hop.delta = parse_size(value);
-        else if (key == "buffer") hop.buffer_packets = std::stoul(value);
-        else if (key == "prop") hop.propagation = parse_time(value);
-        else
+        else if (key == "buffer")
+          hop.buffer_packets = static_cast<std::size_t>(
+              parse_u64(value, lineno, "buffer"));
+        else if (key == "prop")
+          hop.propagation = parse_nonneg_time(value, lineno, "prop");
+        else if (key == "policy") {
+          if (value == "pushout") hop.pushout = true;
+          else if (value == "taildrop") hop.pushout = false;
+          else
+            throw std::invalid_argument(
+                "line " + std::to_string(lineno) +
+                ": link policy must be pushout or taildrop, got '" + value +
+                "'");
+        } else
           throw std::invalid_argument("line " + std::to_string(lineno) +
                                       ": unknown link key '" + key + "'");
       }
+      if (hop.rate <= 0.0)
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": link rate must be positive");
       spec.hops.push_back(hop);
+    } else if (directive == "fault") {
+      std::string kind;
+      if (!(ss >> kind))
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": fault needs a kind (link|loss)");
+      if (kind == "link") {
+        LinkFaultSpec lf;
+        bool have_down = false, have_degrade = false;
+        for (const auto& [key, value] : parse_kv(ss, lineno)) {
+          if (key == "down") {
+            lf.from = parse_nonneg_time(value, lineno, "down");
+            have_down = true;
+          } else if (key == "up") {
+            lf.until = parse_nonneg_time(value, lineno, "up");
+          } else if (key == "degrade") {
+            lf.factor = parse_fraction(value, lineno, "degrade");
+            have_degrade = true;
+          } else if (key == "from") {
+            lf.from = parse_nonneg_time(value, lineno, "from");
+          } else if (key == "until") {
+            lf.until = parse_nonneg_time(value, lineno, "until");
+          } else
+            throw std::invalid_argument("line " + std::to_string(lineno) +
+                                        ": unknown fault link key '" + key +
+                                        "'");
+        }
+        if (have_down == have_degrade)
+          throw std::invalid_argument(
+              "line " + std::to_string(lineno) +
+              ": fault link needs exactly one of down= or degrade=");
+        if (lf.until <= lf.from)
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": fault link interval must end after "
+                                      "it starts");
+        spec.faults.link.push_back(lf);
+      } else if (kind == "loss") {
+        LossFaultSpec ls;
+        bool have_p = false;
+        for (const auto& [key, value] : parse_kv(ss, lineno)) {
+          if (key == "p") {
+            ls.probability = parse_fraction(value, lineno, "p");
+            have_p = true;
+          } else if (key == "from") {
+            ls.from = parse_nonneg_time(value, lineno, "from");
+          } else if (key == "until") {
+            ls.until = parse_nonneg_time(value, lineno, "until");
+          } else if (key == "corrupt") {
+            ls.corrupt = parse_bool(value, lineno);
+          } else if (key == "seed") {
+            spec.faults.seed = parse_u64(value, lineno, "seed");
+          } else
+            throw std::invalid_argument("line " + std::to_string(lineno) +
+                                        ": unknown fault loss key '" + key +
+                                        "'");
+        }
+        if (!have_p)
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": fault loss needs p=");
+        if (ls.until <= ls.from)
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": fault loss interval must end after "
+                                      "it starts");
+        spec.faults.loss.push_back(ls);
+      } else {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": unknown fault kind '" + kind + "'");
+      }
     } else if (directive == "flow") {
       spec.flows.push_back(
           parse_flow(parse_kv(ss, lineno), lineno, spec.flows.size()));
@@ -205,6 +347,11 @@ ExperimentSpec ExperimentSpec::parse(std::istream& in) {
   }
   if (spec.flows.empty())
     throw std::invalid_argument("experiment has no flows");
+  for (std::size_t i = 0; i < spec.flows.size(); ++i)
+    for (std::size_t j = i + 1; j < spec.flows.size(); ++j)
+      if (spec.flows[i].name == spec.flows[j].name)
+        throw std::invalid_argument("duplicate flow name '" +
+                                    spec.flows[i].name + "'");
   if (spec.hops.empty()) spec.hops.push_back(HopSpec{});
   return spec;
 }
@@ -254,6 +401,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         sim, *single_sched, make_profile(spec.hops.front()));
     if (spec.hops.front().buffer_packets)
       single_server->set_buffer_limit(spec.hops.front().buffer_packets);
+    if (spec.hops.front().pushout)
+      single_server->set_overload_policy(net::OverloadPolicy::kPushout);
     single_server->set_recorder(&single_recorder);
     recorder = &single_recorder;
     single_server->set_departure(
@@ -272,9 +421,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       hops.push_back(std::move(h));
     }
     tandem = std::make_unique<net::TandemNetwork>(sim, std::move(hops));
-    for (std::size_t i = 0; i < spec.hops.size(); ++i)
+    for (std::size_t i = 0; i < spec.hops.size(); ++i) {
       if (spec.hops[i].buffer_packets)
         tandem->server(i).set_buffer_limit(spec.hops[i].buffer_packets);
+      if (spec.hops[i].pushout)
+        tandem->server(i).set_overload_policy(net::OverloadPolicy::kPushout);
+    }
     first_sched = &tandem->scheduler(0);
     recorder = &tandem->recorder(0);
     // End-to-end delay, measured from the source emission.
@@ -354,6 +506,31 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     sources.back()->run(f.start, stop);
   }
 
+  // Faults apply to the first (bottleneck-shared) hop. Armed after the
+  // sources so churn events interleave with arrivals in a fixed order.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (spec.has_faults()) {
+    fault::FaultPlan plan;
+    plan.seed(spec.faults.seed);
+    for (const LinkFaultSpec& lf : spec.faults.link)
+      plan.degrade(lf.from, lf.until, lf.factor);
+    for (const LossFaultSpec& ls : spec.faults.loss) {
+      if (ls.corrupt) plan.corruption(ls.from, ls.until, ls.probability);
+      else plan.loss(ls.from, ls.until, ls.probability);
+    }
+    for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+      if (spec.flows[i].leave >= 0.0)
+        plan.flow_leave(spec.flows[i].leave, ids[i]);
+      if (spec.flows[i].rejoin >= 0.0)
+        plan.flow_join(spec.flows[i].rejoin, ids[i]);
+    }
+    net::ScheduledServer& first_server =
+        multi_hop ? tandem->server(0) : *single_server;
+    injector = std::make_unique<fault::FaultInjector>(sim, first_server,
+                                                      std::move(plan));
+    injector->arm();
+  }
+
   sim.run_until(spec.duration);
   recorder->finish(sim.now());
   if (multi_hop) tandem->finish_recording();
@@ -395,6 +572,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       drops += tandem->server(i).drops();
   }
   result.drops = drops;
+  for (std::size_t c = 1; c < obs::kDropCauseCount; ++c) {
+    const auto cause = static_cast<obs::DropCause>(c);
+    uint64_t n = 0;
+    if (!multi_hop) {
+      n = single_server->drops(cause);
+    } else {
+      for (std::size_t i = 0; i < spec.hops.size(); ++i)
+        n += tandem->server(i).drops(cause);
+    }
+    if (n) result.drop_causes.emplace_back(obs::to_string(cause), n);
+  }
 
   // Throughput / counts come from the *last* scheduling point for a tandem
   // (what actually left the path) and the single server otherwise.

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -34,9 +35,18 @@ Time parse_time(const std::string& text);
 //   flow name=bulk  kind=greedy  packet=1500B weight=4Mbps start=2s
 //
 // Directives: `scheduler <name>`, `link k=v...`, `duration <time>`,
-// `flow k=v...`, `trace k=v...`, `metrics k=v...`. '#' starts a comment.
-// Flow weight defaults to the offered rate; greedy flows offer 2x their
-// weight. Tracing/metrics instrument the first hop (docs/OBSERVABILITY.md).
+// `flow k=v...`, `trace k=v...`, `metrics k=v...`, `fault link|loss k=v...`.
+// '#' starts a comment. Flow weight defaults to the offered rate; greedy
+// flows offer 2x their weight. Tracing/metrics instrument the first hop
+// (docs/OBSERVABILITY.md). Faults — link outages/degradation, random
+// loss/corruption, flow churn via `flow ... leave=T join=T` — apply to the
+// first hop too (docs/ROBUSTNESS.md):
+//
+//   link rate=1Mbps buffer=16 policy=pushout
+//   fault link down=3s up=4s            # outage during [3s,4s)
+//   fault link degrade=0.25 from=5s until=7s
+//   fault loss p=0.02 from=1s until=9s seed=7
+//   flow name=bulk kind=greedy packet=1500B weight=500Kbps leave=4s join=6s
 struct FlowSpec {
   std::string name;
   std::string kind = "cbr";  // cbr | poisson | onoff | greedy | vbr
@@ -48,6 +58,11 @@ struct FlowSpec {
   Time mean_on = 0.05;       // onoff only
   Time mean_off = 0.05;      // onoff only
   uint64_t seed = 1;
+  // Churn: the flow departs the scheduler at `leave` (queued packets flushed,
+  // later arrivals dropped) and, if `rejoin` >= 0, comes back with its start
+  // tag re-anchored at max(v(t), previous finish tag). -1 = never.
+  Time leave = -1.0;
+  Time rejoin = -1.0;
 };
 
 struct HopSpec {
@@ -55,6 +70,31 @@ struct HopSpec {
   double delta = 0.0;             // >0: FC on/off link with this burstiness
   std::size_t buffer_packets = 0; // 0 = unbounded
   Time propagation = 0.0;         // to the next hop
+  bool pushout = false;           // `policy=pushout`: longest-queue-drop on
+                                  // overflow instead of tail drop
+};
+
+// `fault link ...`: the first hop runs at `factor` x nominal in [from, until).
+struct LinkFaultSpec {
+  Time from = 0.0;
+  Time until = kTimeInfinity;
+  double factor = 0.0;  // 0 = outage
+};
+
+// `fault loss ...`: arrivals at the first hop drop with probability p.
+struct LossFaultSpec {
+  Time from = 0.0;
+  Time until = kTimeInfinity;
+  double probability = 0.0;
+  bool corrupt = false;  // report drops as corrupt instead of fault_loss
+};
+
+struct FaultSpec {
+  std::vector<LinkFaultSpec> link;
+  std::vector<LossFaultSpec> loss;
+  uint64_t seed = 1;  // PRNG seed for the loss/corruption draws
+
+  bool any() const { return !link.empty() || !loss.empty(); }
 };
 
 // Observability switches (`trace` / `metrics` directives). All off by
@@ -81,6 +121,14 @@ struct ExperimentSpec {
   Time duration = 10.0;
   std::vector<FlowSpec> flows;
   ObsSpec obs;
+  FaultSpec faults;
+
+  bool has_faults() const {
+    if (faults.any()) return true;
+    for (const FlowSpec& f : flows)
+      if (f.leave >= 0.0 || f.rejoin >= 0.0) return true;
+    return false;
+  }
 
   // Convenience accessors for the single-hop case.
   double link_rate() const { return hops.front().rate; }
@@ -104,6 +152,8 @@ struct FlowResult {
 struct ExperimentResult {
   std::vector<FlowResult> flows;
   uint64_t drops = 0;
+  // Non-zero drop causes, summed over hops ({"buffer_limit", n}, ...).
+  std::vector<std::pair<std::string, uint64_t>> drop_causes;
   // Worst pairwise empirical H(f,m) over Theorem-1 bound across all flow
   // pairs (<= 1 means every pair within the fair-queueing bound).
   double worst_fairness_ratio = 0.0;

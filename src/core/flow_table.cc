@@ -14,20 +14,22 @@ FlowId FlowTable::add(double weight, double max_packet_bits, std::string name) {
 
 double FlowTable::total_weight() const {
   double s = 0.0;
-  for (const auto& f : flows_) s += f.weight;
+  for (const auto& f : flows_)
+    if (f.active) s += f.weight;
   return s;
 }
 
 double FlowTable::total_max_packet_bits() const {
   double s = 0.0;
-  for (const auto& f : flows_) s += f.max_packet_bits;
+  for (const auto& f : flows_)
+    if (f.active) s += f.max_packet_bits;
   return s;
 }
 
 double FlowTable::sum_other_max_packets(FlowId f) const {
   double s = 0.0;
   for (const auto& fl : flows_) {
-    if (fl.id != f) s += fl.max_packet_bits;
+    if (fl.id != f && fl.active) s += fl.max_packet_bits;
   }
   return s;
 }

@@ -13,10 +13,14 @@ struct FlowSpec {
   double weight = 1.0;          // r_f: weight, interpreted as a rate (bits/s)
   double max_packet_bits = 0.0; // l_f^max, used by analytic bounds
   std::string name;             // for reports
+  bool active = true;           // false while the flow has left (churn)
 };
 
 // Registry of flows known to a scheduler. Flow ids are dense small integers
 // handed out by `add`, so schedulers can keep per-flow state in vectors.
+// A flow can temporarily *leave* (set_active(false)): its id and tag state
+// stay reserved so it can rejoin later, but new packets for it are dropped
+// and the weight aggregates release its share.
 class FlowTable {
  public:
   FlowId add(double weight, double max_packet_bits = 0.0, std::string name = {});
@@ -27,6 +31,13 @@ class FlowTable {
   std::size_t size() const { return flows_.size(); }
   const std::vector<FlowSpec>& all() const { return flows_; }
 
+  bool active(FlowId id) const {
+    return id < flows_.size() && flows_[id].active;
+  }
+  void set_active(FlowId id, bool active) { flows_.at(id).active = active; }
+
+  // Aggregates below count active flows only, so a departed flow releases
+  // its share of the link (admission checks sum r_n <= C on what is present).
   // Sum of weights — admission control checks sum r_n <= C.
   double total_weight() const;
   // Sum over flows of l_n^max (appears in Theorem 2's bound).

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +57,44 @@ class Scheduler {
   // unknown; FIFO-like disciplines that take any packet return false.
   virtual bool requires_registered_flows() const { return true; }
 
+  // Removes a flow mid-run (churn). The flow's id and per-flow tag state stay
+  // reserved so it can rejoin later; its queued packets are handed back to the
+  // caller, which accounts for them (the server counts them as drops with
+  // cause flow_removed). While removed, new packets for the flow are counted
+  // drops, and the flow releases its share of the weight aggregates.
+  //
+  // Rejoin is paper-correct by construction: the next start tag is
+  // max(v(t), F_prev) because implementations keep F_prev across the absence
+  // and every tag formula already takes that max against current virtual time.
+  virtual std::vector<Packet> remove_flow(FlowId f, Time now) {
+    (void)now;
+    flows_.set_active(f, false);  // throws on an id never registered
+    return {};
+  }
+
+  // Re-admits a previously removed flow. Must not be called while the flow is
+  // active. Tag state survives removal, so overload-protection disciplines
+  // (VC) keep charging the flow for its pre-departure appetite.
+  virtual void rejoin_flow(FlowId f, Time now) {
+    (void)now;
+    flows_.set_active(f, true);
+  }
+
+  // Evicts the most recently queued packet of flow `f` so the server can admit
+  // a new arrival under a full buffer (pushout policy; the server picks the
+  // victim flow). Disciplines whose bookkeeping cannot undo an enqueue return
+  // nullopt, and the server falls back to tail-dropping the arrival instead.
+  virtual std::optional<Packet> pushout(FlowId f, Time now) {
+    (void)f;
+    (void)now;
+    return std::nullopt;
+  }
+
+  // Packets dropped by the scheduler itself because their flow was unknown or
+  // removed (see admit()). Servers filter most of these before enqueue; this
+  // counter catches direct scheduler use (tests, mesh nodes).
+  uint64_t unknown_flow_drops() const { return unknown_flow_drops_; }
+
   const FlowTable& flows() const { return flows_; }
   FlowTable& flows() { return flows_; }
 
@@ -96,7 +136,26 @@ class Scheduler {
     }
   }
 
+  void trace_drop(const Packet& p, Time now, obs::DropCause cause) const {
+    if (trace_on_) [[unlikely]]
+      tracer_->emit(obs::make_event(obs::TraceEventType::kDrop, p, now,
+                                    /*vtime=*/0.0, backlog_packets(), cause));
+  }
+
+  // Gatekeeper for enqueue: true when the packet may enter the discipline.
+  // When false the packet has already been counted and traced as an
+  // unknown-flow drop — implementations just return. Replaces the old
+  // behaviour of throwing std::out_of_range from the hot path, so a
+  // misconfigured mesh node degrades to a counted drop instead of aborting.
+  bool admit(const Packet& p, Time now) {
+    if (!requires_registered_flows() || flows_.active(p.flow)) return true;
+    ++unknown_flow_drops_;
+    trace_drop(p, now, obs::DropCause::kUnknownFlow);
+    return false;
+  }
+
   FlowTable flows_;
+  uint64_t unknown_flow_drops_ = 0;
   obs::Tracer* tracer_ = nullptr;
   bool trace_on_ = false;  // tracer_ set AND it has a consuming sink
 };
@@ -111,7 +170,9 @@ class PerFlowQueues {
 
   void push(Packet p) {
     ensure(p.flow);
-    queues_[p.flow].q.push_back(std::move(p));
+    FlowQueue& fq = queues_[p.flow];
+    fq.bits += p.length_bits;
+    fq.q.push_back(std::move(p));
     ++packets_;
   }
 
@@ -123,19 +184,47 @@ class PerFlowQueues {
   Packet& head(FlowId f) { return queues_[f].q.front(); }
 
   Packet pop(FlowId f) {
-    Packet p = std::move(queues_[f].q.front());
-    queues_[f].q.pop_front();
+    FlowQueue& fq = queues_[f];
+    Packet p = std::move(fq.q.front());
+    fq.q.pop_front();
+    fq.bits -= p.length_bits;
+    if (fq.q.empty()) fq.bits = 0.0;  // kill rounding residue
     --packets_;
     return p;
   }
 
+  // Removes and returns the most recently queued packet of flow `f` (pushout
+  // victim). Precondition: !flow_empty(f).
+  Packet pop_back(FlowId f) {
+    FlowQueue& fq = queues_[f];
+    Packet p = std::move(fq.q.back());
+    fq.q.pop_back();
+    fq.bits -= p.length_bits;
+    if (fq.q.empty()) fq.bits = 0.0;
+    --packets_;
+    return p;
+  }
+
+  // Removes and returns every queued packet of flow `f`, oldest first
+  // (flow removal).
+  std::vector<Packet> drain(FlowId f) {
+    std::vector<Packet> out;
+    if (f >= queues_.size()) return out;
+    FlowQueue& fq = queues_[f];
+    out.assign(std::make_move_iterator(fq.q.begin()),
+               std::make_move_iterator(fq.q.end()));
+    packets_ -= fq.q.size();
+    fq.q.clear();
+    fq.bits = 0.0;
+    return out;
+  }
+
   std::size_t packets() const { return packets_; }
 
+  // O(1): per-flow queued bits are maintained incrementally so the server's
+  // pushout policy (longest-queue-drop) can scan flows cheaply on overload.
   double bits(FlowId f) const {
-    if (f >= queues_.size()) return 0.0;
-    double b = 0.0;
-    for (const Packet& p : queues_[f].q) b += p.length_bits;
-    return b;
+    return f >= queues_.size() ? 0.0 : queues_[f].bits;
   }
 
   std::size_t flow_packets(FlowId f) const {
@@ -145,6 +234,7 @@ class PerFlowQueues {
  private:
   struct FlowQueue {
     std::deque<Packet> q;
+    double bits = 0.0;  // sum of q's lengths, maintained on push/pop
   };
   std::vector<FlowQueue> queues_;
   std::size_t packets_ = 0;

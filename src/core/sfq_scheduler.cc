@@ -1,7 +1,6 @@
 #include "core/sfq_scheduler.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace sfq {
 
@@ -29,8 +28,7 @@ void SfqScheduler::push_head(FlowId f) {
 }
 
 void SfqScheduler::enqueue(Packet p, Time now) {
-  if (p.flow >= flow_state_.size())
-    throw std::out_of_range("SFQ: packet for unknown flow");
+  if (!admit(p, now)) return;
   FlowState& st = flow_state_[p.flow];
 
   p.start_tag = std::max(vtime_, st.last_finish);
@@ -59,6 +57,31 @@ std::optional<Packet> SfqScheduler::dequeue(Time now) {
   if (!queues_.flow_empty(f)) push_head(f);
   trace_dequeue(p, now, vtime_, queues_.packets());
   return p;
+}
+
+std::vector<Packet> SfqScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);  // validates f, marks it inactive
+  if (ready_.contains(f)) ready_.erase(f);
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty()) {
+    // Roll F_prev back as if the flushed packets never arrived. Setting it to
+    // the first flushed start tag S_1 = max(v(A_1), F_0) is equivalent to
+    // restoring F_0: a later arrival computes max(v', S_1) with v' >= v(A_1)
+    // (virtual time is monotone), which equals max(v', F_0).
+    flow_state_[f].last_finish = out.front().start_tag;
+  }
+  return out;
+}
+
+std::optional<Packet> SfqScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  // Undo the victim's tag advance (same rollback argument as remove_flow).
+  flow_state_[f].last_finish = victim.start_tag;
+  // Popping the tail only changes the head when the queue emptied.
+  if (queues_.flow_empty(f) && ready_.contains(f)) ready_.erase(f);
+  return victim;
 }
 
 void SfqScheduler::on_transmit_complete(const Packet& p, Time now) {

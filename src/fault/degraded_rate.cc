@@ -1,0 +1,78 @@
+#include "fault/degraded_rate.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace sfq::fault {
+
+DegradedRate::DegradedRate(std::unique_ptr<net::RateProfile> inner,
+                           std::vector<Change> changes)
+    : inner_(std::move(inner)), changes_(std::move(changes)) {
+  if (!inner_) throw std::invalid_argument("DegradedRate: null inner profile");
+  for (std::size_t i = 0; i < changes_.size(); ++i) {
+    if (changes_[i].at < 0.0)
+      throw std::invalid_argument("DegradedRate: negative change time");
+    if (changes_[i].factor < 0.0)
+      throw std::invalid_argument("DegradedRate: negative factor");
+    if (i > 0 && changes_[i].at <= changes_[i - 1].at)
+      throw std::invalid_argument(
+          "DegradedRate: change times must be strictly increasing");
+  }
+  if (changes_.empty() || changes_.front().at > 0.0)
+    changes_.insert(changes_.begin(), Change{0.0, 1.0});
+}
+
+std::size_t DegradedRate::index_at(Time t) const {
+  // Last change with at <= t. changes_ is non-empty and starts at 0.
+  auto it = std::upper_bound(
+      changes_.begin(), changes_.end(), t,
+      [](Time v, const Change& c) { return v < c.at; });
+  return static_cast<std::size_t>(it - changes_.begin()) - 1;
+}
+
+Time DegradedRate::finish_time(Time start, double bits) {
+  double remaining = bits;
+  Time t = start;
+  for (std::size_t i = index_at(t);; ++i) {
+    const double m = changes_[i].factor;
+    const bool last = i + 1 == changes_.size();
+    const Time seg_end =
+        last ? std::numeric_limits<Time>::infinity() : changes_[i + 1].at;
+    if (m > 0.0) {
+      if (last) return inner_->finish_time(t, remaining / m);
+      // Work deliverable within this segment at the degraded rate.
+      const double cap = m * inner_->work(t, seg_end);
+      if (cap >= remaining) {
+        // Finish inside the segment; clamp against fp residue at the edge.
+        return std::min(inner_->finish_time(t, remaining / m), seg_end);
+      }
+      remaining -= cap;
+    } else if (last) {
+      throw std::runtime_error("DegradedRate: link down forever at t=" +
+                               std::to_string(changes_[i].at));
+    }
+    t = seg_end;
+  }
+}
+
+double DegradedRate::work(Time t1, Time t2) {
+  if (t2 <= t1) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = index_at(t1); i < changes_.size(); ++i) {
+    const Time a = std::max(t1, changes_[i].at);
+    const Time b =
+        i + 1 < changes_.size() ? std::min(t2, changes_[i + 1].at) : t2;
+    if (b <= a) {
+      if (changes_[i].at >= t2) break;
+      continue;
+    }
+    if (changes_[i].factor > 0.0)
+      total += changes_[i].factor * inner_->work(a, b);
+    if (b >= t2) break;
+  }
+  return total;
+}
+
+}  // namespace sfq::fault

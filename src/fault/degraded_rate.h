@@ -1,0 +1,57 @@
+// Rate-profile decorator for scripted link faults (docs/ROBUSTNESS.md).
+//
+// A DegradedRate multiplies an inner RateProfile by a piecewise-constant
+// modulation factor m(t): 1 = nominal, (0,1) = degraded, 0 = outage. The
+// timeline is composed up front from the fault plan, so finish times computed
+// when a transmission *starts* already integrate across any outage that will
+// occur mid-packet — the server never needs to preempt or recompute, and the
+// work function stays exact for the FC/EBF verification helpers.
+//
+// This is the machinery behind Theorem 1's strongest reading: SFQ's fairness
+// bound holds for ANY server rate behaviour, so we test it on links that die
+// and recover mid-run.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+#include "net/rate_profile.h"
+
+namespace sfq::fault {
+
+class DegradedRate final : public net::RateProfile {
+ public:
+  // Modulation factor `factor` applies from time `at` until the next change
+  // (the last one extends forever).
+  struct Change {
+    Time at = 0.0;
+    double factor = 1.0;
+  };
+
+  // `changes` must have non-negative times in strictly increasing order and
+  // factors >= 0. A leading {0, 1} is implied when the first change is later
+  // than t=0. An empty vector is the identity decorator.
+  DegradedRate(std::unique_ptr<net::RateProfile> inner,
+               std::vector<Change> changes);
+
+  // Throws std::runtime_error when the transmission can never finish (the
+  // final modulation factor is 0 — a link that goes down and stays down).
+  Time finish_time(Time start, double bits) override;
+  double work(Time t1, Time t2) override;
+  // The *nominal* C: FC/EBF parameters describe the healthy link; faults are
+  // excursions the theorems must survive, not a new steady state.
+  double average_rate() const override { return inner_->average_rate(); }
+
+  double factor_at(Time t) const { return changes_[index_at(t)].factor; }
+  const net::RateProfile& inner() const { return *inner_; }
+
+ private:
+  std::size_t index_at(Time t) const;
+
+  std::unique_ptr<net::RateProfile> inner_;
+  std::vector<Change> changes_;  // normalized: first entry at t=0
+};
+
+}  // namespace sfq::fault

@@ -1,0 +1,49 @@
+#include "fault/fault_injector.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace sfq::fault {
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: arm() called twice");
+  armed_ = true;
+
+  if (auto mod = plan_.modulation(); !mod.empty()) {
+    server_.set_profile(std::make_unique<DegradedRate>(
+        server_.release_profile(), std::move(mod)));
+  }
+  if (!plan_.loss_faults().empty()) {
+    server_.set_fault_filter(
+        [this](const Packet& p, Time t) { return filter(p, t); });
+  }
+  for (const auto& c : plan_.churn()) {
+    if (c.join)
+      sim_.at(c.at, [this, f = c.flow] { server_.rejoin_flow(f); });
+    else
+      sim_.at(c.at, [this, f = c.flow] { server_.remove_flow(f); });
+  }
+}
+
+std::optional<obs::DropCause> FaultInjector::filter(const Packet& p, Time t) {
+  (void)p;
+  // One draw per active interval, in plan order: the decision stream is a
+  // pure function of (seed, plan, arrival sequence), which is what the
+  // determinism-under-faults test pins down.
+  for (const auto& l : plan_.loss_faults()) {
+    if (t < l.at || t >= l.until) continue;
+    ++draws_;
+    if (uni_(rng_) < l.probability) {
+      if (l.corrupt) {
+        ++corruptions_;
+        return obs::DropCause::kCorrupt;
+      }
+      ++losses_;
+      return obs::DropCause::kFaultLoss;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sfq::fault

@@ -1,0 +1,59 @@
+// Arms a FaultPlan against a live server (docs/ROBUSTNESS.md).
+//
+// Rate faults become a DegradedRate wrapped around the server's profile
+// (composed once, so in-flight transmissions honour future outages); loss and
+// corruption become a fault filter drawing from a seeded PRNG; flow churn is
+// scheduled through the simulator event queue so leaves/rejoins interleave
+// deterministically with arrivals and departures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+
+#include "core/packet.h"
+#include "core/types.h"
+#include "fault/fault_plan.h"
+#include "net/scheduled_server.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace sfq::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, net::ScheduledServer& server,
+                FaultPlan plan)
+      : sim_(sim), server_(server), plan_(std::move(plan)),
+        rng_(plan_.rng_seed()) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs the plan. Call exactly once, before the run reaches the first
+  // fault; the injector must outlive the simulation (the server keeps a
+  // filter callback into it).
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  // Packets discarded by this injector, by cause.
+  uint64_t losses() const { return losses_; }
+  uint64_t corruptions() const { return corruptions_; }
+  // Total PRNG draws (one per arrival per active loss interval).
+  uint64_t draws() const { return draws_; }
+
+ private:
+  std::optional<obs::DropCause> filter(const Packet& p, Time t);
+
+  sim::Simulator& sim_;
+  net::ScheduledServer& server_;
+  FaultPlan plan_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+  uint64_t draws_ = 0;
+  uint64_t losses_ = 0;
+  uint64_t corruptions_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace sfq::fault

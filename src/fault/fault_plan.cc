@@ -1,0 +1,80 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sfq::fault {
+namespace {
+
+void check_interval(Time at, Time until, const char* what) {
+  if (at < 0.0 || !std::isfinite(at))
+    throw std::invalid_argument(std::string(what) + ": bad start time");
+  if (until <= at)
+    throw std::invalid_argument(std::string(what) +
+                                ": interval must end after it starts");
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::degrade(Time at, Time until, double factor) {
+  check_interval(at, until, "FaultPlan::degrade");
+  if (factor < 0.0 || factor > 1.0)
+    throw std::invalid_argument("FaultPlan::degrade: factor must be in [0,1]");
+  rate_.push_back({at, until, factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss(Time at, Time until, double probability) {
+  check_interval(at, until, "FaultPlan::loss");
+  if (probability < 0.0 || probability > 1.0)
+    throw std::invalid_argument("FaultPlan::loss: probability not in [0,1]");
+  loss_.push_back({at, until, probability, /*corrupt=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corruption(Time at, Time until, double probability) {
+  check_interval(at, until, "FaultPlan::corruption");
+  if (probability < 0.0 || probability > 1.0)
+    throw std::invalid_argument(
+        "FaultPlan::corruption: probability not in [0,1]");
+  loss_.push_back({at, until, probability, /*corrupt=*/true});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flow_leave(Time at, FlowId f) {
+  if (at < 0.0 || !std::isfinite(at))
+    throw std::invalid_argument("FaultPlan::flow_leave: bad time");
+  churn_.push_back({at, f, /*join=*/false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flow_join(Time at, FlowId f) {
+  if (at < 0.0 || !std::isfinite(at))
+    throw std::invalid_argument("FaultPlan::flow_join: bad time");
+  churn_.push_back({at, f, /*join=*/true});
+  return *this;
+}
+
+std::vector<DegradedRate::Change> FaultPlan::modulation() const {
+  if (rate_.empty()) return {};
+  std::vector<Time> bounds{0.0};
+  for (const auto& r : rate_) {
+    bounds.push_back(r.at);
+    if (std::isfinite(r.until)) bounds.push_back(r.until);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<DegradedRate::Change> out;
+  for (Time b : bounds) {
+    double m = 1.0;
+    for (const auto& r : rate_)
+      if (b >= r.at && b < r.until) m = std::min(m, r.factor);
+    if (out.empty() || m != out.back().factor) out.push_back({b, m});
+  }
+  return out;
+}
+
+}  // namespace sfq::fault

@@ -1,0 +1,83 @@
+// Declarative fault plans (docs/ROBUSTNESS.md).
+//
+// A FaultPlan is a value object listing what goes wrong and when: link
+// outages and rate degradation (intervals), probabilistic packet loss and
+// corruption (intervals with a drop probability), and flow churn (a flow
+// leaves mid-run and may rejoin later). The plan itself touches nothing —
+// FaultInjector arms it against a concrete server and simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "fault/degraded_rate.h"
+
+namespace sfq::fault {
+
+// The link runs at `factor` x nominal during [at, until). factor 0 = outage.
+struct RateFault {
+  Time at = 0.0;
+  Time until = kTimeInfinity;
+  double factor = 0.0;
+};
+
+// Each arrival during [at, until) is dropped with probability `probability`;
+// `corrupt` selects the drop cause (corrupt vs fault_loss).
+struct LossFault {
+  Time at = 0.0;
+  Time until = kTimeInfinity;
+  double probability = 0.0;
+  bool corrupt = false;
+};
+
+// join=false: the flow leaves at `at` (queued packets flushed, later arrivals
+// dropped). join=true: it rejoins; per Theorem 1's re-anchoring rule its next
+// start tag resumes at max(v(t), previous finish tag).
+struct ChurnEvent {
+  Time at = 0.0;
+  FlowId flow = kInvalidFlow;
+  bool join = false;
+};
+
+class FaultPlan {
+ public:
+  // All builders validate eagerly (std::invalid_argument) so a bad plan fails
+  // at construction, not mid-simulation.
+  FaultPlan& link_down(Time at, Time until = kTimeInfinity) {
+    return degrade(at, until, 0.0);
+  }
+  FaultPlan& degrade(Time at, Time until, double factor);
+  FaultPlan& loss(Time at, Time until, double probability);
+  FaultPlan& corruption(Time at, Time until, double probability);
+  FaultPlan& flow_leave(Time at, FlowId f);
+  FaultPlan& flow_join(Time at, FlowId f);
+  // Seed for the loss/corruption draws; same seed + same plan + same arrival
+  // stream => identical drop decisions (the determinism-under-faults test).
+  FaultPlan& seed(uint64_t s) {
+    seed_ = s;
+    return *this;
+  }
+
+  bool empty() const {
+    return rate_.empty() && loss_.empty() && churn_.empty();
+  }
+  uint64_t rng_seed() const { return seed_; }
+  const std::vector<RateFault>& rate_faults() const { return rate_; }
+  const std::vector<LossFault>& loss_faults() const { return loss_; }
+  const std::vector<ChurnEvent>& churn() const { return churn_; }
+
+  // Composes the rate faults into one piecewise modulation timeline: at each
+  // instant the factor is the minimum over active intervals (outage beats
+  // degradation when they overlap), 1 where none is active. Empty when the
+  // plan has no rate faults.
+  std::vector<DegradedRate::Change> modulation() const;
+
+ private:
+  std::vector<RateFault> rate_;
+  std::vector<LossFault> loss_;
+  std::vector<ChurnEvent> churn_;
+  uint64_t seed_ = 1;
+};
+
+}  // namespace sfq::fault

@@ -92,9 +92,76 @@ void HsfqScheduler::activate(uint32_t n) {
   nodes_[kRootClass].jump_armed = false;
 }
 
+void HsfqScheduler::deactivate(uint32_t n) {
+  // Walk up, removing drained ancestor-child edges (the inverse of
+  // activate()). A class whose subtree empties arms its end-of-busy-period
+  // jump, exactly as if the drain had happened during a dequeue; it commits
+  // at the next transmit completion if the subtree stays empty.
+  while (n != kRootClass) {
+    Node& c = nodes_[n];
+    if (!c.backlogged) return;
+    const bool still =
+        c.is_flow ? !queues_.flow_empty(c.flow)
+                  : (c.inner ? !c.inner->empty() : !c.children.empty());
+    if (still) return;
+    c.backlogged = false;
+    Node& par = nodes_[c.parent];
+    par.children.erase(n);
+    if (par.children.empty() && !par.jump_armed) {
+      par.jump_armed = true;
+      armed_nodes_.push_back(c.parent);
+    }
+    n = c.parent;
+  }
+}
+
+std::vector<Packet> HsfqScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  const FlowRoute& route = routes_.at(f);
+  if (route.delegated) {
+    Node& cls = nodes_[route.node];
+    std::vector<Packet> out = cls.inner->remove_flow(route.local, now);
+    delegated_backlog_ -= out.size();
+    for (Packet& p : out) p.flow = f;  // back to global ids
+    if (cls.backlogged && cls.inner->empty()) deactivate(route.node);
+    return out;
+  }
+  // Tags are dequeue-driven: the flushed packets never advanced the leaf's
+  // last_finish, and re-activation recomputes S = max(v_parent, F_prev) — the
+  // paper's rejoin rule — so no rollback is needed.
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty()) deactivate(route.node);
+  return out;
+}
+
+void HsfqScheduler::rejoin_flow(FlowId f, Time now) {
+  Scheduler::rejoin_flow(f, now);
+  const FlowRoute& route = routes_.at(f);
+  if (route.delegated)
+    nodes_[route.node].inner->rejoin_flow(route.local, now);
+}
+
+std::optional<Packet> HsfqScheduler::pushout(FlowId f, Time now) {
+  const FlowRoute& route = routes_.at(f);
+  if (route.delegated) {
+    Node& cls = nodes_[route.node];
+    std::optional<Packet> victim = cls.inner->pushout(route.local, now);
+    if (!victim) return std::nullopt;
+    --delegated_backlog_;
+    victim->flow = f;
+    if (cls.backlogged && cls.inner->empty()) deactivate(route.node);
+    return victim;
+  }
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  // Popping the tail leaves the head — and thus every heap key — unchanged
+  // unless the queue emptied.
+  if (queues_.flow_empty(f)) deactivate(route.node);
+  return victim;
+}
+
 void HsfqScheduler::enqueue(Packet p, Time now) {
-  if (p.flow >= routes_.size())
-    throw std::out_of_range("HSFQ: packet for unknown flow");
+  if (!admit(p, now)) return;
   const FlowRoute& route = routes_[p.flow];
   // Tags are dequeue-driven in H-SFQ, so the tag event reports the packet
   // as-queued (root virtual time, no start/finish yet).
@@ -102,11 +169,14 @@ void HsfqScheduler::enqueue(Packet p, Time now) {
   if (route.delegated) {
     Node& cls = nodes_[route.node];
     const bool was_empty = cls.inner->empty();
-    delegated_backlog_ += 1;
+    const std::size_t before = cls.inner->backlog_packets();
     Packet local = std::move(p);
     local.flow = route.local;
     cls.inner->enqueue(std::move(local), now);
-    if (was_empty) activate(route.node);
+    // The inner discipline may refuse the packet (its own admit gate), so
+    // trust its backlog rather than assuming acceptance.
+    delegated_backlog_ += cls.inner->backlog_packets() - before;
+    if (was_empty && !cls.inner->empty()) activate(route.node);
     return;
   }
   const uint32_t leaf = route.node;

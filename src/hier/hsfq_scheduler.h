@@ -73,6 +73,10 @@ class HsfqScheduler : public Scheduler {
   std::optional<Packet> dequeue(Time now) override;
   void on_transmit_complete(const Packet& p, Time now) override;
 
+  std::vector<Packet> remove_flow(FlowId f, Time now) override;
+  void rejoin_flow(FlowId f, Time now) override;
+  std::optional<Packet> pushout(FlowId f, Time now) override;
+
   bool empty() const override {
     return queues_.packets() == 0 && delegated_backlog_ == 0;
   }
@@ -119,6 +123,7 @@ class HsfqScheduler : public Scheduler {
   uint32_t new_node(ClassId parent, double weight, bool is_flow,
                     std::string name);
   void activate(uint32_t n);
+  void deactivate(uint32_t n);
 
   struct FlowRoute {
     uint32_t node = 0;       // owning leaf node (flow node or delegated class)

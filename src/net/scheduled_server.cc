@@ -1,6 +1,7 @@
 #include "net/scheduled_server.h"
 
 #include <utility>
+#include <vector>
 
 namespace sfq::net {
 
@@ -10,8 +11,7 @@ ScheduledServer::ScheduledServer(sim::Simulator& sim, Scheduler& sched,
 
 bool ScheduledServer::drop(Packet&& p, Time now, obs::DropCause cause) {
   ++drops_;
-  if (cause == obs::DropCause::kBufferLimit) ++buffer_drops_;
-  else if (cause == obs::DropCause::kUnknownFlow) ++unknown_flow_drops_;
+  ++cause_drops_[static_cast<std::size_t>(cause)];
   if (trace_on_) [[unlikely]]
     tracer_->emit(obs::make_event(obs::TraceEventType::kDrop, p, now,
                                   /*vtime=*/0.0, sched_.backlog_packets(),
@@ -20,18 +20,72 @@ bool ScheduledServer::drop(Packet&& p, Time now, obs::DropCause cause) {
   return false;
 }
 
+FlowId ScheduledServer::longest_queue() const {
+  FlowId best = kInvalidFlow;
+  double best_bits = 0.0;
+  const std::size_t n = sched_.flows().size();
+  for (FlowId f = 0; f < n; ++f) {
+    const double b = sched_.backlog_bits(f);
+    if (b > best_bits) {  // strict: ties resolve to the lowest flow id
+      best_bits = b;
+      best = f;
+    }
+  }
+  return best;
+}
+
+std::size_t ScheduledServer::remove_flow(FlowId f) {
+  const Time now = sim_.now();
+  std::vector<Packet> flushed = sched_.remove_flow(f, now);
+  for (Packet& p : flushed) drop(std::move(p), now, obs::DropCause::kFlowRemoved);
+  if (link_stats_) link_stats_->on_queue_sample(now, sched_.backlog_packets());
+  return flushed.size();
+}
+
+void ScheduledServer::rejoin_flow(FlowId f) {
+  sched_.rejoin_flow(f, sim_.now());
+}
+
 bool ScheduledServer::inject(Packet p) {
   const Time now = sim_.now();
-  if (sched_.requires_registered_flows() && p.flow >= sched_.flows().size())
+  if (fault_filter_) {
+    if (auto cause = fault_filter_(p, now))
+      return drop(std::move(p), now, *cause);
+  }
+  const FlowTable& table = sched_.flows();
+  const bool registered = p.flow < table.size();
+  // A registered-but-removed flow drops here whatever the discipline; an
+  // unregistered id drops only when the discipline insists on registration.
+  if (registered ? !table.active(p.flow) : sched_.requires_registered_flows())
     return drop(std::move(p), now, obs::DropCause::kUnknownFlow);
-  if (buffer_limit_ != 0 && sched_.backlog_packets() >= buffer_limit_)
-    return drop(std::move(p), now, obs::DropCause::kBufferLimit);
+  if (buffer_limit_ != 0 && sched_.backlog_packets() >= buffer_limit_) {
+    bool made_room = false;
+    if (overload_policy_ == OverloadPolicy::kPushout) {
+      const FlowId victim = longest_queue();
+      if (victim != kInvalidFlow) {
+        if (std::optional<Packet> evicted = sched_.pushout(victim, now)) {
+          drop(std::move(*evicted), now, obs::DropCause::kPushout);
+          made_room = true;
+        }
+      }
+    }
+    if (!made_room)
+      return drop(std::move(p), now, obs::DropCause::kBufferLimit);
+  }
   p.arrival = now;
-  if (recorder_) recorder_->on_arrival(p.flow, now);
   const FlowId flow = p.flow;
   const uint64_t seq = p.seq;
   const double bits = p.length_bits;
+  const std::size_t before = sched_.backlog_packets();
   sched_.enqueue(std::move(p), now);
+  if (sched_.backlog_packets() == before) {
+    // The discipline itself refused the packet (its admit gate already
+    // counted and traced the drop); mirror it in the server counters.
+    ++drops_;
+    ++cause_drops_[static_cast<std::size_t>(obs::DropCause::kUnknownFlow)];
+    return false;
+  }
+  if (recorder_) recorder_->on_arrival(flow, now);
   if (trace_on_) [[unlikely]] {
     // The scheduler's kTag event carries the tag detail; this one marks
     // server acceptance (post-enqueue backlog).

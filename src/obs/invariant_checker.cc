@@ -119,6 +119,21 @@ void InvariantChecker::on_event(const TraceEvent& e) {
 
     case TraceEventType::kDrop:
       ++dropped_;
+      last_backlog_ = e.backlog;
+      if (e.drop_cause == DropCause::kPushout ||
+          e.drop_cause == DropCause::kFlowRemoved) {
+        // The packet was tagged/enqueued, then removed without a dequeue:
+        // credit it back so conservation balances across churn and pushout.
+        ++removed_;
+        // The scheduler re-anchors the flow's tag state at the first removed
+        // packet's start tag (which equals the pre-removal finish tag under
+        // S = max(v, F_prev) — see SfqScheduler::remove_flow). Mirror that
+        // rollback so a rejoining flow's next start tag is not flagged.
+        if (opts_.check_tags && e.flow != kInvalidFlow &&
+            e.flow < flow_last_finish_.size() &&
+            e.start_tag < flow_last_finish_[e.flow])
+          flow_last_finish_[e.flow] = e.start_tag;
+      }
       break;
 
     case TraceEventType::kTxStart:
@@ -134,18 +149,21 @@ void InvariantChecker::on_event(const TraceEvent& e) {
 
 void InvariantChecker::finish() {
   if (!opts_.check_conservation || !saw_packet_event_) return;
-  // Drops never reach the scheduler, so: tagged = dequeued + still queued.
-  // Schedulers without tag hooks (FIFO, round-robin, ...) emit no kTag /
-  // kDequeue events; fall back to the server-level ledger there.
+  // Pre-enqueue drops never reach the scheduler; post-enqueue removals
+  // (pushout, flow_removed) did, and are credited back via removed_. So:
+  // tagged = dequeued + still queued + removed. Schedulers without tag hooks
+  // (FIFO, round-robin, ...) emit no kTag / kDequeue events; fall back to the
+  // server-level ledger there.
   const bool scheduler_view = tagged_ > 0 || dequeued_ > 0;
   const uint64_t in = scheduler_view ? tagged_ : enqueued_;
   const uint64_t out = scheduler_view ? dequeued_ : tx_started_;
-  if (in != out + last_backlog_) {
+  if (in != out + last_backlog_ + removed_) {
     std::ostringstream ss;
     ss << "conservation violated: "
        << (scheduler_view ? "tagged " : "enqueued ") << in
        << " != " << (scheduler_view ? "dequeued " : "tx-started ") << out
-       << " + backlog " << last_backlog_ << " (drops " << dropped_
+       << " + backlog " << last_backlog_ << " + removed " << removed_
+       << " (pre-enqueue drops " << dropped_ - removed_
        << " counted separately)";
     flag(ss.str());
   }

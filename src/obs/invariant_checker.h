@@ -12,11 +12,20 @@
 //   * tags         — finish tag >= start tag for every tagged packet, and a
 //                    flow's start tag >= its previous packet's finish tag
 //                    (S = max(v, F_prev) implies both).
-//   * conservation — packets tagged == packets dequeued + backlog after the
-//                    last event (drops never reach the scheduler), checked in
-//                    finish(). Schedulers without tag hooks (FIFO, DRR, ...)
-//                    are accounted at the server level instead: enqueues ==
-//                    transmissions started + backlog.
+//   * conservation — packets tagged == packets dequeued + backlog + packets
+//                    removed after enqueue, checked in finish(). Drop causes
+//                    split two ways: pre-enqueue discards (buffer_limit,
+//                    unknown_flow, fault_loss, corrupt) never enter the
+//                    ledger; post-enqueue removals (pushout, flow_removed)
+//                    entered as tag/enqueue events and are credited back from
+//                    their drop events. Schedulers without tag hooks (FIFO,
+//                    DRR, ...) are accounted at the server level instead:
+//                    enqueues == transmissions started + backlog + removed.
+//
+// All checks are fault-aware: outages and degradation change real time only
+// (tags and v(t) live in virtual time, so monotonicity must survive any rate
+// behaviour — Theorem 1's premise), and flow churn rolls a flow's tag floor
+// back exactly as the scheduler re-anchors it.
 #pragma once
 
 #include <limits>
@@ -77,6 +86,7 @@ class InvariantChecker final : public TraceSink {
   uint64_t dequeued_ = 0;
   uint64_t tx_started_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t removed_ = 0;  // post-enqueue removals (pushout, flow_removed)
   uint64_t last_backlog_ = 0;
   bool saw_packet_event_ = false;
   double last_order_tag_ = -std::numeric_limits<double>::infinity();

@@ -125,6 +125,10 @@ MetricsSink::MetricsSink(MetricsRegistry& reg,
   // them (as zeros) instead of omitting the names.
   reg_.counter("sched.drops.buffer_limit");
   reg_.counter("sched.drops.unknown_flow");
+  reg_.counter("sched.drops.fault_loss");
+  reg_.counter("sched.drops.corrupt");
+  reg_.counter("sched.drops.pushout");
+  reg_.counter("sched.drops.flow_removed");
 }
 
 const std::string& MetricsSink::flow_label(FlowId f) {

@@ -25,6 +25,10 @@ const char* to_string(DropCause c) {
     case DropCause::kNone: return "none";
     case DropCause::kBufferLimit: return "buffer_limit";
     case DropCause::kUnknownFlow: return "unknown_flow";
+    case DropCause::kFaultLoss: return "fault_loss";
+    case DropCause::kCorrupt: return "corrupt";
+    case DropCause::kPushout: return "pushout";
+    case DropCause::kFlowRemoved: return "flow_removed";
   }
   return "?";
 }

@@ -16,6 +16,7 @@
 // enough to keep compiled into the hot path unconditionally.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -40,8 +41,13 @@ enum class TraceEventType : uint8_t {
 enum class DropCause : uint8_t {
   kNone = 0,
   kBufferLimit,   // queue cap reached (tail drop)
-  kUnknownFlow,   // packet for a flow never registered with the scheduler
+  kUnknownFlow,   // packet for a flow never registered (or currently removed)
+  kFaultLoss,     // injected probabilistic loss (fault plan)
+  kCorrupt,       // injected corruption, detected and discarded
+  kPushout,       // evicted from the longest queue to admit a new arrival
+  kFlowRemoved,   // flushed when its flow left the scheduler (churn)
 };
+inline constexpr std::size_t kDropCauseCount = 7;
 
 const char* to_string(TraceEventType t);
 const char* to_string(DropCause c);

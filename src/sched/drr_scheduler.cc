@@ -1,13 +1,11 @@
 #include "sched/drr_scheduler.h"
 
-#include <stdexcept>
+#include <algorithm>
 
 namespace sfq {
 
 void DrrScheduler::enqueue(Packet p, Time now) {
-  (void)now;
-  if (p.flow >= state_.size())
-    throw std::out_of_range("DRR: packet for unknown flow");
+  if (!admit(p, now)) return;
   const FlowId f = p.flow;
   queues_.push(std::move(p));
   FlowState& st = state_[f];
@@ -52,6 +50,35 @@ std::optional<Packet> DrrScheduler::dequeue(Time now) {
     st.round_started = false;
   }
   return std::nullopt;
+}
+
+std::vector<Packet> DrrScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  std::vector<Packet> out = queues_.drain(f);
+  FlowState& st = state_[f];
+  if (st.active) {
+    active_.erase(std::remove(active_.begin(), active_.end(), f),
+                  active_.end());
+    st.active = false;
+    st.round_started = false;
+    st.deficit = 0.0;  // rejoining flows start with an empty deficit anyway
+  }
+  return out;
+}
+
+std::optional<Packet> DrrScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  if (queues_.flow_empty(f)) {
+    FlowState& st = state_[f];
+    active_.erase(std::remove(active_.begin(), active_.end(), f),
+                  active_.end());
+    st.active = false;
+    st.round_started = false;
+    st.deficit = 0.0;
+  }
+  return victim;
 }
 
 }  // namespace sfq

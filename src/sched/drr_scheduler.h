@@ -35,6 +35,9 @@ class DrrScheduler : public Scheduler {
   void enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
 
+  std::vector<Packet> remove_flow(FlowId f, Time now) override;
+  std::optional<Packet> pushout(FlowId f, Time now) override;
+
   bool empty() const override { return queues_.packets() == 0; }
   std::size_t backlog_packets() const override { return queues_.packets(); }
   double backlog_bits(FlowId f) const override { return queues_.bits(f); }

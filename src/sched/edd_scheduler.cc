@@ -1,7 +1,6 @@
 #include "sched/edd_scheduler.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace sfq {
 
@@ -22,9 +21,7 @@ FlowId EddScheduler::add_flow(double weight, double max_packet_bits,
 }
 
 void EddScheduler::enqueue(Packet p, Time now) {
-  (void)now;
-  if (p.flow >= eat_.size())
-    throw std::out_of_range("EDD: packet for unknown flow");
+  if (!admit(p, now)) return;
   EatState& st = eat_[p.flow];
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
 
@@ -59,6 +56,28 @@ std::optional<Packet> EddScheduler::dequeue(Time now) {
     ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
   }
   return p;
+}
+
+std::vector<Packet> EddScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  if (ready_.contains(f)) ready_.erase(f);
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty()) {
+    // start_tag holds the packet's EAT; same rollback as VirtualClock.
+    eat_[f].last_eat = out.front().start_tag;
+    eat_[f].last_bits = 0.0;
+  }
+  return out;
+}
+
+std::optional<Packet> EddScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  eat_[f].last_eat = victim.start_tag;
+  eat_[f].last_bits = 0.0;
+  if (queues_.flow_empty(f) && ready_.contains(f)) ready_.erase(f);
+  return victim;
 }
 
 }  // namespace sfq

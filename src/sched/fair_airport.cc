@@ -1,7 +1,7 @@
 #include "sched/fair_airport.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <iterator>
 
 namespace sfq {
 
@@ -58,9 +58,7 @@ void FairAirportScheduler::refresh_gsq(FlowId f) {
 }
 
 void FairAirportScheduler::enqueue(Packet p, Time now) {
-  (void)now;
-  if (p.flow >= state_.size())
-    throw std::out_of_range("FairAirport: packet for unknown flow");
+  if (!admit(p, now)) return;
   const FlowId f = p.flow;
   FlowState& st = state_[f];
 
@@ -149,6 +147,43 @@ std::optional<Packet> FairAirportScheduler::dequeue(Time now) {
     return p;
   }
   return std::nullopt;
+}
+
+std::vector<Packet> FairAirportScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  FlowState& st = state_[f];
+  std::vector<Packet> out(std::make_move_iterator(st.q.begin()),
+                          std::make_move_iterator(st.q.end()));
+  total_packets_ -= st.q.size();
+  st.q.clear();
+  st.gsq_stamps.clear();
+  st.eligible = 0;
+  // last_finish / head_start / regulator clock are deliberately retained: the
+  // ASQ re-anchors on rejoin (max(v_asq, last_finish) at the next enqueue),
+  // and promotions already granted keep charging the regulator (VC memory).
+  if (regulator_.contains(f)) regulator_.erase(f);
+  if (gsq_.contains(f)) gsq_.erase(f);
+  if (asq_.contains(f)) asq_.erase(f);
+  return out;
+}
+
+std::optional<Packet> FairAirportScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  FlowState& st = state_[f];
+  if (st.q.empty()) return std::nullopt;
+  Packet victim = std::move(st.q.back());
+  st.q.pop_back();
+  --total_packets_;
+  if (st.eligible > st.q.size()) {
+    // The victim had already been promoted into the GSQ; retract its stamp.
+    // The regulator clock stays advanced (the release was granted).
+    st.eligible = st.q.size();
+    st.gsq_stamps.pop_back();
+    refresh_gsq(f);
+  }
+  refresh_asq(f);
+  refresh_regulator(f);
+  return victim;
 }
 
 void FairAirportScheduler::on_transmit_complete(const Packet& p, Time now) {

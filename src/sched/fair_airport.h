@@ -32,6 +32,9 @@ class FairAirportScheduler : public Scheduler {
   std::optional<Packet> dequeue(Time now) override;
   void on_transmit_complete(const Packet& p, Time now) override;
 
+  std::vector<Packet> remove_flow(FlowId f, Time now) override;
+  std::optional<Packet> pushout(FlowId f, Time now) override;
+
   bool empty() const override { return total_packets_ == 0; }
   std::size_t backlog_packets() const override { return total_packets_; }
   double backlog_bits(FlowId f) const override;

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <deque>
+#include <iterator>
 #include <optional>
+#include <vector>
 
 #include "core/scheduler.h"
 
@@ -24,6 +27,29 @@ class FifoScheduler : public Scheduler {
     Packet p = std::move(q_.front());
     q_.pop_front();
     return p;
+  }
+
+  // FIFO keeps no per-flow state; churn just filters the shared queue. The
+  // flow need not be registered (requires_registered_flows() is false).
+  std::vector<Packet> remove_flow(FlowId f, Time now) override {
+    if (f < flows_.size()) Scheduler::remove_flow(f, now);
+    auto it = std::stable_partition(
+        q_.begin(), q_.end(), [f](const Packet& p) { return p.flow != f; });
+    std::vector<Packet> out(std::make_move_iterator(it),
+                            std::make_move_iterator(q_.end()));
+    q_.erase(it, q_.end());
+    return out;
+  }
+
+  std::optional<Packet> pushout(FlowId f, Time now) override {
+    (void)now;
+    for (auto it = q_.rbegin(); it != q_.rend(); ++it) {
+      if (it->flow != f) continue;
+      Packet victim = std::move(*it);
+      q_.erase(std::next(it).base());
+      return victim;
+    }
+    return std::nullopt;
   }
 
   bool empty() const override { return q_.empty(); }

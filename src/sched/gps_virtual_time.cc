@@ -77,4 +77,25 @@ GpsVirtualTime::Tags GpsVirtualTime::on_arrival(uint32_t flow, double bits,
   return Tags{start, finish};
 }
 
+void GpsVirtualTime::remove_newest(uint32_t flow, std::size_t count,
+                                   VirtualTime resume_tag, Time t) {
+  if (flow >= flows_.size())
+    throw std::out_of_range("GPS: unknown flow");
+  advance(t);
+  FlowState& st = flows_[flow];
+  const bool was_backlogged = !st.fluid_queue.empty();
+  // The newest arrivals sit at the back; the fluid head (and therefore
+  // fluid_heads_) only changes if the queue empties entirely. If the fluid
+  // system ran ahead of the packet system, some removed packets already
+  // departed — popping what remains is then exactly the removed set.
+  for (std::size_t i = 0; i < count && !st.fluid_queue.empty(); ++i)
+    st.fluid_queue.pop_back();
+  if (count > 0) st.last_finish = resume_tag;
+  if (was_backlogged && st.fluid_queue.empty()) {
+    fluid_heads_.erase(flow);
+    backlogged_weight_ -= st.weight;
+    if (backlogged_weight_ < 1e-12) backlogged_weight_ = 0.0;
+  }
+}
+
 }  // namespace sfq

@@ -38,6 +38,15 @@ class GpsVirtualTime {
   };
   Tags on_arrival(uint32_t flow, double bits, Time t);
 
+  // Undoes the newest `count` arrivals of `flow` — their bits leave the fluid
+  // system unserved (flow removal / pushout in the packet system) — and
+  // resumes the flow's tag state from `resume_tag`, the oldest removed
+  // packet's start tag (equivalent to restoring the pre-removal last_finish,
+  // since v is monotone). Entries that already departed in the fluid system
+  // stay departed: their share of v's trajectory is history.
+  void remove_newest(uint32_t flow, std::size_t count, VirtualTime resume_tag,
+                     Time t);
+
   // Advances the fluid system to real time t and returns v(t).
   VirtualTime advance(Time t);
 

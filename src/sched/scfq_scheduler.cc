@@ -1,13 +1,11 @@
 #include "sched/scfq_scheduler.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace sfq {
 
 void ScfqScheduler::enqueue(Packet p, Time now) {
-  if (p.flow >= last_finish_.size())
-    throw std::out_of_range("SCFQ: packet for unknown flow");
+  if (!admit(p, now)) return;
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
 
   p.start_tag = std::max(vtime_, last_finish_[p.flow]);
@@ -40,6 +38,27 @@ std::optional<Packet> ScfqScheduler::dequeue(Time now) {
   }
   trace_dequeue(p, now, vtime_, queues_.packets());
   return p;
+}
+
+std::vector<Packet> ScfqScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  if (ready_.contains(f)) ready_.erase(f);
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty()) {
+    // S_1 = max(v, F_0) and v(t) is monotone, so resuming from S_1 is
+    // equivalent to restoring F_0 (see SfqScheduler::remove_flow).
+    last_finish_[f] = out.front().start_tag;
+  }
+  return out;
+}
+
+std::optional<Packet> ScfqScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  last_finish_[f] = victim.start_tag;
+  if (queues_.flow_empty(f) && ready_.contains(f)) ready_.erase(f);
+  return victim;
 }
 
 }  // namespace sfq

@@ -1,13 +1,11 @@
 #include "sched/virtual_clock.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace sfq {
 
 void VirtualClockScheduler::enqueue(Packet p, Time now) {
-  if (p.flow >= eat_.size())
-    throw std::out_of_range("VirtualClock: packet for unknown flow");
+  if (!admit(p, now)) return;
   EatState& st = eat_[p.flow];
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
 
@@ -43,6 +41,32 @@ std::optional<Packet> VirtualClockScheduler::dequeue(Time now) {
     ready_.push(f, TagKey{head.finish_tag, 0.0, head.sched_order});
   }
   return p;
+}
+
+std::vector<Packet> VirtualClockScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  if (ready_.contains(f)) ready_.erase(f);
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty()) {
+    // EAT_1 = max(A_1, EAT_0 + l_0/r) and arrivals are monotone, so resuming
+    // from (last_eat = EAT_1, last_bits = 0) reproduces the stamps the flushed
+    // packets would never have influenced. Earlier history is retained, so a
+    // flow that overdrew idle capacity before leaving stays charged (the VC
+    // memory property, paper §1.1).
+    eat_[f].last_eat = out.front().start_tag;
+    eat_[f].last_bits = 0.0;
+  }
+  return out;
+}
+
+std::optional<Packet> VirtualClockScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  eat_[f].last_eat = victim.start_tag;  // victim's EAT; same rollback argument
+  eat_[f].last_bits = 0.0;
+  if (queues_.flow_empty(f) && ready_.contains(f)) ready_.erase(f);
+  return victim;
 }
 
 }  // namespace sfq

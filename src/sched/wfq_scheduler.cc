@@ -1,12 +1,9 @@
 #include "sched/wfq_scheduler.h"
 
-#include <stdexcept>
-
 namespace sfq {
 
 void WfqScheduler::enqueue(Packet p, Time now) {
-  if (p.flow >= flows_.size())
-    throw std::out_of_range("WFQ: packet for unknown flow");
+  if (!admit(p, now)) return;
   auto tags = gps_.on_arrival(p.flow, p.length_bits, now);
   p.start_tag = tags.start;
   p.finish_tag = tags.finish;
@@ -36,9 +33,25 @@ std::optional<Packet> WfqScheduler::dequeue(Time now) {
   return p;
 }
 
+std::vector<Packet> WfqScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  if (ready_.contains(f)) ready_.erase(f);
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty())
+    gps_.remove_newest(f, out.size(), out.front().start_tag, now);
+  return out;
+}
+
+std::optional<Packet> WfqScheduler::pushout(FlowId f, Time now) {
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  gps_.remove_newest(f, 1, victim.start_tag, now);
+  if (queues_.flow_empty(f) && ready_.contains(f)) ready_.erase(f);
+  return victim;
+}
+
 void FqsScheduler::enqueue(Packet p, Time now) {
-  if (p.flow >= flows_.size())
-    throw std::out_of_range("FQS: packet for unknown flow");
+  if (!admit(p, now)) return;
   auto tags = gps_.on_arrival(p.flow, p.length_bits, now);
   p.start_tag = tags.start;
   p.finish_tag = tags.finish;
@@ -66,6 +79,23 @@ std::optional<Packet> FqsScheduler::dequeue(Time now) {
   }
   trace_dequeue(p, now, gps_.vtime(), queues_.packets());
   return p;
+}
+
+std::vector<Packet> FqsScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  if (ready_.contains(f)) ready_.erase(f);
+  std::vector<Packet> out = queues_.drain(f);
+  if (!out.empty())
+    gps_.remove_newest(f, out.size(), out.front().start_tag, now);
+  return out;
+}
+
+std::optional<Packet> FqsScheduler::pushout(FlowId f, Time now) {
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  gps_.remove_newest(f, 1, victim.start_tag, now);
+  if (queues_.flow_empty(f) && ready_.contains(f)) ready_.erase(f);
+  return victim;
 }
 
 }  // namespace sfq

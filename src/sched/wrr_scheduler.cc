@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace sfq {
 
@@ -16,15 +15,14 @@ FlowId WrrScheduler::add_flow(double weight, double max_packet_bits,
 
 uint64_t WrrScheduler::packets_per_round(FlowId f) const {
   double min_w = kTimeInfinity;
-  for (const auto& spec : flows_.all()) min_w = std::min(min_w, spec.weight);
+  for (const auto& spec : flows_.all())
+    if (spec.active) min_w = std::min(min_w, spec.weight);
   const double ratio = flows_.weight(f) / min_w;
   return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(ratio)));
 }
 
 void WrrScheduler::enqueue(Packet p, Time now) {
-  (void)now;
-  if (p.flow >= state_.size())
-    throw std::out_of_range("WRR: packet for unknown flow");
+  if (!admit(p, now)) return;
   const FlowId f = p.flow;
   queues_.push(std::move(p));
   if (!state_[f].active) {
@@ -62,6 +60,31 @@ std::optional<Packet> WrrScheduler::dequeue(Time now) {
     return p;
   }
   return std::nullopt;
+}
+
+std::vector<Packet> WrrScheduler::remove_flow(FlowId f, Time now) {
+  Scheduler::remove_flow(f, now);
+  std::vector<Packet> out = queues_.drain(f);
+  FlowState& st = state_[f];
+  if (st.active) {
+    ring_.erase(std::remove(ring_.begin(), ring_.end(), f), ring_.end());
+    st.active = false;
+    st.sent_this_visit = 0;
+  }
+  return out;
+}
+
+std::optional<Packet> WrrScheduler::pushout(FlowId f, Time now) {
+  (void)now;
+  if (queues_.flow_empty(f)) return std::nullopt;
+  Packet victim = queues_.pop_back(f);
+  if (queues_.flow_empty(f)) {
+    FlowState& st = state_[f];
+    ring_.erase(std::remove(ring_.begin(), ring_.end(), f), ring_.end());
+    st.active = false;
+    st.sent_this_visit = 0;
+  }
+  return victim;
 }
 
 }  // namespace sfq

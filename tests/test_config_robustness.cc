@@ -1,0 +1,187 @@
+// Config-parser robustness: every malformed directive must be rejected
+// eagerly at parse time with a "line N:" diagnostic, never deferred to a
+// crash (or silent misbehaviour) inside run_experiment. Companion positive
+// test checks the fault/churn directives land in the spec verbatim.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "config/experiment.h"
+
+using namespace sfq;
+using config::ExperimentSpec;
+
+namespace {
+
+// A minimal valid experiment; malformed lines are appended to it so every
+// rejection below is attributable to the appended line alone.
+const char* kValidBase =
+    "scheduler SFQ\n"
+    "link rate=1Mbps\n"
+    "duration 1s\n"
+    "flow name=a kind=cbr rate=100Kbps packet=100B\n";
+
+ExperimentSpec parse_str(const std::string& text) {
+  std::istringstream in(text);
+  return ExperimentSpec::parse(in);
+}
+
+// Asserts the config is rejected with std::invalid_argument whose message
+// contains `needle` (and, when expect_lineno, a "line N:" prefix pointing at
+// the offending line).
+void expect_rejects(const std::string& text, const std::string& needle,
+                    bool expect_lineno = true) {
+  try {
+    parse_str(kValidBase + text);
+    FAIL() << "config accepted, expected rejection mentioning '" << needle
+           << "':\n"
+           << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "rejected, but message '" << msg << "' does not mention '" << needle
+        << "'";
+    if (expect_lineno) {
+      EXPECT_EQ(msg.rfind("line ", 0), 0u)
+          << "message '" << msg << "' lacks a line-number prefix";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ConfigRobustness, MalformedNumbersAndUnits) {
+  expect_rejects("link rate=fast\n", "cannot parse number", false);
+  expect_rejects("link rate=10Tbps\n", "unknown rate unit", false);
+  expect_rejects("flow name=b kind=cbr rate=1Kbps packet=100furlongs\n",
+                 "unknown size unit", false);
+  expect_rejects("duration 5fortnights\n", "unknown time unit", false);
+  expect_rejects("link rate=\n", "expected key=value");
+  expect_rejects("link =1Mbps\n", "expected key=value");
+}
+
+TEST(ConfigRobustness, NegativeAndOutOfRangeValues) {
+  expect_rejects("flow name=b kind=cbr rate=1Kbps packet=100B start=-1s\n",
+                 "must not be negative");
+  expect_rejects("link rate=1Mbps buffer=-1\n", "non-negative integer");
+  expect_rejects("flow name=b kind=cbr rate=1Kbps packet=100B seed=-1\n",
+                 "non-negative integer");
+  expect_rejects("flow name=b kind=cbr rate=1Kbps packet=100B seed=9e9\n",
+                 "non-negative integer");
+  expect_rejects("duration 0s\n", "duration must be positive");
+  expect_rejects("link rate=0bps\n", "link rate must be positive");
+  expect_rejects("flow name=b kind=cbr rate=-5Kbps packet=100B\n",
+                 "must not be negative");
+}
+
+TEST(ConfigRobustness, StructuralErrors) {
+  expect_rejects("teleport everyone\n", "unknown directive");
+  expect_rejects("link mtu=1500\n", "unknown link key");
+  expect_rejects("flow name=b kind=warp rate=1Kbps packet=100B\n",
+                 "unknown flow kind");
+  expect_rejects("flow name=b kind=cbr packet=100B\n",
+                 "flow needs rate= or weight=");
+  expect_rejects("flow name=b kind=cbr rate=1Kbps\n", "flow needs packet=");
+  expect_rejects("flow name=b kind=cbr rate=1Kbps packet=100B "
+                 "start=2s stop=1s\n",
+                 "stop= precedes start=");
+  expect_rejects("link rate=1Mbps policy=coinflip\n",
+                 "policy must be pushout or taildrop");
+  EXPECT_THROW(parse_str("scheduler SFQ\nlink rate=1Mbps\nduration 1s\n"),
+               std::invalid_argument)
+      << "flowless experiment accepted";
+  expect_rejects("flow name=a kind=cbr rate=1Kbps packet=100B\n",
+                 "duplicate flow name", false);
+}
+
+TEST(ConfigRobustness, ChurnKeyValidation) {
+  expect_rejects("flow name=b kind=cbr rate=1Kbps packet=100B join=2s\n",
+                 "join= needs leave=");
+  expect_rejects(
+      "flow name=b kind=cbr rate=1Kbps packet=100B leave=3s join=2s\n",
+      "join= must come after leave=");
+  expect_rejects(
+      "flow name=b kind=cbr rate=1Kbps packet=100B leave=3s join=3s\n",
+      "join= must come after leave=");
+}
+
+TEST(ConfigRobustness, FaultDirectiveValidation) {
+  expect_rejects("fault\n", "fault needs a kind");
+  expect_rejects("fault quake magnitude=7\n", "unknown fault kind");
+  expect_rejects("fault link from=1s until=2s\n",
+                 "exactly one of down= or degrade=");
+  expect_rejects("fault link down=1s degrade=0.5\n",
+                 "exactly one of down= or degrade=");
+  expect_rejects("fault link down=2s up=1s\n", "must end after");
+  expect_rejects("fault link degrade=1.5 from=1s until=2s\n",
+                 "must be in [0,1]");
+  expect_rejects("fault link jitter=5ms\n", "unknown fault link key");
+  expect_rejects("fault loss from=1s until=2s\n", "fault loss needs p=");
+  expect_rejects("fault loss p=2 from=1s until=2s\n", "must be in [0,1]");
+  expect_rejects("fault loss p=0.1 until=0s\n", "must end after");
+  expect_rejects("fault loss p=0.1 corrupt=maybe\n", "expected on/off");
+  expect_rejects("fault loss p=0.1 burst=3\n", "unknown fault loss key");
+}
+
+TEST(ConfigRobustness, LineNumbersPointAtTheOffendingLine) {
+  // kValidBase is 4 lines; a blank and a comment push the bad line to 7.
+  try {
+    parse_str(std::string(kValidBase) + "\n# comment\nflow name=b\n");
+    FAIL() << "expected rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("line 7:", 0), 0u) << e.what();
+  }
+}
+
+TEST(ConfigRobustness, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW(ExperimentSpec::parse_file("/nonexistent/sfq.conf"),
+               std::runtime_error);
+}
+
+TEST(ConfigRobustness, FaultAndChurnDirectivesRoundTrip) {
+  const auto spec = parse_str(
+      "scheduler SFQ\n"
+      "link rate=1Mbps buffer=32 policy=pushout\n"
+      "duration 10s\n"
+      "fault link down=3s up=4s\n"
+      "fault link degrade=0.25 from=6s until=7s\n"
+      "fault loss p=0.02 from=1s until=9s seed=7\n"
+      "fault loss p=0.01 corrupt=on\n"
+      "flow name=a kind=cbr rate=100Kbps packet=100B\n"
+      "flow name=b kind=greedy packet=1500B weight=400Kbps "
+      "leave=4.5s join=6.5s\n");
+  EXPECT_TRUE(spec.has_faults());
+  EXPECT_TRUE(spec.hops.front().pushout);
+  EXPECT_EQ(spec.hops.front().buffer_packets, 32u);
+
+  ASSERT_EQ(spec.faults.link.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.faults.link[0].from, 3.0);
+  EXPECT_DOUBLE_EQ(spec.faults.link[0].until, 4.0);
+  EXPECT_DOUBLE_EQ(spec.faults.link[0].factor, 0.0);  // down => factor 0
+  EXPECT_DOUBLE_EQ(spec.faults.link[1].factor, 0.25);
+
+  ASSERT_EQ(spec.faults.loss.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.faults.loss[0].probability, 0.02);
+  EXPECT_FALSE(spec.faults.loss[0].corrupt);
+  EXPECT_TRUE(spec.faults.loss[1].corrupt);
+  EXPECT_EQ(spec.faults.seed, 7u);
+
+  ASSERT_EQ(spec.flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.flows[1].leave, 4.5);
+  EXPECT_DOUBLE_EQ(spec.flows[1].rejoin, 6.5);
+  EXPECT_LT(spec.flows[0].leave, 0.0);  // churn keys default to "never"
+
+  // An open-ended outage parses too (until defaults to infinity).
+  const auto open = parse_str(std::string(kValidBase) + "fault link down=3s\n");
+  EXPECT_TRUE(open.has_faults());
+  EXPECT_GT(open.faults.link[0].until, 1e30);
+
+  // Churn alone (no fault directives) still arms the injector path.
+  const auto churn_only = parse_str(
+      std::string(kValidBase) +
+      "flow name=b kind=cbr rate=1Kbps packet=100B leave=0.5s\n");
+  EXPECT_TRUE(churn_only.has_faults());
+  EXPECT_TRUE(churn_only.faults.link.empty());
+}

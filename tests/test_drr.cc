@@ -113,9 +113,11 @@ TEST(Drr, HeadLargerThanQuantumEventuallySent) {
   EXPECT_EQ(order, (std::vector<FlowId>{b, a}));
 }
 
-TEST(Drr, UnknownFlowThrows) {
+TEST(Drr, UnknownFlowIsCountedDrop) {
   DrrScheduler s;
-  EXPECT_THROW(s.enqueue(mk(5, 1, 1.0), 0.0), std::out_of_range);
+  s.enqueue(mk(5, 1, 1.0), 0.0);  // never registered: dropped, not thrown
+  EXPECT_EQ(s.unknown_flow_drops(), 1u);
+  EXPECT_TRUE(s.empty());
 }
 
 }  // namespace

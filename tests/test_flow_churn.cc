@@ -1,0 +1,326 @@
+// Flow churn (leave / rejoin mid-run) across every discipline, plus the
+// pushout overload policy. The paper-correct rejoin rule: a flow that leaves
+// and comes back resumes with S = max(v(t), previous finish tag) — removal
+// rolls per-flow tag state back to the first removed packet's start tag,
+// which is exactly equivalent (S_1 = max(v(A_1), F_0) and later arrivals
+// take max against a v' >= v(A_1)).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/sfq_scheduler.h"
+#include "hier/hsfq_scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"
+#include "sched/drr_scheduler.h"
+#include "sched/edd_scheduler.h"
+#include "sched/fair_airport.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/scfq_scheduler.h"
+#include "sched/virtual_clock.h"
+#include "sched/wfq_scheduler.h"
+#include "sched/wrr_scheduler.h"
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+namespace sfq {
+namespace {
+
+constexpr double kCap = 1000.0;
+
+std::unique_ptr<Scheduler> make(const std::string& name) {
+  if (name == "SFQ") return std::make_unique<SfqScheduler>();
+  if (name == "SCFQ") return std::make_unique<ScfqScheduler>();
+  if (name == "WFQ") return std::make_unique<WfqScheduler>(kCap);
+  if (name == "FQS") return std::make_unique<FqsScheduler>(kCap);
+  if (name == "DRR") return std::make_unique<DrrScheduler>(100.0);
+  if (name == "VC") return std::make_unique<VirtualClockScheduler>();
+  if (name == "EDD") return std::make_unique<EddScheduler>();
+  if (name == "FIFO") return std::make_unique<FifoScheduler>();
+  if (name == "WRR") return std::make_unique<WrrScheduler>();
+  if (name == "FairAirport") return std::make_unique<FairAirportScheduler>();
+  if (name == "HSFQ") return std::make_unique<hier::HsfqScheduler>();
+  throw std::invalid_argument(name);
+}
+
+Packet mk(FlowId f, uint64_t seq, double bits) {
+  Packet p;
+  p.flow = f;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+class EverySchedulerChurn : public ::testing::TestWithParam<const char*> {};
+
+// Leave mid-backlog: the removed flow's packets come back in FIFO order, the
+// survivor keeps draining, arrivals for the departed flow are counted drops,
+// and a rejoin restores service — no exceptions anywhere.
+TEST_P(EverySchedulerChurn, RemoveFlushesRejoinRestores) {
+  auto sched = make(GetParam());
+  const FlowId a = sched->add_flow(100.0, 60.0);
+  const FlowId b = sched->add_flow(100.0, 60.0);
+
+  for (uint64_t j = 1; j <= 5; ++j) {
+    sched->enqueue(mk(a, j, 60.0), 0.0);
+    sched->enqueue(mk(b, j, 60.0), 0.0);
+  }
+  // Serve a couple so removal happens mid-schedule, not from a fresh queue.
+  uint64_t served_a = 0, served_b = 0;
+  for (int k = 0; k < 3; ++k) {
+    auto p = sched->dequeue(0.0);
+    ASSERT_TRUE(p) << GetParam();
+    sched->on_transmit_complete(*p, 0.0);
+    (p->flow == a ? served_a : served_b)++;
+  }
+
+  const std::vector<Packet> flushed = sched->remove_flow(a, 0.0);
+  EXPECT_EQ(flushed.size() + served_a, 5u) << GetParam();
+  for (std::size_t i = 0; i < flushed.size(); ++i) {
+    EXPECT_EQ(flushed[i].flow, a) << GetParam();
+    if (i > 0) {
+      EXPECT_GT(flushed[i].seq, flushed[i - 1].seq) << GetParam();
+    }
+  }
+  EXPECT_DOUBLE_EQ(sched->backlog_bits(a), 0.0) << GetParam();
+
+  // Arrivals while away are counted drops — except in flow-agnostic
+  // disciplines (FIFO), which accept any flow id and simply queue the packet.
+  const bool gated = sched->requires_registered_flows();
+  const uint64_t drops_before = sched->unknown_flow_drops();
+  sched->enqueue(mk(a, 6, 60.0), 0.0);
+  EXPECT_EQ(sched->unknown_flow_drops(), drops_before + (gated ? 1 : 0))
+      << GetParam();
+
+  // The survivor drains untouched.
+  uint64_t stray_a = 0;
+  while (auto p = sched->dequeue(0.0)) {
+    if (gated) {
+      EXPECT_EQ(p->flow, b) << GetParam();
+    }
+    sched->on_transmit_complete(*p, 0.0);
+    (p->flow == b ? served_b : stray_a)++;
+  }
+  EXPECT_EQ(served_b, 5u) << GetParam();
+  EXPECT_EQ(stray_a, gated ? 0u : 1u) << GetParam();
+  EXPECT_TRUE(sched->empty()) << GetParam();
+
+  // Rejoin: service resumes.
+  sched->rejoin_flow(a, 0.0);
+  sched->enqueue(mk(a, 7, 60.0), 0.0);
+  auto p = sched->dequeue(0.0);
+  ASSERT_TRUE(p) << GetParam();
+  EXPECT_EQ(p->flow, a) << GetParam();
+  sched->on_transmit_complete(*p, 0.0);
+  EXPECT_TRUE(sched->empty()) << GetParam();
+}
+
+// Churn under live traffic: every emitted packet is delivered, flushed, or
+// counted as a drop — nothing lost, nothing duplicated, nothing thrown.
+TEST_P(EverySchedulerChurn, ChurnUnderLoadConservesPackets) {
+  auto sched = make(GetParam());
+  sim::Simulator sim;
+  net::ScheduledServer server(sim, *sched,
+                              std::make_unique<net::ConstantRate>(kCap));
+  const FlowId a = sched->add_flow(400.0, 80.0);
+  const FlowId b = sched->add_flow(600.0, 80.0);
+
+  uint64_t delivered = 0, dropped = 0;
+  server.set_departure([&](const Packet&, Time) { ++delivered; });
+  server.set_drop([&](const Packet&, Time) { ++dropped; });
+
+  auto emit = [&](Packet p) { server.inject(std::move(p)); };
+  traffic::CbrSource sa(sim, a, emit, 800.0, 80.0);
+  traffic::CbrSource sb(sim, b, emit, 1200.0, 80.0);
+  sa.run(0.0, 6.0);
+  sb.run(0.0, 6.0);
+
+  // a leaves at 2s (flushing its backlog), rejoins at 4s; its source keeps
+  // emitting throughout, so the middle third drops as unknown_flow.
+  sim.at(2.0, [&] { server.remove_flow(a); });
+  sim.at(4.0, [&] { server.rejoin_flow(a); });
+
+  sim.run_until(6.0);
+  sim.run();
+
+  EXPECT_EQ(delivered + dropped, sa.emitted() + sb.emitted()) << GetParam();
+  EXPECT_GT(server.drops(obs::DropCause::kUnknownFlow), 0u) << GetParam();
+  EXPECT_TRUE(sched->empty()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, EverySchedulerChurn,
+                         ::testing::Values("SFQ", "SCFQ", "WFQ", "FQS", "DRR",
+                                           "VC", "EDD", "FIFO", "WRR",
+                                           "FairAirport", "HSFQ"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// --- Exact tag re-anchoring (paper rule) ---------------------------------
+
+TEST(SfqChurn, RejoinResumesAtMaxOfVtimeAndPreviousFinish) {
+  SfqScheduler s;
+  const FlowId a = s.add_flow(1.0);  // l/r = 10 per 10-bit packet
+  s.add_flow(1.0);                   // second flow keeps the table honest
+  s.enqueue(mk(a, 1, 10.0), 0.0);    // S=0  F=10
+  s.enqueue(mk(a, 2, 10.0), 0.0);    // S=10 F=20
+  s.enqueue(mk(a, 3, 10.0), 0.0);    // S=20 F=30
+
+  auto p1 = s.dequeue(0.0);  // serves a1, v = S(a1) = 0
+  ASSERT_TRUE(p1);
+  EXPECT_DOUBLE_EQ(p1->start_tag, 0.0);
+
+  // Remove with a2, a3 still queued: tag state rolls back to S(a2) = 10,
+  // which equals F(a1) — as if a2, a3 never arrived.
+  const auto flushed = s.remove_flow(a, 0.0);
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_DOUBLE_EQ(flushed.front().start_tag, 10.0);
+
+  s.rejoin_flow(a, 0.0);
+  s.enqueue(mk(a, 4, 10.0), 0.0);  // S = max(v=0, F_prev=10) = 10
+  auto p4 = s.dequeue(0.0);
+  ASSERT_TRUE(p4);
+  EXPECT_DOUBLE_EQ(p4->start_tag, 10.0);
+  EXPECT_DOUBLE_EQ(p4->finish_tag, 20.0);
+
+  // Leave with nothing queued: finish tag memory is retained verbatim.
+  const auto none = s.remove_flow(a, 0.0);
+  EXPECT_TRUE(none.empty());
+  s.rejoin_flow(a, 0.0);
+  s.enqueue(mk(a, 5, 10.0), 0.0);  // S = max(v=10, F_prev=20) = 20
+  auto p5 = s.dequeue(0.0);
+  ASSERT_TRUE(p5);
+  EXPECT_DOUBLE_EQ(p5->start_tag, 20.0);
+}
+
+TEST(ScfqChurn, RollbackRestoresFinishTagChain) {
+  ScfqScheduler s;
+  const FlowId a = s.add_flow(1.0);
+  s.enqueue(mk(a, 1, 10.0), 0.0);  // S=0  F=10
+  s.enqueue(mk(a, 2, 10.0), 0.0);  // S=10 F=20
+  auto p1 = s.dequeue(0.0);  // SCFQ: v = F(a1) = 10 while a1 is in service
+  ASSERT_TRUE(p1);
+
+  const auto flushed = s.remove_flow(a, 0.0);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_DOUBLE_EQ(flushed.front().start_tag, 10.0);
+
+  s.rejoin_flow(a, 0.0);
+  s.enqueue(mk(a, 3, 10.0), 0.0);  // S = max(v=10, F_rolled=10) = 10
+  auto p3 = s.dequeue(0.0);
+  ASSERT_TRUE(p3);
+  EXPECT_DOUBLE_EQ(p3->start_tag, 10.0);
+  EXPECT_DOUBLE_EQ(p3->finish_tag, 20.0);
+}
+
+TEST(VirtualClockChurn, EatRollsBackToFirstRemovedPacket) {
+  VirtualClockScheduler s;
+  const FlowId f = s.add_flow(2.0);
+  Packet p1 = mk(f, 1, 4.0);
+  p1.arrival = 0.0;
+  s.enqueue(std::move(p1), 0.0);   // EAT = 0
+  Packet p2 = mk(f, 2, 2.0);
+  p2.arrival = 1.0;
+  s.enqueue(std::move(p2), 1.0);   // EAT = max(1, 0+2) = 2
+  EXPECT_DOUBLE_EQ(s.last_eat(f), 2.0);
+
+  // Remove both queued packets: EAT state rewinds to p1's EAT with no
+  // outstanding bits — as if neither had arrived.
+  const auto flushed = s.remove_flow(f, 1.0);
+  ASSERT_EQ(flushed.size(), 2u);
+
+  s.rejoin_flow(f, 5.0);
+  Packet p3 = mk(f, 3, 2.0);
+  p3.arrival = 5.0;
+  s.enqueue(std::move(p3), 5.0);   // EAT = max(5, 0+0) = 5
+  EXPECT_DOUBLE_EQ(s.last_eat(f), 5.0);
+}
+
+// --- Pushout (longest-queue-drop) ----------------------------------------
+
+TEST(Pushout, EvictsNewestPacketOfLongestQueue) {
+  sim::Simulator sim;
+  SfqScheduler sched;
+  const FlowId a = sched.add_flow(100.0, 100.0);
+  const FlowId b = sched.add_flow(100.0, 100.0);
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(1.0));
+  server.set_buffer_limit(4);
+  server.set_overload_policy(net::OverloadPolicy::kPushout);
+
+  FlowId victim_flow = kInvalidFlow;
+  uint64_t victim_seq = 0;
+  server.set_drop([&](const Packet& p, Time) {
+    victim_flow = p.flow;
+    victim_seq = p.seq;
+  });
+
+  // First inject goes straight to the (slow) link; the next four fill the
+  // buffer: a has 300 queued bits, b has 10.
+  server.inject(mk(b, 1, 10.0));
+  server.inject(mk(a, 1, 100.0));
+  server.inject(mk(a, 2, 100.0));
+  server.inject(mk(a, 3, 100.0));
+  server.inject(mk(b, 2, 10.0));
+  ASSERT_EQ(sched.backlog_packets(), 4u);
+
+  // Overflow: the longest queue (a) loses its *newest* packet; the arrival
+  // is admitted.
+  EXPECT_TRUE(server.inject(mk(b, 3, 10.0)));
+  EXPECT_EQ(server.drops(obs::DropCause::kPushout), 1u);
+  EXPECT_EQ(victim_flow, a);
+  EXPECT_EQ(victim_seq, 3u);
+  EXPECT_EQ(sched.backlog_packets(), 4u);
+  EXPECT_DOUBLE_EQ(sched.backlog_bits(a), 200.0);
+}
+
+TEST(Pushout, TailDropPolicyDropsTheArrivalInstead) {
+  sim::Simulator sim;
+  SfqScheduler sched;
+  const FlowId a = sched.add_flow(100.0, 100.0);
+  const FlowId b = sched.add_flow(100.0, 100.0);
+  net::ScheduledServer server(sim, sched,
+                              std::make_unique<net::ConstantRate>(1.0));
+  server.set_buffer_limit(2);  // default policy: tail drop
+
+  server.inject(mk(a, 1, 100.0));  // straight onto the link
+  server.inject(mk(a, 2, 100.0));
+  server.inject(mk(a, 3, 100.0));
+  EXPECT_FALSE(server.inject(mk(b, 1, 10.0)));  // arrival rejected
+  EXPECT_EQ(server.drops(obs::DropCause::kBufferLimit), 1u);
+  EXPECT_EQ(server.drops(obs::DropCause::kPushout), 0u);
+  EXPECT_DOUBLE_EQ(sched.backlog_bits(a), 200.0);  // a untouched
+}
+
+// --- H-SFQ specifics ------------------------------------------------------
+
+TEST(HsfqChurn, LeafRemovalReleasesClassShare) {
+  hier::HsfqScheduler s;
+  const FlowId a = s.add_flow(1.0, 10.0);
+  const FlowId b = s.add_flow(3.0, 10.0);
+  for (uint64_t j = 1; j <= 4; ++j) {
+    s.enqueue(mk(a, j, 10.0), 0.0);
+    s.enqueue(mk(b, j, 10.0), 0.0);
+  }
+  const auto flushed = s.remove_flow(a, 0.0);
+  EXPECT_EQ(flushed.size(), 4u);
+  // b drains alone; removal while b is active must not disturb its chain.
+  std::size_t served = 0;
+  while (auto p = s.dequeue(0.0)) {
+    EXPECT_EQ(p->flow, b);
+    s.on_transmit_complete(*p, 0.0);
+    ++served;
+  }
+  EXPECT_EQ(served, 4u);
+  s.rejoin_flow(a, 0.0);
+  s.enqueue(mk(a, 9, 10.0), 0.0);
+  auto p = s.dequeue(0.0);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, a);
+}
+
+}  // namespace
+}  // namespace sfq

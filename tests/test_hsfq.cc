@@ -169,7 +169,9 @@ TEST(Hsfq, RejectsBadStructure) {
                std::invalid_argument);
   FlowId f = s.add_flow(1.0);
   (void)f;
-  EXPECT_THROW(s.enqueue(mk(42, 1, 1.0), 0.0), std::out_of_range);
+  s.enqueue(mk(42, 1, 1.0), 0.0);  // unknown flow: dropped, not thrown
+  EXPECT_EQ(s.unknown_flow_drops(), 1u);
+  EXPECT_TRUE(s.empty());
 }
 
 TEST(Hsfq, ClassVirtualTimeAdvances) {

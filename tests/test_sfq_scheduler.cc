@@ -121,9 +121,12 @@ TEST(SfqTags, GeneralizedPerPacketRates) {
   EXPECT_DOUBLE_EQ(p->finish_tag, 2.0);
 }
 
-TEST(SfqTags, UnknownFlowThrows) {
+TEST(SfqTags, UnknownFlowIsCountedDrop) {
   SfqScheduler s;
-  EXPECT_THROW(s.enqueue(mk(99, 1, 1.0), 0.0), std::out_of_range);
+  s.enqueue(mk(99, 1, 1.0), 0.0);  // never registered: dropped, not thrown
+  EXPECT_EQ(s.unknown_flow_drops(), 1u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.dequeue(0.0));
 }
 
 TEST(SfqTags, VirtualTimeIsMonotone) {

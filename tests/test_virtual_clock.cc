@@ -96,9 +96,11 @@ TEST(VirtualClock, PunishesUseOfIdleBandwidth) {
   EXPECT_GT(h, 2.0 * qos::sfq_fairness_bound(len, 10.0, len, 10.0));
 }
 
-TEST(VirtualClock, UnknownFlowThrows) {
+TEST(VirtualClock, UnknownFlowIsCountedDrop) {
   VirtualClockScheduler s;
-  EXPECT_THROW(s.enqueue(mk(3, 1, 1.0), 0.0), std::out_of_range);
+  s.enqueue(mk(3, 1, 1.0), 0.0);  // never registered: dropped, not thrown
+  EXPECT_EQ(s.unknown_flow_drops(), 1u);
+  EXPECT_TRUE(s.empty());
 }
 
 TEST(VirtualClock, PerFlowOrderPreserved) {

@@ -89,9 +89,11 @@ TEST(Wrr, VariableSizesSkewSharesButDrrDoesNot) {
   EXPECT_NEAR(drr_ratio, 1.0, 0.1);
 }
 
-TEST(Wrr, UnknownFlowThrows) {
+TEST(Wrr, UnknownFlowIsCountedDrop) {
   WrrScheduler s;
-  EXPECT_THROW(s.enqueue(mk(9, 1, 1.0), 0.0), std::out_of_range);
+  s.enqueue(mk(9, 1, 1.0), 0.0);  // never registered: dropped, not thrown
+  EXPECT_EQ(s.unknown_flow_drops(), 1u);
+  EXPECT_TRUE(s.empty());
 }
 
 // --- Trace I/O -----------------------------------------------------------
