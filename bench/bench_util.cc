@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
@@ -45,7 +46,9 @@ void JsonReport::add(const std::string& scenario, const std::string& metric,
 }
 
 std::string JsonReport::write() {
-  const std::string path = "BENCH_" + name_ + ".json";
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("BENCH_DIR"); dir != nullptr && *dir)
+    path = std::string(dir) + "/" + path;
   std::ofstream out(path);
   if (!out) return "";
   out.precision(17);

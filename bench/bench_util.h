@@ -21,7 +21,8 @@ void print_header(const std::string& experiment, const std::string& paper_ref,
 
 // Machine-readable companion to the printed tables: collects
 // (scenario, metric, value) records and writes them as a JSON array to
-// BENCH_<name>.json in the current directory on write() (or destruction).
+// BENCH_<name>.json on write() (or destruction) — into $BENCH_DIR if that
+// env var is set (scripts/bench.sh uses it), else the current directory.
 // Offline tooling diffs these files across commits without scraping tables.
 class JsonReport {
  public:

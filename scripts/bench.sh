@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Benchmark sweep: Release build, then every binary in build/bench/ in
+# sequence. Each bench prints its paper-shape verdict (non-zero exit on a
+# shape violation) and writes BENCH_<name>.json; with BENCH_DIR honoured by
+# bench_util, all JSON reports land in one directory for offline diffing.
+#
+#   scripts/bench.sh [out-dir]      # default out-dir: bench-results/
+#
+# Set BENCH_FILTER to a grep pattern to run a subset, e.g.
+#   BENCH_FILTER=rt_engine scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD_DIR:-build}
+OUT=${1:-bench-results}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j"$(nproc)"
+
+mkdir -p "$OUT"
+export BENCH_DIR
+BENCH_DIR=$(cd "$OUT" && pwd)
+
+failed=()
+for bin in "$BUILD"/bench/*; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name=$(basename "$bin")
+  if [[ -n "${BENCH_FILTER:-}" ]] && ! grep -q "$BENCH_FILTER" <<<"$name"; then
+    continue
+  fi
+  echo
+  echo "### $name"
+  if ! "$bin" > "$BENCH_DIR/$name.txt" 2>&1; then
+    failed+=("$name")
+    echo "FAILED (see $OUT/$name.txt)"
+  fi
+  tail -n 3 "$BENCH_DIR/$name.txt"
+done
+
+echo
+echo "reports in $OUT/:"
+ls "$BENCH_DIR" | grep '\.json$' || true
+
+if ((${#failed[@]})); then
+  echo "bench.sh: shape checks FAILED: ${failed[*]}"
+  exit 1
+fi
+echo "bench.sh: all shape checks passed"

@@ -3,7 +3,8 @@
 # a traced example run whose JSONL output must parse and whose invariants
 # must hold (docs/OBSERVABILITY.md). A fault-injection run (outage + loss +
 # churn + pushout; docs/ROBUSTNESS.md) must also keep the invariants clean.
-# Set SANITIZE=1 to additionally run the ASan+UBSan sweep (scripts/sanitize.sh).
+# Set SANITIZE=1 to additionally run the ASan+UBSan sweep (scripts/sanitize.sh)
+# and TSAN=1 for the ThreadSanitizer sweep of src/rt/ (scripts/tsan.sh).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,6 +51,10 @@ echo "fault gate OK: $(grep 'drops by cause:' "$out/faulty.txt" | head -1)"
 
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   scripts/sanitize.sh
+fi
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  scripts/tsan.sh
 fi
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <chrono>
+
+#include "core/types.h"
+
+namespace sfq::rt {
+
+// Maps std::chrono::steady_clock onto the library's Time domain: seconds as
+// a double, with t = 0 at construction. Every component of one RtEngine run
+// shares a single WallClock so scheduler timestamps, pacing deadlines and
+// load-generator replay all live on the same monotone axis — exactly the
+// role sim::Simulator::now() plays for simulated runs.
+//
+// steady_clock is monotone, so successive now() calls never go backwards;
+// the virtual-time invariants the paper proves (which only require that
+// enqueue/dequeue timestamps are non-decreasing) therefore carry over to
+// wall-clock operation unchanged.
+class WallClock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Time now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace sfq::rt

@@ -1,0 +1,314 @@
+#include "rt/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace sfq::rt {
+
+namespace {
+
+// Arrivals drained per dispatcher iteration before the transmission deadline
+// is re-checked. Bounds how late a completion can fire under arrival floods
+// without giving up batching on the ingress merge.
+constexpr int kDrainBatch = 64;
+
+// Transmissions completed+started per iteration when their deadlines have
+// already passed. A fast link (finish times in nanoseconds) would otherwise
+// be throttled to one packet per loop, far below what the discipline can
+// sustain; a batch keeps service and ingress draining interleaved fairly.
+constexpr int kServiceBatch = 64;
+
+// Idle strategy: yield this many times (lets producers run, which matters on
+// small machines where everything shares cores), then sleep in short naps so
+// an idle engine does not burn a core.
+constexpr int kIdleYields = 16;
+constexpr auto kIdleSleep = std::chrono::microseconds(50);
+
+}  // namespace
+
+RtEngine::RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
+                   EngineOptions opts)
+    : sched_(sched),
+      profile_(std::move(profile)),
+      opts_(opts),
+      ingress_(opts.producers, opts.ring_capacity) {
+  if (!profile_) throw std::invalid_argument("RtEngine: null rate profile");
+}
+
+RtEngine::~RtEngine() {
+  if (running()) stop(StopMode::kAbandon);
+}
+
+void RtEngine::set_tracer(obs::Tracer* tracer) {
+  if (running()) throw std::logic_error("RtEngine: set_tracer while running");
+  tracer_ = tracer;
+  trace_on_ = tracer != nullptr && tracer->active();
+  sched_.set_tracer(tracer);
+}
+
+bool RtEngine::offer(std::size_t i, Packet p) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    ingress_.count_drop(i);
+    return false;
+  }
+  return ingress_.push(i, std::move(p), clock_.now());
+}
+
+bool RtEngine::offer_wait(std::size_t i, Packet p) {
+  for (;;) {
+    if (!accepting_.load(std::memory_order_acquire)) {
+      ingress_.count_drop(i);
+      return false;
+    }
+    // Packet is trivially copyable; retry with a fresh timestamp each spin
+    // so the ingress stamp reflects when the push actually succeeded.
+    if (ingress_.push(i, p, clock_.now(), /*count_full=*/false)) return true;
+    std::this_thread::yield();
+  }
+}
+
+void RtEngine::start() {
+  if (started_) throw std::logic_error("RtEngine: start() called twice");
+  started_ = true;
+  const std::size_t n = sched_.flows().size();
+  flow_bits_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    flow_bits_.push_back(std::make_unique<std::atomic<double>>(0.0));
+  accepting_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  dispatcher_ = std::thread([this] { run(); });
+}
+
+void RtEngine::stop(StopMode mode) {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  accepting_.store(false, std::memory_order_release);
+  stop_mode_.store(mode, std::memory_order_relaxed);
+  stop_requested_.store(true, std::memory_order_release);
+  if (dispatcher_.joinable()) dispatcher_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void RtEngine::run() {
+  bool busy = false;
+  Packet in_flight{};
+  Time tx_deadline = 0.0;
+  int idle_streak = 0;
+
+  for (;;) {
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    const bool abandon =
+        stopping && stop_mode_.load(std::memory_order_relaxed) ==
+                        StopMode::kAbandon;
+
+    // 1. Drain a bounded batch of arrivals, earliest ingress stamp first.
+    //    An abandoning engine leaves ring items where they are (step 3
+    //    counts them) instead of feeding a backlog nobody will serve.
+    int drained = 0;
+    if (!abandon) {
+      while (drained < kDrainBatch) {
+        std::optional<IngressItem> item = ingress_.pop_earliest();
+        if (!item) break;
+        inject(std::move(*item));
+        ++drained;
+      }
+    }
+
+    // 2. Serve: complete due transmissions and start the next one, up to a
+    //    batch — a fast link turns over many packets per loop iteration.
+    //    Work-conserving on the wall clock: the link is busy from dequeue
+    //    until the profile's finish time.
+    int served = 0;
+    while (served < kServiceBatch) {
+      if (busy) {
+        const Time now = clock_.now();
+        if (now < tx_deadline) break;  // in flight; deadline in the future
+        complete(in_flight, now, tx_deadline);
+        busy = false;
+        ++served;
+      }
+      if (abandon) break;
+      const Time now = clock_.now();
+      std::optional<Packet> next = sched_.dequeue(now);
+      if (!next) break;
+      if (trace_on_) [[unlikely]]
+        tracer_->emit(obs::make_event(obs::TraceEventType::kTxStart, *next,
+                                      now, /*vtime=*/0.0,
+                                      sched_.backlog_packets()));
+      tx_deadline = profile_->finish_time(now, next->length_bits);
+      in_flight = *next;
+      busy = true;
+    }
+
+    // 4. Exit checks.
+    if (stopping && !busy) {
+      if (abandon) {
+        uint64_t left = 0;
+        while (ingress_.pop_earliest()) ++left;
+        abandoned_.fetch_add(left, std::memory_order_relaxed);
+        return;
+      }
+      if (drained == 0 && ingress_.empty() && sched_.empty()) return;
+    }
+
+    // 5. Wait strategy.
+    if (busy) {
+      if (drained > 0) {
+        idle_streak = 0;
+        continue;  // more arrivals may already be waiting
+      }
+      const Time wait = tx_deadline - clock_.now();
+      if (wait <= 0.0) continue;
+      if (wait > opts_.spin_threshold) {
+        // Sleep most of the wait, capped so rings are still drained at a
+        // bounded interval while a long transmission is in flight.
+        const double nap = std::min(wait - opts_.spin_threshold, 1e-3);
+        std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+      } else {
+        std::this_thread::yield();
+      }
+    } else if (drained == 0) {
+      if (++idle_streak <= kIdleYields)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(kIdleSleep);
+    } else {
+      idle_streak = 0;
+    }
+  }
+}
+
+void RtEngine::inject(IngressItem item) {
+  Packet& p = item.packet;
+  const Time now = clock_.now();
+  const FlowTable& table = sched_.flows();
+  const bool registered = p.flow < table.size();
+  if (registered ? !table.active(p.flow)
+                 : sched_.requires_registered_flows()) {
+    drop(std::move(p), now, obs::DropCause::kUnknownFlow);
+    return;
+  }
+  if (opts_.buffer_limit != 0 &&
+      sched_.backlog_packets() >= opts_.buffer_limit) {
+    bool made_room = false;
+    if (opts_.overload_policy == net::OverloadPolicy::kPushout) {
+      const FlowId victim = longest_queue();
+      if (victim != kInvalidFlow) {
+        if (std::optional<Packet> evicted = sched_.pushout(victim, now)) {
+          post_enqueue_drops_.fetch_add(1, std::memory_order_relaxed);
+          drop(std::move(*evicted), now, obs::DropCause::kPushout);
+          made_room = true;
+        }
+      }
+    }
+    if (!made_room) {
+      drop(std::move(p), now, obs::DropCause::kBufferLimit);
+      return;
+    }
+  }
+  // p.arrival was stamped on the producer thread: time spent in the ingress
+  // ring counts as queueing, which keeps delay metrics honest.
+  const FlowId flow = p.flow;
+  const uint64_t seq = p.seq;
+  const double bits = p.length_bits;
+  const Time arrival = p.arrival;
+  const std::size_t before = sched_.backlog_packets();
+  sched_.enqueue(std::move(p), now);
+  if (sched_.backlog_packets() == before) {
+    // The discipline's own admit gate refused the packet (counted and traced
+    // there); mirror it in the engine ledger like ScheduledServer does.
+    cause_drops_[static_cast<std::size_t>(obs::DropCause::kUnknownFlow)]
+        .fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_on_) [[unlikely]] {
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kEnqueue;
+    e.flow = flow;
+    e.seq = seq;
+    e.length_bits = bits;
+    e.t = now;
+    e.arrival = arrival;
+    e.backlog = sched_.backlog_packets();
+    tracer_->emit(e);
+  }
+}
+
+void RtEngine::drop(Packet&& p, Time now, obs::DropCause cause) {
+  cause_drops_[static_cast<std::size_t>(cause)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (trace_on_) [[unlikely]]
+    tracer_->emit(obs::make_event(obs::TraceEventType::kDrop, p, now,
+                                  /*vtime=*/0.0, sched_.backlog_packets(),
+                                  cause));
+}
+
+void RtEngine::complete(const Packet& p, Time now, Time deadline) {
+  sched_.on_transmit_complete(p, now);
+  transmitted_.fetch_add(1, std::memory_order_relaxed);
+  // Single-writer counters: only the dispatcher writes, so a load+store pair
+  // (not fetch_add) is race-free and keeps doubles exact.
+  tx_bits_.store(tx_bits_.load(std::memory_order_relaxed) + p.length_bits,
+                 std::memory_order_relaxed);
+  if (p.flow < flow_bits_.size()) {
+    std::atomic<double>& b = *flow_bits_[p.flow];
+    b.store(b.load(std::memory_order_relaxed) + p.length_bits,
+            std::memory_order_release);
+  }
+  const double lag = now - deadline;
+  if (lag > max_service_lag_.load(std::memory_order_relaxed))
+    max_service_lag_.store(lag, std::memory_order_relaxed);
+  if (trace_on_) [[unlikely]]
+    tracer_->emit(obs::make_event(obs::TraceEventType::kTxEnd, p, now,
+                                  /*vtime=*/0.0, sched_.backlog_packets()));
+}
+
+FlowId RtEngine::longest_queue() const {
+  FlowId best = kInvalidFlow;
+  double best_bits = 0.0;
+  const std::size_t n = sched_.flows().size();
+  for (FlowId f = 0; f < n; ++f) {
+    const double b = sched_.backlog_bits(f);
+    if (b > best_bits) {  // strict: ties resolve to the lowest flow id
+      best_bits = b;
+      best = f;
+    }
+  }
+  return best;
+}
+
+EngineStats RtEngine::stats() const {
+  EngineStats s;
+  s.ingress_pushed = ingress_.total_pushed();
+  s.ingress_drops = ingress_.total_drops();
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.transmitted = transmitted_.load(std::memory_order_relaxed);
+  s.tx_bits = tx_bits_.load(std::memory_order_relaxed);
+  s.abandoned = abandoned_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < obs::kDropCauseCount; ++i)
+    s.drops[i] = cause_drops_[i].load(std::memory_order_relaxed);
+  const uint64_t done =
+      s.transmitted + post_enqueue_drops_.load(std::memory_order_relaxed);
+  s.backlog = s.accepted > done ? s.accepted - done : 0;
+  s.max_service_lag = max_service_lag_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double RtEngine::flow_tx_bits(FlowId f) const {
+  return f < flow_bits_.size()
+             ? flow_bits_[f]->load(std::memory_order_acquire)
+             : 0.0;
+}
+
+std::vector<double> RtEngine::service_snapshot() const {
+  std::vector<double> out(flow_bits_.size());
+  for (std::size_t f = 0; f < flow_bits_.size(); ++f)
+    out[f] = flow_bits_[f]->load(std::memory_order_acquire);
+  return out;
+}
+
+}  // namespace sfq::rt

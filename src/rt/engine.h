@@ -1,0 +1,171 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/rate_profile.h"
+#include "net/scheduled_server.h"  // OverloadPolicy
+#include "obs/trace.h"
+#include "rt/clock.h"
+#include "rt/ingress.h"
+
+namespace sfq::rt {
+
+struct EngineOptions {
+  std::size_t producers = 1;
+  // Per-producer SPSC ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 14;
+  // Cap on scheduler backlog (excluding the packet in transmission);
+  // 0 = infinite. Overflow resolves via `overload_policy` into the same
+  // six-cause drop taxonomy as the simulated server.
+  std::size_t buffer_limit = 0;
+  net::OverloadPolicy overload_policy = net::OverloadPolicy::kTailDrop;
+  // Waits shorter than this are spun, longer ones sleep (seconds). Sleeping
+  // keeps CPU available for producers on small machines; spinning keeps
+  // pacing accurate near a transmission-complete deadline.
+  double spin_threshold = 200e-6;
+};
+
+// How stop() treats work still queued when it is called.
+enum class StopMode {
+  // Stop accepting, then serve everything already pushed: rings drain into
+  // the scheduler and the backlog transmits to empty (still paced).
+  kDrain,
+  // Stop accepting, let the in-flight transmission finish, count leftover
+  // ring items as `abandoned` and leave the scheduler backlog in place
+  // (reported via stats().backlog).
+  kAbandon,
+};
+
+// Relaxed snapshot of engine counters; safe to take from any thread while
+// the engine runs. The ledger it satisfies (exactly, once stop() returned):
+//
+//   offers            == ingress_pushed + ingress_drops
+//   ingress_pushed    == accepted + pre-enqueue drops + abandoned
+//   accepted          == transmitted + backlog + post-enqueue drops
+//
+// where pre-enqueue causes are kUnknownFlow/kBufferLimit and post-enqueue
+// causes are kPushout/kFlowRemoved (see docs/ROBUSTNESS.md).
+struct EngineStats {
+  uint64_t ingress_pushed = 0;
+  uint64_t ingress_drops = 0;  // ring full, or offer() after stop
+  uint64_t accepted = 0;       // entered the discipline
+  uint64_t transmitted = 0;
+  double tx_bits = 0.0;
+  uint64_t abandoned = 0;  // ring items discarded by stop(kAbandon)
+  uint64_t drops[obs::kDropCauseCount] = {};  // engine drops, by cause
+  uint64_t backlog = 0;  // accepted - transmitted - post-enqueue drops
+  // Worst observed lateness of a transmission-complete callback versus the
+  // pacing deadline the rate profile set (dispatcher scheduling jitter).
+  double max_service_lag = 0.0;
+
+  uint64_t dropped() const {
+    uint64_t n = 0;
+    for (uint64_t d : drops) n += d;
+    return n;
+  }
+};
+
+// Wall-clock real-time service engine: runs any Scheduler discipline against
+// std::chrono::steady_clock instead of simulated time.
+//
+//   producer threads --SPSC rings--> dispatcher thread --> scheduler --> link
+//
+// The dispatcher is the only thread that touches the scheduler, the rate
+// profile and the tracer, so every discipline in the library works unchanged
+// and unlocked; concurrency lives entirely in the lock-free ingress layer
+// and the atomic counters. Transmissions are paced by the RateProfile: a
+// dequeued packet occupies the link until profile->finish_time(start, bits)
+// on the wall clock, and on_transmit_complete fires when that deadline
+// passes — the real-time analogue of ScheduledServer's completion event.
+//
+// See docs/REALTIME.md for the architecture and for which paper guarantees
+// carry over to wall-clock operation.
+class RtEngine {
+ public:
+  // Flows must be registered on `sched` before start(); the flow table must
+  // not change while the engine runs.
+  RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
+           EngineOptions opts = {});
+  ~RtEngine();  // stop(kAbandon) if still running
+
+  RtEngine(const RtEngine&) = delete;
+  RtEngine& operator=(const RtEngine&) = delete;
+
+  // Producer API: thread `i` in [0, producers) offers a packet. The wall
+  // clock stamps the arrival. False => counted ingress drop (ring full, or
+  // the engine is not accepting).
+  bool offer(std::size_t i, Packet p);
+  // Blocking variant: spins (yielding) while the ring is full. False once
+  // the engine stops accepting.
+  bool offer_wait(std::size_t i, Packet p);
+
+  // Attach before start(); events fire on the dispatcher thread. Wrap sinks
+  // you want to read mid-run in rt::SyncSink.
+  void set_tracer(obs::Tracer* tracer);
+
+  // One run per engine: start() may be called once; a second call throws.
+  void start();
+  // Idempotent; blocks until the dispatcher exits. See StopMode. For an
+  // exact drain ledger, stop producers (e.g. LoadGen::join) before stop():
+  // a push racing stop(kDrain) may or may not be served.
+  void stop(StopMode mode = StopMode::kDrain);
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool accepting() const { return accepting_.load(std::memory_order_acquire); }
+
+  Time now() const { return clock_.now(); }
+  const WallClock& clock() const { return clock_; }
+  Scheduler& scheduler() { return sched_; }
+  const Ingress& ingress() const { return ingress_; }
+  std::size_t producers() const { return ingress_.producers(); }
+
+  EngineStats stats() const;
+
+  // Cumulative transmitted bits per flow (relaxed; monotone per flow), for
+  // wall-clock fairness measurement: sample W_f at coarse instants and check
+  // |dW_f/r_f - dW_m/r_m| against the Theorem-1 bound over any window where
+  // both flows stayed backlogged.
+  double flow_tx_bits(FlowId f) const;
+  std::vector<double> service_snapshot() const;
+
+ private:
+  void run();
+  void inject(IngressItem item);
+  void drop(Packet&& p, Time now, obs::DropCause cause);
+  void complete(const Packet& p, Time now, Time deadline);
+  FlowId longest_queue() const;
+
+  Scheduler& sched_;
+  std::unique_ptr<net::RateProfile> profile_;
+  EngineOptions opts_;
+  WallClock clock_;
+  Ingress ingress_;
+  std::thread dispatcher_;
+
+  obs::Tracer* tracer_ = nullptr;
+  bool trace_on_ = false;
+
+  bool started_ = false;
+  std::mutex stop_mu_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<StopMode> stop_mode_{StopMode::kDrain};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> transmitted_{0};
+  std::atomic<double> tx_bits_{0.0};
+  std::atomic<uint64_t> abandoned_{0};
+  std::atomic<uint64_t> cause_drops_[obs::kDropCauseCount] = {};
+  std::atomic<uint64_t> post_enqueue_drops_{0};
+  std::atomic<double> max_service_lag_{0.0};
+  // Single-writer (dispatcher) per-flow service totals; sized at start().
+  std::vector<std::unique_ptr<std::atomic<double>>> flow_bits_;
+};
+
+}  // namespace sfq::rt

@@ -1,0 +1,134 @@
+#include "rt/load_gen.h"
+
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "traffic/sources.h"
+
+namespace sfq::rt {
+
+namespace {
+
+struct TimedPacket {
+  Time t = 0.0;  // model time of the arrival
+  Packet p;
+};
+
+// Waits (yield below 1 ms, sleep above) until the shared wall clock reaches
+// `target`. Coarse is fine: the ingress stamp, not this wait, is the arrival
+// time the engine sees.
+void wait_until(const RtEngine& engine, Time target) {
+  for (;;) {
+    const Time gap = target - engine.now();
+    if (gap <= 0.0) return;
+    if (gap > 1e-3)
+      std::this_thread::sleep_for(std::chrono::duration<double>(gap - 0.5e-3));
+    else
+      std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+LoadGen::LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+                 LoadGenOptions opts)
+    : engine_(engine), specs_(std::move(producers)), opts_(opts) {
+  if (specs_.size() > engine_.producers())
+    throw std::invalid_argument("LoadGen: more producers than engine shards");
+  if (opts_.slice <= 0.0) throw std::invalid_argument("LoadGen: slice <= 0");
+  produced_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    produced_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+}
+
+LoadGen::~LoadGen() { join(); }
+
+void LoadGen::start(Time duration) {
+  if (started_) throw std::logic_error("LoadGen: start() called twice");
+  started_ = true;
+  threads_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    threads_.emplace_back([this, i, duration] { produce(i, duration); });
+}
+
+void LoadGen::join() {
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+uint64_t LoadGen::produced(std::size_t i) const {
+  return produced_[i]->load(std::memory_order_relaxed);
+}
+
+uint64_t LoadGen::produced_total() const {
+  uint64_t n = 0;
+  for (std::size_t i = 0; i < produced_.size(); ++i) n += produced(i);
+  return n;
+}
+
+void LoadGen::produce(std::size_t i, Time duration) {
+  // Private simulator: the traffic models run exactly as they do in
+  // simulated experiments; only the emission side changes.
+  sim::Simulator sim;
+  std::deque<TimedPacket> slice_buf;
+  auto emit = [&](Packet p) {
+    slice_buf.push_back(TimedPacket{sim.now(), std::move(p)});
+  };
+
+  std::vector<std::unique_ptr<traffic::Source>> sources;
+  for (const FlowLoad& l : specs_[i]) {
+    switch (l.model) {
+      case FlowLoad::Model::kCbr:
+        sources.push_back(std::make_unique<traffic::CbrSource>(
+            sim, l.flow, emit, l.rate, l.packet_bits));
+        break;
+      case FlowLoad::Model::kPoisson:
+        sources.push_back(std::make_unique<traffic::PoissonSource>(
+            sim, l.flow, emit, l.rate, l.packet_bits, l.seed));
+        break;
+      case FlowLoad::Model::kOnOff:
+        sources.push_back(std::make_unique<traffic::OnOffSource>(
+            sim, l.flow, emit, l.rate, l.packet_bits, l.mean_on, l.mean_off,
+            l.seed));
+        break;
+    }
+    sources.back()->run(l.start, duration);
+  }
+
+  uint64_t attempts = 0;
+  std::atomic<uint64_t>& counter = *produced_[i];
+  const Time t0 = engine_.now();  // replay epoch: model t maps to t0 + t
+  Time horizon = 0.0;
+  bool engine_closed = false;
+
+  while (!engine_closed) {
+    if (slice_buf.empty()) {
+      if (horizon >= duration) break;  // sources emit strictly before duration
+      horizon = std::min(horizon + opts_.slice, duration);
+      sim.run_until(horizon);
+      continue;
+    }
+    TimedPacket& tp = slice_buf.front();
+    if (opts_.paced) wait_until(engine_, t0 + tp.t);
+    ++attempts;
+    bool ok;
+    if (opts_.block_on_full)
+      ok = engine_.offer_wait(i, std::move(tp.p));
+    else
+      ok = engine_.offer(i, std::move(tp.p));
+    slice_buf.pop_front();
+    // A plain offer's failure is a counted backpressure drop and production
+    // continues; failure with the engine closed means the rest of the
+    // timeline has nowhere to go.
+    if (!ok && !engine_.accepting()) engine_closed = true;
+    // Publish attempts periodically to keep the hot loop light.
+    if ((attempts & 0x3ff) == 0)
+      counter.store(attempts, std::memory_order_relaxed);
+  }
+  counter.store(attempts, std::memory_order_relaxed);
+}
+
+}  // namespace sfq::rt

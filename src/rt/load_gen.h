@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/types.h"
+#include "rt/engine.h"
+
+namespace sfq::rt {
+
+// One traffic model bound to one flow, reusing the traffic/ source
+// implementations (CBR / Poisson / Markov on-off) unchanged: each producer
+// thread hosts a private sim::Simulator whose sources generate the arrival
+// process, and the generated timeline is replayed against the shared wall
+// clock. Generation runs ahead of the replay in small slices, so arbitrarily
+// long runs need only a slice of buffered arrivals, and the replay hot loop
+// is free of model arithmetic — which is what lets a handful of producer
+// threads drive millions of packets per second in unpaced mode.
+struct FlowLoad {
+  enum class Model { kCbr, kPoisson, kOnOff };
+
+  FlowId flow = kInvalidFlow;
+  Model model = Model::kCbr;
+  double rate = 0.0;         // offered bits/s (peak rate for on-off)
+  double packet_bits = 0.0;  // fixed packet size
+  Time mean_on = 0.05;       // on-off only
+  Time mean_off = 0.05;      // on-off only
+  uint64_t seed = 1;
+  Time start = 0.0;          // offset of the first emission
+};
+
+struct LoadGenOptions {
+  // Replay arrival times against the wall clock (1:1). When false, producers
+  // blast the generated sequence as fast as the rings accept it — the mode
+  // throughput benchmarks use.
+  bool paced = true;
+  // On a full ring: spin (offer_wait) instead of dropping. Benchmarks that
+  // must account every packet set this; paced runs normally leave it off so
+  // backpressure surfaces as counted ingress drops, not as generator stall.
+  bool block_on_full = false;
+  // Sim-time slice generated ahead of the replay.
+  Time slice = 0.01;
+};
+
+// Multi-threaded load generator: producer thread i feeds engine shard i with
+// the flows of `producers[i]`. Start the engine first; join() returns when
+// every producer has emitted its full `duration` of traffic.
+class LoadGen {
+ public:
+  LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+          LoadGenOptions opts = {});
+  ~LoadGen();  // joins
+
+  LoadGen(const LoadGen&) = delete;
+  LoadGen& operator=(const LoadGen&) = delete;
+
+  // Generates `duration` seconds (of *model* time) of traffic per producer
+  // and replays it. May be called once.
+  void start(Time duration);
+  void join();
+
+  // Offer attempts by producer i (successful pushes + counted drops).
+  uint64_t produced(std::size_t i) const;
+  uint64_t produced_total() const;
+
+ private:
+  void produce(std::size_t i, Time duration);
+
+  RtEngine& engine_;
+  std::vector<std::vector<FlowLoad>> specs_;
+  LoadGenOptions opts_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> produced_;
+  bool started_ = false;
+};
+
+}  // namespace sfq::rt
