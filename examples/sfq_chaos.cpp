@@ -1,0 +1,121 @@
+// sfq_chaos — deterministic chaos harness CLI (docs/CHAOS.md).
+//
+// Modes:
+//   sfq_chaos run --seeds 256 [--rt 16] [--first 1] [--out DIR]
+//       Sweep a seed block through the sim differential checks (determinism,
+//       invariants, Theorem-1 fairness, throughput) and optionally the
+//       rt-engine capture->replay check. On failure, shrink to a minimal
+//       scenario and (with --out) write the repro .conf. Exit 1 on failure.
+//   sfq_chaos replay --seed S [--rt]
+//       Re-run one seed verbosely: print the generated scenario and the
+//       check verdict. This is the one command a CI failure points at.
+//   sfq_chaos shrink --seed S [--rt] [--out DIR]
+//       Re-run one seed and, if it fails, print the minimized repro.
+//
+// Every scenario is a pure function of its seed: the same binary, seed and
+// mode reproduce the same experiment byte-for-byte.
+//
+// --inject-tag-bug enables the known SFQ tag-arithmetic bug behind the test
+// hook (start tag computed without the max against the previous finish tag)
+// to demonstrate detection + shrinking end-to-end.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "chaos/differential.h"
+#include "chaos/harness.h"
+#include "core/sfq_scheduler.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s run    [--seeds N] [--rt N] [--first S] [--out DIR]\n"
+      "       %s replay --seed S [--rt]\n"
+      "       %s shrink --seed S [--rt] [--out DIR]\n"
+      "  --seeds N          sim seeds to sweep (default 64)\n"
+      "  --rt N|--rt        rt differential seeds (run: count, default 0;\n"
+      "                     replay/shrink: flag)\n"
+      "  --first S          first seed of the block (default 1)\n"
+      "  --seed S           the single seed to replay/shrink\n"
+      "  --out DIR          write minimized repro .conf files here\n"
+      "  --packets N        offered packets per rt seed (default 1500)\n"
+      "  --inject-tag-bug   enable the known SFQ tag bug (self-test demo)\n",
+      argv0, argv0, argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfq;
+  if (argc < 2) usage(argv[0]);
+  const std::string mode = argv[1];
+
+  chaos::HarnessOptions opts;
+  opts.sim_seeds = 64;
+  opts.log = &std::cout;
+  uint64_t seed = 0;
+  bool rt_flag = false;
+  bool have_seed = false;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "--seeds") opts.sim_seeds = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--rt") {
+      rt_flag = true;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+        opts.rt_seeds = std::strtoull(need(i), nullptr, 10);
+    } else if (f == "--first") opts.first_seed = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--seed") { seed = std::strtoull(need(i), nullptr, 10); have_seed = true; }
+    else if (f == "--out") opts.repro_dir = need(i);
+    else if (f == "--packets") opts.rt_packets = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--inject-tag-bug") SfqScheduler::set_tag_bug_for_test(true);
+    else usage(argv[0]);
+  }
+
+  if (mode == "run") {
+    std::printf("sfq_chaos: sweeping %llu sim seed(s) + %llu rt seed(s) "
+                "from seed %llu\n",
+                static_cast<unsigned long long>(opts.sim_seeds),
+                static_cast<unsigned long long>(opts.rt_seeds),
+                static_cast<unsigned long long>(opts.first_seed));
+    const chaos::ChaosReport report = chaos::run_chaos(opts);
+    std::printf("ran %llu sim + %llu rt seeds: %zu failure(s)\n",
+                static_cast<unsigned long long>(report.sim_seeds_run),
+                static_cast<unsigned long long>(report.rt_seeds_run),
+                report.failures.size());
+    return report.ok() ? 0 : 1;
+  }
+
+  if (mode == "replay" || mode == "shrink") {
+    if (!have_seed) usage(argv[0]);
+    opts.shrink_failures = mode == "shrink";
+    const chaos::ChaosFailure f = chaos::replay_seed(seed, rt_flag, opts);
+    std::printf("# scenario for seed %llu%s\n%s",
+                static_cast<unsigned long long>(seed), rt_flag ? " (rt)" : "",
+                f.spec.serialize().c_str());
+    if (f.kind.empty()) {
+      std::printf("verdict: PASS\n");
+      return 0;
+    }
+    std::printf("verdict: FAIL [%s]\n%s\n", f.kind.c_str(), f.detail.c_str());
+    if (mode == "shrink") {
+      std::printf("# minimized (%zu flows, %zu faults)\n%s",
+                  f.minimized.flows.size(),
+                  f.minimized.faults.link.size() + f.minimized.faults.loss.size(),
+                  f.minimized.serialize().c_str());
+      if (!f.repro_path.empty())
+        std::printf("# written to %s\n", f.repro_path.c_str());
+    }
+    return 1;
+  }
+
+  usage(argv[0]);
+}

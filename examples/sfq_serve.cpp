@@ -50,6 +50,7 @@ struct Args {
   std::size_t buffer = 256;
   std::string policy = "taildrop";
   std::size_t ring = 1 << 14;
+  double stall_timeout = 2.0;  // watchdog window, seconds; 0 disables
   bool unpaced = false;
   bool check = false;
   std::string trace_path;
@@ -73,6 +74,8 @@ struct Args {
       "256)\n"
       "  --policy P          taildrop | pushout (default taildrop)\n"
       "  --ring N            per-producer ring capacity (default 16384)\n"
+      "  --stall-timeout S   watchdog: stop if backlogged with no service\n"
+      "                      progress for S wall seconds (default 2, 0 off)\n"
       "  --unpaced           blast arrivals as fast as rings accept\n"
       "  --trace FILE        JSONL packet-lifecycle trace\n"
       "  --metrics FILE      metrics registry JSON dump\n"
@@ -114,6 +117,7 @@ Args parse(int argc, char** argv) {
     else if (f == "--buffer") a.buffer = std::strtoul(need(i), nullptr, 10);
     else if (f == "--policy") a.policy = need(i);
     else if (f == "--ring") a.ring = std::strtoul(need(i), nullptr, 10);
+    else if (f == "--stall-timeout") a.stall_timeout = std::stod(need(i));
     else if (f == "--unpaced") a.unpaced = true;
     else if (f == "--check") a.check = true;
     else if (f == "--trace") a.trace_path = need(i);
@@ -169,6 +173,7 @@ int main(int argc, char** argv) {
   eng_opts.overload_policy = args.policy == "pushout"
                                  ? net::OverloadPolicy::kPushout
                                  : net::OverloadPolicy::kTailDrop;
+  eng_opts.stall_timeout = args.stall_timeout;
   rt::RtEngine engine(*sched, std::make_unique<net::ConstantRate>(args.rate),
                       eng_opts);
 
@@ -236,6 +241,7 @@ int main(int argc, char** argv) {
     const Time snap_every = std::max(args.duration / 20.0, 0.05);
     Time next_snap = wall_start + snap_every;
     while (engine.now() - wall_start < args.duration) {
+      if (engine.stalled()) break;  // watchdog stopped the dispatcher
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       if (engine.now() >= next_snap) {
         snapshots.push_back(engine.service_snapshot());
@@ -323,6 +329,14 @@ int main(int argc, char** argv) {
   }
 
   bool ok = fairness_ok;
+  if (engine.stalled()) {
+    std::printf("WATCHDOG: dispatcher stalled (%llu stall(s)) — no service "
+                "progress for %.3gs with backlog outstanding; engine "
+                "stopped cleanly\n",
+                static_cast<unsigned long long>(st.stalls),
+                args.stall_timeout);
+    ok = false;
+  }
   if (checker) {
     std::printf("invariants: %s\n", checker->report().c_str());
     ok = ok && checker->ok();

@@ -49,6 +49,13 @@ fi
 grep -q "drops by cause:" "$out/faulty.txt"
 echo "fault gate OK: $(grep 'drops by cause:' "$out/faulty.txt" | head -1)"
 
+# Chaos gate: a fixed seed block through the differential sim checks
+# (determinism, invariants, Theorem-1/2 oracles) plus live-engine
+# capture->replay seeds (docs/CHAOS.md). A failure writes the minimized
+# repro .conf to $out and names the seed to replay.
+"$BUILD/examples/sfq_chaos" run --seeds 64 --rt 8 --out "$out"
+echo "chaos gate OK"
+
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   scripts/sanitize.sh
 fi

@@ -1,0 +1,318 @@
+#include "chaos/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/scheduler_factory.h"
+#include "net/rate_profile.h"
+#include "obs/invariant_checker.h"
+#include "obs/trace.h"
+#include "rt/engine.h"
+
+namespace sfq::chaos {
+
+namespace {
+
+// Records every event for offline comparison and invariant replay.
+class RecordingSink final : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& e) override { events_.push_back(e); }
+  const std::vector<obs::TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<obs::TraceEvent> events_;
+};
+
+bool same_event(const obs::TraceEvent& a, const obs::TraceEvent& b) {
+  return a.type == b.type && a.drop_cause == b.drop_cause && a.flow == b.flow &&
+         a.seq == b.seq && a.length_bits == b.length_bits && a.t == b.t &&
+         a.arrival == b.arrival && a.start_tag == b.start_tag &&
+         a.finish_tag == b.finish_tag && a.vtime == b.vtime &&
+         a.backlog == b.backlog;
+}
+
+std::string describe_event(const obs::TraceEvent& e) {
+  std::ostringstream ss;
+  ss << obs::to_string(e.type) << " flow " << e.flow << " seq " << e.seq
+     << " t " << e.t << " S " << e.start_tag << " F " << e.finish_tag
+     << " v " << e.vtime << " backlog " << e.backlog;
+  if (e.drop_cause != obs::DropCause::kNone)
+    ss << " cause " << obs::to_string(e.drop_cause);
+  return ss.str();
+}
+
+// Average offered rate of a flow, for the weak throughput oracle.
+double offered_rate(const config::FlowSpec& f) {
+  if (f.kind == "greedy") return f.rate > 0.0 ? f.rate : 2.0 * f.weight;
+  if (f.kind == "onoff")
+    return f.rate * f.mean_on / std::max(f.mean_on + f.mean_off, 1e-9);
+  return f.rate;
+}
+
+SchedulerOptions scheduler_options_for(const config::ExperimentSpec& spec) {
+  SchedulerOptions opts;
+  opts.assumed_capacity = spec.link_rate();
+  double max_packet = 0.0;
+  for (const config::FlowSpec& f : spec.flows)
+    max_packet = std::max(max_packet, f.packet);
+  opts.quantum_per_weight =
+      max_packet > 0.0 ? max_packet / spec.link_rate() * 4.0 : 1.0;
+  return opts;
+}
+
+}  // namespace
+
+CheckResult check_sim(const config::ExperimentSpec& spec, uint64_t seed) {
+  CheckResult res;
+  RecordingSink first, second;
+  config::ExperimentResult r1, r2;
+  try {
+    r1 = config::run_experiment(spec, &first);
+    r2 = config::run_experiment(spec, &second);
+  } catch (const std::exception& e) {
+    res.fail("error", std::string("run_experiment threw: ") + e.what());
+    return res;
+  }
+
+  // Determinism gate: two runs of the same spec must agree on every event.
+  const auto& ea = first.events();
+  const auto& eb = second.events();
+  const std::size_t n = std::min(ea.size(), eb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!same_event(ea[i], eb[i])) {
+      std::ostringstream ss;
+      ss << "runs diverge at event " << i << ":\n  run1: "
+         << describe_event(ea[i]) << "\n  run2: " << describe_event(eb[i]);
+      res.fail("determinism", ss.str());
+      return res;
+    }
+  }
+  if (ea.size() != eb.size()) {
+    std::ostringstream ss;
+    ss << "runs diverge in length: " << ea.size() << " vs " << eb.size()
+       << " events; first extra: "
+       << describe_event(ea.size() > eb.size() ? ea[n] : eb[n]);
+    res.fail("determinism", ss.str());
+    return res;
+  }
+
+  // Invariant oracle over the recorded stream, seed baked into messages.
+  obs::InvariantChecker checker(
+      obs::InvariantChecker::for_scheduler(spec.scheduler));
+  checker.set_context("seed " + std::to_string(seed));
+  for (const obs::TraceEvent& e : ea) checker.on_event(e);
+  checker.finish();
+  if (!checker.ok()) {
+    res.fail("invariant", checker.report());
+    return res;
+  }
+
+  // Theorem-1 fairness oracle. The analytic bound is SFQ's (SCFQ's is the
+  // same expression); other disciplines make no such promise. It is applied
+  // only where its premises are airtight for the empirical measure:
+  //   * no drops (pushout/churn evict queued packets, so a flow can look
+  //     backlogged to the recorder while receiving no service),
+  //   * fixed packet sizes (the bound uses the spec's l_max; vbr exceeds it),
+  //   * single hop (the measure instruments the first hop's recorder).
+  // A variable-rate (FC on/off) link stays in scope on purpose — Theorem 1
+  // holds "for any server rate behaviour".
+  bool fairness_scope =
+      (spec.scheduler == "SFQ" || spec.scheduler == "SCFQ") &&
+      spec.hops.size() == 1 && spec.hops.front().buffer_packets == 0 &&
+      !spec.has_faults();
+  for (const config::FlowSpec& f : spec.flows)
+    fairness_scope &= f.packet > 0.0 && f.kind != "vbr";
+  if (fairness_scope && r1.worst_fairness_ratio > 1.0 + 1e-6) {
+    std::ostringstream ss;
+    ss << "worst empirical fairness " << r1.worst_fairness_ratio
+       << "x the Theorem-1 bound (seed " << seed << ")";
+    res.fail("fairness", ss.str());
+    return res;
+  }
+
+  // Theorem-2-flavoured throughput oracle.
+  double delivered_bits = 0.0;
+  for (const config::FlowResult& fr : r1.flows)
+    delivered_bits += fr.throughput * spec.duration;
+  double max_packet = 1.0;
+  for (const config::FlowSpec& f : spec.flows)
+    max_packet = std::max(max_packet, f.packet);
+  // Upper bound: a link cannot deliver more than capacity (plus edge
+  // packets) — brown-outs/outages only lower it.
+  const double cap_bits = spec.link_rate() * spec.duration +
+                          2.0 * max_packet * spec.hops.size();
+  if (delivered_bits > cap_bits) {
+    std::ostringstream ss;
+    ss << "delivered " << delivered_bits << " bits > link capacity "
+       << cap_bits << " bits over " << spec.duration << "s";
+    res.fail("throughput", ss.str());
+    return res;
+  }
+  // Lower bound, only where it is airtight: no faults/churn, single hop,
+  // every flow runs the whole horizon. A work-conserving server must then
+  // clear at least half of min(offered, capacity) — generous slack for
+  // bursty models and end-of-run backlog.
+  bool clean = !spec.has_faults() && spec.hops.size() == 1;
+  double offered = 0.0;
+  for (const config::FlowSpec& f : spec.flows) {
+    clean &= f.start == 0.0 && f.stop < 0.0;
+    offered += offered_rate(f);
+  }
+  if (clean && spec.hops.front().delta == 0.0) {
+    const double expect =
+        0.5 * std::min(offered, spec.link_rate()) * spec.duration -
+        2.0 * max_packet * spec.flows.size();
+    if (delivered_bits < expect) {
+      std::ostringstream ss;
+      ss << "delivered " << delivered_bits << " bits < " << expect
+         << " (half of min(offered " << offered << ", capacity "
+         << spec.link_rate() << ") x " << spec.duration
+         << "s) on a clean run — server not work-conserving?";
+      res.fail("throughput", ss.str());
+      return res;
+    }
+  }
+  return res;
+}
+
+CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
+                     std::size_t packets) {
+  CheckResult res;
+  if (spec.hops.size() != 1 || spec.has_faults()) {
+    res.fail("error", "check_rt needs a single-hop fault-free spec");
+    return res;
+  }
+  const SchedulerOptions opts = scheduler_options_for(spec);
+
+  config::BuiltScheduler live;
+  try {
+    live = config::build_experiment_scheduler(spec, opts);
+  } catch (const std::exception& e) {
+    res.fail("error", std::string("scheduler build threw: ") + e.what());
+    return res;
+  }
+
+  // Offered traffic: a deterministic per-seed packet schedule, blasted
+  // through the ring as fast as it accepts. Pacing does not matter — the
+  // comparison is against the op sequence the dispatcher actually performed,
+  // whatever interleaving the threads produced this run.
+  struct Offer {
+    FlowId flow;
+    uint64_t seq;
+    double bits;
+  };
+  std::vector<Offer> offers;
+  {
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    std::vector<uint64_t> next_seq(spec.flows.size(), 1);
+    std::vector<double> weights;
+    for (const config::FlowSpec& f : spec.flows) weights.push_back(f.weight);
+    std::discrete_distribution<std::size_t> which(weights.begin(),
+                                                  weights.end());
+    offers.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+      const std::size_t fi = which(rng);
+      offers.push_back(Offer{live.flow_ids[fi], next_seq[fi]++,
+                             spec.flows[fi].packet});
+    }
+  }
+
+  // Scale the link so draining the whole offered load takes ~25ms of wall
+  // clock; the replay equivalence is rate-independent.
+  double total_bits = 0.0;
+  for (const Offer& o : offers) total_bits += o.bits;
+  const double rate = std::max(spec.link_rate(), total_bits / 0.025);
+
+  rt::EngineOptions eng_opts;
+  eng_opts.producers = 1;
+  eng_opts.buffer_limit = spec.hops.front().buffer_packets;
+  eng_opts.overload_policy = spec.hops.front().pushout
+                                 ? net::OverloadPolicy::kPushout
+                                 : net::OverloadPolicy::kTailDrop;
+  eng_opts.stall_timeout = 5.0;  // a wedged dispatcher fails, not hangs
+  rt::RtEngine engine(*live.scheduler, std::make_unique<net::ConstantRate>(rate),
+                      eng_opts);
+  std::vector<rt::CaptureOp> ops;
+  engine.set_capture(&ops);
+  engine.start();
+  for (const Offer& o : offers) {
+    Packet p;
+    p.flow = o.flow;
+    p.seq = o.seq;
+    p.length_bits = o.bits;
+    if (!engine.offer_wait(0, p)) break;  // engine stalled/stopped
+  }
+  engine.stop(rt::StopMode::kDrain);
+  if (engine.stalled()) {
+    res.fail("rt-stall", "stall watchdog tripped while draining the load");
+    return res;
+  }
+
+  // Single-threaded replay of the captured op sequence on a fresh scheduler.
+  config::BuiltScheduler ref;
+  try {
+    ref = config::build_experiment_scheduler(spec, opts);
+  } catch (const std::exception& e) {
+    res.fail("error", std::string("replay scheduler build threw: ") + e.what());
+    return res;
+  }
+  Scheduler& replay = *ref.scheduler;
+  auto mismatch = [&](std::size_t i, const char* what, const Packet& want,
+                      const Packet* got) {
+    std::ostringstream ss;
+    ss << "rt replay diverges at op " << i << " (" << what << "): engine saw"
+       << " flow " << want.flow << " seq " << want.seq << " S "
+       << want.start_tag << " F " << want.finish_tag << ", replay ";
+    if (got == nullptr) {
+      ss << "returned nothing";
+    } else {
+      ss << "returned flow " << got->flow << " seq " << got->seq << " S "
+         << got->start_tag << " F " << got->finish_tag;
+    }
+    res.fail("rt-divergence", ss.str());
+  };
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const rt::CaptureOp& op = ops[i];
+    switch (op.kind) {
+      case rt::CaptureOp::Kind::kEnqueue:
+        replay.enqueue(op.packet, op.t);
+        break;
+      case rt::CaptureOp::Kind::kDequeue: {
+        std::optional<Packet> got = replay.dequeue(op.t);
+        if (!got || got->flow != op.packet.flow || got->seq != op.packet.seq ||
+            got->start_tag != op.packet.start_tag ||
+            got->finish_tag != op.packet.finish_tag) {
+          mismatch(i, "dequeue", op.packet, got ? &*got : nullptr);
+          return res;
+        }
+        break;
+      }
+      case rt::CaptureOp::Kind::kComplete:
+        replay.on_transmit_complete(op.packet, op.t);
+        break;
+      case rt::CaptureOp::Kind::kPushout: {
+        std::optional<Packet> got = replay.pushout(op.packet.flow, op.t);
+        if (!got || got->flow != op.packet.flow || got->seq != op.packet.seq ||
+            got->start_tag != op.packet.start_tag ||
+            got->finish_tag != op.packet.finish_tag) {
+          mismatch(i, "pushout", op.packet, got ? &*got : nullptr);
+          return res;
+        }
+        break;
+      }
+    }
+  }
+  if (!replay.empty() != !live.scheduler->empty()) {
+    res.fail("rt-divergence",
+             "replay backlog disagrees with the live scheduler after " +
+                 std::to_string(ops.size()) + " ops");
+  }
+  return res;
+}
+
+}  // namespace sfq::chaos

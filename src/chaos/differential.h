@@ -1,0 +1,56 @@
+// Differential checking: run one scenario through two paths and report the
+// first divergence event-by-event (docs/CHAOS.md).
+//
+// Sim side (check_sim):
+//   * determinism  — the same spec simulated twice must produce byte-identical
+//                    trace streams (every field of every event);
+//   * invariants   — the recorded stream must satisfy the discipline's
+//                    InvariantChecker profile (tag order, v(t) monotonicity,
+//                    S/F arithmetic, fault-aware conservation), with the
+//                    scenario seed baked into every violation message;
+//   * fairness     — for SFQ/SCFQ scenarios, the empirical Theorem-1 ratio
+//                    from run_experiment must stay within the analytic bound;
+//   * throughput   — Theorem-2-flavoured sanity: delivery never exceeds link
+//                    capacity, and a clean (fault-free, full-length-flows)
+//                    run keeps the server busy enough for the offered load.
+//
+// Rt side (check_rt):
+//   * the live RtEngine records the exact scheduler-op sequence its
+//     dispatcher performed (rt::CaptureOp); the replay applies the identical
+//     sequence to a freshly built scheduler single-threaded and every
+//     dequeue/pushout must return the same packet with bit-identical tags.
+//     A divergence means the threaded pipeline corrupted scheduler state (or
+//     the discipline is not a pure function of its input sequence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "config/experiment.h"
+
+namespace sfq::chaos {
+
+struct CheckResult {
+  bool ok = true;
+  std::string kind;    // "", or determinism|invariant|fairness|throughput|
+                       // rt-divergence|rt-stall|error
+  std::string detail;  // first failure, event-by-event where applicable
+
+  void fail(std::string k, std::string d) {
+    if (!ok) return;  // keep the first failure
+    ok = false;
+    kind = std::move(k);
+    detail = std::move(d);
+  }
+};
+
+// Simulator-side differential + oracle checks for one scenario.
+CheckResult check_sim(const config::ExperimentSpec& spec, uint64_t seed);
+
+// Live-engine capture -> single-threaded replay. The spec must be
+// rt-compatible (single hop, no faults; see GeneratorOptions::rt_compatible).
+// `packets` caps the total offered packets so a seed stays sub-second.
+CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
+                     std::size_t packets = 1500);
+
+}  // namespace sfq::chaos

@@ -1,0 +1,100 @@
+#include "chaos/harness.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "chaos/differential.h"
+#include "chaos/shrinker.h"
+
+namespace sfq::chaos {
+
+namespace {
+
+CheckResult run_check(const config::ExperimentSpec& spec, uint64_t seed,
+                      bool rt, std::size_t rt_packets) {
+  return rt ? check_rt(spec, seed, rt_packets) : check_sim(spec, seed);
+}
+
+std::string write_repro(const ChaosFailure& f, const std::string& dir) {
+  std::ostringstream name;
+  name << dir << "/chaos_repro_seed" << f.seed << (f.rt ? "_rt" : "")
+       << ".conf";
+  std::ofstream out(name.str());
+  if (!out) return "";
+  out << "# chaos repro: seed " << f.seed << (f.rt ? " (rt differential)" : "")
+      << ", failure kind: " << f.kind << "\n";
+  out << "# replay: sfq_chaos replay --seed " << f.seed
+      << (f.rt ? " --rt" : "") << "\n";
+  std::istringstream detail(f.detail);
+  std::string line;
+  while (std::getline(detail, line)) out << "# " << line << "\n";
+  out << f.minimized.serialize();
+  return name.str();
+}
+
+ChaosFailure check_one(const config::ExperimentSpec& spec, uint64_t seed,
+                       bool rt, const HarnessOptions& opts) {
+  ChaosFailure f;
+  f.seed = seed;
+  f.rt = rt;
+  f.spec = spec;
+  f.minimized = spec;
+  CheckResult res = run_check(spec, seed, rt, opts.rt_packets);
+  if (res.ok) return f;  // kind stays empty == pass
+  f.kind = res.kind;
+  f.detail = res.detail;
+  if (opts.shrink_failures) {
+    ShrinkResult sh = shrink(spec, [&](const config::ExperimentSpec& c) {
+      return !run_check(c, seed, rt, opts.rt_packets).ok;
+    });
+    f.minimized = std::move(sh.spec);
+    // Report the minimized scenario's own failure detail: that is what the
+    // repro file reproduces.
+    CheckResult mres = run_check(f.minimized, seed, rt, opts.rt_packets);
+    if (!mres.ok) f.detail = mres.detail;
+  }
+  if (!opts.repro_dir.empty()) f.repro_path = write_repro(f, opts.repro_dir);
+  return f;
+}
+
+void sweep(bool rt, uint64_t n_seeds, const HarnessOptions& opts,
+           ChaosReport& report) {
+  GeneratorOptions gen = opts.gen;
+  gen.rt_compatible = rt;
+  ScenarioGenerator generator(gen);
+  uint64_t& counter = rt ? report.rt_seeds_run : report.sim_seeds_run;
+  for (uint64_t i = 0; i < n_seeds; ++i) {
+    const uint64_t seed = opts.first_seed + i;
+    ChaosFailure f = check_one(generator.generate(seed), seed, rt, opts);
+    ++counter;
+    if (f.kind.empty()) continue;
+    if (opts.log) {
+      *opts.log << (rt ? "rt seed " : "seed ") << seed << ": FAIL [" << f.kind
+                << "] " << f.detail << "\n";
+      if (!f.repro_path.empty())
+        *opts.log << "  minimized repro: " << f.repro_path << "\n";
+    }
+    report.failures.push_back(std::move(f));
+    if (opts.stop_on_failure) return;
+  }
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const HarnessOptions& opts) {
+  ChaosReport report;
+  sweep(/*rt=*/false, opts.sim_seeds, opts, report);
+  if (report.ok() || !opts.stop_on_failure)
+    sweep(/*rt=*/true, opts.rt_seeds, opts, report);
+  return report;
+}
+
+ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts) {
+  GeneratorOptions gen = opts.gen;
+  gen.rt_compatible = rt;
+  return check_one(ScenarioGenerator(gen).generate(seed), seed, rt, opts);
+}
+
+}  // namespace sfq::chaos

@@ -1,0 +1,55 @@
+// Seed-sweep driver: generate -> check -> (on failure) shrink -> emit repro
+// (docs/CHAOS.md). Used by examples/sfq_chaos, tests and the CI smoke job.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario_generator.h"
+#include "config/experiment.h"
+
+namespace sfq::chaos {
+
+struct HarnessOptions {
+  uint64_t first_seed = 1;
+  uint64_t sim_seeds = 100;  // seeds through check_sim
+  uint64_t rt_seeds = 0;     // seeds through check_rt (live-engine replay)
+  GeneratorOptions gen;      // rt scenarios force gen.rt_compatible
+  std::size_t rt_packets = 1500;  // offered packets per rt seed
+  bool shrink_failures = true;
+  // When set, each failure's minimized spec is written to
+  // <repro_dir>/chaos_repro_seed<seed>[_rt].conf with a provenance header.
+  std::string repro_dir;
+  // Progress/failure narration ("seed 123: FAIL invariant ..."); null = quiet.
+  std::ostream* log = nullptr;
+  // Stop the sweep at the first failure instead of scanning the whole block.
+  bool stop_on_failure = false;
+};
+
+struct ChaosFailure {
+  uint64_t seed = 0;
+  bool rt = false;
+  std::string kind;    // determinism|invariant|fairness|throughput|rt-*|error
+  std::string detail;
+  config::ExperimentSpec spec;       // as generated
+  config::ExperimentSpec minimized;  // == spec when shrinking is off
+  std::string repro_path;            // "" unless repro_dir was set
+};
+
+struct ChaosReport {
+  uint64_t sim_seeds_run = 0;
+  uint64_t rt_seeds_run = 0;
+  std::vector<ChaosFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+ChaosReport run_chaos(const HarnessOptions& opts);
+
+// Re-runs the check for one seed (the `replay` workflow: a CI failure names
+// a seed; this reproduces it locally with full detail).
+ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts);
+
+}  // namespace sfq::chaos

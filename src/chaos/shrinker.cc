@@ -1,0 +1,126 @@
+#include "chaos/shrinker.h"
+
+#include <utility>
+#include <vector>
+
+namespace sfq::chaos {
+
+namespace {
+
+// Drop classes no flow references (children of dropped classes collapse to
+// the root). Keeps specs valid after flow removals and tree flattening.
+void prune_classes(config::ExperimentSpec& s) {
+  std::vector<config::ClassSpec> kept;
+  for (const config::ClassSpec& c : s.classes) {
+    bool used = false;
+    for (const config::FlowSpec& f : s.flows) used |= f.cls == c.name;
+    for (const config::ClassSpec& o : s.classes) used |= o.parent == c.name;
+    if (used) kept.push_back(c);
+  }
+  if (kept.size() == s.classes.size()) return;
+  s.classes = std::move(kept);
+  prune_classes(s);  // removing a leaf can orphan its parent
+}
+
+}  // namespace
+
+ShrinkResult shrink(config::ExperimentSpec failing,
+                    const FailPredicate& still_fails, int max_rounds) {
+  ShrinkResult out;
+  out.spec = std::move(failing);
+
+  // Try one edit; keep it only if the failure survives.
+  auto attempt = [&](config::ExperimentSpec candidate) {
+    ++out.edits_tried;
+    prune_classes(candidate);
+    if (!still_fails(candidate)) return false;
+    out.spec = std::move(candidate);
+    ++out.edits_accepted;
+    return true;
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    const std::size_t accepted_before = out.edits_accepted;
+
+    // 1. Fewer flows (largest lever first: repros want <= a handful).
+    for (std::size_t i = 0; out.spec.flows.size() > 1 && i < out.spec.flows.size();) {
+      config::ExperimentSpec c = out.spec;
+      c.flows.erase(c.flows.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!attempt(std::move(c))) ++i;  // on success retry the same index
+    }
+
+    // 2. No churn.
+    for (std::size_t i = 0; i < out.spec.flows.size(); ++i) {
+      if (out.spec.flows[i].leave < 0.0 && out.spec.flows[i].rejoin < 0.0)
+        continue;
+      config::ExperimentSpec c = out.spec;
+      c.flows[i].leave = -1.0;
+      c.flows[i].rejoin = -1.0;
+      attempt(std::move(c));
+    }
+
+    // 3. Fewer faults.
+    for (std::size_t i = 0; i < out.spec.faults.link.size();) {
+      config::ExperimentSpec c = out.spec;
+      c.faults.link.erase(c.faults.link.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (!attempt(std::move(c))) ++i;
+    }
+    for (std::size_t i = 0; i < out.spec.faults.loss.size();) {
+      config::ExperimentSpec c = out.spec;
+      c.faults.loss.erase(c.faults.loss.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (!attempt(std::move(c))) ++i;
+    }
+
+    // 4. Flat hierarchy.
+    if (!out.spec.classes.empty()) {
+      config::ExperimentSpec c = out.spec;
+      c.classes.clear();
+      for (config::FlowSpec& f : c.flows) f.cls.clear();
+      attempt(std::move(c));
+    }
+
+    // 5. Single hop.
+    while (out.spec.hops.size() > 1) {
+      config::ExperimentSpec c = out.spec;
+      c.hops.resize(1);
+      if (!attempt(std::move(c))) break;
+    }
+
+    // 6. Plain flow windows.
+    for (std::size_t i = 0; i < out.spec.flows.size(); ++i) {
+      if (out.spec.flows[i].start == 0.0 && out.spec.flows[i].stop < 0.0)
+        continue;
+      config::ExperimentSpec c = out.spec;
+      c.flows[i].start = 0.0;
+      c.flows[i].stop = -1.0;
+      attempt(std::move(c));
+    }
+
+    // 7. Shorter horizon.
+    while (out.spec.duration > 0.05) {
+      config::ExperimentSpec c = out.spec;
+      c.duration = c.duration / 2.0;
+      if (!attempt(std::move(c))) break;
+    }
+
+    // 8. Simpler link: no burstiness, no overload handling.
+    if (out.spec.hops.front().delta > 0.0) {
+      config::ExperimentSpec c = out.spec;
+      c.hops.front().delta = 0.0;
+      attempt(std::move(c));
+    }
+    if (out.spec.hops.front().buffer_packets != 0) {
+      config::ExperimentSpec c = out.spec;
+      c.hops.front().buffer_packets = 0;
+      c.hops.front().pushout = false;
+      attempt(std::move(c));
+    }
+
+    if (out.edits_accepted == accepted_before) break;  // fixed point
+  }
+  return out;
+}
+
+}  // namespace sfq::chaos

@@ -1,0 +1,35 @@
+// Greedy scenario minimization (docs/CHAOS.md).
+//
+// Given a failing spec and a predicate that re-runs the failing check, the
+// shrinker repeatedly tries simplifying edits — drop a flow, clear churn,
+// remove a fault, flatten the class hierarchy, drop extra hops, zero
+// start/stop windows, halve the horizon — keeping an edit only if the
+// failure survives it, until a full round accepts nothing. The result is the
+// smallest scenario this greedy walk can reach that still fails, which is
+// what goes into the repro `.conf`.
+//
+// The predicate is called O(rounds x edits) times, so it should be the
+// cheapest check that still reproduces the failure.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "config/experiment.h"
+
+namespace sfq::chaos {
+
+using FailPredicate = std::function<bool(const config::ExperimentSpec&)>;
+
+struct ShrinkResult {
+  config::ExperimentSpec spec;   // minimized, still failing
+  std::size_t edits_accepted = 0;
+  std::size_t edits_tried = 0;
+};
+
+// `still_fails(spec)` must be true for the input spec; the returned spec
+// also satisfies it. `max_rounds` bounds the outer fixed-point loop.
+ShrinkResult shrink(config::ExperimentSpec failing,
+                    const FailPredicate& still_fails, int max_rounds = 8);
+
+}  // namespace sfq::chaos

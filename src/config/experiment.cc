@@ -1,6 +1,7 @@
 #include "config/experiment.h"
 
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -10,6 +11,7 @@
 #include <stdexcept>
 
 #include "core/scheduler_factory.h"
+#include "hier/hsfq_scheduler.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "net/rate_profile.h"
@@ -169,6 +171,7 @@ FlowSpec parse_flow(std::map<std::string, std::string> kv, std::size_t lineno,
     else if (key == "seed") f.seed = parse_u64(value, lineno, "seed");
     else if (key == "leave") f.leave = parse_nonneg_time(value, lineno, "leave");
     else if (key == "join") f.rejoin = parse_nonneg_time(value, lineno, "join");
+    else if (key == "class") f.cls = value;
     else
       throw std::invalid_argument("line " + std::to_string(lineno) +
                                   ": unknown flow key '" + key + "'");
@@ -323,6 +326,39 @@ ExperimentSpec ExperimentSpec::parse(std::istream& in) {
     } else if (directive == "flow") {
       spec.flows.push_back(
           parse_flow(parse_kv(ss, lineno), lineno, spec.flows.size()));
+    } else if (directive == "class") {
+      ClassSpec c;
+      for (const auto& [key, value] : parse_kv(ss, lineno)) {
+        if (key == "name") c.name = value;
+        else if (key == "weight") c.weight = parse_rate(value);
+        else if (key == "parent") c.parent = value;
+        else
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": unknown class key '" + key + "'");
+      }
+      if (c.name.empty())
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": class needs name=");
+      if (c.weight <= 0.0)
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": class weight must be positive");
+      for (const ClassSpec& prev : spec.classes)
+        if (prev.name == c.name)
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": duplicate class name '" + c.name +
+                                      "'");
+      if (!c.parent.empty()) {
+        bool found = false;
+        for (const ClassSpec& prev : spec.classes)
+          if (prev.name == c.parent) found = true;
+        // Parents must be declared first, which also rules out cycles.
+        if (!found)
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": class parent '" + c.parent +
+                                      "' not declared (classes must be "
+                                      "declared before use)");
+      }
+      spec.classes.push_back(std::move(c));
     } else if (directive == "trace") {
       for (const auto& [key, value] : parse_kv(ss, lineno)) {
         if (key == "jsonl") spec.obs.trace_jsonl = value;
@@ -353,6 +389,25 @@ ExperimentSpec ExperimentSpec::parse(std::istream& in) {
         throw std::invalid_argument("duplicate flow name '" +
                                     spec.flows[i].name + "'");
   if (spec.hops.empty()) spec.hops.push_back(HopSpec{});
+  if (!spec.classes.empty()) {
+    if (spec.scheduler != "HSFQ")
+      throw std::invalid_argument(
+          "class directives require scheduler HSFQ (got '" + spec.scheduler +
+          "')");
+    if (spec.hops.size() > 1)
+      throw std::invalid_argument(
+          "class directives are only supported on a single hop");
+  }
+  for (const FlowSpec& f : spec.flows) {
+    if (f.cls.empty()) continue;
+    bool found = false;
+    for (const ClassSpec& c : spec.classes)
+      if (c.name == f.cls) found = true;
+    if (!found)
+      throw std::invalid_argument("flow '" + f.name +
+                                  "' references undeclared class '" + f.cls +
+                                  "'");
+  }
   return spec;
 }
 
@@ -362,7 +417,137 @@ ExperimentSpec ExperimentSpec::parse_file(const std::string& path) {
   return parse(in);
 }
 
-ExperimentResult run_experiment(const ExperimentSpec& spec) {
+std::optional<ExperimentSpec> ExperimentSpec::try_parse(std::istream& in,
+                                                        std::string* error) {
+  try {
+    return parse(in);
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+  } catch (...) {
+    if (error) *error = "unknown parse error";
+  }
+  return std::nullopt;
+}
+
+std::optional<ExperimentSpec> ExperimentSpec::try_parse_file(
+    const std::string& path, std::string* error) {
+  try {
+    return parse_file(path);
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+  } catch (...) {
+    if (error) *error = "unknown parse error";
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Round-trippable double formatting: shortest-ish decimal that std::stod
+// reads back bit-identically. Values are emitted unitless (bits, seconds,
+// bits/s), which every parse_* accepts.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExperimentSpec::serialize() const {
+  std::ostringstream out;
+  out << "scheduler " << scheduler << "\n";
+  for (const HopSpec& h : hops) {
+    out << "link rate=" << num(h.rate);
+    if (h.delta > 0.0) out << " delta=" << num(h.delta);
+    if (h.buffer_packets) out << " buffer=" << h.buffer_packets;
+    if (h.propagation > 0.0) out << " prop=" << num(h.propagation);
+    if (h.pushout) out << " policy=pushout";
+    out << "\n";
+  }
+  out << "duration " << num(duration) << "\n";
+  for (const ClassSpec& c : classes) {
+    out << "class name=" << c.name << " weight=" << num(c.weight);
+    if (!c.parent.empty()) out << " parent=" << c.parent;
+    out << "\n";
+  }
+  for (const LinkFaultSpec& lf : faults.link) {
+    if (lf.factor <= 0.0) {
+      out << "fault link down=" << num(lf.from);
+      if (lf.until != kTimeInfinity) out << " up=" << num(lf.until);
+    } else {
+      out << "fault link degrade=" << num(lf.factor)
+          << " from=" << num(lf.from);
+      if (lf.until != kTimeInfinity) out << " until=" << num(lf.until);
+    }
+    out << "\n";
+  }
+  for (std::size_t i = 0; i < faults.loss.size(); ++i) {
+    const LossFaultSpec& ls = faults.loss[i];
+    out << "fault loss p=" << num(ls.probability);
+    if (ls.from > 0.0) out << " from=" << num(ls.from);
+    if (ls.until != kTimeInfinity) out << " until=" << num(ls.until);
+    if (ls.corrupt) out << " corrupt=on";
+    if (i == 0) out << " seed=" << faults.seed;  // one global loss-draw seed
+    out << "\n";
+  }
+  if (!obs.trace_jsonl.empty() || obs.check_invariants) {
+    out << "trace";
+    if (!obs.trace_jsonl.empty()) out << " jsonl=" << obs.trace_jsonl;
+    if (obs.check_invariants) out << " invariants=on";
+    out << "\n";
+  }
+  if (obs.metrics_enabled()) {
+    out << "metrics";
+    if (!obs.metrics_json.empty()) out << " json=" << obs.metrics_json;
+    if (!obs.metrics_text.empty()) out << " text=" << obs.metrics_text;
+    out << "\n";
+  }
+  for (const FlowSpec& f : flows) {
+    out << "flow name=" << f.name << " kind=" << f.kind;
+    if (f.rate > 0.0) out << " rate=" << num(f.rate);
+    if (f.packet > 0.0) out << " packet=" << num(f.packet);
+    out << " weight=" << num(f.weight);
+    if (f.start > 0.0) out << " start=" << num(f.start);
+    if (f.stop >= 0.0) out << " stop=" << num(f.stop);
+    if (f.kind == "onoff")
+      out << " mean_on=" << num(f.mean_on) << " mean_off=" << num(f.mean_off);
+    out << " seed=" << f.seed;
+    if (f.leave >= 0.0) out << " leave=" << num(f.leave);
+    if (f.rejoin >= 0.0) out << " join=" << num(f.rejoin);
+    if (!f.cls.empty()) out << " class=" << f.cls;
+    out << "\n";
+  }
+  return out.str();
+}
+
+BuiltScheduler build_experiment_scheduler(const ExperimentSpec& spec,
+                                          const SchedulerOptions& opts) {
+  BuiltScheduler built;
+  auto lmax = [](const FlowSpec& f) {
+    return f.packet > 0.0 ? f.packet : 400.0;
+  };
+  if (spec.classes.empty()) {
+    built.scheduler = make_scheduler(spec.scheduler, opts);
+    for (const FlowSpec& f : spec.flows)
+      built.flow_ids.push_back(
+          built.scheduler->add_flow(f.weight, lmax(f), f.name));
+    return built;
+  }
+  auto h = std::make_unique<hier::HsfqScheduler>();
+  std::map<std::string, hier::HsfqScheduler::ClassId> class_ids;
+  class_ids[""] = hier::HsfqScheduler::kRootClass;
+  for (const ClassSpec& c : spec.classes)
+    class_ids[c.name] = h->add_class(class_ids.at(c.parent), c.weight, c.name);
+  for (const FlowSpec& f : spec.flows)
+    built.flow_ids.push_back(
+        h->add_flow_in_class(class_ids.at(f.cls), f.weight, lmax(f), f.name));
+  built.scheduler = std::move(h);
+  return built;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                obs::TraceSink* extra_sink) {
   sim::Simulator sim;
   SchedulerOptions opts;
   opts.assumed_capacity = spec.link_rate();
@@ -386,7 +571,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   std::vector<FlowId> ids;
   std::function<void(Packet)> inject;
   stats::ServiceRecorder* recorder = nullptr;
-  Scheduler* first_sched = nullptr;
 
   std::unique_ptr<Scheduler> single_sched;
   std::unique_ptr<net::ScheduledServer> single_server;
@@ -395,8 +579,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   const bool multi_hop = spec.hops.size() > 1;
   if (!multi_hop) {
-    single_sched = make_scheduler(spec.scheduler, opts);
-    first_sched = single_sched.get();
+    BuiltScheduler built = build_experiment_scheduler(spec, opts);
+    single_sched = std::move(built.scheduler);
+    ids = std::move(built.flow_ids);
     single_server = std::make_unique<net::ScheduledServer>(
         sim, *single_sched, make_profile(spec.hops.front()));
     if (spec.hops.front().buffer_packets)
@@ -427,7 +612,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       if (spec.hops[i].pushout)
         tandem->server(i).set_overload_policy(net::OverloadPolicy::kPushout);
     }
-    first_sched = &tandem->scheduler(0);
     recorder = &tandem->recorder(0);
     // End-to-end delay, measured from the source emission.
     tandem->set_delivery([&](const Packet& p, Time t) {
@@ -439,12 +623,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     };
   }
 
-  for (const FlowSpec& f : spec.flows) {
-    const double lmax = f.packet > 0.0 ? f.packet : 400.0;
-    if (multi_hop) {
+  if (multi_hop) {
+    for (const FlowSpec& f : spec.flows) {
+      const double lmax = f.packet > 0.0 ? f.packet : 400.0;
       ids.push_back(tandem->add_flow(f.weight, lmax, f.name));
-    } else {
-      ids.push_back(first_sched->add_flow(f.weight, lmax, f.name));
     }
   }
 
@@ -452,7 +634,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   obs::InvariantChecker* checker = nullptr;
-  if (spec.obs.enabled()) {
+  const bool obs_on = spec.obs.enabled() || extra_sink != nullptr;
+  if (extra_sink != nullptr) tracer.add_sink(extra_sink);
+  if (obs_on) {
     std::vector<std::string> flow_names;
     for (const FlowSpec& f : spec.flows) flow_names.push_back(f.name);
     if (!spec.obs.trace_jsonl.empty()) {
@@ -536,7 +720,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (multi_hop) tandem->finish_recording();
 
   ExperimentResult result;
-  if (spec.obs.enabled()) {
+  if (obs_on) {
     tracer.finish();
     result.trace_events = tracer.emitted();
     if (checker) {

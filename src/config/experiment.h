@@ -2,11 +2,21 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/types.h"
+
+namespace sfq {
+class Scheduler;
+struct SchedulerOptions;
+namespace obs {
+class TraceSink;
+}
+}  // namespace sfq
 
 namespace sfq::config {
 
@@ -63,6 +73,19 @@ struct FlowSpec {
   // tag re-anchored at max(v(t), previous finish tag). -1 = never.
   Time leave = -1.0;
   Time rejoin = -1.0;
+  // H-SFQ link-sharing: the class this flow is a leaf of (`class=` key).
+  // Empty = directly under the root. Requires scheduler HSFQ.
+  std::string cls;
+};
+
+// `class name=gold weight=6Mbps [parent=other]`: one node of the H-SFQ
+// link-sharing tree (paper §3). Classes must be declared before they are
+// referenced (as a parent or by a flow), which rules out cycles by
+// construction; they are only valid with `scheduler HSFQ` on a single hop.
+struct ClassSpec {
+  std::string name;
+  double weight = 0.0;   // interpreted as a rate, like flow weights
+  std::string parent;    // empty = root class
 };
 
 struct HopSpec {
@@ -120,6 +143,7 @@ struct ExperimentSpec {
   std::vector<HopSpec> hops;
   Time duration = 10.0;
   std::vector<FlowSpec> flows;
+  std::vector<ClassSpec> classes;  // H-SFQ link-sharing tree (may be empty)
   ObsSpec obs;
   FaultSpec faults;
 
@@ -135,6 +159,20 @@ struct ExperimentSpec {
 
   static ExperimentSpec parse(std::istream& in);
   static ExperimentSpec parse_file(const std::string& path);
+
+  // Crash-free variants: any malformed input — including inputs that would
+  // make parse() throw — comes back as nullopt with a diagnostic in *error
+  // (when non-null). Never throws, never aborts; the chaos corpus test
+  // (tests/test_config_corpus.cc) holds this to adversarial inputs.
+  static std::optional<ExperimentSpec> try_parse(std::istream& in,
+                                                 std::string* error = nullptr);
+  static std::optional<ExperimentSpec> try_parse_file(
+      const std::string& path, std::string* error = nullptr);
+
+  // Canonical `.conf` text: parse(serialize()) reproduces this spec exactly
+  // (same canonical form, bit-identical numbers via round-trippable
+  // formatting). The chaos shrinker emits minimized repros through this.
+  std::string serialize() const;
 };
 
 // ---------------------------------------------------------------------------
@@ -165,6 +203,24 @@ struct ExperimentResult {
   std::string metrics_json;            // "" when metrics were off
 };
 
-ExperimentResult run_experiment(const ExperimentSpec& spec);
+// `extra_sink` (optional) is attached to the first hop's tracer alongside
+// whatever spec.obs asks for — the chaos harness records and validates the
+// event stream through it without touching the spec.
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                obs::TraceSink* extra_sink = nullptr);
+
+// The experiment's queueing discipline plus its registered flows, in
+// spec.flows order. Built identically by the simulator path (run_experiment)
+// and the chaos harness's real-time runner, so differential sim<->rt replay
+// compares the same discipline with the same flow ids.
+struct BuiltScheduler {
+  std::unique_ptr<Scheduler> scheduler;
+  std::vector<FlowId> flow_ids;
+};
+
+// Instantiates spec.scheduler (an HsfqScheduler with the spec's class tree
+// when `class` directives are present) and registers every flow.
+BuiltScheduler build_experiment_scheduler(const ExperimentSpec& spec,
+                                          const SchedulerOptions& opts);
 
 }  // namespace sfq::config

@@ -1,8 +1,17 @@
 #include "core/sfq_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace sfq {
+
+namespace {
+std::atomic<bool> g_tag_bug{false};
+}  // namespace
+
+void SfqScheduler::set_tag_bug_for_test(bool on) {
+  g_tag_bug.store(on, std::memory_order_relaxed);
+}
 
 FlowId SfqScheduler::add_flow(double weight, double max_packet_bits,
                               std::string name) {
@@ -32,6 +41,8 @@ void SfqScheduler::enqueue(Packet p, Time now) {
   FlowState& st = flow_state_[p.flow];
 
   p.start_tag = std::max(vtime_, st.last_finish);
+  if (g_tag_bug.load(std::memory_order_relaxed) && p.seq % 3 == 0)
+    p.start_tag = vtime_;  // injected bug: forgot F(p_f^{j-1}) — eq. 4 broken
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
   p.finish_tag = p.start_tag + p.length_bits / rate;
   st.last_finish = p.finish_tag;

@@ -59,6 +59,15 @@ class SfqScheduler : public Scheduler {
   // for the next arrival). Exposed for tests.
   VirtualTime last_finish_tag(FlowId f) const { return flow_state_.at(f).last_finish; }
 
+  // Test hook (chaos-harness self-test only): when set, every third packet
+  // of a flow skips the max with F(p_f^{j-1}) and tags S = v(t) directly —
+  // the classic tag-arithmetic bug eq. 4 exists to prevent. The harness must
+  // detect it ("start tag regressed below previous finish") and shrink the
+  // failing scenario; see tests/test_chaos_harness.cc. Process-global on
+  // purpose: the harness builds schedulers behind the config factory and has
+  // no handle to individual instances. Never set outside tests.
+  static void set_tag_bug_for_test(bool on);
+
  private:
   struct FlowState {
     VirtualTime last_finish = 0.0;  // F(p_f^0) = 0

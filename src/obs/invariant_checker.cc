@@ -35,10 +35,16 @@ InvariantChecker::InvariantChecker() : InvariantChecker(Options{}) {}
 
 InvariantChecker::InvariantChecker(Options opts) : opts_(opts) {}
 
-void InvariantChecker::flag(std::string what) {
+void InvariantChecker::flag(std::string what, const TraceEvent* e) {
   ++total_violations_;
-  if (violations_.size() < opts_.max_violations)
-    violations_.push_back(Violation{std::move(what), seen_ == 0 ? 0 : seen_ - 1});
+  if (violations_.size() >= opts_.max_violations) return;
+  std::ostringstream ss;
+  ss << what;
+  if (e != nullptr)
+    ss << " [flow " << e->flow << " seq " << e->seq << " vtime " << e->vtime
+       << " t " << e->t << "]";
+  if (!context_.empty()) ss << " [" << context_ << "]";
+  violations_.push_back(Violation{ss.str(), seen_ == 0 ? 0 : seen_ - 1});
 }
 
 void InvariantChecker::on_event(const TraceEvent& e) {
@@ -60,7 +66,7 @@ void InvariantChecker::on_event(const TraceEvent& e) {
           std::ostringstream ss;
           ss << "finish tag < start tag for flow " << e.flow << " seq " << e.seq
              << " (F=" << e.finish_tag << " S=" << e.start_tag << ")";
-          flag(ss.str());
+          flag(ss.str(), &e);
         }
         if (e.flow != kInvalidFlow) {
           if (e.flow >= flow_last_finish_.size())
@@ -70,7 +76,7 @@ void InvariantChecker::on_event(const TraceEvent& e) {
             ss << "start tag regressed below previous finish for flow "
                << e.flow << " seq " << e.seq << " (S=" << e.start_tag
                << " F_prev=" << flow_last_finish_[e.flow] << ")";
-            flag(ss.str());
+            flag(ss.str(), &e);
           }
           flow_last_finish_[e.flow] = e.finish_tag;
         }
@@ -90,7 +96,7 @@ void InvariantChecker::on_event(const TraceEvent& e) {
           ss << (opts_.order == OrderTag::kStartTag ? "start" : "finish")
              << " tags dequeued out of order: flow " << e.flow << " seq "
              << e.seq << " tag " << tag << " after " << last_order_tag_;
-          flag(ss.str());
+          flag(ss.str(), &e);
         }
         if (tag > last_order_tag_) last_order_tag_ = tag;
       }
@@ -99,7 +105,7 @@ void InvariantChecker::on_event(const TraceEvent& e) {
           std::ostringstream ss;
           ss << "v(t) regressed at dequeue: " << e.vtime << " after "
              << last_vtime_;
-          flag(ss.str());
+          flag(ss.str(), &e);
         }
         if (e.vtime > last_vtime_) last_vtime_ = e.vtime;
       }
@@ -111,7 +117,7 @@ void InvariantChecker::on_event(const TraceEvent& e) {
         if (e.vtime < last_vtime_ - eps) {
           std::ostringstream ss;
           ss << "v(t) regressed: " << e.vtime << " after " << last_vtime_;
-          flag(ss.str());
+          flag(ss.str(), &e);
         }
         if (e.vtime > last_vtime_) last_vtime_ = e.vtime;
       }

@@ -57,6 +57,10 @@ class InvariantChecker final : public TraceSink {
   InvariantChecker();  // default Options (flat-SFQ semantics)
   explicit InvariantChecker(Options opts);
 
+  // Repro context appended to every violation message (e.g. "seed 42" under
+  // the chaos harness), so a CI failure is one command away from a repro.
+  void set_context(std::string context) { context_ = std::move(context); }
+
   void on_event(const TraceEvent& e) override;
   void finish() override;
 
@@ -74,9 +78,13 @@ class InvariantChecker final : public TraceSink {
   std::string report() const;
 
  private:
-  void flag(std::string what);
+  // Records a violation. When `e` is given, the message gains a standard
+  // context tail — flow id, packet seq, virtual time, event time — plus the
+  // set_context() string, so every report is self-locating.
+  void flag(std::string what, const TraceEvent* e = nullptr);
 
   Options opts_;
+  std::string context_;
   std::vector<Violation> violations_;
   uint64_t total_violations_ = 0;
   uint64_t seen_ = 0;

@@ -97,6 +97,11 @@ void RtEngine::run() {
   Packet in_flight{};
   Time tx_deadline = 0.0;
   int idle_streak = 0;
+  // Watchdog bookkeeping: the last instant a transmission started or
+  // completed. Draining rings is deliberately not progress — a scheduler
+  // that accepts packets but never serves them is exactly the wedge the
+  // watchdog exists to catch.
+  Time last_progress = clock_.now();
 
   for (;;) {
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
@@ -128,12 +133,15 @@ void RtEngine::run() {
         if (now < tx_deadline) break;  // in flight; deadline in the future
         complete(in_flight, now, tx_deadline);
         busy = false;
+        last_progress = now;
         ++served;
       }
       if (abandon) break;
       const Time now = clock_.now();
       std::optional<Packet> next = sched_.dequeue(now);
       if (!next) break;
+      if (capture_ != nullptr)
+        capture_->push_back({CaptureOp::Kind::kDequeue, *next, now});
       if (trace_on_) [[unlikely]]
         tracer_->emit(obs::make_event(obs::TraceEventType::kTxStart, *next,
                                       now, /*vtime=*/0.0,
@@ -141,6 +149,7 @@ void RtEngine::run() {
       tx_deadline = profile_->finish_time(now, next->length_bits);
       in_flight = *next;
       busy = true;
+      last_progress = now;
     }
 
     // 4. Exit checks.
@@ -152,6 +161,26 @@ void RtEngine::run() {
         return;
       }
       if (drained == 0 && ingress_.empty() && sched_.empty()) return;
+    }
+
+    // 4b. Stall watchdog: obligations outstanding but no transmission has
+    //     started or completed for the whole window => the dispatcher (or
+    //     the discipline under it) is wedged. Count it and stop cleanly —
+    //     scheduler backlog stays visible in stats().backlog, ring leftovers
+    //     become `abandoned` — rather than hanging the process.
+    if (opts_.stall_timeout > 0.0) {
+      const Time now = clock_.now();
+      if (!busy && sched_.empty()) {
+        last_progress = now;  // idle: no obligations, nothing to watch
+      } else if (now - last_progress > opts_.stall_timeout) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        accepting_.store(false, std::memory_order_release);
+        uint64_t left = 0;
+        while (ingress_.pop_earliest()) ++left;
+        abandoned_.fetch_add(left, std::memory_order_relaxed);
+        stalled_.store(true, std::memory_order_release);
+        return;
+      }
     }
 
     // 5. Wait strategy.
@@ -199,6 +228,8 @@ void RtEngine::inject(IngressItem item) {
       if (victim != kInvalidFlow) {
         if (std::optional<Packet> evicted = sched_.pushout(victim, now)) {
           post_enqueue_drops_.fetch_add(1, std::memory_order_relaxed);
+          if (capture_ != nullptr)
+            capture_->push_back({CaptureOp::Kind::kPushout, *evicted, now});
           drop(std::move(*evicted), now, obs::DropCause::kPushout);
           made_room = true;
         }
@@ -216,6 +247,8 @@ void RtEngine::inject(IngressItem item) {
   const double bits = p.length_bits;
   const Time arrival = p.arrival;
   const std::size_t before = sched_.backlog_packets();
+  if (capture_ != nullptr)
+    capture_->push_back({CaptureOp::Kind::kEnqueue, p, now});
   sched_.enqueue(std::move(p), now);
   if (sched_.backlog_packets() == before) {
     // The discipline's own admit gate refused the packet (counted and traced
@@ -248,6 +281,8 @@ void RtEngine::drop(Packet&& p, Time now, obs::DropCause cause) {
 }
 
 void RtEngine::complete(const Packet& p, Time now, Time deadline) {
+  if (capture_ != nullptr)
+    capture_->push_back({CaptureOp::Kind::kComplete, p, now});
   sched_.on_transmit_complete(p, now);
   transmitted_.fetch_add(1, std::memory_order_relaxed);
   // Single-writer counters: only the dispatcher writes, so a load+store pair
@@ -295,7 +330,13 @@ EngineStats RtEngine::stats() const {
       s.transmitted + post_enqueue_drops_.load(std::memory_order_relaxed);
   s.backlog = s.accepted > done ? s.accepted - done : 0;
   s.max_service_lag = max_service_lag_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
   return s;
+}
+
+void RtEngine::set_capture(std::vector<CaptureOp>* out) {
+  if (running()) throw std::logic_error("RtEngine: set_capture while running");
+  capture_ = out;
 }
 
 double RtEngine::flow_tx_bits(FlowId f) const {

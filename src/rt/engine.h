@@ -29,6 +29,33 @@ struct EngineOptions {
   // keeps CPU available for producers on small machines; spinning keeps
   // pacing accurate near a transmission-complete deadline.
   double spin_threshold = 200e-6;
+  // Stall watchdog: if the engine has obligations (a transmission in flight
+  // or scheduler backlog) but makes no service progress (no transmission
+  // started or completed) for this many wall-clock seconds, it counts a
+  // stall and stops cleanly — backlog left in place, ring leftovers counted
+  // as abandoned — instead of hanging silently. Must exceed the longest
+  // legitimate packet transmission time. 0 (default) disables.
+  double stall_timeout = 0.0;
+};
+
+// One scheduler-touching operation the dispatcher performed, in order. With
+// set_capture(), the engine records the exact call sequence it drove the
+// discipline through — enqueue/dequeue/transmit-complete/pushout, each with
+// the wall-clock stamp the call used — and the chaos harness replays it
+// against a fresh single-threaded scheduler instance, comparing every
+// dequeue's packet and tags bit-for-bit (src/chaos/rt_replay.h). Divergence
+// means the threaded pipeline corrupted scheduler state (or the discipline
+// is not a pure function of its input sequence).
+struct CaptureOp {
+  enum class Kind : uint8_t {
+    kEnqueue,   // packet as offered (tags unset); t = dispatcher inject time
+    kDequeue,   // packet as returned (tags stamped); t = dequeue time
+    kComplete,  // transmission completed; t = completion time
+    kPushout,   // victim evicted under overload; t = eviction time
+  };
+  Kind kind = Kind::kEnqueue;
+  Packet packet;
+  Time t = 0.0;
 };
 
 // How stop() treats work still queued when it is called.
@@ -63,6 +90,10 @@ struct EngineStats {
   // Worst observed lateness of a transmission-complete callback versus the
   // pacing deadline the rate profile set (dispatcher scheduling jitter).
   double max_service_lag = 0.0;
+  // Stall-watchdog trips (EngineOptions::stall_timeout). Non-zero means the
+  // dispatcher stopped itself after finding backlog with no service progress
+  // for the configured window.
+  uint64_t stalls = 0;
 
   uint64_t dropped() const {
     uint64_t n = 0;
@@ -109,6 +140,11 @@ class RtEngine {
   // you want to read mid-run in rt::SyncSink.
   void set_tracer(obs::Tracer* tracer);
 
+  // Differential-replay capture: records every scheduler-touching operation
+  // into `out` (dispatcher thread only; appended in execution order). Attach
+  // before start() and read only after stop() returned. nullptr detaches.
+  void set_capture(std::vector<CaptureOp>* out);
+
   // One run per engine: start() may be called once; a second call throws.
   void start();
   // Idempotent; blocks until the dispatcher exits. See StopMode. For an
@@ -117,6 +153,9 @@ class RtEngine {
   void stop(StopMode mode = StopMode::kDrain);
   bool running() const { return running_.load(std::memory_order_acquire); }
   bool accepting() const { return accepting_.load(std::memory_order_acquire); }
+  // True once the stall watchdog stopped the dispatcher (see
+  // EngineOptions::stall_timeout); the engine no longer accepts or serves.
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
 
   Time now() const { return clock_.now(); }
   const WallClock& clock() const { return clock_; }
@@ -149,6 +188,7 @@ class RtEngine {
 
   obs::Tracer* tracer_ = nullptr;
   bool trace_on_ = false;
+  std::vector<CaptureOp>* capture_ = nullptr;  // dispatcher-thread writes
 
   bool started_ = false;
   std::mutex stop_mu_;
@@ -164,6 +204,8 @@ class RtEngine {
   std::atomic<uint64_t> cause_drops_[obs::kDropCauseCount] = {};
   std::atomic<uint64_t> post_enqueue_drops_{0};
   std::atomic<double> max_service_lag_{0.0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<bool> stalled_{false};
   // Single-writer (dispatcher) per-flow service totals; sized at start().
   std::vector<std::unique_ptr<std::atomic<double>>> flow_bits_;
 };

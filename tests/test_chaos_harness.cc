@@ -1,0 +1,202 @@
+// Chaos harness (src/chaos/, docs/CHAOS.md): scenario generation is a pure
+// function of the seed, generated scenarios round-trip through the config
+// parser, a clean seed block passes every differential check (sim and rt),
+// the greedy shrinker strips everything a failure does not depend on, and
+// the injected SFQ tag bug (the end-to-end self test) is detected by the
+// invariant oracle and shrunk to a near-minimal repro. Also pins the H-SFQ
+// churn + pushout + fault-plan combination the generator reaches only
+// probabilistically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "chaos/differential.h"
+#include "chaos/harness.h"
+#include "chaos/scenario_generator.h"
+#include "chaos/shrinker.h"
+#include "config/experiment.h"
+#include "core/sfq_scheduler.h"
+
+namespace sfq::chaos {
+namespace {
+
+config::ExperimentSpec parse_str(const std::string& text) {
+  std::istringstream in(text);
+  return config::ExperimentSpec::parse(in);
+}
+
+// The self-test bug must never leak into other tests, even on ASSERT exits.
+struct TagBugGuard {
+  TagBugGuard() { SfqScheduler::set_tag_bug_for_test(true); }
+  ~TagBugGuard() { SfqScheduler::set_tag_bug_for_test(false); }
+};
+
+TEST(ScenarioGenerator, PureFunctionOfSeed) {
+  // Two independent generator instances agree byte-for-byte on every seed:
+  // a repro is fully identified by (binary, seed).
+  ScenarioGenerator a, b;
+  for (uint64_t seed = 1; seed <= 200; ++seed)
+    ASSERT_EQ(a.generate(seed).serialize(), b.generate(seed).serialize())
+        << "seed " << seed;
+}
+
+TEST(ScenarioGenerator, RtScenariosStayInTheReplayableSubset) {
+  GeneratorOptions opts;
+  opts.rt_compatible = true;
+  ScenarioGenerator gen(opts);
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const config::ExperimentSpec spec = gen.generate(seed);
+    ASSERT_EQ(spec.hops.size(), 1u) << "seed " << seed;
+    EXPECT_FALSE(spec.has_faults()) << "seed " << seed;
+    EXPECT_EQ(spec.hops.front().delta, 0.0) << "seed " << seed;
+    for (const config::FlowSpec& f : spec.flows)
+      EXPECT_EQ(f.kind, "greedy") << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenerator, SerializeParseRoundTrip) {
+  // Canonical form is a fixed point: parse(serialize(spec)) re-serializes
+  // identically, so every emitted repro is loadable and faithful.
+  for (const bool rt : {false, true}) {
+    GeneratorOptions opts;
+    opts.rt_compatible = rt;
+    ScenarioGenerator gen(opts);
+    for (uint64_t seed = 1; seed <= 150; ++seed) {
+      const std::string text = gen.generate(seed).serialize();
+      ASSERT_EQ(parse_str(text).serialize(), text)
+          << "seed " << seed << (rt ? " (rt)" : "") << "\n" << text;
+    }
+  }
+}
+
+TEST(ChaosHarness, CleanSeedBlockPasses) {
+  HarnessOptions opts;
+  opts.sim_seeds = 32;
+  opts.rt_seeds = 2;
+  opts.rt_packets = 400;
+  const ChaosReport report = run_chaos(opts);
+  EXPECT_EQ(report.sim_seeds_run, 32u);
+  EXPECT_EQ(report.rt_seeds_run, 2u);
+  for (const ChaosFailure& f : report.failures)
+    ADD_FAILURE() << (f.rt ? "rt seed " : "seed ") << f.seed << " ["
+                  << f.kind << "] " << f.detail;
+}
+
+TEST(Shrinker, StripsEverythingTheFailureDoesNotDependOn) {
+  config::ExperimentSpec spec = parse_str(
+      "scheduler HSFQ\n"
+      "link rate=4Mbps buffer=16 policy=pushout\n"
+      "duration 1s\n"
+      "class name=gold weight=2Mbps\n"
+      "class name=silver weight=1Mbps parent=gold\n"
+      "fault link down=0.2s up=0.4s\n"
+      "fault loss p=0.05 from=0.1s until=0.9s seed=5\n"
+      "flow name=marker kind=cbr rate=500Kbps packet=7776b weight=500Kbps"
+      " class=gold\n"
+      "flow name=noise1 kind=greedy packet=1500B weight=1Mbps class=silver"
+      " leave=0.5s join=0.7s\n"
+      "flow name=noise2 kind=poisson rate=800Kbps packet=1000B"
+      " weight=800Kbps\n");
+  // A synthetic failure that depends only on the marker flow being present;
+  // everything else is noise the shrinker must discard.
+  const auto fails = [](const config::ExperimentSpec& s) {
+    for (const config::FlowSpec& f : s.flows)
+      if (f.packet == 7776.0) return true;
+    return false;
+  };
+  ASSERT_TRUE(fails(spec));
+  const ShrinkResult r = shrink(spec, fails);
+  ASSERT_TRUE(fails(r.spec));
+  EXPECT_EQ(r.spec.flows.size(), 1u);
+  EXPECT_TRUE(r.spec.faults.link.empty());
+  EXPECT_TRUE(r.spec.faults.loss.empty());
+  EXPECT_TRUE(r.spec.classes.empty());
+  EXPECT_LT(r.spec.duration, spec.duration);
+  EXPECT_GT(r.edits_accepted, 0u);
+  EXPECT_GE(r.edits_tried, r.edits_accepted);
+  // The minimized spec is still a valid, loadable repro.
+  EXPECT_EQ(parse_str(r.spec.serialize()).serialize(), r.spec.serialize());
+}
+
+// End-to-end self test (ISSUE acceptance): with the known tag-arithmetic bug
+// enabled — start tag computed without the max against the previous finish
+// tag, eq. (4) broken — a small sweep must catch it via the invariant oracle
+// (with flow/seq/vtime/seed context in the message, the PR's observability
+// satellite) and shrink the scenario to <= 3 flows and <= 1 fault.
+TEST(ChaosHarness, InjectedTagBugIsDetectedAndShrunk) {
+  TagBugGuard bug;
+  HarnessOptions opts;
+  opts.sim_seeds = 32;
+  const ChaosReport report = run_chaos(opts);
+  ASSERT_FALSE(report.failures.empty())
+      << "injected tag bug escaped a 32-seed sweep";
+  const ChaosFailure* hit = nullptr;
+  for (const ChaosFailure& f : report.failures)
+    if (f.kind == "invariant" &&
+        f.detail.find("start tag regressed") != std::string::npos) {
+      hit = &f;
+      break;
+    }
+  ASSERT_NE(hit, nullptr) << "no invariant-kind failure among "
+                          << report.failures.size();
+  // Failure context names the flow, packet and scenario seed.
+  EXPECT_NE(hit->detail.find("flow"), std::string::npos) << hit->detail;
+  EXPECT_NE(hit->detail.find("seq"), std::string::npos) << hit->detail;
+  EXPECT_NE(hit->detail.find("seed"), std::string::npos) << hit->detail;
+  // Shrunk within the acceptance budget, and the minimized repro still fails.
+  EXPECT_LE(hit->minimized.flows.size(), 3u);
+  EXPECT_LE(hit->minimized.faults.link.size() + hit->minimized.faults.loss.size(),
+            1u);
+  EXPECT_FALSE(check_sim(hit->minimized, hit->seed).ok);
+}
+
+// Churn + pushout under H-SFQ with an active fault plan (ISSUE satellite):
+// a link-sharing tree under overload with an outage, a brown-out, random
+// loss, a leave/rejoin flow and a leave-forever flow. The run must stay
+// invariant-clean, every stress ingredient must actually fire (pushout,
+// churn flush, fault loss), and the whole spec must pass the sim
+// differential gate.
+TEST(ChaosHarness, HsfqChurnPushoutUnderActiveFaultPlan) {
+  config::ExperimentSpec spec = parse_str(
+      "scheduler HSFQ\n"
+      "link rate=2Mbps buffer=16 policy=pushout\n"
+      "duration 2s\n"
+      "trace invariants=on\n"
+      "class name=gold weight=1.2Mbps\n"
+      "class name=gold_sub weight=400Kbps parent=gold\n"
+      "class name=silver weight=600Kbps\n"
+      "fault link down=0.6s up=0.9s\n"
+      "fault link degrade=0.3 from=1.2s until=1.5s\n"
+      "fault loss p=0.05 from=0.2s until=1.8s seed=9\n"
+      "flow name=a kind=greedy packet=1500B weight=600Kbps class=gold\n"
+      "flow name=b kind=cbr rate=500Kbps packet=1000B weight=500Kbps"
+      " class=silver leave=0.8s join=1.1s\n"
+      "flow name=c kind=poisson rate=400Kbps packet=800B weight=400Kbps"
+      " class=gold_sub\n"
+      "flow name=d kind=onoff rate=600Kbps packet=500B weight=300Kbps"
+      " leave=1.4s\n");
+  ASSERT_TRUE(spec.has_faults());
+
+  const config::ExperimentResult res = config::run_experiment(spec);
+  EXPECT_EQ(res.invariant_violations, 0u) << res.invariant_report;
+  uint64_t pushout = 0, removed = 0, loss = 0;
+  for (const auto& [cause, n] : res.drop_causes) {
+    if (cause == "pushout") pushout = n;
+    if (cause == "flow_removed") removed = n;
+    if (cause == "fault_loss") loss = n;
+  }
+  EXPECT_GT(pushout, 0u) << "pushout policy never fired";
+  EXPECT_GT(removed, 0u) << "churn never flushed a backlog";
+  EXPECT_GT(loss, 0u) << "loss fault never fired";
+  uint64_t delivered = 0;
+  for (const config::FlowResult& f : res.flows) delivered += f.packets_delivered;
+  EXPECT_GT(delivered, 0u);
+
+  const CheckResult check = check_sim(spec, /*seed=*/0);
+  EXPECT_TRUE(check.ok) << check.kind << ": " << check.detail;
+}
+
+}  // namespace
+}  // namespace sfq::chaos

@@ -1,0 +1,94 @@
+// Config parser crash-freedom (ISSUE satellite): the checked-in corpus of
+// malformed .conf files (tests/corpus/config) must all come back from
+// try_parse_file as a clean nullopt plus a diagnostic — never a crash, an
+// abort, or an uncaught exception. A fuzz-lite pass additionally pushes
+// random token soup and every truncation of a valid config through
+// try_parse. New parser failure classes get a corpus file, not just a fix.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "config/experiment.h"
+
+namespace sfq::config {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Injected by tests/CMakeLists.txt.
+const char* corpus_dir() { return SFQ_TEST_CORPUS_DIR; }
+
+TEST(ConfigCorpus, EveryCorpusFileIsRejectedWithADiagnostic) {
+  std::size_t seen = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(corpus_dir())) {
+    if (e.path().extension() != ".conf") continue;
+    ++seen;
+    std::string error;
+    const std::optional<ExperimentSpec> spec =
+        ExperimentSpec::try_parse_file(e.path().string(), &error);
+    EXPECT_FALSE(spec.has_value())
+        << e.path().filename() << " unexpectedly parsed";
+    EXPECT_FALSE(error.empty()) << e.path().filename() << " gave no diagnostic";
+  }
+  EXPECT_GE(seen, 10u) << "corpus went missing from " << corpus_dir();
+}
+
+TEST(ConfigCorpus, MissingFileIsAnErrorNotACrash) {
+  std::string error;
+  EXPECT_FALSE(ExperimentSpec::try_parse_file(
+                   std::string(corpus_dir()) + "/no_such_file.conf", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ConfigCorpus, RandomTokenSoupNeverCrashesTheParser) {
+  // Config-ish tokens glued together with raw bytes: most lines are garbage,
+  // a few accidentally parse — both outcomes are fine, crashing is not.
+  static const char* kTokens[] = {
+      "flow",  "link",  "scheduler", "fault", "class", "duration", "trace",
+      "name=", "rate=", "packet=",   "p=",    "=",     "==",       " ",
+      "\n",    "\t",    "#",         "1e999", "-1",    "Mbps",     "B",
+      "s",     "nan",   "inf",       ".",     "1..2",  "0x10"};
+  std::mt19937_64 rng(0xc0ffee);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text;
+    const std::size_t parts = rng() % 40;
+    for (std::size_t i = 0; i < parts; ++i) {
+      if (rng() % 4 == 0)
+        text.push_back(static_cast<char>(rng() % 256));
+      else
+        text += kTokens[rng() % std::size(kTokens)];
+    }
+    std::istringstream in(text);
+    std::string error;
+    (void)ExperimentSpec::try_parse(in, &error);  // must not crash
+  }
+}
+
+TEST(ConfigCorpus, EveryTruncationOfAValidConfigIsHandled) {
+  const std::string base =
+      "scheduler HSFQ\n"
+      "link rate=2Mbps buffer=16 policy=pushout\n"
+      "duration 1.5s\n"
+      "class name=gold weight=1.2Mbps\n"
+      "fault link degrade=0.3 from=0.2s until=0.5s\n"
+      "fault loss p=0.05 from=0s until=1s seed=9\n"
+      "flow name=a kind=greedy packet=1500B weight=600Kbps class=gold\n"
+      "flow name=b kind=onoff rate=500Kbps packet=1000B leave=0.8s join=1s\n";
+  {
+    std::istringstream in(base);
+    ASSERT_TRUE(ExperimentSpec::try_parse(in).has_value());
+  }
+  for (std::size_t cut = 0; cut < base.size(); ++cut) {
+    std::istringstream in(base.substr(0, cut));
+    (void)ExperimentSpec::try_parse(in);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace sfq::config

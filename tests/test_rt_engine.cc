@@ -273,5 +273,101 @@ TEST(RtEngine, WallClockFairnessWithinTheorem1Bound) {
   EXPECT_GT(engine.flow_tx_bits(0), engine.flow_tx_bits(1));
 }
 
+// A discipline that accepts packets but never serves them — the pathology
+// the stall watchdog exists for. Without the watchdog the dispatcher spins
+// forever with obligations it can never discharge.
+class HoardingScheduler final : public SfqScheduler {
+ public:
+  using SfqScheduler::SfqScheduler;
+  std::optional<Packet> dequeue(Time) override { return std::nullopt; }
+};
+
+TEST(RtEngine, StallWatchdogStopsAWedgedDispatcher) {
+  HoardingScheduler sched;
+  sched.add_flow(1e6, kBits);
+  EngineOptions opts;
+  opts.stall_timeout = 0.05;
+  RtEngine engine(sched, std::make_unique<net::ConstantRate>(1e9), opts);
+  engine.start();
+  for (uint64_t i = 0; i < 4; ++i)
+    EXPECT_TRUE(engine.offer(0, make_packet(0, i)));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!engine.stalled() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(engine.stalled()) << "watchdog never fired";
+
+  // A stalled engine refuses new work instead of queueing it into the void.
+  EXPECT_FALSE(engine.offer(0, make_packet(0, 99)));
+  engine.stop(StopMode::kAbandon);
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.stalls, 1u);
+  EXPECT_EQ(s.transmitted, 0u);
+  EXPECT_EQ(s.backlog, 4u);  // hoarded packets stay visible in the ledger
+  expect_ledger(s);
+}
+
+TEST(RtEngine, HealthyRunNeverTripsTheWatchdog) {
+  SfqScheduler sched;
+  sched.add_flow(1e6, kBits);
+  EngineOptions opts;
+  opts.stall_timeout = 0.5;  // far above the 8 us per-packet service time
+  RtEngine engine(sched, std::make_unique<net::ConstantRate>(1e9), opts);
+  engine.start();
+  for (uint64_t i = 0; i < 50; ++i)
+    EXPECT_TRUE(engine.offer_wait(0, make_packet(0, i)));
+  wait_processed(engine, 50);
+  engine.stop(StopMode::kDrain);
+  EXPECT_FALSE(engine.stalled());
+  EXPECT_EQ(engine.stats().stalls, 0u);
+  EXPECT_EQ(engine.stats().transmitted, 50u);
+}
+
+TEST(RtEngine, CaptureRecordsTheFullOpSequence) {
+  SfqScheduler sched;
+  sched.add_flow(1e6, kBits);
+  sched.add_flow(3e6, kBits);
+  RtEngine engine(sched, std::make_unique<net::ConstantRate>(1e8));
+  std::vector<CaptureOp> ops;
+  engine.set_capture(&ops);
+  engine.start();
+  EXPECT_THROW(engine.set_capture(nullptr), std::logic_error);
+  for (uint64_t i = 0; i < 30; ++i)
+    EXPECT_TRUE(engine.offer_wait(0, make_packet(i % 2, i / 2)));
+  wait_processed(engine, 30);
+  engine.stop(StopMode::kDrain);
+
+  // The op log is a complete account: one enqueue per accepted packet, one
+  // dequeue + one complete per transmission, in non-decreasing time order.
+  const EngineStats s = engine.stats();
+  uint64_t enq = 0, deq = 0, done = 0;
+  Time prev = 0.0;
+  for (const CaptureOp& op : ops) {
+    switch (op.kind) {
+      case CaptureOp::Kind::kEnqueue: ++enq; break;
+      case CaptureOp::Kind::kDequeue: ++deq; break;
+      case CaptureOp::Kind::kComplete: ++done; break;
+      case CaptureOp::Kind::kPushout: break;
+    }
+    EXPECT_GE(op.t, prev);
+    prev = op.t;
+  }
+  EXPECT_EQ(enq, s.accepted);
+  EXPECT_EQ(deq, s.transmitted);
+  EXPECT_EQ(done, s.transmitted);
+  EXPECT_EQ(s.transmitted, 30u);
+  // Dequeues carry the tags the live scheduler assigned — the raw material
+  // for the chaos harness's sim replay (S(p) = max(v(A), F_prev) both hold
+  // trivially here with one packet per flow outstanding at the head).
+  for (const CaptureOp& op : ops) {
+    if (op.kind == CaptureOp::Kind::kDequeue) {
+      EXPECT_GT(op.packet.finish_tag, op.packet.start_tag);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sfq::rt
