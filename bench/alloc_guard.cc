@@ -1,0 +1,87 @@
+#include "alloc_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed is enough: the guard is armed/disarmed on the measuring thread and
+// benchmarks under the guard are single-threaded; other threads only add
+// noise that would (correctly) fail a zero-allocation assertion.
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_count{0};
+
+inline void note_alloc() {
+  if (g_armed.load(std::memory_order_relaxed))
+    g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* checked_malloc(std::size_t n) {
+  note_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* checked_aligned(std::size_t n, std::size_t align) {
+  note_alloc();
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t padded = (n + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, padded ? padded : align)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+namespace sfq::bench {
+
+void alloc_guard_arm() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+uint64_t alloc_guard_disarm() {
+  g_armed.store(false, std::memory_order_relaxed);
+  return g_count.load(std::memory_order_relaxed);
+}
+
+uint64_t alloc_guard_count() { return g_count.load(std::memory_order_relaxed); }
+
+}  // namespace sfq::bench
+
+// Global replacements. All allocation funnels through checked_malloc /
+// checked_aligned; all deallocation through free, so new/delete pairs stay
+// matched regardless of which overload the compiler picks.
+void* operator new(std::size_t n) { return checked_malloc(n); }
+void* operator new[](std::size_t n) { return checked_malloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return checked_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return checked_aligned(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sfq::bench {
+
+// Heap-allocation counting guard for perf benchmarks (docs/PERFORMANCE.md).
+//
+// Linking alloc_guard.cc into a binary replaces the global operator new /
+// operator delete with counting versions (the state below). The counter is
+// process-global and thread-safe, but the intended use is single-threaded:
+// arm() around a measured steady-state loop, then assert disarm() == 0 to
+// prove the hot path allocation-free.
+//
+// The replacement only takes effect if this translation unit is pulled into
+// the link, which calling any function below guarantees.
+
+// Zeroes the counter and starts counting.
+void alloc_guard_arm();
+
+// Stops counting and returns the number of operator-new calls since arm().
+uint64_t alloc_guard_disarm();
+
+// Current count (armed or not).
+uint64_t alloc_guard_count();
+
+}  // namespace sfq::bench

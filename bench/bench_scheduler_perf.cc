@@ -4,12 +4,21 @@
 //
 // google-benchmark microbenchmark: one enqueue+dequeue cycle per iteration at
 // steady backlog, swept over the number of flows Q.
+// A steady-state phase under the allocation guard (alloc_guard.h) follows
+// the google-benchmark sweep: once a discipline's backlog has reached its
+// high-water mark, an enqueue+dequeue cycle must not touch the heap for the
+// pool-backed tag schedulers. SFQ (the paper's subject) is gated to exactly
+// zero with SFQ_PERF_GATE=1; the rest are reported for the BENCH_*.json
+// trajectory (docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <random>
 #include <string>
 
+#include "alloc_guard.h"
 #include "bench_util.h"
 #include "core/scheduler.h"
 #include "hier/hsfq_scheduler.h"
@@ -116,6 +125,78 @@ void BM_VirtualClock(benchmark::State& s) { run_cycle(s, "VC"); }
 void BM_FairAirport(benchmark::State& s) { run_cycle(s, "FairAirport"); }
 void BM_HSFQ_Flat(benchmark::State& s) { run_cycle(s, "H-SFQ"); }
 
+// Steady-state allocations per enqueue+dequeue cycle, measured with the
+// global operator-new hook after a warm-up that brings the packet pool and
+// tag heaps to their high-water mark.
+int steady_state_phase() {
+  std::printf("\n--- steady-state phase (allocation guard armed) ---\n");
+  bench::JsonReport report("scheduler_perf");
+  const bool gate = [] {
+    const char* v = std::getenv("SFQ_PERF_GATE");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  bool ok = true;
+
+  const struct {
+    const char* name;
+    bool gated;  // zero steady-state allocations enforced
+  } cases[] = {{"SFQ", true},  {"SCFQ", false}, {"VC", false},
+               {"DRR", false}, {"WFQ", false},  {"FairAirport", false}};
+  constexpr int kFlows = 64;
+  constexpr int kCycles = 100000;
+
+  for (const auto& c : cases) {
+    auto sched = bench::make_scheduler(c.name, 1e9, 1e4);
+    std::mt19937_64 rng(42);
+    std::uniform_real_distribution<double> len(500.0, 1500.0);
+    for (int i = 0; i < kFlows; ++i) sched->add_flow(1e6 + 1e3 * i, 1500.0);
+    Time now = 0.0;
+    uint64_t seq = 0;
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < kFlows; ++i) {
+        Packet p;
+        p.flow = static_cast<FlowId>(i);
+        p.seq = ++seq;
+        p.length_bits = len(rng);
+        p.arrival = now;
+        sched->enqueue(std::move(p), now);
+      }
+    // Warm-up cycles let lazily-grown structures (GPS event lists, round
+    // rings) reach steady state before the guard arms.
+    auto cycle = [&] {
+      auto out = sched->dequeue(now);
+      benchmark::DoNotOptimize(out);
+      sched->on_transmit_complete(*out, now);
+      now += 1e-6;
+      Packet p;
+      p.flow = out->flow;
+      p.seq = ++seq;
+      p.length_bits = len(rng);
+      p.arrival = now;
+      sched->enqueue(std::move(p), now);
+    };
+    for (int i = 0; i < kCycles; ++i) cycle();
+    bench::alloc_guard_arm();
+    for (int i = 0; i < kCycles; ++i) cycle();
+    const uint64_t allocs = bench::alloc_guard_disarm();
+    const double per_cycle = static_cast<double>(allocs) / kCycles;
+    std::printf("%-12s steady allocs/cycle=%.4f (%llu over %d cycles)\n",
+                c.name, per_cycle, static_cast<unsigned long long>(allocs),
+                kCycles);
+    report.add(c.name, "steady_allocs_per_cycle", per_cycle);
+    if (c.gated && gate && allocs != 0) {
+      std::printf("FAIL %s: %llu heap allocations in the steady-state loop "
+                  "(expected 0)\n",
+                  c.name, static_cast<unsigned long long>(allocs));
+      ok = false;
+    }
+  }
+  const std::string path = report.write();
+  std::printf("report: %s\n", path.empty() ? "(write failed)" : path.c_str());
+  if (gate) std::printf("alloc gate: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 BENCHMARK(BM_SFQ)->RangeMultiplier(8)->Range(8, 4096);
@@ -129,4 +210,10 @@ BENCHMARK(BM_FairAirport)->RangeMultiplier(8)->Range(8, 4096);
 BENCHMARK(BM_HSFQ_Flat)->RangeMultiplier(8)->Range(8, 4096);
 BENCHMARK(BM_HSFQ_Depth)->DenseRange(1, 9, 2);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return steady_state_phase();
+}

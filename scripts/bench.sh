@@ -4,6 +4,12 @@
 # shape violation) and writes BENCH_<name>.json; with BENCH_DIR honoured by
 # bench_util, all JSON reports land in one directory for offline diffing.
 #
+# The perf-relevant reports (sim_throughput, scheduler_perf, rt_engine) are
+# additionally copied to canonical BENCH_*.json files at the repo root —
+# those are TRACKED, so committing them records the perf trajectory commit
+# over commit (docs/PERFORMANCE.md). Compare against the pre-optimisation
+# snapshots in bench/baselines/.
+#
 #   scripts/bench.sh [out-dir]      # default out-dir: bench-results/
 #
 # Set BENCH_FILTER to a grep pattern to run a subset, e.g.
@@ -40,6 +46,15 @@ done
 echo
 echo "reports in $OUT/:"
 ls "$BENCH_DIR" | grep '\.json$' || true
+
+# Canonical trajectory: the perf-relevant reports live (tracked) at the repo
+# root so the perf history survives in git instead of an ignored scratch dir.
+for perf in sim_throughput scheduler_perf rt_engine; do
+  if [[ -f "$BENCH_DIR/BENCH_$perf.json" ]]; then
+    cp "$BENCH_DIR/BENCH_$perf.json" "BENCH_$perf.json"
+    echo "canonical: BENCH_$perf.json"
+  fi
+done
 
 if ((${#failed[@]})); then
   echo "bench.sh: shape checks FAILED: ${failed[*]}"

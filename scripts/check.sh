@@ -5,6 +5,9 @@
 # churn + pushout; docs/ROBUSTNESS.md) must also keep the invariants clean.
 # Set SANITIZE=1 to additionally run the ASan+UBSan sweep (scripts/sanitize.sh)
 # and TSAN=1 for the ThreadSanitizer sweep of src/rt/ (scripts/tsan.sh).
+# Set PERF=1 for the perf-regression gate (docs/PERFORMANCE.md): the three
+# perf benches run with the allocation guard and throughput floor enforced,
+# and sim throughput must clear 1.5x the committed pre-optimisation baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +58,29 @@ echo "fault gate OK: $(grep 'drops by cause:' "$out/faulty.txt" | head -1)"
 # repro .conf to $out and names the seed to replay.
 "$BUILD/examples/sfq_chaos" run --seeds 64 --rt 8 --out "$out"
 echo "chaos gate OK"
+
+if [[ "${PERF:-0}" == "1" ]]; then
+  # Perf gate: zero steady-state heap allocations on the SFQ hot path, a
+  # packets/s floor, and >= 1.5x the committed pre-PR baseline
+  # (bench/baselines/). Benches are built in this Release tree.
+  baseline=""
+  if command -v python3 >/dev/null && \
+     [[ -f bench/baselines/BENCH_sim_throughput.baseline.json ]]; then
+    baseline=$(python3 -c '
+import json
+recs = json.load(open("bench/baselines/BENCH_sim_throughput.baseline.json"))
+print(next(r["value"] for r in recs
+           if r["scenario"] == "SFQ/4"
+           and r["metric"] == "steady_pkts_per_sec"))')
+  fi
+  export SFQ_PERF_GATE=1
+  export BENCH_DIR="$out"
+  [[ -n "$baseline" ]] && export SFQ_PERF_BASELINE_PPS="$baseline"
+  "$BUILD/bench/bench_sim_throughput" --benchmark_filter=NONE
+  "$BUILD/bench/bench_scheduler_perf" --benchmark_filter=NONE
+  "$BUILD/bench/bench_rt_engine"
+  echo "perf gate OK"
+fi
 
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   scripts/sanitize.sh

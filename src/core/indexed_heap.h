@@ -1,19 +1,27 @@
-// A binary min-heap over dense integer ids with position tracking, so a
+// A d-ary min-heap over dense integer ids with position tracking, so a
 // scheduler can keep each backlogged flow in the heap exactly once and update
-// its key in O(log n) when the flow's head packet changes.
+// its key in O(log n) when the flow's head packet changes, and the event
+// queue can cancel an arbitrary scheduled event in O(log n).
 //
 // Keys are compared with std::less<Key>; ties therefore resolve through the
 // key type itself (schedulers embed an explicit tie-break component in Key).
+//
+// `Arity` selects the branching factor. The default (2) is the classic
+// binary heap; the simulator's event queue uses 4, which shortens the tree
+// by half and keeps four sibling keys in one cache line, a measurably better
+// trade on pop-heavy workloads (docs/PERFORMANCE.md).
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace sfq {
 
-template <typename Key>
+template <typename Key, std::size_t Arity = 2>
 class IndexedHeap {
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
  public:
   // `capacity_hint` is the expected id universe; ids may exceed it (storage
   // grows on demand).
@@ -51,7 +59,20 @@ class IndexedHeap {
   uint32_t top_id() const { assert(!empty()); return heap_[0].id; }
   const Key& top_key() const { assert(!empty()); return heap_[0].key; }
 
-  void pop() { erase(top_id()); }
+  // Dedicated root removal: the displaced tail can only sink, so this skips
+  // erase()'s position lookup and upward probe.
+  void pop() {
+    assert(!empty());
+    pos_[heap_[0].id] = kAbsent;
+    if (heap_.size() > 1) {
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      pos_[heap_[0].id] = 0;
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+  }
 
   void erase(uint32_t id) {
     assert(contains(id));
@@ -83,33 +104,49 @@ class IndexedHeap {
     if (id >= pos_.size()) pos_.resize(id + 1, kAbsent);
   }
 
+  // Both sifts move a hole instead of swapping: the displaced entry is held
+  // in a local and written exactly once at its final position, halving the
+  // entry and pos_ stores per level on the pop-heavy event-queue workload.
   bool sift_up(std::size_t i) {
+    if (i == 0) return false;
+    const Entry e = heap_[i];
     bool moved = false;
     while (i > 0) {
-      std::size_t parent = (i - 1) / 2;
-      if (!(heap_[i].key < heap_[parent].key)) break;
-      swap_at(i, parent);
+      const std::size_t parent = (i - 1) / Arity;
+      if (!(e.key < heap_[parent].key)) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = i;
       i = parent;
       moved = true;
+    }
+    if (moved) {
+      heap_[i] = e;
+      pos_[e.id] = i;
     }
     return moved;
   }
 
   void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    const Entry e = heap_[i];
+    bool moved = false;
     for (;;) {
-      std::size_t left = 2 * i + 1, right = left + 1, best = i;
-      if (left < heap_.size() && heap_[left].key < heap_[best].key) best = left;
-      if (right < heap_.size() && heap_[right].key < heap_[best].key) best = right;
-      if (best == i) return;
-      swap_at(i, best);
+      const std::size_t first = Arity * i + 1;
+      if (first >= n) break;
+      const std::size_t last = first + Arity < n ? first + Arity : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (heap_[c].key < heap_[best].key) best = c;
+      if (!(heap_[best].key < e.key)) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i].id] = i;
       i = best;
+      moved = true;
     }
-  }
-
-  void swap_at(std::size_t a, std::size_t b) {
-    std::swap(heap_[a], heap_[b]);
-    pos_[heap_[a].id] = a;
-    pos_[heap_[b].id] = b;
+    if (moved) {
+      heap_[i] = e;
+      pos_[e.id] = i;
+    }
   }
 
   std::vector<Entry> heap_;

@@ -1,0 +1,82 @@
+// Recycling slab for queued packets.
+//
+// Every tag-based discipline keeps its backlog in PerFlowQueues
+// (core/scheduler.h). Backing those FIFOs with std::deque meant each
+// scheduler churned deque chunks on every push/pop; under steady backlog
+// that is a heap allocation every few dozen packets. The pool replaces the
+// chunks with one slab of nodes shared across all flows of a scheduler:
+// nodes are addressed by dense uint32 index, linked doubly (so PerFlowQueues
+// can pop from both ends and unlink in O(1)), and recycled through a
+// free-list. In steady state — backlog at or below its high-water mark — a
+// push is a pop from the free-list and a pop is a push onto it; no heap
+// traffic at all (docs/PERFORMANCE.md).
+//
+// References returned by packet() are invalidated by acquire() (the slab may
+// grow); callers read the head, decide, and only then mutate — the same
+// discipline PerFlowQueues has always imposed on its own head() accessor.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/packet.h"
+
+namespace sfq {
+
+class PacketPool {
+ public:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  // Moves `p` into a slot and returns its index (links reset to kNil).
+  uint32_t acquire(Packet&& p) {
+    uint32_t i;
+    if (free_head_ != kNil) {
+      i = free_head_;
+      free_head_ = nodes_[i].next;
+    } else {
+      i = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    Node& n = nodes_[i];
+    n.p = std::move(p);
+    n.prev = kNil;
+    n.next = kNil;
+    ++live_;
+    return i;
+  }
+
+  // Returns the slot to the free-list. The caller must have unlinked it.
+  void release(uint32_t i) {
+    assert(live_ > 0);
+    nodes_[i].next = free_head_;
+    free_head_ = i;
+    --live_;
+  }
+
+  Packet& packet(uint32_t i) { return nodes_[i].p; }
+  const Packet& packet(uint32_t i) const { return nodes_[i].p; }
+
+  uint32_t prev(uint32_t i) const { return nodes_[i].prev; }
+  uint32_t next(uint32_t i) const { return nodes_[i].next; }
+  void set_prev(uint32_t i, uint32_t p) { nodes_[i].prev = p; }
+  void set_next(uint32_t i, uint32_t n) { nodes_[i].next = n; }
+
+  // Slab high-water mark (allocated slots, live or free) — lets tests pin
+  // down that steady-state traffic stops growing the pool.
+  std::size_t slots() const { return nodes_.size(); }
+  std::size_t live() const { return live_; }
+
+ private:
+  struct Node {
+    Packet p{};
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+  };
+  std::vector<Node> nodes_;
+  uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sfq

@@ -1,14 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/flow_table.h"
 #include "core/packet.h"
+#include "core/packet_pool.h"
 #include "core/types.h"
 #include "obs/trace.h"
 
@@ -36,7 +35,11 @@ class Scheduler {
     return flows_.add(weight, max_packet_bits, std::move(name));
   }
 
-  virtual void enqueue(Packet p, Time now) = 0;
+  // Returns whether the packet entered the discipline; false means the
+  // scheduler's own admit gate refused it (already counted and traced as an
+  // unknown-flow drop). Lets the server detect refusal without re-reading
+  // backlog_packets() around the call.
+  virtual bool enqueue(Packet p, Time now) = 0;
   virtual std::optional<Packet> dequeue(Time now) = 0;
   virtual void on_transmit_complete(const Packet& p, Time now) {
     (void)p;
@@ -162,6 +165,12 @@ class Scheduler {
 
 // Per-flow FIFO of queued packets plus the bookkeeping every tag-based
 // discipline needs. Shared by SFQ/WFQ/SCFQ/FQS/VC/EDD implementations.
+//
+// Storage is a PacketPool slab shared across the scheduler's flows: each
+// flow queue is an intrusive doubly-linked list of pool nodes, so push/pop/
+// pop_back are O(1) and — once the backlog has reached its high-water mark —
+// completely allocation-free (the old std::deque backing churned a chunk
+// allocation every few dozen packets).
 class PerFlowQueues {
  public:
   void ensure(FlowId f) {
@@ -170,25 +179,41 @@ class PerFlowQueues {
 
   void push(Packet p) {
     ensure(p.flow);
-    FlowQueue& fq = queues_[p.flow];
-    fq.bits += p.length_bits;
-    fq.q.push_back(std::move(p));
+    const double bits = p.length_bits;
+    const FlowId f = p.flow;
+    const uint32_t i = pool_.acquire(std::move(p));
+    FlowQueue& fq = queues_[f];
+    fq.bits += bits;
+    if (fq.tail == PacketPool::kNil) {
+      fq.head = fq.tail = i;
+    } else {
+      pool_.set_next(fq.tail, i);
+      pool_.set_prev(i, fq.tail);
+      fq.tail = i;
+    }
+    ++fq.count;
     ++packets_;
   }
 
   bool flow_empty(FlowId f) const {
-    return f >= queues_.size() || queues_[f].q.empty();
+    return f >= queues_.size() || queues_[f].count == 0;
   }
 
-  const Packet& head(FlowId f) const { return queues_[f].q.front(); }
-  Packet& head(FlowId f) { return queues_[f].q.front(); }
+  // Valid until the next push (the slab may grow and relocate nodes).
+  const Packet& head(FlowId f) const { return pool_.packet(queues_[f].head); }
+  Packet& head(FlowId f) { return pool_.packet(queues_[f].head); }
 
   Packet pop(FlowId f) {
     FlowQueue& fq = queues_[f];
-    Packet p = std::move(fq.q.front());
-    fq.q.pop_front();
+    const uint32_t i = fq.head;
+    Packet p = std::move(pool_.packet(i));
+    fq.head = pool_.next(i);
+    if (fq.head == PacketPool::kNil) fq.tail = PacketPool::kNil;
+    else pool_.set_prev(fq.head, PacketPool::kNil);
+    pool_.release(i);
     fq.bits -= p.length_bits;
-    if (fq.q.empty()) fq.bits = 0.0;  // kill rounding residue
+    --fq.count;
+    if (fq.count == 0) fq.bits = 0.0;  // kill rounding residue
     --packets_;
     return p;
   }
@@ -197,10 +222,15 @@ class PerFlowQueues {
   // victim). Precondition: !flow_empty(f).
   Packet pop_back(FlowId f) {
     FlowQueue& fq = queues_[f];
-    Packet p = std::move(fq.q.back());
-    fq.q.pop_back();
+    const uint32_t i = fq.tail;
+    Packet p = std::move(pool_.packet(i));
+    fq.tail = pool_.prev(i);
+    if (fq.tail == PacketPool::kNil) fq.head = PacketPool::kNil;
+    else pool_.set_next(fq.tail, PacketPool::kNil);
+    pool_.release(i);
     fq.bits -= p.length_bits;
-    if (fq.q.empty()) fq.bits = 0.0;
+    --fq.count;
+    if (fq.count == 0) fq.bits = 0.0;
     --packets_;
     return p;
   }
@@ -211,10 +241,16 @@ class PerFlowQueues {
     std::vector<Packet> out;
     if (f >= queues_.size()) return out;
     FlowQueue& fq = queues_[f];
-    out.assign(std::make_move_iterator(fq.q.begin()),
-               std::make_move_iterator(fq.q.end()));
-    packets_ -= fq.q.size();
-    fq.q.clear();
+    out.reserve(fq.count);
+    for (uint32_t i = fq.head; i != PacketPool::kNil;) {
+      const uint32_t next = pool_.next(i);
+      out.push_back(std::move(pool_.packet(i)));
+      pool_.release(i);
+      i = next;
+    }
+    packets_ -= fq.count;
+    fq.head = fq.tail = PacketPool::kNil;
+    fq.count = 0;
     fq.bits = 0.0;
     return out;
   }
@@ -228,15 +264,21 @@ class PerFlowQueues {
   }
 
   std::size_t flow_packets(FlowId f) const {
-    return f >= queues_.size() ? 0 : queues_[f].q.size();
+    return f >= queues_.size() ? 0 : queues_[f].count;
   }
+
+  // Slab high-water mark, for the steady-state allocation tests.
+  std::size_t pool_slots() const { return pool_.slots(); }
 
  private:
   struct FlowQueue {
-    std::deque<Packet> q;
-    double bits = 0.0;  // sum of q's lengths, maintained on push/pop
+    uint32_t head = PacketPool::kNil;
+    uint32_t tail = PacketPool::kNil;
+    std::size_t count = 0;
+    double bits = 0.0;  // sum of queued lengths, maintained on push/pop
   };
   std::vector<FlowQueue> queues_;
+  PacketPool pool_;
   std::size_t packets_ = 0;
 };
 

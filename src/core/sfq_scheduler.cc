@@ -36,8 +36,8 @@ void SfqScheduler::push_head(FlowId f) {
       f, TagKey{head.start_tag, tiebreak_value(f), head.sched_order});
 }
 
-void SfqScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool SfqScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   FlowState& st = flow_state_[p.flow];
 
   p.start_tag = std::max(vtime_, st.last_finish);
@@ -53,19 +53,26 @@ void SfqScheduler::enqueue(Packet p, Time now) {
   trace_tag(p, now, vtime_, queues_.packets() + 1);
   queues_.push(std::move(p));
   if (was_empty) push_head(f);
+  return true;
 }
 
 std::optional<Packet> SfqScheduler::dequeue(Time now) {
   if (ready_.empty()) return std::nullopt;
   FlowId f = ready_.top_id();
-  ready_.pop();
   Packet p = queues_.pop(f);
 
   // v(t) is the start tag of the packet in service (§2 rule 2).
   vtime_ = p.start_tag;
   in_service_ = true;
 
-  if (!queues_.flow_empty(f)) push_head(f);
+  if (!queues_.flow_empty(f)) {
+    // Re-key the root in place (one sift) instead of erase + push (two).
+    const Packet& head = queues_.head(f);
+    ready_.update(f, TagKey{head.start_tag, tiebreak_value(f),
+                            head.sched_order});
+  } else {
+    ready_.pop();
+  }
   trace_dequeue(p, now, vtime_, queues_.packets());
   return p;
 }

@@ -39,7 +39,7 @@ class SfqScheduler : public Scheduler {
   FlowId add_flow(double weight, double max_packet_bits = 0.0,
                   std::string name = {}) override;
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
   void on_transmit_complete(const Packet& p, Time now) override;
 

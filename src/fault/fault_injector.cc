@@ -19,10 +19,9 @@ void FaultInjector::arm() {
         [this](const Packet& p, Time t) { return filter(p, t); });
   }
   for (const auto& c : plan_.churn()) {
-    if (c.join)
-      sim_.at(c.at, [this, f = c.flow] { server_.rejoin_flow(f); });
-    else
-      sim_.at(c.at, [this, f = c.flow] { server_.remove_flow(f); });
+    sim_.at_flow(c.at,
+                 c.join ? sim::EventOp::kChurnJoin : sim::EventOp::kChurnLeave,
+                 &server_, c.flow);
   }
 }
 

@@ -160,8 +160,8 @@ std::optional<Packet> HsfqScheduler::pushout(FlowId f, Time now) {
   return victim;
 }
 
-void HsfqScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool HsfqScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   const FlowRoute& route = routes_[p.flow];
   // Tags are dequeue-driven in H-SFQ, so the tag event reports the packet
   // as-queued (root virtual time, no start/finish yet).
@@ -169,21 +169,20 @@ void HsfqScheduler::enqueue(Packet p, Time now) {
   if (route.delegated) {
     Node& cls = nodes_[route.node];
     const bool was_empty = cls.inner->empty();
-    const std::size_t before = cls.inner->backlog_packets();
     Packet local = std::move(p);
     local.flow = route.local;
-    cls.inner->enqueue(std::move(local), now);
-    // The inner discipline may refuse the packet (its own admit gate), so
-    // trust its backlog rather than assuming acceptance.
-    delegated_backlog_ += cls.inner->backlog_packets() - before;
+    // The inner discipline may refuse the packet (its own admit gate).
+    const bool accepted = cls.inner->enqueue(std::move(local), now);
+    if (accepted) ++delegated_backlog_;
     if (was_empty && !cls.inner->empty()) activate(route.node);
-    return;
+    return accepted;
   }
   const uint32_t leaf = route.node;
   const bool was_empty = queues_.flow_empty(p.flow);
   p.sched_order = ++seq_;
   queues_.push(std::move(p));
   if (was_empty) activate(leaf);
+  return true;
 }
 
 std::optional<Packet> HsfqScheduler::dequeue(Time now) {

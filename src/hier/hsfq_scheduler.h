@@ -69,7 +69,7 @@ class HsfqScheduler : public Scheduler {
                              std::move(name));
   }
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
   void on_transmit_complete(const Packet& p, Time now) override;
 

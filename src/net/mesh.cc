@@ -82,9 +82,8 @@ void MeshNetwork::on_link_departure(LinkId l, const Packet& p, Time t) {
   const LinkId next_link = f.route[pos + 1];
   const Time tau = links_[l]->propagation;
   if (tau > 0.0) {
-    sim_.at(t + tau, [this, next_link, next]() mutable {
-      links_[next_link]->server->inject(std::move(next));
-    });
+    sim_.at_packet(t + tau, sim::EventOp::kArrival,
+                   links_[next_link]->server.get(), next);
   } else {
     links_[next_link]->server->inject(std::move(next));
   }

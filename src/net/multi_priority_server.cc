@@ -36,17 +36,22 @@ void MultiPriorityServer::try_start() {
     if (!next) continue;
     busy_ = true;
     const Time finish = profile_->finish_time(now, next->length_bits);
-    sim_.at(finish, [this, b, p = *next, start = now, finish]() {
-      busy_ = false;
-      bands_[b]->on_transmit_complete(p, finish);
-      if (recorders_[b])
-        recorders_[b]->on_service(p.flow, p.length_bits, p.arrival, start,
-                                  finish);
-      if (on_departure_) on_departure_(b, p, finish);
-      try_start();
-    });
+    sim_.at_packet(finish, sim::EventOp::kServiceComplete, this, *next,
+                   /*t0=*/now, static_cast<uint32_t>(b));
     return;
   }
+}
+
+void MultiPriorityServer::on_event(sim::Event& ev, Time now) {
+  if (ev.op != sim::EventOp::kServiceComplete) return;
+  const std::size_t b = ev.aux;
+  const Packet& p = ev.packet;
+  busy_ = false;
+  bands_[b]->on_transmit_complete(p, now);
+  if (recorders_[b])
+    recorders_[b]->on_service(p.flow, p.length_bits, p.arrival, ev.t0, now);
+  if (on_departure_) on_departure_(b, p, now);
+  try_start();
 }
 
 }  // namespace sfq::net

@@ -17,7 +17,7 @@ namespace sfq::net {
 // capacity left by bands 0..k-1, so if those are leaky-bucket bounded with
 // aggregate (sigma, rho), band k's virtual server is FC(C - rho, sigma) and
 // all the paper's theorems apply per band.
-class MultiPriorityServer {
+class MultiPriorityServer : public sim::EventTarget {
  public:
   using DepartureFn = std::function<void(std::size_t band, const Packet&,
                                          Time departure)>;
@@ -41,6 +41,7 @@ class MultiPriorityServer {
   bool busy() const { return busy_; }
 
  private:
+  void on_event(sim::Event& ev, Time now) override;  // aux = band
   void try_start();
 
   sim::Simulator& sim_;

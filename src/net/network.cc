@@ -27,9 +27,8 @@ TandemNetwork::TandemNetwork(sim::Simulator& sim, std::vector<Hop> hops)
         return;
       }
       if (tau > 0.0) {
-        sim_.at(t + tau, [this, i, next]() mutable {
-          servers_[i + 1]->inject(std::move(next));
-        });
+        sim_.at_packet(t + tau, sim::EventOp::kArrival,
+                       servers_[i + 1].get(), next);
       } else {
         servers_[i + 1]->inject(std::move(next));
       }

@@ -37,11 +37,8 @@ void PriorityServer::try_start() {
     high_q_.pop_front();
     busy_ = true;
     const Time finish = profile_->finish_time(now, p.length_bits);
-    sim_.at(finish, [this, p = std::move(p), finish]() {
-      busy_ = false;
-      if (on_high_dep_) on_high_dep_(p, finish);
-      try_start();
-    });
+    sim_.at_packet(finish, sim::EventOp::kServiceComplete, this, p,
+                   /*t0=*/now, kHighBand);
     return;
   }
 
@@ -49,14 +46,23 @@ void PriorityServer::try_start() {
   if (!next) return;
   busy_ = true;
   const Time finish = profile_->finish_time(now, next->length_bits);
-  sim_.at(finish, [this, p = *next, start = now, finish]() {
-    busy_ = false;
-    low_sched_.on_transmit_complete(p, finish);
+  sim_.at_packet(finish, sim::EventOp::kServiceComplete, this, *next,
+                 /*t0=*/now, kLowBand);
+}
+
+void PriorityServer::on_event(sim::Event& ev, Time now) {
+  if (ev.op != sim::EventOp::kServiceComplete) return;
+  const Packet& p = ev.packet;
+  busy_ = false;
+  if (ev.aux == kHighBand) {
+    if (on_high_dep_) on_high_dep_(p, now);
+  } else {
+    low_sched_.on_transmit_complete(p, now);
     if (recorder_)
-      recorder_->on_service(p.flow, p.length_bits, p.arrival, start, finish);
-    if (on_low_dep_) on_low_dep_(p, finish);
-    try_start();
-  });
+      recorder_->on_service(p.flow, p.length_bits, p.arrival, ev.t0, now);
+    if (on_low_dep_) on_low_dep_(p, now);
+  }
+  try_start();
 }
 
 }  // namespace sfq::net

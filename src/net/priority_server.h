@@ -19,7 +19,7 @@ namespace sfq::net {
 // two TCP flows the output link *is* a variable-rate server, and the
 // difference between WFQ and SFQ becomes visible. It is also the leaky-bucket
 // residual-capacity construction of §2.3 (residual service is FC(C−ρ, σ)).
-class PriorityServer {
+class PriorityServer : public sim::EventTarget {
  public:
   using DepartureFn = std::function<void(const Packet&, Time departure)>;
 
@@ -40,6 +40,11 @@ class PriorityServer {
   double high_backlog_bits() const;
 
  private:
+  // Completion events discriminate the band via Event::aux.
+  static constexpr uint32_t kLowBand = 0;
+  static constexpr uint32_t kHighBand = 1;
+
+  void on_event(sim::Event& ev, Time now) override;
   void try_start();
 
   sim::Simulator& sim_;

@@ -76,9 +76,7 @@ bool ScheduledServer::inject(Packet p) {
   const FlowId flow = p.flow;
   const uint64_t seq = p.seq;
   const double bits = p.length_bits;
-  const std::size_t before = sched_.backlog_packets();
-  sched_.enqueue(std::move(p), now);
-  if (sched_.backlog_packets() == before) {
+  if (!sched_.enqueue(std::move(p), now)) {
     // The discipline itself refused the packet (its admit gate already
     // counted and traced the drop); mirror it in the server counters.
     ++drops_;
@@ -118,20 +116,43 @@ void ScheduledServer::try_start() {
   if (trace_on_) [[unlikely]]
     tracer_->emit(obs::make_event(obs::TraceEventType::kTxStart, *next, now,
                                   /*vtime=*/0.0, sched_.backlog_packets()));
-  // The packet is captured by value in the completion event; schedulers keep
-  // no reference to in-flight packets.
-  sim_.at(finish, [this, p = *next, start = now, finish]() {
-    busy_ = false;
-    if (link_stats_) link_stats_->on_transmit_end(finish);
-    sched_.on_transmit_complete(p, finish);
-    if (trace_on_) [[unlikely]]
-      tracer_->emit(obs::make_event(obs::TraceEventType::kTxEnd, p, finish,
-                                    /*vtime=*/0.0, sched_.backlog_packets()));
-    if (recorder_)
-      recorder_->on_service(p.flow, p.length_bits, p.arrival, start, finish);
-    if (on_departure_) on_departure_(p, finish);
-    try_start();
-  });
+  // The in-flight packet rides in the typed completion event (the event
+  // queue's slab); schedulers keep no reference to in-flight packets.
+  sim_.at_packet(finish, sim::EventOp::kServiceComplete, this, *next,
+                 /*t0=*/now);
+}
+
+void ScheduledServer::complete_transmission(const Packet& p, Time start,
+                                            Time finish) {
+  busy_ = false;
+  if (link_stats_) link_stats_->on_transmit_end(finish);
+  sched_.on_transmit_complete(p, finish);
+  if (trace_on_) [[unlikely]]
+    tracer_->emit(obs::make_event(obs::TraceEventType::kTxEnd, p, finish,
+                                  /*vtime=*/0.0, sched_.backlog_packets()));
+  if (recorder_)
+    recorder_->on_service(p.flow, p.length_bits, p.arrival, start, finish);
+  if (on_departure_) on_departure_(p, finish);
+  try_start();
+}
+
+void ScheduledServer::on_event(sim::Event& ev, Time now) {
+  switch (ev.op) {
+    case sim::EventOp::kServiceComplete:
+      complete_transmission(ev.packet, /*start=*/ev.t0, /*finish=*/now);
+      break;
+    case sim::EventOp::kArrival:
+      inject(std::move(ev.packet));
+      break;
+    case sim::EventOp::kChurnLeave:
+      remove_flow(ev.flow);
+      break;
+    case sim::EventOp::kChurnJoin:
+      rejoin_flow(ev.flow);
+      break;
+    default:
+      break;  // not a server op; ignore rather than crash the run
+  }
 }
 
 }  // namespace sfq::net

@@ -29,7 +29,13 @@ enum class OverloadPolicy {
 // The server is the degradation boundary: faults (injected loss/corruption),
 // overload (buffer limit + policy), and churn (remove/rejoin) all resolve
 // here into counted, traced drops — never into exceptions from the hot path.
-class ScheduledServer {
+//
+// As a sim::EventTarget the server consumes typed events: its own
+// kServiceComplete (scheduled by try_start; the in-flight packet lives in
+// the event slab, not in a closure), kArrival from upstream hops
+// (network/mesh propagation), and kChurnLeave/kChurnJoin from the fault
+// injector. None of these allocate in steady state.
+class ScheduledServer : public sim::EventTarget {
  public:
   using DepartureFn = std::function<void(const Packet&, Time departure)>;
   using DropFn = std::function<void(const Packet&, Time)>;
@@ -94,6 +100,8 @@ class ScheduledServer {
   }
 
  private:
+  void on_event(sim::Event& ev, Time now) override;
+  void complete_transmission(const Packet& p, Time start, Time finish);
   void try_start();
   bool drop(Packet&& p, Time now, obs::DropCause cause);
   // Longest per-flow queue by queued bits (ties to the lowest flow id), or

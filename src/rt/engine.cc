@@ -93,9 +93,9 @@ void RtEngine::stop(StopMode mode) {
 }
 
 void RtEngine::run() {
-  bool busy = false;
-  Packet in_flight{};
-  Time tx_deadline = 0.0;
+  // The in-flight transmission lives in timers_ as a typed kServiceComplete
+  // event keyed by its pacing deadline: busy == !timers_.empty(), and the
+  // deadline is timers_.next_time().
   int idle_streak = 0;
   // Watchdog bookkeeping: the last instant a transmission started or
   // completed. Draining rings is deliberately not progress — a scheduler
@@ -128,11 +128,12 @@ void RtEngine::run() {
     //    until the profile's finish time.
     int served = 0;
     while (served < kServiceBatch) {
-      if (busy) {
+      if (!timers_.empty()) {
         const Time now = clock_.now();
-        if (now < tx_deadline) break;  // in flight; deadline in the future
-        complete(in_flight, now, tx_deadline);
-        busy = false;
+        if (now < timers_.next_time()) break;  // deadline in the future
+        sim::EventQueue::Popped done;
+        timers_.pop(done);
+        complete(done.event.packet, now, /*deadline=*/done.when);
         last_progress = now;
         ++served;
       }
@@ -146,14 +147,14 @@ void RtEngine::run() {
         tracer_->emit(obs::make_event(obs::TraceEventType::kTxStart, *next,
                                       now, /*vtime=*/0.0,
                                       sched_.backlog_packets()));
-      tx_deadline = profile_->finish_time(now, next->length_bits);
-      in_flight = *next;
-      busy = true;
+      const Time deadline = profile_->finish_time(now, next->length_bits);
+      timers_.schedule_packet(deadline, sim::EventOp::kServiceComplete,
+                              /*target=*/nullptr, *next);
       last_progress = now;
     }
 
     // 4. Exit checks.
-    if (stopping && !busy) {
+    if (stopping && timers_.empty()) {
       if (abandon) {
         uint64_t left = 0;
         while (ingress_.pop_earliest()) ++left;
@@ -170,7 +171,7 @@ void RtEngine::run() {
     //     become `abandoned` — rather than hanging the process.
     if (opts_.stall_timeout > 0.0) {
       const Time now = clock_.now();
-      if (!busy && sched_.empty()) {
+      if (timers_.empty() && sched_.empty()) {
         last_progress = now;  // idle: no obligations, nothing to watch
       } else if (now - last_progress > opts_.stall_timeout) {
         stalls_.fetch_add(1, std::memory_order_relaxed);
@@ -184,12 +185,12 @@ void RtEngine::run() {
     }
 
     // 5. Wait strategy.
-    if (busy) {
+    if (!timers_.empty()) {
       if (drained > 0) {
         idle_streak = 0;
         continue;  // more arrivals may already be waiting
       }
-      const Time wait = tx_deadline - clock_.now();
+      const Time wait = timers_.next_time() - clock_.now();
       if (wait <= 0.0) continue;
       if (wait > opts_.spin_threshold) {
         // Sleep most of the wait, capped so rings are still drained at a

@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "rt/clock.h"
 #include "rt/ingress.h"
+#include "sim/event_queue.h"
 
 namespace sfq::rt {
 
@@ -189,6 +190,12 @@ class RtEngine {
   obs::Tracer* tracer_ = nullptr;
   bool trace_on_ = false;
   std::vector<CaptureOp>* capture_ = nullptr;  // dispatcher-thread writes
+
+  // Paced-service timer store: the in-flight transmission rides in a typed
+  // kServiceComplete event keyed by its wall-clock deadline. Dispatcher
+  // thread only. Same slab-backed queue as the simulator, so the packet in
+  // flight reuses one slot forever (no per-transmission allocation).
+  sim::EventQueue timers_;
 
   bool started_ = false;
   std::mutex stop_mu_;

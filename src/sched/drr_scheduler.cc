@@ -4,8 +4,8 @@
 
 namespace sfq {
 
-void DrrScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool DrrScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   const FlowId f = p.flow;
   queues_.push(std::move(p));
   FlowState& st = state_[f];
@@ -15,6 +15,7 @@ void DrrScheduler::enqueue(Packet p, Time now) {
     st.deficit = 0.0;  // flows rejoin with an empty deficit (paper's DRR)
     active_.push_back(f);
   }
+  return true;
 }
 
 std::optional<Packet> DrrScheduler::dequeue(Time now) {

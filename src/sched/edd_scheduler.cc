@@ -20,8 +20,8 @@ FlowId EddScheduler::add_flow(double weight, double max_packet_bits,
   return add_flow_with_deadline(weight, d, max_packet_bits, std::move(name));
 }
 
-void EddScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool EddScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   EatState& st = eat_[p.flow];
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
 
@@ -42,7 +42,7 @@ void EddScheduler::enqueue(Packet p, Time now) {
   if (was_empty) {
     const Packet& head = queues_.head(f);
     ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
-  }
+  }  return true;
 }
 
 std::optional<Packet> EddScheduler::dequeue(Time now) {

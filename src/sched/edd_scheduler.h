@@ -30,7 +30,7 @@ class EddScheduler : public Scheduler {
   void set_deadline(FlowId f, Time deadline) { deadline_.at(f) = deadline; }
   Time deadline_offset(FlowId f) const { return deadline_.at(f); }
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
 
   std::vector<Packet> remove_flow(FlowId f, Time now) override;

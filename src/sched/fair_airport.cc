@@ -57,8 +57,8 @@ void FairAirportScheduler::refresh_gsq(FlowId f) {
   }
 }
 
-void FairAirportScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool FairAirportScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   const FlowId f = p.flow;
   FlowState& st = state_[f];
 
@@ -73,6 +73,7 @@ void FairAirportScheduler::enqueue(Packet p, Time now) {
     refresh_asq(f);
   }
   refresh_regulator(f);
+  return true;
 }
 
 void FairAirportScheduler::promote_eligible(Time now) {

@@ -15,10 +15,11 @@ namespace sfq {
 // independently of tag arithmetic.
 class FifoScheduler : public Scheduler {
  public:
-  void enqueue(Packet p, Time now) override {
+  bool enqueue(Packet p, Time now) override {
     (void)now;
     p.sched_order = ++order_;
     q_.push_back(std::move(p));
+    return true;
   }
 
   std::optional<Packet> dequeue(Time now) override {

@@ -4,8 +4,8 @@
 
 namespace sfq {
 
-void ScfqScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool ScfqScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
 
   p.start_tag = std::max(vtime_, last_finish_[p.flow]);
@@ -20,7 +20,7 @@ void ScfqScheduler::enqueue(Packet p, Time now) {
   if (was_empty) {
     const Packet& head = queues_.head(f);
     ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
-  }
+  }  return true;
 }
 
 std::optional<Packet> ScfqScheduler::dequeue(Time now) {

@@ -4,8 +4,8 @@
 
 namespace sfq {
 
-void VirtualClockScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool VirtualClockScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   EatState& st = eat_[p.flow];
   const double rate = p.rate > 0.0 ? p.rate : flows_.weight(p.flow);
 
@@ -27,7 +27,7 @@ void VirtualClockScheduler::enqueue(Packet p, Time now) {
   if (was_empty) {
     const Packet& head = queues_.head(f);
     ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
-  }
+  }  return true;
 }
 
 std::optional<Packet> VirtualClockScheduler::dequeue(Time now) {

@@ -28,7 +28,7 @@ class VirtualClockScheduler : public Scheduler {
     return id;
   }
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
 
   std::vector<Packet> remove_flow(FlowId f, Time now) override;

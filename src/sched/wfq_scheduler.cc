@@ -2,8 +2,8 @@
 
 namespace sfq {
 
-void WfqScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool WfqScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   auto tags = gps_.on_arrival(p.flow, p.length_bits, now);
   p.start_tag = tags.start;
   p.finish_tag = tags.finish;
@@ -16,7 +16,7 @@ void WfqScheduler::enqueue(Packet p, Time now) {
   if (was_empty) {
     const Packet& head = queues_.head(f);
     ready_.push_or_update(f, TagKey{head.finish_tag, 0.0, head.sched_order});
-  }
+  }  return true;
 }
 
 std::optional<Packet> WfqScheduler::dequeue(Time now) {
@@ -50,8 +50,8 @@ std::optional<Packet> WfqScheduler::pushout(FlowId f, Time now) {
   return victim;
 }
 
-void FqsScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool FqsScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   auto tags = gps_.on_arrival(p.flow, p.length_bits, now);
   p.start_tag = tags.start;
   p.finish_tag = tags.finish;
@@ -64,7 +64,7 @@ void FqsScheduler::enqueue(Packet p, Time now) {
   if (was_empty) {
     const Packet& head = queues_.head(f);
     ready_.push_or_update(f, TagKey{head.start_tag, 0.0, head.sched_order});
-  }
+  }  return true;
 }
 
 std::optional<Packet> FqsScheduler::dequeue(Time now) {

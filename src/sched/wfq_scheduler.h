@@ -29,7 +29,7 @@ class WfqScheduler : public Scheduler {
     return id;
   }
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
 
   std::vector<Packet> remove_flow(FlowId f, Time now) override;
@@ -65,7 +65,7 @@ class FqsScheduler : public Scheduler {
     return id;
   }
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
 
   std::vector<Packet> remove_flow(FlowId f, Time now) override;

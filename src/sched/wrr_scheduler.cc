@@ -21,8 +21,8 @@ uint64_t WrrScheduler::packets_per_round(FlowId f) const {
   return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(ratio)));
 }
 
-void WrrScheduler::enqueue(Packet p, Time now) {
-  if (!admit(p, now)) return;
+bool WrrScheduler::enqueue(Packet p, Time now) {
+  if (!admit(p, now)) return false;
   const FlowId f = p.flow;
   queues_.push(std::move(p));
   if (!state_[f].active) {
@@ -30,6 +30,7 @@ void WrrScheduler::enqueue(Packet p, Time now) {
     state_[f].sent_this_visit = 0;
     ring_.push_back(f);
   }
+  return true;
 }
 
 std::optional<Packet> WrrScheduler::dequeue(Time now) {

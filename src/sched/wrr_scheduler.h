@@ -18,7 +18,7 @@ class WrrScheduler : public Scheduler {
   FlowId add_flow(double weight, double max_packet_bits = 0.0,
                   std::string name = {}) override;
 
-  void enqueue(Packet p, Time now) override;
+  bool enqueue(Packet p, Time now) override;
   std::optional<Packet> dequeue(Time now) override;
 
   std::vector<Packet> remove_flow(FlowId f, Time now) override;

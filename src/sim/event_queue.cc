@@ -1,50 +1,77 @@
 #include "sim/event_queue.h"
 
-#include <stdexcept>
+#include <utility>
 
 namespace sfq::sim {
 
+uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = next_free_[slot];
+    return slot;
+  }
+  const uint32_t slot = slot_count_++;
+  if ((slot & kChunkMask) == 0)
+    chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+  gens_.push_back(0);
+  next_free_.push_back(kNilSlot);
+  return slot;
+}
+
+uint32_t EventQueue::acquire_fn_slot(std::function<void()> fn) {
+  if (!fn_free_.empty()) {
+    const uint32_t slot = fn_free_.back();
+    fn_free_.pop_back();
+    fns_[slot] = std::move(fn);
+    return slot;
+  }
+  fns_.push_back(std::move(fn));
+  return static_cast<uint32_t>(fns_.size() - 1);
+}
+
+void EventQueue::release_fn_slot(uint32_t slot) {
+  fns_[slot] = nullptr;  // destroy captured state now, not lazily
+  fn_free_.push_back(slot);
+}
+
+EventId EventQueue::schedule(Time when, Event ev) {
+  const uint32_t slot = acquire_slot();
+  event_at(slot) = ev;
+  heap_.push(slot, EventKey{when, next_seq_++});
+  return make_id(slot, gens_[slot]);
+}
+
 EventId EventQueue::schedule(Time when, std::function<void()> action) {
-  EventId id = next_id_++;
-  if (id >= cancelled_.size()) cancelled_.resize(id + 64, false);
-  pq_.push(Entry{when, next_seq_++, id, std::move(action)});
-  ++live_;
-  return id;
+  Event ev;
+  ev.op = EventOp::kCallback;
+  ev.fn_slot = acquire_fn_slot(std::move(action));
+  return schedule(when, ev);
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= cancelled_.size() || cancelled_[id]) return;
-  cancelled_[id] = true;
-  if (live_ > 0) --live_;
-}
-
-void EventQueue::drop_cancelled() const {
-  while (!pq_.empty() && cancelled_[pq_.top().id]) pq_.pop();
+  if (id == kInvalidEvent) return;
+  const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  if (slot >= slot_count_) return;
+  // Generation mismatch => the referenced event already fired or was already
+  // cancelled (the slot may even hold a newer event). Guaranteed no-op.
+  if (gens_[slot] != static_cast<uint32_t>(id >> 32)) return;
+  if (!heap_.contains(slot)) return;  // belt and braces; gen should cover it
+  heap_.erase(slot);
+  // Eager: unlink from the heap AND destroy any captured closure state now,
+  // not when the entry would have drifted to the heap top.
+  if (event_at(slot).op == EventOp::kCallback)
+    release_fn_slot(event_at(slot).fn_slot);
+  release_slot(slot);
 }
 
 Time EventQueue::run_one() {
   Popped p;
   if (!pop(p)) return kTimeInfinity;
-  p.action();
+  if (p.event.op == EventOp::kCallback)
+    p.fn();
+  else
+    p.event.target->on_event(p.event, p.when);
   return p.when;
-}
-
-bool EventQueue::pop(Popped& out) {
-  drop_cancelled();
-  if (pq_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast of the entry we are
-  // about to pop — standard idiom to avoid copying the std::function.
-  Entry e = std::move(const_cast<Entry&>(pq_.top()));
-  pq_.pop();
-  --live_;
-  out.when = e.when;
-  out.action = std::move(e.action);
-  return true;
-}
-
-Time EventQueue::next_time() const {
-  drop_cancelled();
-  return pq_.empty() ? kTimeInfinity : pq_.top().when;
 }
 
 }  // namespace sfq::sim

@@ -6,33 +6,28 @@
 
 namespace sfq::sim {
 
+void Simulator::throw_past_event() {
+  throw std::invalid_argument("Simulator: event in the past");
+}
+
 EventId Simulator::at(Time when, std::function<void()> action) {
-  if (when < now_) throw std::invalid_argument("Simulator: event in the past");
-  ++scheduled_;
-  EventId id = events_.schedule(when, std::move(action));
-  if (events_.size() > max_pending_) max_pending_ = events_.size();
-  return id;
+  check_future(when);
+  return note_scheduled(events_.schedule(when, std::move(action)));
+}
+
+EventId Simulator::at(Time when, Event ev) {
+  check_future(when);
+  return note_scheduled(events_.schedule(when, ev));
 }
 
 void Simulator::run_until(Time deadline) {
-  while (events_.next_time() <= deadline) {
-    EventQueue::Popped e;
-    if (!events_.pop(e)) break;
-    now_ = e.when;  // the action observes the correct clock
-    ++executed_;
-    e.action();
-  }
+  while (!events_.empty() && events_.next_time() <= deadline) dispatch_next();
   if (deadline > now_ && deadline != kTimeInfinity) now_ = deadline;
   publish_metrics();
 }
 
 void Simulator::run() {
-  EventQueue::Popped e;
-  while (events_.pop(e)) {
-    now_ = e.when;
-    ++executed_;
-    e.action();
-  }
+  while (!events_.empty()) dispatch_next();
   publish_metrics();
 }
 

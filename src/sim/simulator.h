@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "sim/event_queue.h"
 
@@ -12,15 +13,41 @@ class MetricsRegistry;
 namespace sfq::sim {
 
 // The simulation clock plus event queue. All components hold a Simulator&
-// and schedule callbacks on it; `run_until`/`run` advance the clock.
+// and schedule work on it; `run_until`/`run` advance the clock.
+//
+// Two scheduling flavours: the typed-event overloads are the per-packet hot
+// path (allocation-free in steady state — see sim/event_queue.h); the
+// std::function overloads are the general-purpose fallback for cold paths.
 class Simulator {
  public:
   Time now() const { return now_; }
 
   EventId at(Time when, std::function<void()> action);
+  EventId at(Time when, Event ev);
   EventId after(Time delay, std::function<void()> action) {
     return at(now_ + delay, std::move(action));
   }
+  EventId after(Time delay, Event ev) {
+    return at(now_ + delay, std::move(ev));
+  }
+
+  // Hot-path typed scheduling (see EventQueue::schedule_packet &c.): the
+  // event is written straight into the queue's slab, no Event temp.
+  EventId at_packet(Time when, EventOp op, EventTarget* target,
+                    const Packet& p, Time t0 = 0.0, uint32_t aux = 0) {
+    check_future(when);
+    return note_scheduled(
+        events_.schedule_packet(when, op, target, p, t0, aux));
+  }
+  EventId at_tick(Time when, EventTarget* target, double bits) {
+    check_future(when);
+    return note_scheduled(events_.schedule_tick(when, target, bits));
+  }
+  EventId at_flow(Time when, EventOp op, EventTarget* target, FlowId flow) {
+    check_future(when);
+    return note_scheduled(events_.schedule_flow(when, op, target, flow));
+  }
+
   void cancel(EventId id) { events_.cancel(id); }
 
   // Runs events until the queue drains or the clock would pass `deadline`
@@ -44,6 +71,34 @@ class Simulator {
   void set_metrics(obs::MetricsRegistry* reg) { metrics_ = reg; }
 
  private:
+  // Zero-copy dispatch: the event is run in place in the queue's slab
+  // (stable chunk addresses) and its slot recycled afterwards. Handlers may
+  // schedule new events while theirs is live — they take other slots.
+  void dispatch_next() {
+    Time when;
+    const uint32_t slot = events_.pop_in_place(when);
+    now_ = when;
+    ++executed_;
+    Event& ev = events_.event_at(slot);
+    if (ev.op == EventOp::kCallback) [[unlikely]] {
+      auto fn = events_.detach_callback(ev);
+      events_.finish_pop(slot);
+      fn();  // may outlive the slot; closure already detached
+    } else {
+      ev.target->on_event(ev, now_);
+      events_.finish_pop(slot);
+    }
+  }
+  void check_future(Time when) const {
+    if (when < now_) [[unlikely]]
+      throw_past_event();
+  }
+  [[noreturn]] static void throw_past_event();
+  EventId note_scheduled(EventId id) {
+    ++scheduled_;
+    if (events_.size() > max_pending_) max_pending_ = events_.size();
+    return id;
+  }
   void publish_metrics();
 
   EventQueue events_;

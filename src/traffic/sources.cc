@@ -7,7 +7,16 @@ void Source::run(Time at, Time until) {
   double bits = 0.0;
   const Time first = first_emission(at, bits);
   if (first >= until_ || first == kTimeInfinity) return;
-  sim_.at(first, [this, first, bits]() { tick(first, bits); });
+  schedule_tick(first, bits);
+}
+
+void Source::schedule_tick(Time when, double bits) {
+  sim_.at_tick(when, this, bits);
+}
+
+void Source::on_event(sim::Event& ev, Time now) {
+  if (ev.op != sim::EventOp::kSourceTick) return;
+  tick(now, ev.bits);
 }
 
 void Source::emit_packet(double bits) {
@@ -24,7 +33,7 @@ void Source::tick(Time scheduled, double bits) {
   double next_bits = 0.0;
   const Time next = next_emission(scheduled, next_bits);
   if (next >= until_ || next == kTimeInfinity) return;
-  sim_.at(next, [this, next, next_bits]() { tick(next, next_bits); });
+  schedule_tick(next, next_bits);
 }
 
 Time OnOffSource::next_emission(Time now, double& bits_out) {

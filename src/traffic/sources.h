@@ -12,7 +12,7 @@ namespace sfq::traffic {
 // Base of all open-loop sources: emits packets into a user-supplied sink
 // (usually ScheduledServer::inject) between start() and the configured stop
 // time. Each source owns its per-flow sequence numbering.
-class Source {
+class Source : public sim::EventTarget {
  public:
   using EmitFn = std::function<void(Packet)>;
 
@@ -46,7 +46,9 @@ class Source {
   sim::Simulator& sim() { return sim_; }
 
  private:
+  void on_event(sim::Event& ev, Time now) override;
   void tick(Time scheduled, double bits);
+  void schedule_tick(Time when, double bits);
 
   sim::Simulator& sim_;
   FlowId flow_;

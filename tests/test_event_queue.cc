@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <random>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -51,6 +54,181 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   q.schedule(5.0, [] {});
   q.cancel(a);
   EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+// Regression (ISSUE 5): cancelling an id that already fired must be a no-op.
+// The old implementation kept no record of fired ids, so a late cancel
+// decremented the live count again and empty()/size() lied — a simulation
+// could terminate with events still pending.
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(q.run_one(), 1.0);  // fires a
+  q.cancel(a);                         // stale id: must not touch the queue
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.run_one(), 2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+// A stale id whose slot has been reused by a newer event must not cancel the
+// newer event (generation tags, not bare slot indices).
+TEST(EventQueue, StaleCancelDoesNotHitReusedSlot) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.schedule(1.0, [&] { ++fired; });
+  q.run_one();  // a's slot returns to the free-list
+  EventId b = q.schedule(2.0, [&] { ++fired; });
+  EXPECT_NE(a, b);
+  q.cancel(a);  // must not cancel b even though the slot matches
+  EXPECT_EQ(q.size(), 1u);
+  q.run_one();
+  EXPECT_EQ(fired, 2);
+}
+
+// Regression (ISSUE 5): cancellation must destroy the closure's captured
+// state eagerly, not retain it until the entry would have drifted to the
+// heap top — under heavy churn lazy retention is unbounded memory.
+TEST(EventQueue, CancelReleasesCapturedStateEagerly) {
+  EventQueue q;
+  auto shared = std::make_shared<int>(42);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i)
+    ids.push_back(q.schedule(1000.0 + i, [shared] { (void)*shared; }));
+  q.schedule(1.0, [] {});  // keeps the queue busy below the cancelled block
+  EXPECT_EQ(shared.use_count(), 65);
+  for (EventId id : ids) q.cancel(id);
+  // All 64 captured copies destroyed immediately; only ours remains.
+  EXPECT_EQ(shared.use_count(), 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// Steady-state slab behaviour: a fire/reschedule cycle reuses freed slots
+// instead of growing the slab (the allocation-free hot path's foundation).
+TEST(EventQueue, SlabStopsGrowingOnceWarm) {
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) q.schedule(1.0 + i, [] {});
+  const std::size_t warm = q.slab_slots();
+  for (int i = 0; i < 1000; ++i) {
+    q.run_one();
+    q.schedule(100.0 + i, [] {});
+  }
+  EXPECT_EQ(q.slab_slots(), warm);
+}
+
+// Typed events dispatch to their EventTarget with the payload intact.
+struct RecordingTarget : EventTarget {
+  std::vector<Event> seen;
+  std::vector<Time> times;
+  void on_event(Event& ev, Time now) override {
+    seen.push_back(ev);
+    times.push_back(now);
+  }
+};
+
+TEST(EventQueue, TypedEventsCarryPayloadToTarget) {
+  EventQueue q;
+  RecordingTarget t;
+  Packet p;
+  p.flow = 3;
+  p.seq = 17;
+  p.length_bits = 1000.0;
+  q.schedule_packet(1.0, EventOp::kServiceComplete, &t, p, /*t0=*/0.25,
+                    /*aux=*/2);
+  q.schedule_tick(2.0, &t, 512.0);
+  q.schedule_flow(3.0, EventOp::kChurnLeave, &t, /*flow=*/9);
+  while (q.run_one() != kTimeInfinity) {}
+  ASSERT_EQ(t.seen.size(), 3u);
+  EXPECT_EQ(t.seen[0].op, EventOp::kServiceComplete);
+  EXPECT_EQ(t.seen[0].packet.flow, 3u);
+  EXPECT_EQ(t.seen[0].packet.seq, 17u);
+  EXPECT_DOUBLE_EQ(t.seen[0].t0, 0.25);
+  EXPECT_EQ(t.seen[0].aux, 2u);
+  EXPECT_EQ(t.seen[1].op, EventOp::kSourceTick);
+  EXPECT_DOUBLE_EQ(t.seen[1].bits, 512.0);
+  EXPECT_EQ(t.seen[2].op, EventOp::kChurnLeave);
+  EXPECT_EQ(t.seen[2].flow, 9u);
+  EXPECT_EQ(t.times, (std::vector<Time>{1.0, 2.0, 3.0}));
+}
+
+TEST(EventQueue, TypedEventsCancelLikeCallbacks) {
+  EventQueue q;
+  RecordingTarget t;
+  Packet p;
+  p.flow = 1;
+  EventId a = q.schedule_packet(1.0, EventOp::kArrival, &t, p);
+  q.schedule_tick(2.0, &t, 1.0);
+  q.cancel(a);
+  while (q.run_one() != kTimeInfinity) {}
+  ASSERT_EQ(t.seen.size(), 1u);
+  EXPECT_EQ(t.seen[0].op, EventOp::kSourceTick);
+}
+
+// Randomized schedule/cancel/pop fuzz against a naive reference queue: the
+// slab + indexed-heap implementation must agree with an O(n) linear scan on
+// fire order, sizes, and which cancels take effect.
+TEST(EventQueue, FuzzAgainstNaiveReference) {
+  struct RefEvent {
+    Time when;
+    uint64_t seq;    // schedule order, breaks time ties
+    int tag;
+    bool alive;
+  };
+  std::mt19937_64 rng(20260806);
+  std::uniform_real_distribution<double> when_dist(0.0, 100.0);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    std::vector<RefEvent> ref;
+    std::vector<std::pair<EventId, std::size_t>> live;  // queue id -> ref idx
+    std::vector<int> got, want;
+    uint64_t seq = 0;
+    int next_tag = 0;
+    for (int step = 0; step < 2000; ++step) {
+      const uint64_t r = rng() % 100;
+      if (r < 50 || live.empty()) {
+        const Time t = when_dist(rng);
+        const int tag = next_tag++;
+        EventId id = q.schedule(t, [tag, &got] { got.push_back(tag); });
+        ref.push_back(RefEvent{t, seq++, tag, true});
+        live.emplace_back(id, ref.size() - 1);
+      } else if (r < 70) {
+        // Cancel a random live event (sometimes one cancelled before —
+        // the double-cancel must be a no-op).
+        const std::size_t pick = rng() % live.size();
+        q.cancel(live[pick].first);
+        ref[live[pick].second].alive = false;
+        if (rng() % 4 == 0) q.cancel(live[pick].first);
+        live.erase(live.begin() + pick);
+      } else {
+        // Pop: the reference fires the earliest (when, seq) live event.
+        const Time fired_at = q.run_one();
+        std::size_t best = ref.size();
+        for (std::size_t i = 0; i < ref.size(); ++i)
+          if (ref[i].alive && (best == ref.size() ||
+                               ref[i].when < ref[best].when ||
+                               (ref[i].when == ref[best].when &&
+                                ref[i].seq < ref[best].seq)))
+            best = i;
+        if (best == ref.size()) {
+          EXPECT_EQ(fired_at, kTimeInfinity);
+        } else {
+          EXPECT_DOUBLE_EQ(fired_at, ref[best].when);
+          want.push_back(ref[best].tag);
+          ref[best].alive = false;
+          live.erase(std::find_if(live.begin(), live.end(),
+                                  [&](auto& e) { return e.second == best; }));
+        }
+      }
+      const std::size_t ref_live =
+          static_cast<std::size_t>(std::count_if(
+              ref.begin(), ref.end(), [](auto& e) { return e.alive; }));
+      ASSERT_EQ(q.size(), ref_live) << "step " << step;
+    }
+    EXPECT_EQ(got, want);
+  }
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {

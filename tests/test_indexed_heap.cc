@@ -97,6 +97,54 @@ TEST(IndexedHeap, RandomizedAgainstSort) {
   }
 }
 
+// The event queue instantiates Arity=4; exercise that shape explicitly with
+// a randomized mix of push/update/erase/pop against a sorted reference
+// (covers the hole-based sift paths and the dedicated pop()).
+TEST(IndexedHeap, FourAryRandomizedMixedOps) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> key(0.0, 1000.0);
+  for (int round = 0; round < 10; ++round) {
+    IndexedHeap<TagKey, 4> h;
+    std::vector<std::pair<double, uint32_t>> ref;  // (key, id), absent erased
+    uint32_t next_id = 0;
+    for (int step = 0; step < 3000; ++step) {
+      const uint64_t r = rng() % 100;
+      if (r < 45 || ref.empty()) {
+        const uint32_t id = next_id++;
+        const double k = key(rng);
+        h.push(id, TagKey{k, 0, id});
+        ref.emplace_back(k, id);
+      } else if (r < 65) {
+        auto& e = ref[rng() % ref.size()];
+        e.first = key(rng);
+        h.update(e.second, TagKey{e.first, 0, e.second});
+      } else if (r < 80) {
+        const std::size_t pick = rng() % ref.size();
+        h.erase(ref[pick].second);
+        ref.erase(ref.begin() + pick);
+      } else {
+        auto best = std::min_element(
+            ref.begin(), ref.end(), [](auto& a, auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+        ASSERT_EQ(h.top_id(), best->second) << "step " << step;
+        h.pop();
+        EXPECT_FALSE(h.contains(best->second));
+        ref.erase(best);
+      }
+      ASSERT_EQ(h.size(), ref.size());
+    }
+    // Drain: full extraction must come out sorted.
+    std::sort(ref.begin(), ref.end());
+    for (auto& [k, id] : ref) {
+      EXPECT_EQ(h.top_id(), id);
+      h.pop();
+    }
+    EXPECT_TRUE(h.empty());
+  }
+}
+
 TEST(IndexedHeap, ClearResets) {
   IndexedHeap<TagKey> h;
   h.push(0, TagKey{1, 0, 0});
