@@ -29,6 +29,8 @@
 #include "core/scheduler_factory.h"
 #include "obs/invariant_checker.h"
 #include "obs/metrics.h"
+#include "obs/telemetry/registry_bridge.h"
+#include "obs/telemetry/telemetry.h"
 #include "obs/trace.h"
 #include "rt/engine.h"
 #include "rt/load_gen.h"
@@ -51,6 +53,8 @@ struct Args {
   std::string policy = "taildrop";
   std::size_t ring = 1 << 14;
   double stall_timeout = 2.0;  // watchdog window, seconds; 0 disables
+  double stats_interval = 0.0;  // live console stats cadence; 0 disables
+  int stats_port = -1;          // localhost HTTP exposition; -1 disables
   bool unpaced = false;
   bool check = false;
   std::string trace_path;
@@ -76,6 +80,9 @@ struct Args {
       "  --ring N            per-producer ring capacity (default 16384)\n"
       "  --stall-timeout S   watchdog: stop if backlogged with no service\n"
       "                      progress for S wall seconds (default 2, 0 off)\n"
+      "  --stats-interval S  print a live stats line every S seconds\n"
+      "  --stats-port P      serve Prometheus text at /metrics and JSON at\n"
+      "                      /metrics.json on 127.0.0.1:P (0 = ephemeral)\n"
       "  --unpaced           blast arrivals as fast as rings accept\n"
       "  --trace FILE        JSONL packet-lifecycle trace\n"
       "  --metrics FILE      metrics registry JSON dump\n"
@@ -118,6 +125,8 @@ Args parse(int argc, char** argv) {
     else if (f == "--policy") a.policy = need(i);
     else if (f == "--ring") a.ring = std::strtoul(need(i), nullptr, 10);
     else if (f == "--stall-timeout") a.stall_timeout = std::stod(need(i));
+    else if (f == "--stats-interval") a.stats_interval = std::stod(need(i));
+    else if (f == "--stats-port") a.stats_port = std::atoi(need(i));
     else if (f == "--unpaced") a.unpaced = true;
     else if (f == "--check") a.check = true;
     else if (f == "--trace") a.trace_path = need(i);
@@ -174,8 +183,16 @@ int main(int argc, char** argv) {
                                  ? net::OverloadPolicy::kPushout
                                  : net::OverloadPolicy::kTailDrop;
   eng_opts.stall_timeout = args.stall_timeout;
+  eng_opts.stats_interval = args.stats_interval;
+  eng_opts.stats_port = args.stats_port;
+  eng_opts.stats_console = args.stats_interval > 0.0;
   rt::RtEngine engine(*sched, std::make_unique<net::ConstantRate>(args.rate),
                       eng_opts);
+
+  // The telemetry plane is always attached: counters cost a relaxed
+  // load+store each and the latency summary below wants the histograms.
+  obs::telemetry::Telemetry telemetry;
+  engine.set_telemetry(&telemetry);
 
   // Observability: every sink that might be read while the dispatcher runs
   // goes through the thread-safe rt::SyncSink adapter.
@@ -229,6 +246,10 @@ int main(int argc, char** argv) {
               args.load, args.duration);
 
   engine.start();
+  if (args.stats_port >= 0)
+    std::printf("stats endpoint: http://127.0.0.1:%u/metrics (and "
+                "/metrics.json)\n",
+                engine.stats_endpoint_port());
   rt::LoadGen load_gen(engine, std::move(producer_flows), lg_opts);
 
   // Coarse service snapshots for the wall-clock fairness measurement: only
@@ -286,6 +307,19 @@ int main(int argc, char** argv) {
               st.transmitted / elapsed, st.tx_bits / elapsed, elapsed,
               1e3 * st.max_service_lag);
 
+  const obs::telemetry::TelemetrySnapshot tsnap = telemetry.snapshot();
+  {
+    const obs::telemetry::HistogramSnapshot delay =
+        tsnap.hist_total(obs::telemetry::HistId::kQueueDelay);
+    const obs::telemetry::HistogramSnapshot dwell =
+        tsnap.hist_total(obs::telemetry::HistId::kIngressDwell);
+    if (delay.count > 0)
+      std::printf("latency    enqueue->tx p50 %.3f ms, p99 %.3f ms, max "
+                  "%.3f ms; ingress dwell p99 %.3f ms\n",
+                  1e3 * delay.quantile_s(0.50), 1e3 * delay.quantile_s(0.99),
+                  1e3 * delay.max_s(), 1e3 * dwell.quantile_s(0.99));
+  }
+
   // Wall-clock fairness: worst normalized service gap over snapshot windows
   // in the steady middle of the run vs the Theorem-1 bound (+ one pacing
   // quantum per flow for in-flight attribution at window edges).
@@ -324,6 +358,9 @@ int main(int argc, char** argv) {
   }
 
   if (!args.metrics_path.empty()) {
+    // Fold the telemetry plane into the registry so the dump carries both
+    // catalogues (trace-derived flow metrics + hot-path engine telemetry).
+    obs::telemetry::bridge_to_registry(tsnap, registry);
     std::ofstream out(args.metrics_path);
     out << registry.json() << "\n";
   }

@@ -16,13 +16,18 @@ cmake --build "$BUILD" -j"$(nproc)" --target sfq_tests sfq_serve
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure \
-  -R 'SpscRing|RtEngine'
+  -R 'SpscRing|RtEngine|Telemetry'
 
 # Smoke: 4 producers paced at moderate overload, traced (SyncSink path), then
-# a second unpaced blast run (offer_wait/backpressure path).
+# a second unpaced blast run (offer_wait/backpressure path), then a stats run
+# that races the stats thread (console + HTTP exposition) against the
+# dispatcher and producers.
 "$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.3 \
   --rate 20e6 --load 1.5 --buffer 128 --policy pushout > /dev/null
 "$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.05 \
   --rate 1e12 --unpaced --buffer 0 > /dev/null
+"$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.4 \
+  --rate 20e6 --load 1.2 --buffer 256 --stats-interval 0.1 \
+  --stats-port 0 > /dev/null 2>&1
 
 echo "tsan.sh: TSAN clean"

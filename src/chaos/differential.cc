@@ -11,6 +11,7 @@
 #include "core/scheduler_factory.h"
 #include "net/rate_profile.h"
 #include "obs/invariant_checker.h"
+#include "obs/telemetry/telemetry.h"
 #include "obs/trace.h"
 #include "rt/engine.h"
 
@@ -239,6 +240,8 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                       eng_opts);
   std::vector<rt::CaptureOp> ops;
   engine.set_capture(&ops);
+  obs::telemetry::Telemetry tele;
+  engine.set_telemetry(&tele);
   engine.start();
   for (const Offer& o : offers) {
     Packet p;
@@ -251,6 +254,54 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
   if (engine.stalled()) {
     res.fail("rt-stall", "stall watchdog tripped while draining the load");
     return res;
+  }
+
+  // Telemetry conservation: the lock-free plane and the engine's own ledger
+  // count the same packets through independent code paths, so their flow
+  // identities must agree exactly — every packet pushed through ingress is
+  // accepted, dropped for a named cause, abandoned, or still in the backlog.
+  {
+    namespace tel = obs::telemetry;
+    const tel::TelemetrySnapshot ts = tele.snapshot();
+    const rt::EngineStats es = engine.stats();
+    auto c = [&](tel::CounterId id) { return ts.counter_total(id); };
+    const uint64_t pre_drops = c(tel::CounterId::kDropUnknownFlow) +
+                               c(tel::CounterId::kDropBufferLimit);
+    const uint64_t post_drops = c(tel::CounterId::kDropPushout) +
+                                c(tel::CounterId::kDropFlowRemoved);
+    const uint64_t backlog = static_cast<uint64_t>(
+        ts.gauge(tel::GaugeId::kBacklogPackets, 0));
+    auto conserve = [&](const char* what, uint64_t lhs, uint64_t rhs) {
+      if (lhs == rhs) return true;
+      std::ostringstream ss;
+      ss << "telemetry conservation broken (" << what << "): " << lhs
+         << " != " << rhs;
+      res.fail("telemetry", ss.str());
+      return false;
+    };
+    if (!conserve("pushed == accepted + pre-drops + abandoned",
+                  c(tel::CounterId::kIngressPushed),
+                  c(tel::CounterId::kAccepted) + pre_drops +
+                      c(tel::CounterId::kAbandoned)) ||
+        !conserve("accepted == transmitted + backlog + post-drops",
+                  c(tel::CounterId::kAccepted),
+                  c(tel::CounterId::kTransmitted) + backlog + post_drops) ||
+        !conserve("plane vs ledger: ingress_pushed",
+                  c(tel::CounterId::kIngressPushed), es.ingress_pushed) ||
+        !conserve("plane vs ledger: accepted", c(tel::CounterId::kAccepted),
+                  es.accepted) ||
+        !conserve("plane vs ledger: transmitted",
+                  c(tel::CounterId::kTransmitted), es.transmitted) ||
+        !conserve("plane vs ledger: abandoned", c(tel::CounterId::kAbandoned),
+                  es.abandoned))
+      return res;
+    for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) {
+      const obs::DropCause cause = static_cast<obs::DropCause>(i);
+      if (cause == obs::DropCause::kNone) continue;
+      if (!conserve(obs::to_string(cause), c(tel::drop_counter(cause)),
+                    es.drops[i]))
+        return res;
+    }
   }
 
   // Single-threaded replay of the captured op sequence on a fresh scheduler.

@@ -38,10 +38,15 @@ double Histogram::quantile(double q) const {
     const uint64_t prev = cum;
     cum += counts_[i];
     if (static_cast<double>(cum) < target) continue;
+    // The overflow bucket has no finite upper edge, so there is nothing to
+    // interpolate against: any in-bucket position would pretend the samples
+    // spread uniformly up to max(), which one outlier makes arbitrarily
+    // wrong. Clamp to the observed maximum instead.
+    if (i == bounds_.size()) return max_;
     // Interpolate within bucket i; clamp to observed extremes so q=0/1
     // return min/max rather than bucket edges.
     const double lo = i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
-    const double hi = i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+    const double hi = std::min(max_, bounds_[i]);
     const double frac =
         (target - static_cast<double>(prev)) / static_cast<double>(counts_[i]);
     return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);

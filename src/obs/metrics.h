@@ -100,7 +100,10 @@ class MetricsRegistry {
 // provided ("flow<id>" otherwise). Metrics populated:
 //   sched.enqueued / sched.dequeued / sched.tx_packets        counters
 //   sched.tx_bits                                             counter
-//   sched.drops.buffer_limit / sched.drops.unknown_flow       counters
+//   sched.drops.<cause>                                       counters
+//     one per DropCause: buffer_limit, unknown_flow, fault_loss,
+//     corrupt, pushout, flow_removed — all six are materialized at
+//     construction so clean runs report explicit zeros
 //   sched.backlog_packets                                     gauge
 //   sched.vtime / sched.vtime_lag                             gauges
 //   flow.<label>.enqueued / .tx_packets / .drops              counters

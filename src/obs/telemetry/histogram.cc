@@ -1,0 +1,96 @@
+#include "obs/telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfq::obs::telemetry {
+
+LockFreeHistogram::LockFreeHistogram()
+    : counts_(new std::atomic<uint64_t>[kHistBuckets]) {
+  for (std::size_t i = 0; i < kHistBuckets; ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+}
+
+uint64_t LockFreeHistogram::to_nanos(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // negatives and NaN clamp to zero
+  const double ns = seconds * 1e9;
+  if (ns >= 1.8e19) return ~0ull;  // saturate far above any real latency
+  return static_cast<uint64_t>(ns);
+}
+
+HistogramSnapshot LockFreeHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.counts.resize(kHistBuckets);
+  uint64_t total = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    s.counts[i] = c;
+    if (c == 0) continue;
+    total += c;
+    // Exact buckets hold exactly their lower edge; log buckets contribute
+    // their midpoint (halves summed separately to dodge uint64 overflow).
+    const double mid =
+        i < kSubBuckets
+            ? static_cast<double>(i)
+            : static_cast<double>(hist_bucket_lo(i)) / 2.0 +
+                  static_cast<double>(hist_bucket_hi(i)) / 2.0;
+    sum += static_cast<double>(c) * mid;
+  }
+  s.count = total;
+  s.sum_ns = sum >= 1.8e19 ? ~0ull : static_cast<uint64_t>(sum);
+  return s;
+}
+
+uint64_t HistogramSnapshot::min_ns() const {
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    if (counts[i] != 0) return hist_bucket_lo(i);
+  return 0;
+}
+
+uint64_t HistogramSnapshot::max_ns() const {
+  for (std::size_t i = counts.size(); i-- > 0;)
+    if (counts[i] != 0) return hist_bucket_hi(i) - 1;
+  return 0;
+}
+
+double HistogramSnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    const double lo = static_cast<double>(hist_bucket_lo(i));
+    const double hi = static_cast<double>(hist_bucket_hi(i));
+    const double frac = (target - static_cast<double>(prev)) /
+                        static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return static_cast<double>(max_ns());
+}
+
+uint64_t HistogramSnapshot::cumulative_below(uint64_t upper_ns) const {
+  uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (hist_bucket_lo(i) >= upper_ns) break;
+    cum += counts[i];
+  }
+  return cum;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.counts.empty()) return;
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum_ns += other.sum_ns;
+}
+
+}  // namespace sfq::obs::telemetry

@@ -1,0 +1,86 @@
+// Stage profiling scopes (docs/OBSERVABILITY.md).
+//
+// A StageProfiler times named pipeline stages (RtEngine drain / schedule /
+// transmit, the sim event loop) into the telemetry plane's stage histograms.
+// Two gates keep it honest about cost:
+//
+//   * compile time — the SFQ_PROF_SCOPE macro expands to nothing unless the
+//     build defines SFQ_TELEMETRY_PROFILING (CMake -DSFQ_TELEMETRY_PROFILING
+//     =ON), so default builds carry zero instructions for it;
+//   * run time — even when compiled in, scopes are no-ops until
+//     StageProfiler::enable(true); the check is one relaxed load.
+//
+// The clock is steady_clock; on the platforms we build for it compiles to a
+// handful of instructions around rdtsc-backed clock_gettime. The class
+// itself is always available (tests drive it directly); only the hot-path
+// macro injection is compile-gated.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/telemetry/telemetry.h"
+
+namespace sfq::obs::telemetry {
+
+class StageProfiler {
+ public:
+  StageProfiler(Telemetry& plane, std::size_t shard = 0)
+      : plane_(plane), shard_(shard) {}
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record_ns(HistId stage, uint64_t ns) {
+    plane_.record(stage, ns, shard_);
+  }
+
+  // RAII scope: samples the clock on entry and records the delta on exit
+  // when the profiler is non-null and enabled.
+  class Scope {
+   public:
+    Scope(StageProfiler* p, HistId stage) : p_(p), stage_(stage) {
+      if (p_ != nullptr && p_->enabled())
+        t0_ = std::chrono::steady_clock::now();
+      else
+        p_ = nullptr;
+    }
+    ~Scope() {
+      if (p_ == nullptr) return;
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      p_->record_ns(
+          stage_,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()));
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageProfiler* p_;
+    HistId stage_;
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+ private:
+  Telemetry& plane_;
+  std::size_t shard_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace sfq::obs::telemetry
+
+// Hot-path injection point. `prof` is a StageProfiler* (may be null). The
+// two-level concat lets __LINE__ expand before pasting, so multiple scopes
+// can share a block.
+#if defined(SFQ_TELEMETRY_PROFILING)
+#define SFQ_PROF_CONCAT2(a, b) a##b
+#define SFQ_PROF_CONCAT(a, b) SFQ_PROF_CONCAT2(a, b)
+#define SFQ_PROF_SCOPE(prof, stage)                 \
+  ::sfq::obs::telemetry::StageProfiler::Scope       \
+      SFQ_PROF_CONCAT(sfq_prof_scope_, __LINE__)((prof), (stage))
+#else
+#define SFQ_PROF_SCOPE(prof, stage) ((void)0)
+#endif

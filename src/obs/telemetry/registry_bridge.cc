@@ -1,0 +1,58 @@
+#include "obs/telemetry/registry_bridge.h"
+
+#include <string>
+
+namespace sfq::obs::telemetry {
+
+namespace {
+
+// Advances a monotone registry counter to `target` (registry counters only
+// expose inc(), so the bridge adds the delta; a target below the current
+// value — a different plane bridged into the same registry — is left alone).
+void advance(Counter& c, uint64_t target) {
+  if (target > c.value()) c.inc(target - c.value());
+}
+
+void bridge_hist(MetricsRegistry& reg, const std::string& base,
+                 const HistogramSnapshot& h) {
+  reg.gauge(base + ".count").set(static_cast<double>(h.count));
+  reg.gauge(base + ".mean").set(h.mean_s());
+  reg.gauge(base + ".p50").set(h.quantile_s(0.50));
+  reg.gauge(base + ".p99").set(h.quantile_s(0.99));
+  reg.gauge(base + ".max").set(h.max_s());
+}
+
+}  // namespace
+
+void bridge_to_registry(const TelemetrySnapshot& snap, MetricsRegistry& reg) {
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const CounterId id = static_cast<CounterId>(c);
+    advance(reg.counter(name(id)), snap.counter_total(id));
+    if (snap.shards > 1)
+      for (std::size_t sh = 0; sh < snap.shards; ++sh)
+        advance(reg.counter(std::string(name(id)) + ".shard" +
+                            std::to_string(sh)),
+                snap.counter(id, sh));
+  }
+  for (std::size_t g = 0; g < kGaugeCount; ++g) {
+    const GaugeId id = static_cast<GaugeId>(g);
+    // Gauges are per shard; the unsuffixed name carries shard 0 (the only
+    // shard today), suffixed series appear once there are more.
+    reg.gauge(name(id)).set(snap.gauge(id, 0));
+    if (snap.shards > 1)
+      for (std::size_t sh = 0; sh < snap.shards; ++sh)
+        reg.gauge(std::string(name(id)) + ".shard" + std::to_string(sh))
+            .set(snap.gauge(id, sh));
+  }
+  for (std::size_t h = 0; h < kHistCount; ++h) {
+    const HistId id = static_cast<HistId>(h);
+    bridge_hist(reg, name(id), snap.hist_total(id));
+    if (snap.shards > 1)
+      for (std::size_t sh = 0; sh < snap.shards; ++sh)
+        bridge_hist(reg,
+                    std::string(name(id)) + ".shard" + std::to_string(sh),
+                    snap.hist(id, sh));
+  }
+}
+
+}  // namespace sfq::obs::telemetry

@@ -1,0 +1,24 @@
+// Bridge from the hot-path telemetry plane into PR 1's MetricsRegistry
+// (docs/OBSERVABILITY.md), so existing dumps, configs and tests keep
+// working: `sfq_serve --metrics out.json` includes the telemetry catalogue
+// alongside the trace-derived metrics.
+//
+// Counters land under their telemetry names (shard-summed, plus a
+// `.shard<N>` series when the plane has more than one shard) by advancing
+// the registry counter to the snapshot value; gauges are set directly;
+// histograms surface as <name>.{count,mean,p50,p99,max} gauges (seconds) —
+// the registry's own Histogram accumulates raw observations and cannot
+// adopt pre-bucketed counts losslessly.
+//
+// Idempotent per snapshot: bridging a newer snapshot of the same plane
+// advances counters by the delta, so repeated periodic bridging is safe.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/telemetry/telemetry.h"
+
+namespace sfq::obs::telemetry {
+
+void bridge_to_registry(const TelemetrySnapshot& snap, MetricsRegistry& reg);
+
+}  // namespace sfq::obs::telemetry

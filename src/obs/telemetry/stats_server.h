@@ -1,0 +1,60 @@
+// Minimal localhost HTTP exposition endpoint (docs/OBSERVABILITY.md).
+//
+// Serves the most recently published snapshot renderings over plain TCP on
+// 127.0.0.1 — enough for `curl`, a Prometheus scrape job, or a test client:
+//
+//   GET /metrics        -> text/plain Prometheus exposition
+//   GET /metrics.json   -> application/json snapshot
+//   anything else       -> 404
+//
+// publish() swaps in pre-rendered strings under a mutex; the accept loop
+// runs on its own thread and never touches the telemetry plane, so the
+// server adds zero work to the hot path. One request per connection
+// (HTTP/1.0 close semantics) keeps the loop trivial.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sfq::obs::telemetry {
+
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer();  // stop() if still running
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Binds 127.0.0.1:port (0 picks an ephemeral port, readable via port())
+  // and starts the accept thread. Throws std::runtime_error on bind failure.
+  void start(uint16_t port);
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  // Swaps the served payloads; safe from any thread.
+  void publish(std::string prometheus, std::string json);
+
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> served_{0};
+  std::mutex mu_;
+  std::string prometheus_;
+  std::string json_;
+};
+
+}  // namespace sfq::obs::telemetry

@@ -1,0 +1,76 @@
+#include "obs/telemetry/telemetry.h"
+
+#include <stdexcept>
+
+namespace sfq::obs::telemetry {
+
+Telemetry::Telemetry(TelemetryOptions opts)
+    : shards_(opts.shards == 0 ? 1 : opts.shards),
+      gauges_(new std::atomic<double>[shards_ * kGaugeCount]),
+      hists_(new LockFreeHistogram[shards_ * kHistCount]) {
+  for (std::size_t i = 0; i < shards_ * kGaugeCount; ++i)
+    gauges_[i].store(0.0, std::memory_order_relaxed);
+}
+
+Telemetry::Writer Telemetry::writer(std::size_t shard) {
+  if (shard >= shards_)
+    throw std::out_of_range("Telemetry::writer: shard out of range");
+  std::lock_guard<std::mutex> lock(writers_mu_);
+  writers_.push_back(std::make_unique<Writer::Cells>());
+  Writer::Cells* cells = writers_.back().get();
+  cells->shard = shard;
+  for (std::atomic<uint64_t>& c : cells->v)
+    c.store(0, std::memory_order_relaxed);
+  Writer w;
+  w.cells_ = cells;
+  return w;
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot s;
+  s.shards = shards_;
+  s.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.counters.assign(shards_, {});
+  s.gauges.assign(shards_, {});
+  {
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    for (const auto& cells : writers_) {
+      auto& dst = s.counters[cells->shard];
+      for (std::size_t i = 0; i < kCounterCount; ++i)
+        dst[i] += cells->v[i].load(std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t sh = 0; sh < shards_; ++sh)
+    for (std::size_t g = 0; g < kGaugeCount; ++g)
+      s.gauges[sh][g] =
+          gauges_[sh * kGaugeCount + g].load(std::memory_order_relaxed);
+  s.hists.resize(shards_);
+  for (std::size_t sh = 0; sh < shards_; ++sh) {
+    s.hists[sh].reserve(kHistCount);
+    for (std::size_t h = 0; h < kHistCount; ++h)
+      s.hists[sh].push_back(hists_[sh * kHistCount + h].snapshot());
+  }
+  return s;
+}
+
+uint64_t TelemetrySnapshot::counter_total(CounterId id) const {
+  uint64_t total = 0;
+  for (std::size_t sh = 0; sh < shards; ++sh) total += counter(id, sh);
+  return total;
+}
+
+HistogramSnapshot TelemetrySnapshot::hist_total(HistId id) const {
+  HistogramSnapshot total;
+  for (std::size_t sh = 0; sh < shards; ++sh) total.merge(hist(id, sh));
+  return total;
+}
+
+uint64_t TelemetrySnapshot::drops_total(std::size_t shard) const {
+  uint64_t n = 0;
+  for (std::size_t c = static_cast<std::size_t>(CounterId::kDropBufferLimit);
+       c <= static_cast<std::size_t>(CounterId::kDropFlowRemoved); ++c)
+    n += counters[shard][c];
+  return n;
+}
+
+}  // namespace sfq::obs::telemetry

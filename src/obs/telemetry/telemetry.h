@@ -1,0 +1,140 @@
+// Lock-free, zero-steady-state-allocation telemetry plane for live engines
+// (docs/OBSERVABILITY.md).
+//
+// Layout per shard (shard = one dispatcher of the future multi-core engine;
+// today's single-dispatcher RtEngine is shard 0):
+//
+//   * counters — one cache-line-aligned cell block per registered *writer*
+//     (thread). A writer increments its own cells with a relaxed load+store
+//     pair (single-writer, so no RMW needed); the reader aggregates by
+//     summing cells across writers. Sums of per-writer monotone counters
+//     are monotone across snapshots, so readers never observe a counter go
+//     backwards.
+//   * gauges — one atomic<double> per id per shard, plain store/load.
+//   * histograms — one LockFreeHistogram per id per shard, multi-writer
+//     wait-free fetch_add (histogram.h).
+//
+// Registration (writer(), at thread setup) takes a mutex and allocates; the
+// record path after that touches only pre-allocated atomics. snapshot() is
+// the only reader-side operation and is safe from any thread at any time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/telemetry/histogram.h"
+#include "obs/telemetry/metric_ids.h"
+
+namespace sfq::obs::telemetry {
+
+inline constexpr std::size_t kTelemetryCacheLine = 64;
+
+struct TelemetryOptions {
+  std::size_t shards = 1;
+};
+
+// Everything a snapshot captures, as plain values. Counters and histograms
+// are per shard plus precomputed totals; epoch increments per snapshot so
+// pollers can tell refreshes apart.
+struct TelemetrySnapshot {
+  std::size_t shards = 0;
+  uint64_t epoch = 0;
+  std::vector<std::array<uint64_t, kCounterCount>> counters;  // [shard]
+  std::vector<std::array<double, kGaugeCount>> gauges;        // [shard]
+  std::vector<std::vector<HistogramSnapshot>> hists;  // [shard][kHistCount]
+
+  uint64_t counter(CounterId id, std::size_t shard) const {
+    return counters[shard][static_cast<std::size_t>(id)];
+  }
+  uint64_t counter_total(CounterId id) const;
+  double gauge(GaugeId id, std::size_t shard) const {
+    return gauges[shard][static_cast<std::size_t>(id)];
+  }
+  const HistogramSnapshot& hist(HistId id, std::size_t shard) const {
+    return hists[shard][static_cast<std::size_t>(id)];
+  }
+  // Bucket-wise merge across shards.
+  HistogramSnapshot hist_total(HistId id) const;
+  uint64_t drops_total(std::size_t shard) const;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions opts = {});
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  std::size_t shards() const { return shards_; }
+
+  // A thread's handle onto its private counter cells. Values may move to the
+  // plane only through a writer; the handle stays valid for the plane's
+  // lifetime and must be used by one thread at a time.
+  class Writer {
+   public:
+    Writer() = default;
+
+    void inc(CounterId id, uint64_t n = 1) {
+      std::atomic<uint64_t>& c = cells_->v[static_cast<std::size_t>(id)];
+      // Single-writer cell: load+store beats a locked RMW on the hot path.
+      c.store(c.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+    }
+    void drop(DropCause cause) { inc(drop_counter(cause)); }
+
+    explicit operator bool() const { return cells_ != nullptr; }
+
+   private:
+    friend class Telemetry;
+    struct Cells {
+      alignas(kTelemetryCacheLine) std::array<std::atomic<uint64_t>,
+                                              kCounterCount> v;
+      std::size_t shard = 0;
+    };
+    Cells* cells_ = nullptr;
+  };
+
+  // Registers a new writer against `shard`. Allocates (mutex-protected) —
+  // call at thread setup, never on the record path.
+  Writer writer(std::size_t shard);
+
+  // Gauges: single conceptual writer per (id, shard); last store wins.
+  void set_gauge(GaugeId id, double v, std::size_t shard = 0) {
+    gauges_[shard * kGaugeCount + static_cast<std::size_t>(id)].store(
+        v, std::memory_order_relaxed);
+  }
+  double gauge(GaugeId id, std::size_t shard = 0) const {
+    return gauges_[shard * kGaugeCount + static_cast<std::size_t>(id)].load(
+        std::memory_order_relaxed);
+  }
+
+  // Histograms: multi-writer wait-free.
+  LockFreeHistogram& hist(HistId id, std::size_t shard = 0) {
+    return hists_[shard * kHistCount + static_cast<std::size_t>(id)];
+  }
+  void record(HistId id, uint64_t ns, std::size_t shard = 0) {
+    hist(id, shard).record(ns);
+  }
+  void record_seconds(HistId id, double s, std::size_t shard = 0) {
+    hist(id, shard).record_seconds(s);
+  }
+
+  // Aggregated snapshot, any thread. Counter sums are monotone snapshot to
+  // snapshot; histogram totals are never torn (count == sum of buckets by
+  // construction).
+  TelemetrySnapshot snapshot() const;
+
+ private:
+  std::size_t shards_;
+  std::unique_ptr<std::atomic<double>[]> gauges_;   // shards * kGaugeCount
+  std::unique_ptr<LockFreeHistogram[]> hists_;      // shards * kHistCount
+  mutable std::mutex writers_mu_;
+  std::vector<std::unique_ptr<Writer::Cells>> writers_;
+  mutable std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace sfq::obs::telemetry

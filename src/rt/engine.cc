@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry/exposition.h"
+#include "stats/fairness.h"
+
 namespace sfq::rt {
+
+namespace tel = obs::telemetry;
 
 namespace {
 
@@ -40,6 +47,15 @@ RtEngine::RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
 
 RtEngine::~RtEngine() {
   if (running()) stop(StopMode::kAbandon);
+  // A watchdog-stopped engine (dispatcher exited on its own, stop() never
+  // called) can still own a live stats thread/server.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_stop_ = true;
+  }
+  stats_cv_.notify_all();
+  if (stats_thread_.joinable()) stats_thread_.join();
+  if (stats_server_) stats_server_->stop();
 }
 
 void RtEngine::set_tracer(obs::Tracer* tracer) {
@@ -49,23 +65,53 @@ void RtEngine::set_tracer(obs::Tracer* tracer) {
   sched_.set_tracer(tracer);
 }
 
+void RtEngine::set_telemetry(tel::Telemetry* plane) {
+  if (running())
+    throw std::logic_error("RtEngine: set_telemetry while running");
+  tele_ = plane;
+  tele_on_ = plane != nullptr;
+  prod_writers_.clear();
+  profiler_.reset();
+  h_dwell_ = h_qdelay_ = h_lag_ = nullptr;
+  if (tele_ == nullptr) return;
+  const std::size_t shard = opts_.telemetry_shard;
+  disp_writer_ = tele_->writer(shard);
+  h_dwell_ = &tele_->hist(tel::HistId::kIngressDwell, shard);
+  h_qdelay_ = &tele_->hist(tel::HistId::kQueueDelay, shard);
+  h_lag_ = &tele_->hist(tel::HistId::kServiceLag, shard);
+  prod_writers_.reserve(ingress_.producers());
+  for (std::size_t i = 0; i < ingress_.producers(); ++i)
+    prod_writers_.push_back(tele_->writer(shard));
+  profiler_ = std::make_unique<tel::StageProfiler>(*tele_, shard);
+  profiler_->enable(opts_.profiling);
+}
+
 bool RtEngine::offer(std::size_t i, Packet p) {
   if (!accepting_.load(std::memory_order_acquire)) {
     ingress_.count_drop(i);
+    if (tele_on_) prod_writers_[i].inc(tel::CounterId::kIngressDrops);
     return false;
   }
-  return ingress_.push(i, std::move(p), clock_.now());
+  const bool pushed = ingress_.push(i, std::move(p), clock_.now());
+  if (tele_on_)
+    prod_writers_[i].inc(pushed ? tel::CounterId::kIngressPushed
+                                : tel::CounterId::kIngressDrops);
+  return pushed;
 }
 
 bool RtEngine::offer_wait(std::size_t i, Packet p) {
   for (;;) {
     if (!accepting_.load(std::memory_order_acquire)) {
       ingress_.count_drop(i);
+      if (tele_on_) prod_writers_[i].inc(tel::CounterId::kIngressDrops);
       return false;
     }
     // Packet is trivially copyable; retry with a fresh timestamp each spin
     // so the ingress stamp reflects when the push actually succeeded.
-    if (ingress_.push(i, p, clock_.now(), /*count_full=*/false)) return true;
+    if (ingress_.push(i, p, clock_.now(), /*count_full=*/false)) {
+      if (tele_on_) prod_writers_[i].inc(tel::CounterId::kIngressPushed);
+      return true;
+    }
     std::this_thread::yield();
   }
 }
@@ -77,9 +123,32 @@ void RtEngine::start() {
   flow_bits_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     flow_bits_.push_back(std::make_unique<std::atomic<double>>(0.0));
+  if (tele_on_) {
+    // The flow table is immutable while the engine runs, so the stats thread
+    // works off a private copy of the fairness parameters.
+    fair_weights_.reserve(n);
+    fair_max_bits_.reserve(n);
+    for (FlowId f = 0; f < n; ++f) {
+      fair_weights_.push_back(sched_.flows().weight(f));
+      fair_max_bits_.push_back(sched_.flows().spec(f).max_packet_bits);
+    }
+  }
   accepting_.store(true, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  dispatcher_ = std::thread([this] { run(); });
+  dispatcher_ = std::thread([this] {
+    run();
+    // Whatever ended the run (stop() or the watchdog), leave the gauges
+    // describing the final state for post-run scrapes and bridges.
+    if (tele_on_) publish_final_gauges();
+  });
+  if (tele_on_ && (opts_.stats_interval > 0.0 || opts_.stats_port >= 0)) {
+    if (opts_.stats_port >= 0) {
+      stats_server_ = std::make_unique<tel::StatsServer>();
+      stats_server_->start(static_cast<uint16_t>(opts_.stats_port));
+    }
+    stats_stop_ = false;
+    stats_thread_ = std::thread([this] { stats_loop(); });
+  }
 }
 
 void RtEngine::stop(StopMode mode) {
@@ -89,6 +158,15 @@ void RtEngine::stop(StopMode mode) {
   stop_mode_.store(mode, std::memory_order_relaxed);
   stop_requested_.store(true, std::memory_order_release);
   if (dispatcher_.joinable()) dispatcher_.join();
+  // Stop the stats thread after the dispatcher so its final pass sees the
+  // settled counters. The TCP endpoint stays up until destruction so late
+  // scrapes still read the final snapshot.
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_stop_ = true;
+  }
+  stats_cv_.notify_all();
+  if (stats_thread_.joinable()) stats_thread_.join();
   running_.store(false, std::memory_order_release);
 }
 
@@ -114,6 +192,7 @@ void RtEngine::run() {
     //    counts them) instead of feeding a backlog nobody will serve.
     int drained = 0;
     if (!abandon) {
+      SFQ_PROF_SCOPE(profiler_.get(), tel::HistId::kStageDrain);
       while (drained < kDrainBatch) {
         std::optional<IngressItem> item = ingress_.pop_earliest();
         if (!item) break;
@@ -127,19 +206,28 @@ void RtEngine::run() {
     //    Work-conserving on the wall clock: the link is busy from dequeue
     //    until the profile's finish time.
     int served = 0;
+    uint64_t served_bits = 0;
     while (served < kServiceBatch) {
       if (!timers_.empty()) {
         const Time now = clock_.now();
         if (now < timers_.next_time()) break;  // deadline in the future
         sim::EventQueue::Popped done;
         timers_.pop(done);
-        complete(done.event.packet, now, /*deadline=*/done.when);
+        {
+          SFQ_PROF_SCOPE(profiler_.get(), tel::HistId::kStageTransmit);
+          complete(done.event.packet, now, /*deadline=*/done.when);
+        }
+        served_bits += static_cast<uint64_t>(done.event.packet.length_bits);
         last_progress = now;
         ++served;
       }
       if (abandon) break;
       const Time now = clock_.now();
-      std::optional<Packet> next = sched_.dequeue(now);
+      std::optional<Packet> next;
+      {
+        SFQ_PROF_SCOPE(profiler_.get(), tel::HistId::kStageSchedule);
+        next = sched_.dequeue(now);
+      }
       if (!next) break;
       if (capture_ != nullptr)
         capture_->push_back({CaptureOp::Kind::kDequeue, *next, now});
@@ -152,6 +240,13 @@ void RtEngine::run() {
                               /*target=*/nullptr, *next);
       last_progress = now;
     }
+    // Flush transmit counters once per serve batch rather than per packet:
+    // histograms need per-packet samples but the counters only need totals.
+    if (tele_on_ && served > 0) {
+      disp_writer_.inc(tel::CounterId::kTransmitted,
+                       static_cast<uint64_t>(served));
+      disp_writer_.inc(tel::CounterId::kTxBits, served_bits);
+    }
 
     // 4. Exit checks.
     if (stopping && timers_.empty()) {
@@ -159,6 +254,7 @@ void RtEngine::run() {
         uint64_t left = 0;
         while (ingress_.pop_earliest()) ++left;
         abandoned_.fetch_add(left, std::memory_order_relaxed);
+        if (tele_on_) disp_writer_.inc(tel::CounterId::kAbandoned, left);
         return;
       }
       if (drained == 0 && ingress_.empty() && sched_.empty()) return;
@@ -179,6 +275,10 @@ void RtEngine::run() {
         uint64_t left = 0;
         while (ingress_.pop_earliest()) ++left;
         abandoned_.fetch_add(left, std::memory_order_relaxed);
+        if (tele_on_) {
+          disp_writer_.inc(tel::CounterId::kStalls);
+          disp_writer_.inc(tel::CounterId::kAbandoned, left);
+        }
         stalled_.store(true, std::memory_order_release);
         return;
       }
@@ -214,6 +314,8 @@ void RtEngine::run() {
 void RtEngine::inject(IngressItem item) {
   Packet& p = item.packet;
   const Time now = clock_.now();
+  if (tele_on_ && (++dwell_tick_ & ((1u << kTeleSampleShift) - 1)) == 0)
+    h_dwell_->record_seconds_single_writer(now - item.t_ingress);
   const FlowTable& table = sched_.flows();
   const bool registered = p.flow < table.size();
   if (registered ? !table.active(p.flow)
@@ -256,9 +358,11 @@ void RtEngine::inject(IngressItem item) {
     // there); mirror it in the engine ledger like ScheduledServer does.
     cause_drops_[static_cast<std::size_t>(obs::DropCause::kUnknownFlow)]
         .fetch_add(1, std::memory_order_relaxed);
+    if (tele_on_) disp_writer_.drop(obs::DropCause::kUnknownFlow);
     return;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (tele_on_) disp_writer_.inc(tel::CounterId::kAccepted);
   if (trace_on_) [[unlikely]] {
     obs::TraceEvent e;
     e.type = obs::TraceEventType::kEnqueue;
@@ -275,6 +379,7 @@ void RtEngine::inject(IngressItem item) {
 void RtEngine::drop(Packet&& p, Time now, obs::DropCause cause) {
   cause_drops_[static_cast<std::size_t>(cause)].fetch_add(
       1, std::memory_order_relaxed);
+  if (tele_on_) disp_writer_.drop(cause);
   if (trace_on_) [[unlikely]]
     tracer_->emit(obs::make_event(obs::TraceEventType::kDrop, p, now,
                                   /*vtime=*/0.0, sched_.backlog_packets(),
@@ -298,6 +403,14 @@ void RtEngine::complete(const Packet& p, Time now, Time deadline) {
   const double lag = now - deadline;
   if (lag > max_service_lag_.load(std::memory_order_relaxed))
     max_service_lag_.store(lag, std::memory_order_relaxed);
+  // kTransmitted / kTxBits are flushed per serve batch in run(). The
+  // enqueue->transmit histogram records every packet; service lag is
+  // sampled (see kTeleSampleShift).
+  if (tele_on_) {
+    h_qdelay_->record_seconds_single_writer(now - p.arrival);
+    if ((++lag_tick_ & ((1u << kTeleSampleShift) - 1)) == 0)
+      h_lag_->record_seconds_single_writer(lag);
+  }
   if (trace_on_) [[unlikely]]
     tracer_->emit(obs::make_event(obs::TraceEventType::kTxEnd, p, now,
                                   /*vtime=*/0.0, sched_.backlog_packets()));
@@ -351,6 +464,93 @@ std::vector<double> RtEngine::service_snapshot() const {
   for (std::size_t f = 0; f < flow_bits_.size(); ++f)
     out[f] = flow_bits_[f]->load(std::memory_order_acquire);
   return out;
+}
+
+void RtEngine::stats_loop() {
+  // Default cadence when only the TCP endpoint was requested: scrapes want
+  // reasonably fresh data even without an explicit interval.
+  const double interval =
+      opts_.stats_interval > 0.0 ? opts_.stats_interval : 0.5;
+  std::vector<double> prev_service = service_snapshot();
+  std::unique_lock<std::mutex> lock(stats_mu_);
+  while (!stats_stop_) {
+    stats_cv_.wait_for(lock, std::chrono::duration<double>(interval),
+                       [this] { return stats_stop_; });
+    lock.unlock();
+    publish_stats(prev_service);
+    lock.lock();
+  }
+  lock.unlock();
+  // One final pass after the dispatcher settled (stop() joins it before
+  // signalling us) so the published snapshot matches the final ledger.
+  publish_stats(prev_service);
+}
+
+void RtEngine::publish_stats(std::vector<double>& prev_service) {
+  const std::size_t shard = opts_.telemetry_shard;
+  const EngineStats es = stats();
+  tele_->set_gauge(tel::GaugeId::kBacklogPackets,
+                   static_cast<double>(es.backlog), shard);
+  tele_->set_gauge(tel::GaugeId::kServiceLagMax, es.max_service_lag, shard);
+
+  // Theorem-1 fairness monitor over the last window: for every pair of flows
+  // that both received service, compare normalized service W_f/r_f against
+  // the paper's bound l_f/r_f + l_m/r_m (stats::sfq_fairness_bound). Flows
+  // idle in the window are skipped — the theorem only covers intervals where
+  // both flows are backlogged, and "both received service" is the cheapest
+  // online proxy for that.
+  const std::vector<double> cur = service_snapshot();
+  double gap = 0.0;
+  double bound = 0.0;
+  for (std::size_t f = 0; f < cur.size(); ++f) {
+    const double df = cur[f] - prev_service[f];
+    if (df <= 0.0) continue;
+    for (std::size_t m = f + 1; m < cur.size(); ++m) {
+      const double dm = cur[m] - prev_service[m];
+      if (dm <= 0.0) continue;
+      const double g =
+          std::abs(df / fair_weights_[f] - dm / fair_weights_[m]);
+      const double b = stats::sfq_fairness_bound(
+          fair_max_bits_[f], fair_weights_[f], fair_max_bits_[m],
+          fair_weights_[m]);
+      if (g > gap) gap = g;
+      if (b > bound) bound = b;
+    }
+  }
+  prev_service = cur;
+  tele_->set_gauge(tel::GaugeId::kFairnessGap, gap, shard);
+  if (gap > tele_->gauge(tel::GaugeId::kFairnessGapMax, shard))
+    tele_->set_gauge(tel::GaugeId::kFairnessGapMax, gap, shard);
+  tele_->set_gauge(tel::GaugeId::kFairnessBound, bound, shard);
+
+  const tel::TelemetrySnapshot snap = tele_->snapshot();
+  if (stats_server_)
+    stats_server_->publish(tel::to_prometheus(snap), tel::to_json(snap));
+  if (opts_.stats_console) {
+    const tel::HistogramSnapshot qd = snap.hist_total(tel::HistId::kQueueDelay);
+    uint64_t drops = snap.drops_total(shard);
+    std::fprintf(stderr,
+                 "[sfq stats] tx=%llu drops=%llu backlog=%llu "
+                 "delay_p50=%.3fms p99=%.3fms max=%.3fms "
+                 "fair_gap=%.3gms bound=%.3gms lag_max=%.3fms\n",
+                 static_cast<unsigned long long>(es.transmitted),
+                 static_cast<unsigned long long>(drops),
+                 static_cast<unsigned long long>(es.backlog),
+                 qd.quantile_s(0.50) * 1e3, qd.quantile_s(0.99) * 1e3,
+                 qd.max_s() * 1e3, gap * 1e3, bound * 1e3,
+                 es.max_service_lag * 1e3);
+  }
+}
+
+void RtEngine::publish_final_gauges() {
+  // Runs on the dispatcher as its last act, so post-run snapshots (chaos
+  // conservation checks, registry bridges) see the settled backlog even when
+  // no stats thread was configured.
+  const std::size_t shard = opts_.telemetry_shard;
+  const EngineStats es = stats();
+  tele_->set_gauge(tel::GaugeId::kBacklogPackets,
+                   static_cast<double>(es.backlog), shard);
+  tele_->set_gauge(tel::GaugeId::kServiceLagMax, es.max_service_lag, shard);
 }
 
 }  // namespace sfq::rt

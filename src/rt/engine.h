@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,9 @@
 #include "core/scheduler.h"
 #include "net/rate_profile.h"
 #include "net/scheduled_server.h"  // OverloadPolicy
+#include "obs/telemetry/profile.h"
+#include "obs/telemetry/stats_server.h"
+#include "obs/telemetry/telemetry.h"
 #include "obs/trace.h"
 #include "rt/clock.h"
 #include "rt/ingress.h"
@@ -37,6 +41,27 @@ struct EngineOptions {
   // as abandoned — instead of hanging silently. Must exceed the longest
   // legitimate packet transmission time. 0 (default) disables.
   double stall_timeout = 0.0;
+  // Live stats publication (requires set_telemetry; docs/OBSERVABILITY.md).
+  // A background stats thread wakes every `stats_interval` seconds, updates
+  // the backlog / pacing-lag / Theorem-1 fairness gauges, snapshots the
+  // telemetry plane and publishes Prometheus + JSON renderings. 0 disables
+  // the thread unless `stats_port` asks for the TCP endpoint, in which case
+  // a 0.5 s default interval is used.
+  double stats_interval = 0.0;
+  // Localhost HTTP exposition port: -1 (default) = no endpoint, 0 = bind an
+  // ephemeral port (RtEngine::stats_endpoint_port() reports it), else the
+  // literal port. GET /metrics serves Prometheus text, /metrics.json JSON.
+  int stats_port = -1;
+  // Print one console summary line per stats interval (sfq_serve
+  // --stats-interval surfaces this).
+  bool stats_console = false;
+  // Shard label this engine's telemetry cells carry (the future sharded
+  // engine gives each dispatcher its own; see ROADMAP item 1).
+  std::size_t telemetry_shard = 0;
+  // Runtime switch for the stage-profiling scopes around drain / schedule /
+  // transmit. Only effective in builds with SFQ_TELEMETRY_PROFILING; the
+  // default build compiles the scopes out entirely (obs/telemetry/profile.h).
+  bool profiling = false;
 };
 
 // One scheduler-touching operation the dispatcher performed, in order. With
@@ -141,6 +166,20 @@ class RtEngine {
   // you want to read mid-run in rt::SyncSink.
   void set_tracer(obs::Tracer* tracer);
 
+  // Attaches the lock-free telemetry plane (docs/OBSERVABILITY.md): the
+  // engine registers per-thread counter cells (one per producer plus the
+  // dispatcher) under EngineOptions::telemetry_shard and records the
+  // enqueue->transmit latency, ingress dwell and service-lag histograms on
+  // the hot path. Attach before start(); nullptr detaches. The plane must
+  // outlive the engine's run.
+  void set_telemetry(obs::telemetry::Telemetry* plane);
+  obs::telemetry::Telemetry* telemetry() const { return tele_; }
+  // Port the stats endpoint actually bound (0 when disabled); useful with
+  // EngineOptions::stats_port = 0.
+  uint16_t stats_endpoint_port() const {
+    return stats_server_ ? stats_server_->port() : 0;
+  }
+
   // Differential-replay capture: records every scheduler-touching operation
   // into `out` (dispatcher thread only; appended in execution order). Attach
   // before start() and read only after stop() returned. nullptr detaches.
@@ -179,6 +218,9 @@ class RtEngine {
   void drop(Packet&& p, Time now, obs::DropCause cause);
   void complete(const Packet& p, Time now, Time deadline);
   FlowId longest_queue() const;
+  void stats_loop();
+  void publish_stats(std::vector<double>& prev_service);
+  void publish_final_gauges();
 
   Scheduler& sched_;
   std::unique_ptr<net::RateProfile> profile_;
@@ -190,6 +232,41 @@ class RtEngine {
   obs::Tracer* tracer_ = nullptr;
   bool trace_on_ = false;
   std::vector<CaptureOp>* capture_ = nullptr;  // dispatcher-thread writes
+
+  // Telemetry plane wiring (set_telemetry). Writer cells are per thread:
+  // producer i increments prod_writers_[i] from offer()/offer_wait(); the
+  // dispatcher owns disp_writer_. tele_on_ is latched before start() so the
+  // hot path pays one predictable branch when detached.
+  obs::telemetry::Telemetry* tele_ = nullptr;
+  bool tele_on_ = false;
+  obs::telemetry::Telemetry::Writer disp_writer_;
+  std::vector<obs::telemetry::Telemetry::Writer> prod_writers_;
+  std::unique_ptr<obs::telemetry::StageProfiler> profiler_;
+  // Dispatcher-owned latency histograms, resolved once at set_telemetry():
+  // single-writer recording (relaxed load+store, no locked RMW) keeps the
+  // per-packet cost inside the <=5% bench_telemetry_overhead budget. The
+  // headline enqueue->transmit histogram records every packet (its count
+  // mirrors the transmitted ledger exactly); the two secondary histograms
+  // (ingress dwell, service lag) are 1-in-2^kTeleSampleShift sampled — their
+  // quantiles are statistically unaffected and the saving funds the budget.
+  static constexpr uint32_t kTeleSampleShift = 3;  // sample 1 in 8
+  obs::telemetry::LockFreeHistogram* h_dwell_ = nullptr;
+  obs::telemetry::LockFreeHistogram* h_qdelay_ = nullptr;
+  obs::telemetry::LockFreeHistogram* h_lag_ = nullptr;
+  uint32_t dwell_tick_ = 0;  // dispatcher-only sampling counters
+  uint32_t lag_tick_ = 0;
+
+  // Stats publication (EngineOptions::stats_interval / stats_port): a
+  // background thread periodically refreshes gauges (backlog, pacing lag,
+  // Theorem-1 worst gap vs bound) and publishes snapshot renderings to the
+  // localhost endpoint / console. Never touches the scheduler.
+  std::unique_ptr<obs::telemetry::StatsServer> stats_server_;
+  std::thread stats_thread_;
+  std::mutex stats_mu_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
+  std::vector<double> fair_weights_;    // copied at start(); immutable after
+  std::vector<double> fair_max_bits_;
 
   // Paced-service timer store: the in-flight transmission rides in a typed
   // kServiceComplete event keyed by its wall-clock deadline. Dispatcher

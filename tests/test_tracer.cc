@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/sfq_scheduler.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sfq {
@@ -172,6 +173,58 @@ TEST(JsonlSink, RoundTripsTimestampsAtFullPrecision) {
   e.t = 0.1 + 0.2;  // 0.30000000000000004
   sink.on_event(e);
   EXPECT_NE(out.str().find("0.30000000000000004"), std::string::npos);
+}
+
+// --- Registry histogram quantiles -----------------------------------------
+
+TEST(RegistryHistogram, OverflowBucketQuantileClampsToObservedMax) {
+  // Samples beyond the last bound land in the overflow bucket, which has no
+  // finite upper edge: the quantile must clamp to max(), not interpolate an
+  // invented spread between the last bound and max().
+  obs::Histogram h({1.0, 2.0});
+  h.observe(150.0);
+  h.observe(151.0);
+  h.observe(152.0);
+  EXPECT_EQ(h.quantile(0.5), 152.0);
+  EXPECT_EQ(h.quantile(0.99), 152.0);
+  EXPECT_EQ(h.quantile(1.0), 152.0);
+  // Finite buckets still interpolate: median of uniform 0..1 samples sits
+  // inside the first bucket, not at its edge.
+  obs::Histogram g({1.0, 2.0});
+  g.observe(0.2);
+  g.observe(0.4);
+  g.observe(0.8);
+  EXPECT_GT(g.quantile(0.5), 0.2);
+  EXPECT_LT(g.quantile(0.5), 0.8);
+}
+
+// --- MetricsSink drop taxonomy ---------------------------------------------
+
+TEST(MetricsSink, EmitsAllSixDropCauses) {
+  obs::MetricsRegistry reg;
+  obs::MetricsSink sink(reg);
+  // All six cause counters are materialized as zeros up front.
+  for (const char* name :
+       {"sched.drops.buffer_limit", "sched.drops.unknown_flow",
+        "sched.drops.fault_loss", "sched.drops.corrupt",
+        "sched.drops.pushout", "sched.drops.flow_removed"}) {
+    EXPECT_EQ(reg.counter(name).value(), 0u) << name;
+  }
+  const obs::DropCause causes[] = {
+      obs::DropCause::kBufferLimit, obs::DropCause::kUnknownFlow,
+      obs::DropCause::kFaultLoss,   obs::DropCause::kCorrupt,
+      obs::DropCause::kPushout,     obs::DropCause::kFlowRemoved,
+  };
+  for (obs::DropCause c : causes) {
+    TraceEvent e = ev(TraceEventType::kDrop, 1, /*flow=*/0);
+    e.drop_cause = c;
+    sink.on_event(e);
+    sink.on_event(e);
+  }
+  for (obs::DropCause c : causes) {
+    const std::string name = std::string("sched.drops.") + obs::to_string(c);
+    EXPECT_EQ(reg.counter(name).value(), 2u) << name;
+  }
 }
 
 }  // namespace
