@@ -158,16 +158,19 @@ int steady_state_phase() {
   struct Case {
     const char* sched;
     int flows;
-    bool gated;     // allocation-free + throughput floor enforced
+    bool alloc_gated;  // zero steady-state heap allocations enforced
+    bool floor_gated;  // throughput floor enforced (the SFQ hot path)
     bool headline;  // compared against SFQ_PERF_BASELINE_PPS (an SFQ/4 value)
   };
-  // SFQ is the paper's subject and the gated hot path; WFQ rides along as a
-  // reference point (its GPS emulation is measured, not gated). The baseline
-  // ratio applies to SFQ/4 only — that is the scenario the committed
-  // baseline snapshot records.
-  const Case cases[] = {{"SFQ", 4, true, true},
-                        {"SFQ", 64, true, false},
-                        {"WFQ", 64, false, false}};
+  // SFQ is the paper's subject and the gated hot path. WFQ's GPS emulation
+  // became allocation-free when its event list moved to a ring buffer, so it
+  // is alloc-gated too; its throughput stays a reference point (GPS
+  // simulation cost is measured, not floored). The baseline ratio applies to
+  // SFQ/4 only — that is the scenario the committed baseline snapshot
+  // records.
+  const Case cases[] = {{"SFQ", 4, true, true, true},
+                        {"SFQ", 64, true, true, false},
+                        {"WFQ", 64, true, false, false}};
 
   for (const Case& c : cases) {
     const SteadyResult r = run_steady(c.sched, c.flows, /*warm_until=*/5.0,
@@ -184,14 +187,14 @@ int steady_state_phase() {
     report.add(scen, "steady_allocs_per_pkt", allocs_per_pkt);
     report.add(scen, "steady_heap_allocs", static_cast<double>(r.allocs));
 
-    if (c.gated && gate) {
-      if (r.allocs != 0) {
+    if (gate) {
+      if (c.alloc_gated && r.allocs != 0) {
         std::printf("FAIL %s: %llu heap allocations in the steady-state "
                     "measured loop (expected 0)\n",
                     scen.c_str(), static_cast<unsigned long long>(r.allocs));
         ok = false;
       }
-      if (r.pkts_per_sec < floor_pps) {
+      if (c.floor_gated && r.pkts_per_sec < floor_pps) {
         std::printf("FAIL %s: %.3g pkts/s below floor %.3g\n", scen.c_str(),
                     r.pkts_per_sec, floor_pps);
         ok = false;

@@ -32,12 +32,18 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
-      "usage: %s run    [--seeds N] [--rt N] [--first S] [--out DIR]\n"
-      "       %s replay --seed S [--rt]\n"
-      "       %s shrink --seed S [--rt] [--out DIR]\n"
+      "usage: %s run    [--seeds N] [--rt N] [--rt-faults N] [--first S]"
+      " [--out DIR]\n"
+      "       %s replay --seed S [--rt|--faults]\n"
+      "       %s shrink --seed S [--rt|--faults] [--out DIR]\n"
       "  --seeds N          sim seeds to sweep (default 64)\n"
       "  --rt N|--rt        rt differential seeds (run: count, default 0;\n"
       "                     replay/shrink: flag)\n"
+      "  --rt-faults N      fault-injected rt seeds (run: count, default 0):\n"
+      "                     seed-derived dispatcher pauses + clock jumps/skews\n"
+      "                     + overload burst; the engine must self-heal and\n"
+      "                     conserve (docs/ROBUSTNESS.md)\n"
+      "  --faults           replay/shrink the fault-injected rt mode\n"
       "  --first S          first seed of the block (default 1)\n"
       "  --seed S           the single seed to replay/shrink\n"
       "  --out DIR          write minimized repro .conf files here\n"
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   opts.log = &std::cout;
   uint64_t seed = 0;
   bool rt_flag = false;
+  bool faults_flag = false;
   bool have_seed = false;
 
   auto need = [&](int& i) -> const char* {
@@ -72,7 +79,10 @@ int main(int argc, char** argv) {
       rt_flag = true;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
         opts.rt_seeds = std::strtoull(need(i), nullptr, 10);
-    } else if (f == "--first") opts.first_seed = std::strtoull(need(i), nullptr, 10);
+    } else if (f == "--rt-faults") {
+      opts.rt_fault_seeds = std::strtoull(need(i), nullptr, 10);
+    } else if (f == "--faults") faults_flag = true;
+    else if (f == "--first") opts.first_seed = std::strtoull(need(i), nullptr, 10);
     else if (f == "--seed") { seed = std::strtoull(need(i), nullptr, 10); have_seed = true; }
     else if (f == "--out") opts.repro_dir = need(i);
     else if (f == "--packets") opts.rt_packets = std::strtoull(need(i), nullptr, 10);
@@ -82,14 +92,17 @@ int main(int argc, char** argv) {
 
   if (mode == "run") {
     std::printf("sfq_chaos: sweeping %llu sim seed(s) + %llu rt seed(s) "
-                "from seed %llu\n",
+                "+ %llu rt-fault seed(s) from seed %llu\n",
                 static_cast<unsigned long long>(opts.sim_seeds),
                 static_cast<unsigned long long>(opts.rt_seeds),
+                static_cast<unsigned long long>(opts.rt_fault_seeds),
                 static_cast<unsigned long long>(opts.first_seed));
     const chaos::ChaosReport report = chaos::run_chaos(opts);
-    std::printf("ran %llu sim + %llu rt seeds: %zu failure(s)\n",
+    std::printf("ran %llu sim + %llu rt + %llu rt-fault seeds: "
+                "%zu failure(s)\n",
                 static_cast<unsigned long long>(report.sim_seeds_run),
                 static_cast<unsigned long long>(report.rt_seeds_run),
+                static_cast<unsigned long long>(report.rt_fault_seeds_run),
                 report.failures.size());
     return report.ok() ? 0 : 1;
   }
@@ -97,9 +110,11 @@ int main(int argc, char** argv) {
   if (mode == "replay" || mode == "shrink") {
     if (!have_seed) usage(argv[0]);
     opts.shrink_failures = mode == "shrink";
-    const chaos::ChaosFailure f = chaos::replay_seed(seed, rt_flag, opts);
+    const chaos::ChaosFailure f =
+        chaos::replay_seed(seed, rt_flag, opts, faults_flag);
     std::printf("# scenario for seed %llu%s\n%s",
-                static_cast<unsigned long long>(seed), rt_flag ? " (rt)" : "",
+                static_cast<unsigned long long>(seed),
+                faults_flag ? " (rt, injected faults)" : rt_flag ? " (rt)" : "",
                 f.spec.serialize().c_str());
     if (f.kind.empty()) {
       std::printf("verdict: PASS\n");

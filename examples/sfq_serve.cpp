@@ -8,12 +8,19 @@
 //   sfq_serve --sched SFQ --flows 4 --producers 2 --rate 100e6 --duration 2
 //   sfq_serve --sched SCFQ --model poisson --load 1.5 --policy pushout
 //   sfq_serve --check --trace run.jsonl --metrics run.metrics.json
+//   sfq_serve --shed --buffer 64 --load 2.5 --fault-pause 0.8,0.3
+//             --fault-jump 1.2,0.4 --stall-timeout 0.1
 //
 // Prints per-flow service, the drop taxonomy, achieved packets/sec, pacing
 // lag, and the measured wall-clock fairness of every flow pair against the
-// Theorem-1 bound. With --check, the online invariant checker (wrapped in
-// the thread-safe rt::SyncSink) validates the live trace stream and a
-// violation makes the exit status non-zero.
+// Theorem-1 bound, then self-checks the drop-ledger conservation identities
+// (docs/ROBUSTNESS.md) — a violation is always a non-zero exit. --shed arms
+// the overload admission machine; the --fault-* flags script rt-layer faults
+// (dispatcher pauses, clock jumps/skew) against the watchdog, and the exit
+// status distinguishes a recovered stall (0: service resumed) from a
+// permanent one (1: restart budget exhausted). With --check, the online
+// invariant checker (wrapped in the thread-safe rt::SyncSink) validates the
+// live trace stream and a violation makes the exit status non-zero.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -53,6 +60,9 @@ struct Args {
   std::string policy = "taildrop";
   std::size_t ring = 1 << 14;
   double stall_timeout = 2.0;  // watchdog window, seconds; 0 disables
+  unsigned restart_budget = 3;  // watchdog restarts before permanent stop
+  bool shed = false;            // overload admission control (--buffer > 0)
+  sfq::rt::RtFaultPlan fault_plan;  // --fault-pause/--fault-jump/--fault-skew
   double stats_interval = 0.0;  // live console stats cadence; 0 disables
   int stats_port = -1;          // localhost HTTP exposition; -1 disables
   bool unpaced = false;
@@ -78,8 +88,22 @@ struct Args {
       "256)\n"
       "  --policy P          taildrop | pushout (default taildrop)\n"
       "  --ring N            per-producer ring capacity (default 16384)\n"
-      "  --stall-timeout S   watchdog: stop if backlogged with no service\n"
+      "  --stall-timeout S   watchdog: stall if backlogged with no service\n"
       "                      progress for S wall seconds (default 2, 0 off)\n"
+      "  --restart-budget N  watchdog: consecutive fruitless restarts before\n"
+      "                      the permanent stop (default 3)\n"
+      "  --shed              overload admission control: weighted-fair load\n"
+      "                      shedding behind per-flow token buckets while\n"
+      "                      occupancy is high (requires --buffer > 0)\n"
+      "  --fault-pause AT,DUR\n"
+      "                      inject: dispatcher sleeps DUR s at raw time AT\n"
+      "                      (seconds from engine start; repeatable)\n"
+      "  --fault-jump AT,DELTA\n"
+      "                      inject: clock steps by DELTA s at raw time AT\n"
+      "                      (backward steps freeze the engine clock)\n"
+      "  --fault-skew FROM,UNTIL,FACTOR\n"
+      "                      inject: clock runs at FACTOR x real rate inside\n"
+      "                      [FROM, UNTIL)\n"
       "  --stats-interval S  print a live stats line every S seconds\n"
       "  --stats-port P      serve Prometheus text at /metrics and JSON at\n"
       "                      /metrics.json on 127.0.0.1:P (0 = ephemeral)\n"
@@ -125,6 +149,22 @@ Args parse(int argc, char** argv) {
     else if (f == "--policy") a.policy = need(i);
     else if (f == "--ring") a.ring = std::strtoul(need(i), nullptr, 10);
     else if (f == "--stall-timeout") a.stall_timeout = std::stod(need(i));
+    else if (f == "--restart-budget")
+      a.restart_budget = static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+    else if (f == "--shed") a.shed = true;
+    else if (f == "--fault-pause") {
+      const std::vector<double> v = parse_list(need(i));
+      if (v.size() != 2) usage(argv[0]);
+      a.fault_plan.pauses.push_back({v[0], v[1]});
+    } else if (f == "--fault-jump") {
+      const std::vector<double> v = parse_list(need(i));
+      if (v.size() != 2) usage(argv[0]);
+      a.fault_plan.jumps.push_back({v[0], v[1]});
+    } else if (f == "--fault-skew") {
+      const std::vector<double> v = parse_list(need(i));
+      if (v.size() != 3) usage(argv[0]);
+      a.fault_plan.skews.push_back({v[0], v[1], v[2]});
+    }
     else if (f == "--stats-interval") a.stats_interval = std::stod(need(i));
     else if (f == "--stats-port") a.stats_port = std::atoi(need(i));
     else if (f == "--unpaced") a.unpaced = true;
@@ -136,6 +176,12 @@ Args parse(int argc, char** argv) {
   if (a.flows == 0 || a.producers == 0 || a.rate <= 0.0 || a.duration <= 0.0 ||
       a.packet_bits <= 0.0 || a.load <= 0.0)
     usage(argv[0]);
+  if (a.shed && a.buffer == 0) {
+    std::fprintf(stderr,
+                 "--shed needs a finite --buffer (occupancy is measured "
+                 "against the backlog cap)\n");
+    std::exit(2);
+  }
   if (a.weights.empty()) {
     // Default: the flows share half the link, so load factors > 2 overload.
     a.weights.assign(a.flows, 0.5 * a.rate / static_cast<double>(a.flows));
@@ -183,6 +229,9 @@ int main(int argc, char** argv) {
                                  ? net::OverloadPolicy::kPushout
                                  : net::OverloadPolicy::kTailDrop;
   eng_opts.stall_timeout = args.stall_timeout;
+  eng_opts.restart_budget = args.restart_budget;
+  eng_opts.admission_control = args.shed;
+  eng_opts.fault_plan = args.fault_plan;
   eng_opts.stats_interval = args.stats_interval;
   eng_opts.stats_port = args.stats_port;
   eng_opts.stats_console = args.stats_interval > 0.0;
@@ -307,6 +356,45 @@ int main(int argc, char** argv) {
               st.transmitted / elapsed, st.tx_bits / elapsed, elapsed,
               1e3 * st.max_service_lag);
 
+  // Ledger conservation self-check (docs/ROBUSTNESS.md): the three exact
+  // identities the engine guarantees once stop() has returned. LoadGen is
+  // the only producer here, so its attempt count is the engine's offer
+  // total. Any mismatch is a bug, never noise — fail the run.
+  bool conserve_ok = true;
+  {
+    const auto d = [&](obs::DropCause c) {
+      return st.drops[static_cast<std::size_t>(c)];
+    };
+    const uint64_t pre = d(obs::DropCause::kUnknownFlow) +
+                         d(obs::DropCause::kBufferLimit) +
+                         d(obs::DropCause::kShed);
+    const uint64_t post =
+        d(obs::DropCause::kPushout) + d(obs::DropCause::kFlowRemoved);
+    struct Identity {
+      const char* name;
+      uint64_t lhs, rhs;
+    };
+    const Identity ids[] = {
+        {"offers == ingress_pushed + ingress_drops", load_gen.produced_total(),
+         st.ingress_pushed + st.ingress_drops},
+        {"ingress_pushed == accepted + pre_enqueue_drops + abandoned",
+         st.ingress_pushed, st.accepted + pre + st.abandoned},
+        {"accepted == transmitted + backlog + post_enqueue_drops", st.accepted,
+         st.transmitted + st.backlog + post},
+    };
+    for (const Identity& id : ids)
+      if (id.lhs != id.rhs) {
+        std::printf("conservation VIOLATED: %s (%llu != %llu)\n", id.name,
+                    static_cast<unsigned long long>(id.lhs),
+                    static_cast<unsigned long long>(id.rhs));
+        conserve_ok = false;
+      }
+    if (conserve_ok)
+      std::printf("conservation OK: every offered packet is accounted "
+                  "(transmitted, backlogged, dropped by cause, or "
+                  "abandoned)\n");
+  }
+
   const obs::telemetry::TelemetrySnapshot tsnap = telemetry.snapshot();
   {
     const obs::telemetry::HistogramSnapshot delay =
@@ -350,11 +438,16 @@ int main(int argc, char** argv) {
         args.packet_bits, args.weights[worst_f], args.packet_bits,
         args.weights[worst_m]);
     const double slack = bound;  // one in-flight quantum per flow
+    // Injected faults legitimately distort snapshot timing (a paused
+    // dispatcher or a frozen clock breaks the continuously-backlogged
+    // premise), so with a fault plan the verdict is informational only.
+    const bool gate = args.fault_plan.empty();
     std::printf("fairness  worst |dW_%zu/r - dW_%zu/r| = %.4g ms, "
-                "Theorem-1 bound %.4g ms (+%.4g slack): %s\n",
+                "Theorem-1 bound %.4g ms (+%.4g slack): %s%s\n",
                 worst_f, worst_m, 1e3 * worst, 1e3 * bound, 1e3 * slack,
-                worst <= bound + slack ? "OK" : "VIOLATED");
-    fairness_ok = worst <= bound + slack;
+                worst <= bound + slack ? "OK" : "VIOLATED",
+                gate ? "" : " (informational: faults injected)");
+    fairness_ok = !gate || worst <= bound + slack;
   }
 
   if (!args.metrics_path.empty()) {
@@ -365,14 +458,23 @@ int main(int argc, char** argv) {
     out << registry.json() << "\n";
   }
 
-  bool ok = fairness_ok;
+  bool ok = fairness_ok && conserve_ok;
   if (engine.stalled()) {
-    std::printf("WATCHDOG: dispatcher stalled (%llu stall(s)) — no service "
-                "progress for %.3gs with backlog outstanding; engine "
-                "stopped cleanly\n",
+    std::printf("WATCHDOG: PERMANENT STALL — %llu stall(s), %llu "
+                "recovered; restart budget %u exhausted wedged at stage "
+                "%s; engine stopped cleanly (backlog %llu left visible)\n",
                 static_cast<unsigned long long>(st.stalls),
-                args.stall_timeout);
+                static_cast<unsigned long long>(st.recoveries),
+                args.restart_budget, rt::to_string(st.last_stall_stage),
+                static_cast<unsigned long long>(st.backlog));
     ok = false;
+  } else if (st.stalls > 0) {
+    std::printf("WATCHDOG: recovered — %llu stall(s) detected (last stage "
+                "%s), %llu recovery(ies); service resumed and the run "
+                "completed\n",
+                static_cast<unsigned long long>(st.stalls),
+                rt::to_string(st.last_stall_stage),
+                static_cast<unsigned long long>(st.recoveries));
   }
   if (checker) {
     std::printf("invariants: %s\n", checker->report().c_str());

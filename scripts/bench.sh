@@ -8,7 +8,9 @@
 # additionally copied to canonical BENCH_*.json files at the repo root —
 # those are TRACKED, so committing them records the perf trajectory commit
 # over commit (docs/PERFORMANCE.md). Compare against the pre-optimisation
-# snapshots in bench/baselines/.
+# snapshots in bench/baselines/. Every sweep also appends one JSON line per
+# (bench, scenario, metric, value, sha) record to the tracked
+# BENCH_HISTORY.jsonl, the append-only perf history.
 #
 #   scripts/bench.sh [out-dir]      # default out-dir: bench-results/
 #
@@ -31,7 +33,7 @@ failed=()
 for bin in "$BUILD"/bench/*; do
   [[ -x "$bin" && ! -d "$bin" ]] || continue
   name=$(basename "$bin")
-  if [[ -n "${BENCH_FILTER:-}" ]] && ! grep -q "$BENCH_FILTER" <<<"$name"; then
+  if [[ -n "${BENCH_FILTER:-}" ]] && ! grep -qE "$BENCH_FILTER" <<<"$name"; then
     continue
   fi
   echo
@@ -55,6 +57,33 @@ for perf in sim_throughput scheduler_perf rt_engine telemetry_overhead; do
     echo "canonical: BENCH_$perf.json"
   fi
 done
+
+# Append this sweep to the tracked BENCH_HISTORY.jsonl: one JSON line per
+# (bench, scenario, metric) record, stamped with the git SHA, so the perf
+# trajectory is queryable across commits without walking git history for the
+# canonical snapshots.
+shopt -s nullglob
+reports=("$BENCH_DIR"/BENCH_*.json)
+shopt -u nullglob
+if ((${#reports[@]})) && command -v python3 >/dev/null; then
+  sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+  python3 - "$sha" "${reports[@]}" <<'EOF'
+import json, sys
+sha, paths = sys.argv[1], sys.argv[2:]
+with open("BENCH_HISTORY.jsonl", "a") as hist:
+    n = 0
+    for path in paths:
+        for rec in json.load(open(path)):
+            rec = {"bench": rec["bench"], "scenario": rec["scenario"],
+                   "metric": rec["metric"], "value": rec["value"],
+                   "sha": sha}
+            hist.write(json.dumps(rec) + "\n")
+            n += 1
+print(f"history: appended {n} records @ {sha} to BENCH_HISTORY.jsonl")
+EOF
+else
+  echo "no JSON reports or no python3 - BENCH_HISTORY.jsonl not appended"
+fi
 
 if ((${#failed[@]})); then
   echo "bench.sh: shape checks FAILED: ${failed[*]}"

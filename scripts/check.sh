@@ -54,9 +54,11 @@ echo "fault gate OK: $(grep 'drops by cause:' "$out/faulty.txt" | head -1)"
 
 # Chaos gate: a fixed seed block through the differential sim checks
 # (determinism, invariants, Theorem-1/2 oracles) plus live-engine
-# capture->replay seeds (docs/CHAOS.md). A failure writes the minimized
-# repro .conf to $out and names the seed to replay.
-"$BUILD/examples/sfq_chaos" run --seeds 64 --rt 8 --out "$out"
+# capture->replay seeds, including fault-injected rt seeds (dispatcher
+# pauses + clock jumps/skews + overload burst; the engine must self-heal
+# and keep the ledger conserved — docs/ROBUSTNESS.md). A failure writes the
+# minimized repro .conf to $out and names the seed to replay.
+"$BUILD/examples/sfq_chaos" run --seeds 64 --rt 8 --rt-faults 8 --out "$out"
 echo "chaos gate OK"
 
 if [[ "${PERF:-0}" == "1" ]]; then

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "chaos/scenario_generator.h"
 #include "core/scheduler.h"
 #include "core/scheduler_factory.h"
 #include "net/rate_profile.h"
@@ -183,6 +184,14 @@ CheckResult check_sim(const config::ExperimentSpec& spec, uint64_t seed) {
 
 CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                      std::size_t packets) {
+  RtCheckOptions opts;
+  opts.packets = packets;
+  return check_rt(spec, seed, opts);
+}
+
+CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
+                     const RtCheckOptions& rt_opts) {
+  const std::size_t packets = rt_opts.packets;
   CheckResult res;
   if (spec.hops.size() != 1 || spec.has_faults()) {
     res.fail("error", "check_rt needs a single-hop fault-free spec");
@@ -236,6 +245,19 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                                  ? net::OverloadPolicy::kPushout
                                  : net::OverloadPolicy::kTailDrop;
   eng_opts.stall_timeout = 5.0;  // a wedged dispatcher fails, not hangs
+  if (rt_opts.inject_faults) {
+    // Fault-injected mode: a seed-derived rt fault plan sized to the ~25 ms
+    // drain window, a hair-trigger watchdog with an effectively unlimited
+    // restart budget (recovery must keep working, never brick), and the
+    // overload admission gate armed so the blast doubles as an overload
+    // burst against weighted-fair shedding.
+    const Time horizon = 0.05;
+    eng_opts.fault_plan = generate_rt_faults(seed, horizon);
+    eng_opts.stall_timeout = 0.02;
+    eng_opts.restart_budget = 1000;
+    eng_opts.admission_control = true;
+    if (eng_opts.buffer_limit == 0) eng_opts.buffer_limit = 32;
+  }
   rt::RtEngine engine(*live.scheduler, std::make_unique<net::ConstantRate>(rate),
                       eng_opts);
   std::vector<rt::CaptureOp> ops;
@@ -255,6 +277,22 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
     res.fail("rt-stall", "stall watchdog tripped while draining the load");
     return res;
   }
+  if (rt_opts.inject_faults) {
+    // Self-healing contract: every stall the injected faults provoked must
+    // have healed — service resumed (a recovery was counted) and the full
+    // offered load still drained to completion.
+    const rt::EngineStats es = engine.stats();
+    if (es.stalls > 0 && es.recoveries == 0) {
+      res.fail("rt-stall", "injected faults caused " +
+                               std::to_string(es.stalls) +
+                               " stall(s) but no recovery was recorded");
+      return res;
+    }
+    if (es.transmitted == 0) {
+      res.fail("rt-stall", "no packet transmitted under the injected faults");
+      return res;
+    }
+  }
 
   // Telemetry conservation: the lock-free plane and the engine's own ledger
   // count the same packets through independent code paths, so their flow
@@ -266,7 +304,8 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
     const rt::EngineStats es = engine.stats();
     auto c = [&](tel::CounterId id) { return ts.counter_total(id); };
     const uint64_t pre_drops = c(tel::CounterId::kDropUnknownFlow) +
-                               c(tel::CounterId::kDropBufferLimit);
+                               c(tel::CounterId::kDropBufferLimit) +
+                               c(tel::CounterId::kDropShed);
     const uint64_t post_drops = c(tel::CounterId::kDropPushout) +
                                 c(tel::CounterId::kDropFlowRemoved);
     const uint64_t backlog = static_cast<uint64_t>(
@@ -293,7 +332,11 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
         !conserve("plane vs ledger: transmitted",
                   c(tel::CounterId::kTransmitted), es.transmitted) ||
         !conserve("plane vs ledger: abandoned", c(tel::CounterId::kAbandoned),
-                  es.abandoned))
+                  es.abandoned) ||
+        !conserve("plane vs ledger: stalls", c(tel::CounterId::kStalls),
+                  es.stalls) ||
+        !conserve("plane vs ledger: recoveries",
+                  c(tel::CounterId::kRecoveries), es.recoveries))
       return res;
     for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) {
       const obs::DropCause cause = static_cast<obs::DropCause>(i);

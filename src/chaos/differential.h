@@ -53,4 +53,21 @@ CheckResult check_sim(const config::ExperimentSpec& spec, uint64_t seed);
 CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                      std::size_t packets = 1500);
 
+struct RtCheckOptions {
+  std::size_t packets = 1500;
+  // Fault-injected mode (docs/ROBUSTNESS.md): derive an rt-layer fault plan
+  // from the seed (generate_rt_faults — dispatcher pauses, clock jumps and
+  // skews), arm the stall watchdog with an effectively unlimited restart
+  // budget, and force overload admission control on, so the blast doubles as
+  // an overload burst against the shedding gate. On top of the usual
+  // capture->replay equivalence, the checker then demands that every
+  // detected stall healed (recoveries match, transmission resumed, the
+  // engine did not end permanently stalled) and that the telemetry plane's
+  // per-cause ledger — kShed included — still mirrors the engine's own
+  // counters bit-exactly after the recoveries.
+  bool inject_faults = false;
+};
+CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
+                     const RtCheckOptions& opts);
+
 }  // namespace sfq::chaos

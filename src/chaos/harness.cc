@@ -13,20 +13,27 @@ namespace sfq::chaos {
 namespace {
 
 CheckResult run_check(const config::ExperimentSpec& spec, uint64_t seed,
-                      bool rt, std::size_t rt_packets) {
-  return rt ? check_rt(spec, seed, rt_packets) : check_sim(spec, seed);
+                      bool rt, bool rt_faults, const HarnessOptions& opts) {
+  if (!rt) return check_sim(spec, seed);
+  RtCheckOptions rc;
+  rc.packets = opts.rt_packets;
+  rc.inject_faults = rt_faults;
+  return check_rt(spec, seed, rc);
 }
 
 std::string write_repro(const ChaosFailure& f, const std::string& dir) {
   std::ostringstream name;
-  name << dir << "/chaos_repro_seed" << f.seed << (f.rt ? "_rt" : "")
-       << ".conf";
+  name << dir << "/chaos_repro_seed" << f.seed
+       << (f.rt_faults ? "_rtfault" : f.rt ? "_rt" : "") << ".conf";
   std::ofstream out(name.str());
   if (!out) return "";
-  out << "# chaos repro: seed " << f.seed << (f.rt ? " (rt differential)" : "")
+  out << "# chaos repro: seed " << f.seed
+      << (f.rt_faults ? " (rt differential, injected rt faults)"
+          : f.rt      ? " (rt differential)"
+                      : "")
       << ", failure kind: " << f.kind << "\n";
   out << "# replay: sfq_chaos replay --seed " << f.seed
-      << (f.rt ? " --rt" : "") << "\n";
+      << (f.rt_faults ? " --faults" : f.rt ? " --rt" : "") << "\n";
   std::istringstream detail(f.detail);
   std::string line;
   while (std::getline(detail, line)) out << "# " << line << "\n";
@@ -35,44 +42,48 @@ std::string write_repro(const ChaosFailure& f, const std::string& dir) {
 }
 
 ChaosFailure check_one(const config::ExperimentSpec& spec, uint64_t seed,
-                       bool rt, const HarnessOptions& opts) {
+                       bool rt, bool rt_faults, const HarnessOptions& opts) {
   ChaosFailure f;
   f.seed = seed;
   f.rt = rt;
+  f.rt_faults = rt_faults;
   f.spec = spec;
   f.minimized = spec;
-  CheckResult res = run_check(spec, seed, rt, opts.rt_packets);
+  CheckResult res = run_check(spec, seed, rt, rt_faults, opts);
   if (res.ok) return f;  // kind stays empty == pass
   f.kind = res.kind;
   f.detail = res.detail;
   if (opts.shrink_failures) {
     ShrinkResult sh = shrink(spec, [&](const config::ExperimentSpec& c) {
-      return !run_check(c, seed, rt, opts.rt_packets).ok;
+      return !run_check(c, seed, rt, rt_faults, opts).ok;
     });
     f.minimized = std::move(sh.spec);
     // Report the minimized scenario's own failure detail: that is what the
     // repro file reproduces.
-    CheckResult mres = run_check(f.minimized, seed, rt, opts.rt_packets);
+    CheckResult mres = run_check(f.minimized, seed, rt, rt_faults, opts);
     if (!mres.ok) f.detail = mres.detail;
   }
   if (!opts.repro_dir.empty()) f.repro_path = write_repro(f, opts.repro_dir);
   return f;
 }
 
-void sweep(bool rt, uint64_t n_seeds, const HarnessOptions& opts,
-           ChaosReport& report) {
+void sweep(bool rt, bool rt_faults, uint64_t n_seeds,
+           const HarnessOptions& opts, ChaosReport& report) {
   GeneratorOptions gen = opts.gen;
   gen.rt_compatible = rt;
   ScenarioGenerator generator(gen);
-  uint64_t& counter = rt ? report.rt_seeds_run : report.sim_seeds_run;
+  uint64_t& counter = rt_faults ? report.rt_fault_seeds_run
+                      : rt      ? report.rt_seeds_run
+                                : report.sim_seeds_run;
   for (uint64_t i = 0; i < n_seeds; ++i) {
     const uint64_t seed = opts.first_seed + i;
-    ChaosFailure f = check_one(generator.generate(seed), seed, rt, opts);
+    ChaosFailure f =
+        check_one(generator.generate(seed), seed, rt, rt_faults, opts);
     ++counter;
     if (f.kind.empty()) continue;
     if (opts.log) {
-      *opts.log << (rt ? "rt seed " : "seed ") << seed << ": FAIL [" << f.kind
-                << "] " << f.detail << "\n";
+      *opts.log << (rt_faults ? "rt-fault seed " : rt ? "rt seed " : "seed ")
+                << seed << ": FAIL [" << f.kind << "] " << f.detail << "\n";
       if (!f.repro_path.empty())
         *opts.log << "  minimized repro: " << f.repro_path << "\n";
     }
@@ -85,16 +96,20 @@ void sweep(bool rt, uint64_t n_seeds, const HarnessOptions& opts,
 
 ChaosReport run_chaos(const HarnessOptions& opts) {
   ChaosReport report;
-  sweep(/*rt=*/false, opts.sim_seeds, opts, report);
+  sweep(/*rt=*/false, /*rt_faults=*/false, opts.sim_seeds, opts, report);
   if (report.ok() || !opts.stop_on_failure)
-    sweep(/*rt=*/true, opts.rt_seeds, opts, report);
+    sweep(/*rt=*/true, /*rt_faults=*/false, opts.rt_seeds, opts, report);
+  if (report.ok() || !opts.stop_on_failure)
+    sweep(/*rt=*/true, /*rt_faults=*/true, opts.rt_fault_seeds, opts, report);
   return report;
 }
 
-ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts) {
+ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
+                         bool rt_faults) {
   GeneratorOptions gen = opts.gen;
-  gen.rt_compatible = rt;
-  return check_one(ScenarioGenerator(gen).generate(seed), seed, rt, opts);
+  gen.rt_compatible = rt || rt_faults;
+  return check_one(ScenarioGenerator(gen).generate(seed), seed,
+                   rt || rt_faults, rt_faults, opts);
 }
 
 }  // namespace sfq::chaos

@@ -16,6 +16,10 @@ struct HarnessOptions {
   uint64_t first_seed = 1;
   uint64_t sim_seeds = 100;  // seeds through check_sim
   uint64_t rt_seeds = 0;     // seeds through check_rt (live-engine replay)
+  // Seeds through the fault-injected rt check (RtCheckOptions::inject_faults:
+  // seed-derived dispatcher pauses, clock jumps/skews and an overload burst
+  // against the shedding gate; the engine must self-heal and conserve).
+  uint64_t rt_fault_seeds = 0;
   GeneratorOptions gen;      // rt scenarios force gen.rt_compatible
   std::size_t rt_packets = 1500;  // offered packets per rt seed
   bool shrink_failures = true;
@@ -31,6 +35,7 @@ struct HarnessOptions {
 struct ChaosFailure {
   uint64_t seed = 0;
   bool rt = false;
+  bool rt_faults = false;  // the fault-injected rt mode
   std::string kind;    // determinism|invariant|fairness|throughput|rt-*|error
   std::string detail;
   config::ExperimentSpec spec;       // as generated
@@ -41,6 +46,7 @@ struct ChaosFailure {
 struct ChaosReport {
   uint64_t sim_seeds_run = 0;
   uint64_t rt_seeds_run = 0;
+  uint64_t rt_fault_seeds_run = 0;
   std::vector<ChaosFailure> failures;
 
   bool ok() const { return failures.empty(); }
@@ -49,7 +55,9 @@ struct ChaosReport {
 ChaosReport run_chaos(const HarnessOptions& opts);
 
 // Re-runs the check for one seed (the `replay` workflow: a CI failure names
-// a seed; this reproduces it locally with full detail).
-ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts);
+// a seed; this reproduces it locally with full detail). `rt_faults` selects
+// the fault-injected rt mode (implies rt).
+ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
+                         bool rt_faults = false);
 
 }  // namespace sfq::chaos

@@ -20,6 +20,38 @@ uint64_t mix(uint64_t x) {
 
 }  // namespace
 
+rt::RtFaultPlan generate_rt_faults(uint64_t seed, Time horizon) {
+  // Decorrelate from generate(): the same seed drives both, and the fault
+  // plan must not echo the scenario's random choices.
+  std::mt19937_64 rng(mix(seed ^ 0xfa417a6b715c10c7ULL));
+  auto uni = [&](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+  auto chance = [&](double p) { return uni(0.0, 1.0) < p; };
+
+  rt::RtFaultPlan plan;
+  // At least one stop-the-world pause, placed inside the busy window so the
+  // dispatcher holds obligations when it wakes (that is what trips the
+  // watchdog and exercises recovery rather than an idle reset).
+  const std::size_t n_pauses = chance(0.3) ? 2 : 1;
+  for (std::size_t i = 0; i < n_pauses; ++i)
+    plan.pauses.push_back({/*at=*/uni(0.1, 0.5) * horizon,
+                           /*duration=*/uni(0.6, 1.5) * horizon});
+  if (chance(0.7))  // forward jump: deadlines age instantly, harmlessly
+    plan.jumps.push_back({/*at=*/uni(0.1, 0.8) * horizon,
+                          /*delta=*/uni(0.2, 2.0) * horizon});
+  if (chance(0.5))  // small backward jump: freezes the engine axis
+    plan.jumps.push_back({/*at=*/uni(0.2, 0.9) * horizon,
+                          /*delta=*/-uni(0.1, 0.5) * horizon});
+  if (chance(0.5)) {
+    const Time from = uni(0.0, 0.5) * horizon;
+    plan.skews.push_back({from, from + uni(0.2, 0.5) * horizon,
+                          /*factor=*/chance(0.5) ? uni(1.1, 2.0)
+                                                 : uni(0.5, 0.9)});
+  }
+  return plan;
+}
+
 config::ExperimentSpec ScenarioGenerator::generate(uint64_t seed) const {
   std::mt19937_64 rng(mix(seed));
   auto uni = [&](double lo, double hi) {

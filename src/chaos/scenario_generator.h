@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "config/experiment.h"
+#include "rt/fault_clock.h"
 
 namespace sfq::chaos {
 
@@ -34,6 +35,18 @@ struct GeneratorOptions {
   Time min_duration = 0.25;  // sim seconds
   Time max_duration = 1.0;
 };
+
+// Seeded rt-layer fault plan for the fault-injected differential path
+// (DifferentialChecker's check_rt with RtCheckOptions::inject_faults): a
+// pure function of (seed, horizon) — the same guarantees as generate().
+// Always emits at least one fault: one or two dispatcher pauses long enough
+// to outlast the checker's stall timeout, plus (probabilistically) forward
+// clock jumps, a small backward jump (clamped monotone by rt::FaultClock —
+// it freezes the engine axis and exercises the watchdog's re-pace path) and
+// rate skews. Times scale with `horizon`, the expected wall-clock length of
+// the checked run. The plan is derived, not serialized: a repro .conf plus
+// the seed reproduces it exactly.
+rt::RtFaultPlan generate_rt_faults(uint64_t seed, Time horizon);
 
 class ScenarioGenerator {
  public:

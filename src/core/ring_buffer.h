@@ -1,0 +1,90 @@
+// Growable power-of-two ring buffer (docs/PERFORMANCE.md).
+//
+// The last two non-zero steady-state allocators in the scheduler zoo were
+// std::deque members: GpsVirtualTime's per-flow fluid queue (WFQ/FQS) and
+// FairAirport's per-flow packet/stamp queues. libstdc++'s deque allocates a
+// fresh map node roughly every 512 bytes of payload even when the queue
+// oscillates around a steady depth, so those disciplines kept paying
+// ~0.02-0.2 allocs per packet after warm-up. This ring keeps a single
+// power-of-two storage block and reuses it: once the buffer has grown to the
+// high-water depth of the run, push/pop never allocate again.
+//
+// Supported operations mirror the deque subset the schedulers use:
+// push_back / pop_front / pop_back / front / back / operator[] / size /
+// empty / clear. Indexing is O(1) (mask, not modulo). Elements are stored
+// by value; growth copies in logical order, so iteration state (indices)
+// held by callers stays valid across a grow as long as it is an index, not
+// a pointer.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sfq {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+  T& back() { return buf_[mask(head_ + size_ - 1)]; }
+  const T& back() const { return buf_[mask(head_ + size_ - 1)]; }
+
+  // Logical index: 0 is the front, size()-1 the back.
+  T& operator[](std::size_t i) { return buf_[mask(head_ + i)]; }
+  const T& operator[](std::size_t i) const { return buf_[mask(head_ + i)]; }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[mask(head_ + size_)] = v;
+    ++size_;
+  }
+  void push_back(T&& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[mask(head_ + size_)] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    buf_[head_] = T{};  // release resources held by the slot
+    head_ = mask(head_ + 1);
+    --size_;
+  }
+
+  void pop_back() {
+    --size_;
+    buf_[mask(head_ + size_)] = T{};
+  }
+
+  // Drops the elements but keeps the storage (steady-state reuse).
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) buf_[mask(head_ + i)] = T{};
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t mask(std::size_t i) const { return i & (buf_.size() - 1); }
+
+  void grow() {
+    const std::size_t next = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> fresh(next);
+    for (std::size_t i = 0; i < size_; ++i)
+      fresh[i] = std::move(buf_[mask(head_ + i)]);
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sfq

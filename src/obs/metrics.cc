@@ -134,6 +134,7 @@ MetricsSink::MetricsSink(MetricsRegistry& reg,
   reg_.counter("sched.drops.corrupt");
   reg_.counter("sched.drops.pushout");
   reg_.counter("sched.drops.flow_removed");
+  reg_.counter("sched.drops.shed");
 }
 
 const std::string& MetricsSink::flow_label(FlowId f) {

@@ -102,8 +102,8 @@ class MetricsRegistry {
 //   sched.tx_bits                                             counter
 //   sched.drops.<cause>                                       counters
 //     one per DropCause: buffer_limit, unknown_flow, fault_loss,
-//     corrupt, pushout, flow_removed — all six are materialized at
-//     construction so clean runs report explicit zeros
+//     corrupt, pushout, flow_removed, shed — all seven are materialized
+//     at construction so clean runs report explicit zeros
 //   sched.backlog_packets                                     gauge
 //   sched.vtime / sched.vtime_lag                             gauges
 //   flow.<label>.enqueued / .tx_packets / .drops              counters

@@ -26,13 +26,17 @@ enum class CounterId : uint16_t {
   kTransmitted,        // completed transmissions
   kTxBits,             // completed transmission payload, bits
   kAbandoned,          // ring items discarded by stop(kAbandon) / watchdog
-  kDropBufferLimit,    // six-cause taxonomy (docs/ROBUSTNESS.md)
+  kDropBufferLimit,    // seven-cause taxonomy (docs/ROBUSTNESS.md)
   kDropUnknownFlow,
   kDropFaultLoss,
   kDropCorrupt,
   kDropPushout,
   kDropFlowRemoved,
-  kStalls,  // stall-watchdog trips
+  kDropShed,        // overload admission gate (weighted-fair shedding)
+  kStalls,          // stall-watchdog trips
+  kRecoveries,      // stall episodes the watchdog healed (service resumed)
+  kOfferRetries,    // producer backpressure retries (LoadGen backoff)
+  kOfferAbandoned,  // offers given up after retries / per-packet deadline
   kCount,
 };
 inline constexpr std::size_t kCounterCount =
@@ -47,6 +51,8 @@ enum class GaugeId : uint16_t {
                         // over the last stats window (s)
   kFairnessGapMax,      // worst window gap seen this run (s)
   kFairnessBound,       // analytic bound l_f/r_f + l_m/r_m for the worst pair
+  kOverloadState,       // overload state machine: 0 Normal, 1 Shedding,
+                        // 2 Critical (docs/ROBUSTNESS.md)
   kCount,
 };
 inline constexpr std::size_t kGaugeCount =
@@ -76,7 +82,9 @@ constexpr const char* name(CounterId id) {
       "sched.drops.buffer_limit", "sched.drops.unknown_flow",
       "sched.drops.fault_loss",   "sched.drops.corrupt",
       "sched.drops.pushout",      "sched.drops.flow_removed",
-      "rt.stalls",
+      "sched.drops.shed",
+      "rt.stalls",         "rt.recoveries",
+      "rt.offer_retries",  "rt.offer_abandoned",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -84,7 +92,7 @@ constexpr const char* name(CounterId id) {
 constexpr const char* name(GaugeId id) {
   constexpr const char* kNames[kGaugeCount] = {
       "rt.backlog_packets", "rt.service_lag_max", "fairness.gap",
-      "fairness.gap_max",   "fairness.bound",
+      "fairness.gap_max",   "fairness.bound",     "rt.overload_state",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -109,7 +117,9 @@ constexpr const char* prometheus_name(CounterId id) {
       "sfq_drops_buffer_limit_total", "sfq_drops_unknown_flow_total",
       "sfq_drops_fault_loss_total",   "sfq_drops_corrupt_total",
       "sfq_drops_pushout_total",      "sfq_drops_flow_removed_total",
-      "sfq_stalls_total",
+      "sfq_drops_shed_total",
+      "sfq_stalls_total",         "sfq_recoveries_total",
+      "sfq_offer_retries_total",  "sfq_offer_abandoned_total",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -118,7 +128,7 @@ constexpr const char* prometheus_name(GaugeId id) {
   constexpr const char* kNames[kGaugeCount] = {
       "sfq_backlog_packets",      "sfq_service_lag_max_seconds",
       "sfq_fairness_gap_seconds", "sfq_fairness_gap_max_seconds",
-      "sfq_fairness_bound_seconds",
+      "sfq_fairness_bound_seconds", "sfq_overload_state",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -146,5 +156,6 @@ static_assert(drop_counter(DropCause::kBufferLimit) ==
               CounterId::kDropBufferLimit);
 static_assert(drop_counter(DropCause::kFlowRemoved) ==
               CounterId::kDropFlowRemoved);
+static_assert(drop_counter(DropCause::kShed) == CounterId::kDropShed);
 
 }  // namespace sfq::obs::telemetry

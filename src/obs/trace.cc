@@ -29,6 +29,7 @@ const char* to_string(DropCause c) {
     case DropCause::kCorrupt: return "corrupt";
     case DropCause::kPushout: return "pushout";
     case DropCause::kFlowRemoved: return "flow_removed";
+    case DropCause::kShed: return "shed";
   }
   return "?";
 }

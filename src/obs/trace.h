@@ -46,8 +46,10 @@ enum class DropCause : uint8_t {
   kCorrupt,       // injected corruption, detected and discarded
   kPushout,       // evicted from the longest queue to admit a new arrival
   kFlowRemoved,   // flushed when its flow left the scheduler (churn)
+  kShed,          // refused by the overload admission gate (weighted-fair
+                  // load shedding; rt engine only — docs/ROBUSTNESS.md)
 };
-inline constexpr std::size_t kDropCauseCount = 7;
+inline constexpr std::size_t kDropCauseCount = 8;
 
 const char* to_string(TraceEventType t);
 const char* to_string(DropCause c);

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/telemetry/exposition.h"
+#include "rt/validate.h"
 #include "stats/fairness.h"
 
 namespace sfq::rt {
@@ -34,7 +35,21 @@ constexpr int kServiceBatch = 64;
 constexpr int kIdleYields = 16;
 constexpr auto kIdleSleep = std::chrono::microseconds(50);
 
+// Token-bucket depth fallback for flows registered without a max packet
+// size: one MTU-ish packet (1500 bytes) as the burst unit.
+constexpr double kShedDefaultPacketBits = 12000.0;
+
 }  // namespace
+
+const char* to_string(StallStage s) {
+  switch (s) {
+    case StallStage::kNone: return "none";
+    case StallStage::kDrain: return "drain";
+    case StallStage::kSchedule: return "schedule";
+    case StallStage::kTransmit: return "transmit";
+  }
+  return "?";
+}
 
 RtEngine::RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
                    EngineOptions opts)
@@ -43,6 +58,22 @@ RtEngine::RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
       opts_(opts),
       ingress_(opts.producers, opts.ring_capacity) {
   if (!profile_) throw std::invalid_argument("RtEngine: null rate profile");
+  if (auto err = validate(opts_)) throw std::invalid_argument(*err);
+  clock_.set_plan(opts_.fault_plan);
+}
+
+std::unique_ptr<RtEngine> RtEngine::try_create(
+    Scheduler& sched, std::unique_ptr<net::RateProfile>& profile,
+    EngineOptions opts, std::string* error) {
+  if (!profile) {
+    if (error) *error = "RtEngine: null rate profile";
+    return nullptr;
+  }
+  if (auto err = validate(opts)) {
+    if (error) *error = *err;
+    return nullptr;
+  }
+  return std::make_unique<RtEngine>(sched, std::move(profile), opts);
 }
 
 RtEngine::~RtEngine() {
@@ -116,6 +147,29 @@ bool RtEngine::offer_wait(std::size_t i, Packet p) {
   }
 }
 
+OfferStatus RtEngine::try_offer(std::size_t i, const Packet& p) {
+  if (!accepting_.load(std::memory_order_acquire)) return OfferStatus::kClosed;
+  // count_full=false: backpressure is the caller's to resolve — the attempt
+  // only lands in the ledger once it ends in a push or an abandon.
+  if (ingress_.push(i, p, clock_.now(), /*count_full=*/false)) {
+    if (tele_on_) prod_writers_[i].inc(tel::CounterId::kIngressPushed);
+    return OfferStatus::kAccepted;
+  }
+  return OfferStatus::kBackpressure;
+}
+
+void RtEngine::note_offer_retry(std::size_t i) {
+  if (tele_on_) prod_writers_[i].inc(tel::CounterId::kOfferRetries);
+}
+
+void RtEngine::note_offer_abandoned(std::size_t i) {
+  ingress_.count_drop(i);
+  if (tele_on_) {
+    prod_writers_[i].inc(tel::CounterId::kIngressDrops);
+    prod_writers_[i].inc(tel::CounterId::kOfferAbandoned);
+  }
+}
+
 void RtEngine::start() {
   if (started_) throw std::logic_error("RtEngine: start() called twice");
   started_ = true;
@@ -132,6 +186,28 @@ void RtEngine::start() {
       fair_weights_.push_back(sched_.flows().weight(f));
       fair_max_bits_.push_back(sched_.flows().spec(f).max_packet_bits);
     }
+  }
+  // Latch the overload machine: active only when admission control is on AND
+  // occupancy is measurable (finite buffer). Shares and bucket depths are
+  // derived from the immutable flow table; the refill rate seeds from the
+  // profile's nominal rate and then tracks the measured service rate.
+  ov_on_ = opts_.admission_control && opts_.buffer_limit > 0 && n > 0;
+  if (ov_on_) {
+    double total_w = 0.0;
+    for (FlowId f = 0; f < n; ++f) total_w += sched_.flows().weight(f);
+    ov_share_.resize(n);
+    ov_cap_.resize(n);
+    ov_tokens_.resize(n);
+    ov_refill_.assign(n, 0.0);
+    for (FlowId f = 0; f < n; ++f) {
+      ov_share_[f] = sched_.flows().weight(f) / total_w;
+      const double lmax = sched_.flows().spec(f).max_packet_bits;
+      ov_cap_[f] =
+          opts_.shed_burst * (lmax > 0.0 ? lmax : kShedDefaultPacketBits);
+      ov_tokens_[f] = ov_cap_[f];
+    }
+    const Time ft = profile_->finish_time(0.0, 1e6);
+    ov_rate_ewma_ = ft > 0.0 ? 1e6 / ft : 0.0;
   }
   accepting_.store(true, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -176,16 +252,55 @@ void RtEngine::run() {
   // deadline is timers_.next_time().
   int idle_streak = 0;
   // Watchdog bookkeeping: the last instant a transmission started or
-  // completed. Draining rings is deliberately not progress — a scheduler
-  // that accepts packets but never serves them is exactly the wedge the
-  // watchdog exists to catch.
-  Time last_progress = clock_.now();
+  // completed, on the RAW clock axis — fault-injected jumps and skews must
+  // not be able to blind the watchdog. Draining rings is deliberately not
+  // progress — a scheduler that accepts packets but never serves them is
+  // exactly the wedge the watchdog exists to catch.
+  last_progress_raw_ = clock_.raw_now();
+  if (ov_on_) ov_window_start_ = clock_.now();
 
   for (;;) {
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
     const bool abandon =
         stopping && stop_mode_.load(std::memory_order_relaxed) ==
                         StopMode::kAbandon;
+
+    // 0. Scripted dispatcher pauses (fault plan): the dispatcher stops dead
+    //    for the scripted duration, modelling a GC-like stop-the-world.
+    //    Triggers live on the raw axis so clock jumps cannot reorder them.
+    //    Only stop(kAbandon) cuts a pause short — a freeze is a freeze.
+    {
+      const auto& pauses = clock_.plan().pauses;
+      if (next_pause_ < pauses.size() &&
+          clock_.raw_now() >= pauses[next_pause_].at) {
+        const Time until = clock_.raw_now() + pauses[next_pause_].duration;
+        ++next_pause_;
+        while (clock_.raw_now() < until) {
+          if (stop_requested_.load(std::memory_order_acquire) &&
+              stop_mode_.load(std::memory_order_relaxed) == StopMode::kAbandon)
+            break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    }
+
+    // 0b. Stall watchdog, at the top of the loop so a wedge (or the pause we
+    //     just slept through) is observed before drain/serve can make
+    //     progress. On detection the dispatcher diagnoses the stage and
+    //     restarts itself within the budget (docs/ROBUSTNESS.md); only an
+    //     exhausted budget exits permanently.
+    if (opts_.stall_timeout > 0.0) {
+      const Time raw = clock_.raw_now();
+      if (timers_.empty() && sched_.empty()) {
+        last_progress_raw_ = raw;  // idle: no obligations, nothing to watch
+      } else if (raw - last_progress_raw_ > opts_.stall_timeout) {
+        if (!watchdog_stall(clock_.now(), raw)) return;
+      }
+    }
+
+    // 0c. Overload state machine: one occupancy reading per loop drives the
+    //     Normal/Shedding/Critical transitions (hysteresis in overload_tick).
+    if (ov_on_) overload_tick(clock_.now());
 
     // 1. Drain a bounded batch of arrivals, earliest ingress stamp first.
     //    An abandoning engine leaves ring items where they are (step 3
@@ -207,6 +322,7 @@ void RtEngine::run() {
     //    until the profile's finish time.
     int served = 0;
     uint64_t served_bits = 0;
+    bool progressed = false;
     while (served < kServiceBatch) {
       if (!timers_.empty()) {
         const Time now = clock_.now();
@@ -218,7 +334,7 @@ void RtEngine::run() {
           complete(done.event.packet, now, /*deadline=*/done.when);
         }
         served_bits += static_cast<uint64_t>(done.event.packet.length_bits);
-        last_progress = now;
+        progressed = true;
         ++served;
       }
       if (abandon) break;
@@ -238,7 +354,7 @@ void RtEngine::run() {
       const Time deadline = profile_->finish_time(now, next->length_bits);
       timers_.schedule_packet(deadline, sim::EventOp::kServiceComplete,
                               /*target=*/nullptr, *next);
-      last_progress = now;
+      progressed = true;
     }
     // Flush transmit counters once per serve batch rather than per packet:
     // histograms need per-packet samples but the counters only need totals.
@@ -246,6 +362,31 @@ void RtEngine::run() {
       disp_writer_.inc(tel::CounterId::kTransmitted,
                        static_cast<uint64_t>(served));
       disp_writer_.inc(tel::CounterId::kTxBits, served_bits);
+    }
+    if (progressed) {
+      last_progress_raw_ = clock_.raw_now();
+      consecutive_stalls_ = 0;
+      if (recovery_pending_) {
+        // A stall episode healed: the restart actually restored service.
+        recovery_pending_ = false;
+        recoveries_.fetch_add(1, std::memory_order_relaxed);
+        if (tele_on_) disp_writer_.inc(tel::CounterId::kRecoveries);
+      }
+    }
+    // Service-rate EWMA feeding the shedding buckets: fold each ~10 ms
+    // window of served bits into the estimate.
+    if (ov_on_ && served_bits > 0) {
+      ov_window_bits_ += static_cast<double>(served_bits);
+      const Time now = clock_.now();
+      const Time dt = now - ov_window_start_;
+      if (dt >= 0.01) {
+        const double sample = ov_window_bits_ / dt;
+        ov_rate_ewma_ = ov_rate_ewma_ <= 0.0
+                            ? sample
+                            : ov_rate_ewma_ + 0.2 * (sample - ov_rate_ewma_);
+        ov_window_bits_ = 0.0;
+        ov_window_start_ = now;
+      }
     }
 
     // 4. Exit checks.
@@ -258,30 +399,6 @@ void RtEngine::run() {
         return;
       }
       if (drained == 0 && ingress_.empty() && sched_.empty()) return;
-    }
-
-    // 4b. Stall watchdog: obligations outstanding but no transmission has
-    //     started or completed for the whole window => the dispatcher (or
-    //     the discipline under it) is wedged. Count it and stop cleanly —
-    //     scheduler backlog stays visible in stats().backlog, ring leftovers
-    //     become `abandoned` — rather than hanging the process.
-    if (opts_.stall_timeout > 0.0) {
-      const Time now = clock_.now();
-      if (timers_.empty() && sched_.empty()) {
-        last_progress = now;  // idle: no obligations, nothing to watch
-      } else if (now - last_progress > opts_.stall_timeout) {
-        stalls_.fetch_add(1, std::memory_order_relaxed);
-        accepting_.store(false, std::memory_order_release);
-        uint64_t left = 0;
-        while (ingress_.pop_earliest()) ++left;
-        abandoned_.fetch_add(left, std::memory_order_relaxed);
-        if (tele_on_) {
-          disp_writer_.inc(tel::CounterId::kStalls);
-          disp_writer_.inc(tel::CounterId::kAbandoned, left);
-        }
-        stalled_.store(true, std::memory_order_release);
-        return;
-      }
     }
 
     // 5. Wait strategy.
@@ -311,6 +428,115 @@ void RtEngine::run() {
   }
 }
 
+bool RtEngine::watchdog_stall(Time now, Time raw_now) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  if (tele_on_) disp_writer_.inc(tel::CounterId::kStalls);
+  // Diagnose: which stage owns the wedge. A pending transmission whose
+  // deadline never arrives is a transmit wedge; a backlogged scheduler that
+  // yields nothing is a schedule wedge; otherwise the ingress/drain side
+  // holds obligations the loop cannot see. (The stage profiles from
+  // SFQ_TELEMETRY_PROFILING builds give the fine-grained view; this
+  // structural diagnosis is always available.)
+  StallStage stage = StallStage::kDrain;
+  if (!timers_.empty())
+    stage = StallStage::kTransmit;
+  else if (!sched_.empty())
+    stage = StallStage::kSchedule;
+  last_stall_stage_.store(static_cast<int8_t>(stage),
+                          std::memory_order_relaxed);
+
+  if (consecutive_stalls_ < opts_.restart_budget) {
+    ++consecutive_stalls_;
+    recovery_pending_ = true;
+    // Re-arm. A transmit wedge means the pacing deadline failed to arrive
+    // for a whole stall window, so a deadline still in the future was paced
+    // against a clock reading that faults have since invalidated (a backward
+    // jump freezes the engine axis, leaving `now` parked just short of a
+    // near deadline indefinitely): re-pace it to complete now. The packet is
+    // still transmitted and counted — nothing leaves the ledger during a
+    // restart. A deadline already due needs no help; the serve pass below
+    // completes it.
+    if (stage == StallStage::kTransmit && timers_.next_time() > now) {
+      sim::EventQueue::Popped done;
+      timers_.pop(done);
+      timers_.schedule_packet(now, sim::EventOp::kServiceComplete,
+                              /*target=*/nullptr, done.event.packet);
+    }
+    last_progress_raw_ = raw_now;
+    return true;
+  }
+
+  // Restart budget exhausted: permanent stop (the pre-recovery behavior).
+  // Scheduler backlog stays visible in stats().backlog, ring leftovers
+  // become `abandoned`, and both conservation identities still balance.
+  accepting_.store(false, std::memory_order_release);
+  uint64_t left = 0;
+  while (ingress_.pop_earliest()) ++left;
+  abandoned_.fetch_add(left, std::memory_order_relaxed);
+  if (tele_on_) disp_writer_.inc(tel::CounterId::kAbandoned, left);
+  stalled_.store(true, std::memory_order_release);
+  return false;
+}
+
+void RtEngine::overload_tick(Time now) {
+  const double occ = static_cast<double>(sched_.backlog_packets()) /
+                     static_cast<double>(opts_.buffer_limit);
+  switch (ov_state_.load(std::memory_order_relaxed)) {
+    case 0:
+      if (occ >= opts_.shed_enter) set_overload_state(1, now);
+      break;
+    case 1:
+      if (occ >= opts_.shed_critical)
+        set_overload_state(2, now);
+      else if (occ <= opts_.shed_exit)
+        set_overload_state(0, now);
+      break;
+    case 2:
+      // Hysteresis: Critical relaxes to Shedding below the *enter* mark, and
+      // only Shedding can return to Normal (at the exit mark) — residual
+      // capacity re-opens gradually, not with a thundering herd.
+      if (occ < opts_.shed_enter) set_overload_state(1, now);
+      break;
+  }
+}
+
+void RtEngine::set_overload_state(int state, Time now) {
+  const int prev = ov_state_.exchange(state, std::memory_order_relaxed);
+  if (prev == state) return;
+  if (prev == 0) {
+    // Entering Shedding from Normal: full buckets with fresh refill clocks,
+    // so the burst allowance dates from the transition instant.
+    for (std::size_t f = 0; f < ov_tokens_.size(); ++f) {
+      ov_tokens_[f] = ov_cap_[f];
+      ov_refill_[f] = now;
+    }
+  }
+  if (tele_on_)
+    tele_->set_gauge(tel::GaugeId::kOverloadState, static_cast<double>(state),
+                     opts_.telemetry_shard);
+}
+
+bool RtEngine::shed_admits(const Packet& p, Time now) {
+  // Flows outside the latched table (disciplines that accept unregistered
+  // flows) have no weight share; the gate waves them through.
+  if (p.flow >= ov_tokens_.size()) return true;
+  const double factor = ov_state_.load(std::memory_order_relaxed) == 2
+                            ? opts_.shed_critical_factor
+                            : 1.0;
+  // Lazy refill: flow f earns its weighted-fair share of the measured
+  // service rate. Admission only requires a non-negative balance, so one
+  // packet of overdraft is allowed — matching SFQ's own one-packet
+  // granularity — and the debit keeps drops proportional to the deficit.
+  double& tok = ov_tokens_[p.flow];
+  tok = std::min(ov_cap_[p.flow],
+                 tok + (now - ov_refill_[p.flow]) * ov_share_[p.flow] *
+                           ov_rate_ewma_ * factor);
+  ov_refill_[p.flow] = now;
+  if (tok < 0.0) return false;
+  tok -= p.length_bits;
+  return true;
+}
+
 void RtEngine::inject(IngressItem item) {
   Packet& p = item.packet;
   const Time now = clock_.now();
@@ -321,6 +547,15 @@ void RtEngine::inject(IngressItem item) {
   if (registered ? !table.active(p.flow)
                  : sched_.requires_registered_flows()) {
     drop(std::move(p), now, obs::DropCause::kUnknownFlow);
+    return;
+  }
+  // Overload admission gate (docs/ROBUSTNESS.md): while shedding, arrivals
+  // pass per-flow token buckets refilled weighted-fair from the measured
+  // service rate. Sits before capture, so a shed packet never reaches the
+  // discipline and chaos replay stays bit-exact.
+  if (ov_on_ && ov_state_.load(std::memory_order_relaxed) != 0 &&
+      !shed_admits(p, now)) {
+    drop(std::move(p), now, obs::DropCause::kShed);
     return;
   }
   if (opts_.buffer_limit != 0 &&
@@ -445,6 +680,10 @@ EngineStats RtEngine::stats() const {
   s.backlog = s.accepted > done ? s.accepted - done : 0;
   s.max_service_lag = max_service_lag_.load(std::memory_order_relaxed);
   s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.last_stall_stage =
+      static_cast<StallStage>(last_stall_stage_.load(std::memory_order_relaxed));
+  s.overload_state = ov_state_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "obs/telemetry/telemetry.h"
 #include "obs/trace.h"
 #include "rt/clock.h"
+#include "rt/fault_clock.h"
 #include "rt/ingress.h"
 #include "sim/event_queue.h"
 
@@ -27,7 +29,7 @@ struct EngineOptions {
   std::size_t ring_capacity = 1 << 14;
   // Cap on scheduler backlog (excluding the packet in transmission);
   // 0 = infinite. Overflow resolves via `overload_policy` into the same
-  // six-cause drop taxonomy as the simulated server.
+  // per-cause drop taxonomy as the simulated server.
   std::size_t buffer_limit = 0;
   net::OverloadPolicy overload_policy = net::OverloadPolicy::kTailDrop;
   // Waits shorter than this are spun, longer ones sleep (seconds). Sleeping
@@ -37,10 +39,37 @@ struct EngineOptions {
   // Stall watchdog: if the engine has obligations (a transmission in flight
   // or scheduler backlog) but makes no service progress (no transmission
   // started or completed) for this many wall-clock seconds, it counts a
-  // stall and stops cleanly — backlog left in place, ring leftovers counted
-  // as abandoned — instead of hanging silently. Must exceed the longest
-  // legitimate packet transmission time. 0 (default) disables.
+  // stall and tries to recover — see `restart_budget`. Must exceed the
+  // longest legitimate packet transmission time. 0 (default) disables.
   double stall_timeout = 0.0;
+  // Watchdog escalation (docs/ROBUSTNESS.md): on each stall the dispatcher
+  // diagnoses the wedged stage (EngineStats::last_stall_stage), re-arms
+  // itself — re-pacing a stale in-flight transmission deadline against the
+  // current clock — and retries. Service progress after a stall counts a
+  // recovery and resets the budget; `restart_budget` consecutive fruitless
+  // restarts escalate to a permanent stop (accepting off, ring leftovers
+  // counted `abandoned`, backlog left visible — the pre-PR-7 behavior).
+  uint32_t restart_budget = 3;
+  // Overload admission control (docs/ROBUSTNESS.md): when true and
+  // `buffer_limit` > 0, a Normal -> Shedding -> Critical state machine
+  // watches scheduler occupancy with hysteresis and, while shedding, gates
+  // arrivals through per-flow token buckets refilled in proportion to flow
+  // weight from the measured service rate. Drops distribute weighted-fair
+  // (cause kShed), so the Theorem-1 gap over *admitted* traffic stays
+  // bounded while the engine is pushed past capacity.
+  bool admission_control = false;
+  double shed_enter = 0.85;     // occupancy: Normal -> Shedding
+  double shed_exit = 0.50;      // occupancy: Shedding -> Normal
+  double shed_critical = 0.97;  // occupancy: Shedding -> Critical
+  // Critical multiplies the admitted rate by this factor (< 1) to force the
+  // backlog down; Shedding admits at the full measured service rate.
+  double shed_critical_factor = 0.7;
+  // Token-bucket depth, in units of the flow's max packet size (burst a
+  // freshly refilled flow may admit back-to-back while shedding).
+  double shed_burst = 4.0;
+  // rt-layer fault plan (clock jumps/skew, scripted dispatcher pauses);
+  // empty by default. Chaos wires generated plans through this.
+  RtFaultPlan fault_plan;
   // Live stats publication (requires set_telemetry; docs/OBSERVABILITY.md).
   // A background stats thread wakes every `stats_interval` seconds, updates
   // the backlog / pacing-lag / Theorem-1 fairness gauges, snapshots the
@@ -84,6 +113,26 @@ struct CaptureOp {
   Time t = 0.0;
 };
 
+// Result of a non-blocking try_offer (docs/ROBUSTNESS.md). kBackpressure is
+// the explicit ring-full signal: nothing was counted, the caller owns the
+// packet and decides — retry (note_offer_retry), give up
+// (note_offer_abandoned) or block. kClosed means the engine stopped
+// accepting; retrying is pointless.
+enum class OfferStatus : uint8_t {
+  kAccepted = 0,
+  kBackpressure,
+  kClosed,
+};
+
+// Dispatcher stage the watchdog diagnosed as wedged (EngineStats).
+enum class StallStage : int8_t {
+  kNone = -1,
+  kDrain = 0,     // no obligations visible, yet no progress (ingress wedge)
+  kSchedule = 1,  // scheduler backlogged but dequeue yields nothing
+  kTransmit = 2,  // transmission in flight whose deadline never arrives
+};
+const char* to_string(StallStage s);
+
 // How stop() treats work still queued when it is called.
 enum class StopMode {
   // Stop accepting, then serve everything already pushed: rings drain into
@@ -102,8 +151,8 @@ enum class StopMode {
 //   ingress_pushed    == accepted + pre-enqueue drops + abandoned
 //   accepted          == transmitted + backlog + post-enqueue drops
 //
-// where pre-enqueue causes are kUnknownFlow/kBufferLimit and post-enqueue
-// causes are kPushout/kFlowRemoved (see docs/ROBUSTNESS.md).
+// where pre-enqueue causes are kUnknownFlow/kBufferLimit/kShed and
+// post-enqueue causes are kPushout/kFlowRemoved (see docs/ROBUSTNESS.md).
 struct EngineStats {
   uint64_t ingress_pushed = 0;
   uint64_t ingress_drops = 0;  // ring full, or offer() after stop
@@ -116,10 +165,17 @@ struct EngineStats {
   // Worst observed lateness of a transmission-complete callback versus the
   // pacing deadline the rate profile set (dispatcher scheduling jitter).
   double max_service_lag = 0.0;
-  // Stall-watchdog trips (EngineOptions::stall_timeout). Non-zero means the
-  // dispatcher stopped itself after finding backlog with no service progress
-  // for the configured window.
+  // Stall-watchdog trips (EngineOptions::stall_timeout). stalls counts every
+  // detected no-progress window; recoveries counts the episodes that healed
+  // (service resumed after a restart). stalls > recoveries with the engine
+  // stopped means the restart budget ran out (RtEngine::stalled()).
   uint64_t stalls = 0;
+  uint64_t recoveries = 0;
+  // Stage diagnosis of the most recent stall (kNone if never stalled).
+  StallStage last_stall_stage = StallStage::kNone;
+  // Overload state machine position: 0 Normal, 1 Shedding, 2 Critical.
+  // Always 0 when admission control is off.
+  int overload_state = 0;
 
   uint64_t dropped() const {
     uint64_t n = 0;
@@ -146,9 +202,17 @@ struct EngineStats {
 class RtEngine {
  public:
   // Flows must be registered on `sched` before start(); the flow table must
-  // not change while the engine runs.
+  // not change while the engine runs. Throws std::invalid_argument on
+  // malformed options (rt::validate); servers assembling options from
+  // untrusted input use try_create for the no-throw path.
   RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
            EngineOptions opts = {});
+  // No-throw factory mirroring config::try_parse: nullptr + a message in
+  // *error (when non-null) instead of an exception. The profile is consumed
+  // only on success.
+  static std::unique_ptr<RtEngine> try_create(
+      Scheduler& sched, std::unique_ptr<net::RateProfile>& profile,
+      EngineOptions opts = {}, std::string* error = nullptr);
   ~RtEngine();  // stop(kAbandon) if still running
 
   RtEngine(const RtEngine&) = delete;
@@ -161,6 +225,18 @@ class RtEngine {
   // Blocking variant: spins (yielding) while the ring is full. False once
   // the engine stops accepting.
   bool offer_wait(std::size_t i, Packet p);
+  // Non-blocking backpressure variant: a full ring returns kBackpressure and
+  // counts NOTHING — the caller still owns the packet and must resolve the
+  // attempt via a later successful try_offer, note_offer_abandoned, or
+  // offer()/offer_wait(). LoadGen's retry/backoff path rides on this.
+  OfferStatus try_offer(std::size_t i, const Packet& p);
+  // Ledger hooks for retry loops. note_offer_retry only bumps the
+  // rt.offer_retries telemetry counter. note_offer_abandoned resolves a
+  // backpressured attempt as given up: it counts an ingress drop (so
+  // `offers == ingress_pushed + ingress_drops` stays exact) plus the
+  // rt.offer_abandoned telemetry counter.
+  void note_offer_retry(std::size_t i);
+  void note_offer_abandoned(std::size_t i);
 
   // Attach before start(); events fire on the dispatcher thread. Wrap sinks
   // you want to read mid-run in rt::SyncSink.
@@ -193,12 +269,17 @@ class RtEngine {
   void stop(StopMode mode = StopMode::kDrain);
   bool running() const { return running_.load(std::memory_order_acquire); }
   bool accepting() const { return accepting_.load(std::memory_order_acquire); }
-  // True once the stall watchdog stopped the dispatcher (see
-  // EngineOptions::stall_timeout); the engine no longer accepts or serves.
+  // True once the stall watchdog exhausted its restart budget and stopped
+  // the dispatcher permanently; the engine no longer accepts or serves.
+  // Recovered stalls (stats().recoveries) do NOT set this.
   bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+  // Current overload state (0 Normal / 1 Shedding / 2 Critical).
+  int overload_state() const {
+    return ov_state_.load(std::memory_order_relaxed);
+  }
 
   Time now() const { return clock_.now(); }
-  const WallClock& clock() const { return clock_; }
+  const FaultClock& clock() const { return clock_; }
   Scheduler& scheduler() { return sched_; }
   const Ingress& ingress() const { return ingress_; }
   std::size_t producers() const { return ingress_.producers(); }
@@ -221,11 +302,18 @@ class RtEngine {
   void stats_loop();
   void publish_stats(std::vector<double>& prev_service);
   void publish_final_gauges();
+  // Overload machine (dispatcher thread only; docs/ROBUSTNESS.md).
+  void overload_tick(Time now);
+  void set_overload_state(int state, Time now);
+  bool shed_admits(const Packet& p, Time now);
+  // Watchdog (dispatcher thread only). Returns false when the restart
+  // budget is exhausted and the dispatcher must exit permanently.
+  bool watchdog_stall(Time now, Time raw_now);
 
   Scheduler& sched_;
   std::unique_ptr<net::RateProfile> profile_;
   EngineOptions opts_;
-  WallClock clock_;
+  FaultClock clock_;
   Ingress ingress_;
   std::thread dispatcher_;
 
@@ -292,6 +380,30 @@ class RtEngine {
   std::atomic<bool> stalled_{false};
   // Single-writer (dispatcher) per-flow service totals; sized at start().
   std::vector<std::unique_ptr<std::atomic<double>>> flow_bits_;
+
+  // Watchdog escalation state (dispatcher thread; atomics are for stats()).
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<int8_t> last_stall_stage_{
+      static_cast<int8_t>(StallStage::kNone)};
+  uint32_t consecutive_stalls_ = 0;   // restarts since the last progress
+  bool recovery_pending_ = false;     // a stall fired; progress will heal it
+  Time last_progress_raw_ = 0.0;      // watchdog runs on the raw clock so
+                                      // fault-injected jumps cannot blind it
+  std::size_t next_pause_ = 0;        // cursor into fault_plan.pauses
+
+  // Overload machine state (latched at start(); dispatcher thread owns the
+  // buckets, ov_state_ is relaxed-readable from anywhere).
+  bool ov_on_ = false;
+  std::atomic<int> ov_state_{0};  // 0 Normal, 1 Shedding, 2 Critical
+  std::vector<double> ov_share_;  // weight_f / sum(weights)
+  std::vector<double> ov_cap_;    // bucket depth, bits (shed_burst * l_max)
+  std::vector<double> ov_tokens_;
+  std::vector<Time> ov_refill_;   // per-flow last lazy-refill instant
+  // Measured service rate (bits/s), EWMA over ~50 ms windows, seeded from
+  // the rate profile's nominal rate; drives bucket refill while shedding.
+  double ov_rate_ewma_ = 0.0;
+  double ov_window_bits_ = 0.0;
+  Time ov_window_start_ = 0.0;
 };
 
 }  // namespace sfq::rt

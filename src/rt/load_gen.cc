@@ -1,10 +1,13 @@
 #include "rt/load_gen.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
+#include <random>
 #include <stdexcept>
 #include <utility>
 
+#include "rt/validate.h"
 #include "sim/simulator.h"
 #include "traffic/sources.h"
 
@@ -33,15 +36,41 @@ void wait_until(const RtEngine& engine, Time target) {
 
 }  // namespace
 
+namespace {
+
+std::optional<std::string> validate_specs(
+    const RtEngine& engine,
+    const std::vector<std::vector<FlowLoad>>& specs,
+    const LoadGenOptions& opts) {
+  if (specs.size() > engine.producers())
+    return "LoadGen: more producers than engine shards";
+  if (auto err = validate(opts)) return err;
+  for (const auto& producer : specs)
+    for (const FlowLoad& l : producer)
+      if (auto err = validate(l)) return err;
+  return std::nullopt;
+}
+
+}  // namespace
+
 LoadGen::LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
                  LoadGenOptions opts)
     : engine_(engine), specs_(std::move(producers)), opts_(opts) {
-  if (specs_.size() > engine_.producers())
-    throw std::invalid_argument("LoadGen: more producers than engine shards");
-  if (opts_.slice <= 0.0) throw std::invalid_argument("LoadGen: slice <= 0");
-  produced_.reserve(specs_.size());
+  if (auto err = validate_specs(engine_, specs_, opts_))
+    throw std::invalid_argument(*err);
+  cells_.reserve(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i)
-    produced_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    cells_.push_back(std::make_unique<Cells>());
+}
+
+std::unique_ptr<LoadGen> LoadGen::try_create(
+    RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+    LoadGenOptions opts, std::string* error) {
+  if (auto err = validate_specs(engine, producers, opts)) {
+    if (error) *error = *err;
+    return nullptr;
+  }
+  return std::make_unique<LoadGen>(engine, std::move(producers), opts);
 }
 
 LoadGen::~LoadGen() { join(); }
@@ -60,13 +89,24 @@ void LoadGen::join() {
 }
 
 uint64_t LoadGen::produced(std::size_t i) const {
-  return produced_[i]->load(std::memory_order_relaxed);
+  return cells_[i]->attempts.load(std::memory_order_relaxed);
 }
 
 uint64_t LoadGen::produced_total() const {
   uint64_t n = 0;
-  for (std::size_t i = 0; i < produced_.size(); ++i) n += produced(i);
+  for (std::size_t i = 0; i < cells_.size(); ++i) n += produced(i);
   return n;
+}
+
+LoadGen::ProducerStats LoadGen::producer_stats(std::size_t i) const {
+  const Cells& c = *cells_[i];
+  ProducerStats s;
+  s.attempts = c.attempts.load(std::memory_order_relaxed);
+  s.pushed = c.pushed.load(std::memory_order_relaxed);
+  s.dropped = c.dropped.load(std::memory_order_relaxed);
+  s.abandoned = c.abandoned.load(std::memory_order_relaxed);
+  s.retries = c.retries.load(std::memory_order_relaxed);
+  return s;
 }
 
 void LoadGen::produce(std::size_t i, Time duration) {
@@ -98,8 +138,24 @@ void LoadGen::produce(std::size_t i, Time duration) {
     sources.back()->run(l.start, duration);
   }
 
-  uint64_t attempts = 0;
-  std::atomic<uint64_t>& counter = *produced_[i];
+  ProducerStats local;
+  Cells& cells = *cells_[i];
+  const auto publish = [&] {
+    cells.attempts.store(local.attempts, std::memory_order_relaxed);
+    cells.pushed.store(local.pushed, std::memory_order_relaxed);
+    cells.dropped.store(local.dropped, std::memory_order_relaxed);
+    cells.abandoned.store(local.abandoned, std::memory_order_relaxed);
+    cells.retries.store(local.retries, std::memory_order_relaxed);
+  };
+  // Retry/backoff mode (docs/ROBUSTNESS.md): explicit backpressure via
+  // try_offer, bounded exponential backoff with multiplicative jitter, and
+  // an optional per-packet freshness deadline.
+  const bool retry_mode = !opts_.block_on_full &&
+                          (opts_.max_retries > 0 || opts_.offer_deadline > 0.0);
+  std::minstd_rand jitter_rng(
+      static_cast<uint32_t>(0x9e3779b9u ^ (i * 2654435761u)) | 1u);
+  std::uniform_real_distribution<double> jitter(1.0 - opts_.backoff_jitter,
+                                                1.0 + opts_.backoff_jitter);
   const Time t0 = engine_.now();  // replay epoch: model t maps to t0 + t
   Time horizon = 0.0;
   bool engine_closed = false;
@@ -113,22 +169,72 @@ void LoadGen::produce(std::size_t i, Time duration) {
     }
     TimedPacket& tp = slice_buf.front();
     if (opts_.paced) wait_until(engine_, t0 + tp.t);
-    ++attempts;
-    bool ok;
-    if (opts_.block_on_full)
-      ok = engine_.offer_wait(i, std::move(tp.p));
-    else
-      ok = engine_.offer(i, std::move(tp.p));
+    ++local.attempts;
+    if (retry_mode) {
+      OfferStatus st = engine_.try_offer(i, tp.p);
+      if (st == OfferStatus::kAccepted) {
+        ++local.pushed;
+      } else if (st == OfferStatus::kClosed) {
+        engine_.note_offer_abandoned(i);
+        ++local.abandoned;
+        engine_closed = true;
+      } else {
+        // Backpressure: retry until accepted, closed, out of retries, or
+        // past the freshness deadline.
+        const Time first_try = engine_.now();
+        Time backoff = opts_.backoff_initial;
+        std::size_t tries = 0;
+        bool resolved = false;
+        for (;;) {
+          if (opts_.offer_deadline > 0.0 &&
+              engine_.now() - first_try >= opts_.offer_deadline)
+            break;
+          if (opts_.max_retries > 0 && tries >= opts_.max_retries) break;
+          ++tries;
+          ++local.retries;
+          engine_.note_offer_retry(i);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff * jitter(jitter_rng)));
+          backoff = std::min(backoff * opts_.backoff_multiplier,
+                             opts_.backoff_max);
+          st = engine_.try_offer(i, tp.p);
+          if (st == OfferStatus::kAccepted) {
+            ++local.pushed;
+            resolved = true;
+            break;
+          }
+          if (st == OfferStatus::kClosed) break;
+        }
+        if (!resolved) {
+          // Timed out, out of retries, or the engine closed mid-retry: the
+          // packet is given up and the attempt lands on the engine ledger as
+          // an ingress drop.
+          engine_.note_offer_abandoned(i);
+          ++local.abandoned;
+          if (st == OfferStatus::kClosed || !engine_.accepting())
+            engine_closed = true;
+        }
+      }
+    } else {
+      bool ok;
+      if (opts_.block_on_full)
+        ok = engine_.offer_wait(i, std::move(tp.p));
+      else
+        ok = engine_.offer(i, std::move(tp.p));
+      if (ok)
+        ++local.pushed;
+      else
+        ++local.dropped;
+      // A plain offer's failure is a counted backpressure drop and production
+      // continues; failure with the engine closed means the rest of the
+      // timeline has nowhere to go.
+      if (!ok && !engine_.accepting()) engine_closed = true;
+    }
     slice_buf.pop_front();
-    // A plain offer's failure is a counted backpressure drop and production
-    // continues; failure with the engine closed means the rest of the
-    // timeline has nowhere to go.
-    if (!ok && !engine_.accepting()) engine_closed = true;
-    // Publish attempts periodically to keep the hot loop light.
-    if ((attempts & 0x3ff) == 0)
-      counter.store(attempts, std::memory_order_relaxed);
+    // Publish periodically to keep the hot loop light.
+    if ((local.attempts & 0x3ff) == 0) publish();
   }
-  counter.store(attempts, std::memory_order_relaxed);
+  publish();
 }
 
 }  // namespace sfq::rt

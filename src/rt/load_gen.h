@@ -43,6 +43,23 @@ struct LoadGenOptions {
   bool block_on_full = false;
   // Sim-time slice generated ahead of the replay.
   Time slice = 0.01;
+
+  // Bounded-retry backpressure handling (docs/ROBUSTNESS.md). Active when
+  // block_on_full is false and max_retries > 0 or offer_deadline > 0: a full
+  // ring (RtEngine::try_offer -> kBackpressure) is retried with exponential
+  // backoff and multiplicative jitter instead of dropped. max_retries == 0
+  // with a deadline means "retry until the deadline". A packet that exhausts
+  // its retries or deadline is given up — counted `abandoned` on both the
+  // producer stats and the engine ledger (note_offer_abandoned), keeping
+  // attempts == pushed + dropped + abandoned exact.
+  std::size_t max_retries = 0;
+  Time backoff_initial = 20e-6;    // first retry wait (seconds)
+  Time backoff_max = 2e-3;         // backoff growth cap
+  double backoff_multiplier = 2.0; // exponential growth per retry
+  double backoff_jitter = 0.5;     // wait *= uniform[1-j, 1+j]
+  // Per-packet freshness deadline measured from the first offer attempt;
+  // 0 disables. A stale packet is abandoned, not delivered late.
+  Time offer_deadline = 0.0;
 };
 
 // Multi-threaded load generator: producer thread i feeds engine shard i with
@@ -50,8 +67,13 @@ struct LoadGenOptions {
 // every producer has emitted its full `duration` of traffic.
 class LoadGen {
  public:
+  // Throws std::invalid_argument on malformed options or flow specs
+  // (rt::validate); try_create is the no-throw path.
   LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
           LoadGenOptions opts = {});
+  static std::unique_ptr<LoadGen> try_create(
+      RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+      LoadGenOptions opts = {}, std::string* error = nullptr);
   ~LoadGen();  // joins
 
   LoadGen(const LoadGen&) = delete;
@@ -62,18 +84,41 @@ class LoadGen {
   void start(Time duration);
   void join();
 
-  // Offer attempts by producer i (successful pushes + counted drops).
+  // Per-producer offer accounting. Exact once join() returned; relaxed
+  // (periodically published) while producing. Identity, exact after join:
+  //   attempts == pushed + dropped + abandoned
+  // `dropped` are plain-offer failures the engine counted as ingress drops;
+  // `abandoned` are backpressured packets given up after retries/deadline
+  // (also ingress drops on the engine ledger, via note_offer_abandoned).
+  struct ProducerStats {
+    uint64_t attempts = 0;
+    uint64_t pushed = 0;
+    uint64_t dropped = 0;
+    uint64_t abandoned = 0;
+    uint64_t retries = 0;  // backoff retries (not attempts: one per re-offer)
+  };
+  ProducerStats producer_stats(std::size_t i) const;
+
+  // Offer attempts by producer i (pushed + dropped + abandoned).
   uint64_t produced(std::size_t i) const;
   uint64_t produced_total() const;
 
  private:
+  struct Cells {  // one cache line of per-producer atomics
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> pushed{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> abandoned{0};
+    std::atomic<uint64_t> retries{0};
+  };
+
   void produce(std::size_t i, Time duration);
 
   RtEngine& engine_;
   std::vector<std::vector<FlowLoad>> specs_;
   LoadGenOptions opts_;
   std::vector<std::thread> threads_;
-  std::vector<std::unique_ptr<std::atomic<uint64_t>>> produced_;
+  std::vector<std::unique_ptr<Cells>> cells_;
   bool started_ = false;
 };
 

@@ -1,0 +1,26 @@
+// Crash-free option validation for the rt layer (docs/ROBUSTNESS.md).
+//
+// Mirrors config::try_parse: every constructor precondition of RtEngine /
+// LoadGen is expressible as a named check that returns a message instead of
+// throwing, so servers assembling options from untrusted input (CLI flags,
+// config files, control planes) can reject them as counted errors. The
+// constructors call the same checks and throw the same message — validation
+// logic lives in exactly one place — while RtEngine::try_create /
+// LoadGen::try_create give the no-throw path.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sfq::rt {
+
+struct EngineOptions;
+struct LoadGenOptions;
+struct FlowLoad;
+
+// nullopt = valid; otherwise a human-readable reason (first failure wins).
+std::optional<std::string> validate(const EngineOptions& opts);
+std::optional<std::string> validate(const LoadGenOptions& opts);
+std::optional<std::string> validate(const FlowLoad& load);
+
+}  // namespace sfq::rt

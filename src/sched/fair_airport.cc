@@ -1,7 +1,6 @@
 #include "sched/fair_airport.h"
 
 #include <algorithm>
-#include <iterator>
 
 namespace sfq {
 
@@ -15,7 +14,8 @@ FlowId FairAirportScheduler::add_flow(double weight, double max_packet_bits,
 double FairAirportScheduler::backlog_bits(FlowId f) const {
   if (f >= state_.size()) return 0.0;
   double b = 0.0;
-  for (const Packet& p : state_[f].q) b += p.length_bits;
+  const auto& q = state_[f].q;
+  for (std::size_t i = 0; i < q.size(); ++i) b += q[i].length_bits;
   return b;
 }
 
@@ -153,8 +153,10 @@ std::optional<Packet> FairAirportScheduler::dequeue(Time now) {
 std::vector<Packet> FairAirportScheduler::remove_flow(FlowId f, Time now) {
   Scheduler::remove_flow(f, now);
   FlowState& st = state_[f];
-  std::vector<Packet> out(std::make_move_iterator(st.q.begin()),
-                          std::make_move_iterator(st.q.end()));
+  std::vector<Packet> out;
+  out.reserve(st.q.size());
+  for (std::size_t i = 0; i < st.q.size(); ++i)
+    out.push_back(std::move(st.q[i]));
   total_packets_ -= st.q.size();
   st.q.clear();
   st.gsq_stamps.clear();

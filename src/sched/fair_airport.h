@@ -1,10 +1,10 @@
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "core/indexed_heap.h"
+#include "core/ring_buffer.h"
 #include "core/scheduler.h"
 
 namespace sfq {
@@ -47,8 +47,8 @@ class FairAirportScheduler : public Scheduler {
 
  private:
   struct FlowState {
-    std::deque<Packet> q;          // unserved packets, arrival order
-    std::deque<double> gsq_stamps; // VC stamps of the eligible prefix of q
+    RingBuffer<Packet> q;          // unserved packets, arrival order
+    RingBuffer<double> gsq_stamps; // VC stamps of the eligible prefix of q
     std::size_t eligible = 0;      // # of q's head packets already in GSQ
 
     // ASQ (SFQ) bookkeeping — dequeue-driven, see enqueue/serve paths.

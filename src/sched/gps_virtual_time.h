@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "core/indexed_heap.h"
+#include "core/ring_buffer.h"
 #include "core/types.h"
 
 namespace sfq {
@@ -57,7 +57,7 @@ class GpsVirtualTime {
   struct FlowState {
     double weight = 0.0;
     VirtualTime last_finish = 0.0;          // F(p_f^{j-1}) for tag computation
-    std::deque<VirtualTime> fluid_queue;    // finish tags not yet departed in GPS
+    RingBuffer<VirtualTime> fluid_queue;    // finish tags not yet departed in GPS
   };
 
   void fluid_depart(uint32_t flow);

@@ -75,13 +75,41 @@ TEST(ChaosHarness, CleanSeedBlockPasses) {
   HarnessOptions opts;
   opts.sim_seeds = 32;
   opts.rt_seeds = 2;
+  opts.rt_fault_seeds = 2;
   opts.rt_packets = 400;
   const ChaosReport report = run_chaos(opts);
   EXPECT_EQ(report.sim_seeds_run, 32u);
   EXPECT_EQ(report.rt_seeds_run, 2u);
+  EXPECT_EQ(report.rt_fault_seeds_run, 2u);
   for (const ChaosFailure& f : report.failures)
-    ADD_FAILURE() << (f.rt ? "rt seed " : "seed ") << f.seed << " ["
-                  << f.kind << "] " << f.detail;
+    ADD_FAILURE() << (f.rt_faults ? "rt-fault seed " : f.rt ? "rt seed "
+                                                            : "seed ")
+                  << f.seed << " [" << f.kind << "] " << f.detail;
+}
+
+TEST(ScenarioGenerator, RtFaultPlansArePureAndNonEmpty) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const rt::RtFaultPlan a = generate_rt_faults(seed, 0.05);
+    const rt::RtFaultPlan b = generate_rt_faults(seed, 0.05);
+    ASSERT_FALSE(a.empty()) << "seed " << seed;
+    ASSERT_GE(a.pauses.size(), 1u) << "seed " << seed;
+    ASSERT_EQ(a.pauses.size(), b.pauses.size());
+    ASSERT_EQ(a.jumps.size(), b.jumps.size());
+    ASSERT_EQ(a.skews.size(), b.skews.size());
+    for (std::size_t i = 0; i < a.pauses.size(); ++i) {
+      EXPECT_EQ(a.pauses[i].at, b.pauses[i].at);
+      EXPECT_EQ(a.pauses[i].duration, b.pauses[i].duration);
+    }
+    for (std::size_t i = 0; i < a.jumps.size(); ++i) {
+      EXPECT_EQ(a.jumps[i].at, b.jumps[i].at);
+      EXPECT_EQ(a.jumps[i].delta, b.jumps[i].delta);
+    }
+    for (std::size_t i = 0; i < a.skews.size(); ++i) {
+      EXPECT_EQ(a.skews[i].from, b.skews[i].from);
+      EXPECT_EQ(a.skews[i].until, b.skews[i].until);
+      EXPECT_EQ(a.skews[i].factor, b.skews[i].factor);
+    }
+  }
 }
 
 TEST(Shrinker, StripsEverythingTheFailureDoesNotDependOn) {

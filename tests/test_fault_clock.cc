@@ -1,0 +1,118 @@
+#include "rt/fault_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sfq::rt {
+namespace {
+
+TEST(FaultClock, NoPlanIsPassthrough) {
+  FaultClock c;
+  EXPECT_FALSE(c.has_faults());
+  const Time a = c.now();
+  const Time b = c.now();
+  EXPECT_GE(b, a);
+  // Transform with no plan is the identity.
+  EXPECT_DOUBLE_EQ(c.transform(1.25), 1.25);
+}
+
+TEST(FaultClock, ForwardJumpShiftsLaterReadings) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.jumps.push_back({0.5, 2.0});
+  c.set_plan(plan);
+  EXPECT_TRUE(c.has_faults());
+  EXPECT_DOUBLE_EQ(c.transform(0.25), 0.25);   // before the jump
+  EXPECT_DOUBLE_EQ(c.transform(0.5), 2.5);     // at the jump
+  EXPECT_DOUBLE_EQ(c.transform(1.0), 3.0);     // after
+}
+
+TEST(FaultClock, SkewStretchesOnlyTheWindow) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.skews.push_back({1.0, 2.0, 3.0});  // 3x rate inside [1, 2)
+  c.set_plan(plan);
+  EXPECT_DOUBLE_EQ(c.transform(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.transform(1.5), 1.5 + 0.5 * 2.0);  // half window at +2x
+  EXPECT_DOUBLE_EQ(c.transform(2.0), 2.0 + 1.0 * 2.0);  // full window
+  EXPECT_DOUBLE_EQ(c.transform(3.0), 3.0 + 1.0 * 2.0);  // shift persists
+}
+
+TEST(FaultClock, SlowSkewCompressesTheWindow) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.skews.push_back({0.0, 4.0, 0.5});  // half rate inside [0, 4)
+  c.set_plan(plan);
+  EXPECT_DOUBLE_EQ(c.transform(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.transform(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.transform(6.0), 4.0);
+}
+
+TEST(FaultClock, JumpsAndSkewsCompose) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.jumps.push_back({1.0, 0.25});
+  plan.skews.push_back({0.0, 2.0, 2.0});
+  c.set_plan(plan);
+  // raw 1.5: skew adds 1.5, jump adds 0.25.
+  EXPECT_DOUBLE_EQ(c.transform(1.5), 1.5 + 1.5 + 0.25);
+}
+
+TEST(FaultClock, BackwardJumpIsClampedMonotone) {
+  FaultClock c;
+  RtFaultPlan plan;
+  // A large backward step very early: every raw reading afterwards maps
+  // below zero until raw catches up — the live clock must freeze, not
+  // regress.
+  plan.jumps.push_back({0.0, -3600.0});
+  c.set_plan(plan);
+  Time prev = c.now();
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = c.now();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(FaultClock, MonotoneUnderRealJumpTiming) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.jumps.push_back({1e-4, -5e-4});  // backward step shortly after start
+  plan.jumps.push_back({2e-4, 1e-3});   // then a forward step
+  c.set_plan(plan);
+  Time prev = c.now();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Time t = c.now();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(FaultClock, RawAxisUnaffectedByPlan) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.jumps.push_back({0.0, 100.0});
+  c.set_plan(plan);
+  // raw_now() ignores the plan entirely; it trails now() by the jump.
+  EXPECT_LT(c.raw_now(), 1.0);
+  EXPECT_GE(c.now(), 100.0);
+}
+
+TEST(FaultClock, PausesSortedBySetPlan) {
+  FaultClock c;
+  RtFaultPlan plan;
+  plan.pauses.push_back({2.0, 0.1});
+  plan.pauses.push_back({1.0, 0.2});
+  c.set_plan(plan);
+  ASSERT_EQ(c.plan().pauses.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.plan().pauses[0].at, 1.0);
+  EXPECT_DOUBLE_EQ(c.plan().pauses[1].at, 2.0);
+  // Pauses alone do not perturb the clock reading.
+  EXPECT_FALSE(c.has_faults());
+}
+
+}  // namespace
+}  // namespace sfq::rt

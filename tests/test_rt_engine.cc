@@ -288,6 +288,7 @@ TEST(RtEngine, StallWatchdogStopsAWedgedDispatcher) {
   sched.add_flow(1e6, kBits);
   EngineOptions opts;
   opts.stall_timeout = 0.05;
+  opts.restart_budget = 0;  // no restarts: first stall stops permanently
   RtEngine engine(sched, std::make_unique<net::ConstantRate>(1e9), opts);
   engine.start();
   for (uint64_t i = 0; i < 4; ++i)
@@ -306,8 +307,38 @@ TEST(RtEngine, StallWatchdogStopsAWedgedDispatcher) {
 
   const EngineStats s = engine.stats();
   EXPECT_EQ(s.stalls, 1u);
+  EXPECT_EQ(s.recoveries, 0u);
+  EXPECT_EQ(s.last_stall_stage, StallStage::kSchedule);  // wedged discipline
   EXPECT_EQ(s.transmitted, 0u);
   EXPECT_EQ(s.backlog, 4u);  // hoarded packets stay visible in the ledger
+  expect_ledger(s);
+}
+
+TEST(RtEngine, RestartBudgetExhaustsAgainstAPermanentWedge) {
+  // With a budget, the watchdog restarts the dispatcher budget-many times
+  // before giving up; a scheduler that never serves defeats every restart.
+  HoardingScheduler sched;
+  sched.add_flow(1e6, kBits);
+  EngineOptions opts;
+  opts.stall_timeout = 0.02;
+  opts.restart_budget = 2;
+  RtEngine engine(sched, std::make_unique<net::ConstantRate>(1e9), opts);
+  engine.start();
+  for (uint64_t i = 0; i < 4; ++i)
+    EXPECT_TRUE(engine.offer(0, make_packet(0, i)));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!engine.stalled() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(engine.stalled()) << "watchdog never gave up";
+  engine.stop(StopMode::kAbandon);
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.stalls, 3u);  // budget retries + the final escalation
+  EXPECT_EQ(s.recoveries, 0u);
+  EXPECT_EQ(s.backlog, 4u);
   expect_ledger(s);
 }
 

@@ -200,20 +200,23 @@ TEST(RegistryHistogram, OverflowBucketQuantileClampsToObservedMax) {
 
 // --- MetricsSink drop taxonomy ---------------------------------------------
 
-TEST(MetricsSink, EmitsAllSixDropCauses) {
+TEST(MetricsSink, EmitsAllDropCauses) {
   obs::MetricsRegistry reg;
   obs::MetricsSink sink(reg);
-  // All six cause counters are materialized as zeros up front.
+  // Every cause counter is materialized as a zero up front — including
+  // shed, the overload-admission cause.
   for (const char* name :
        {"sched.drops.buffer_limit", "sched.drops.unknown_flow",
         "sched.drops.fault_loss", "sched.drops.corrupt",
-        "sched.drops.pushout", "sched.drops.flow_removed"}) {
+        "sched.drops.pushout", "sched.drops.flow_removed",
+        "sched.drops.shed"}) {
     EXPECT_EQ(reg.counter(name).value(), 0u) << name;
   }
   const obs::DropCause causes[] = {
       obs::DropCause::kBufferLimit, obs::DropCause::kUnknownFlow,
       obs::DropCause::kFaultLoss,   obs::DropCause::kCorrupt,
       obs::DropCause::kPushout,     obs::DropCause::kFlowRemoved,
+      obs::DropCause::kShed,
   };
   for (obs::DropCause c : causes) {
     TraceEvent e = ev(TraceEventType::kDrop, 1, /*flow=*/0);
