@@ -48,6 +48,9 @@ namespace {
       "  --seed S           the single seed to replay/shrink\n"
       "  --out DIR          write minimized repro .conf files here\n"
       "  --packets N        offered packets per rt seed (default 1500)\n"
+      "  --shards N         max dispatcher shards for rt checks (default 1).\n"
+      "                     run: rt seeds cycle 1/2/4 shards capped at N;\n"
+      "                     replay/shrink: the exact shard count to use\n"
       "  --inject-tag-bug   enable the known SFQ tag bug (self-test demo)\n",
       argv0, argv0, argv0);
   std::exit(2);
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
     else if (f == "--seed") { seed = std::strtoull(need(i), nullptr, 10); have_seed = true; }
     else if (f == "--out") opts.repro_dir = need(i);
     else if (f == "--packets") opts.rt_packets = std::strtoull(need(i), nullptr, 10);
+    else if (f == "--shards") opts.rt_shards = std::strtoull(need(i), nullptr, 10);
     else if (f == "--inject-tag-bug") SfqScheduler::set_tag_bug_for_test(true);
     else usage(argv[0]);
   }

@@ -41,6 +41,7 @@
 #include "obs/trace.h"
 #include "rt/engine.h"
 #include "rt/load_gen.h"
+#include "rt/shard/sharded_engine.h"
 #include "rt/sync_sink.h"
 #include "stats/fairness.h"
 
@@ -65,6 +66,7 @@ struct Args {
   sfq::rt::RtFaultPlan fault_plan;  // --fault-pause/--fault-jump/--fault-skew
   double stats_interval = 0.0;  // live console stats cadence; 0 disables
   int stats_port = -1;          // localhost HTTP exposition; -1 disables
+  std::size_t shards = 1;       // >1: ShardedEngine (docs/REALTIME.md)
   bool unpaced = false;
   bool check = false;
   std::string trace_path;
@@ -107,6 +109,12 @@ struct Args {
       "  --stats-interval S  print a live stats line every S seconds\n"
       "  --stats-port P      serve Prometheus text at /metrics and JSON at\n"
       "                      /metrics.json on 127.0.0.1:P (0 = ephemeral)\n"
+      "  --shards N          dispatcher shards (default 1). N > 1 runs the\n"
+      "                      sharded multi-core engine: flows hash to shards,\n"
+      "                      each shard is a full engine, the H-SFQ root\n"
+      "                      splits --rate by weight share and the summary\n"
+      "                      reports per-shard ledgers + the hierarchical\n"
+      "                      fairness bound (no --trace/--check in this mode)\n"
       "  --unpaced           blast arrivals as fast as rings accept\n"
       "  --trace FILE        JSONL packet-lifecycle trace\n"
       "  --metrics FILE      metrics registry JSON dump\n"
@@ -167,6 +175,7 @@ Args parse(int argc, char** argv) {
     }
     else if (f == "--stats-interval") a.stats_interval = std::stod(need(i));
     else if (f == "--stats-port") a.stats_port = std::atoi(need(i));
+    else if (f == "--shards") a.shards = std::strtoul(need(i), nullptr, 10);
     else if (f == "--unpaced") a.unpaced = true;
     else if (f == "--check") a.check = true;
     else if (f == "--trace") a.trace_path = need(i);
@@ -180,6 +189,13 @@ Args parse(int argc, char** argv) {
     std::fprintf(stderr,
                  "--shed needs a finite --buffer (occupancy is measured "
                  "against the backlog cap)\n");
+    std::exit(2);
+  }
+  if (a.shards == 0) usage(argv[0]);
+  if (a.shards > 1 && (a.check || !a.trace_path.empty())) {
+    std::fprintf(stderr,
+                 "--shards > 1 does not support --trace/--check (the trace "
+                 "stream and invariant profile assume one dispatcher)\n");
     std::exit(2);
   }
   if (a.weights.empty()) {
@@ -199,11 +215,286 @@ sfq::rt::FlowLoad::Model model_of(const std::string& name) {
   std::exit(2);
 }
 
+// --shards N > 1: the sharded multi-core engine (docs/REALTIME.md sharding
+// section). Same traffic and summary shape as the single-engine path, plus
+// per-shard ledgers/occupancy and the hierarchical cross-shard fairness
+// verdict; the per-shard conservation identities and their exact global sum
+// are both gated.
+int run_sharded(const Args& args) {
+  using namespace sfq;
+
+  std::vector<rt::ShardFlow> flows;
+  std::vector<std::string> flow_names;
+  for (std::size_t f = 0; f < args.flows; ++f) {
+    flow_names.push_back("flow" + std::to_string(f));
+    flows.push_back(
+        rt::ShardFlow{args.weights[f], args.packet_bits, flow_names.back()});
+  }
+
+  rt::ShardedEngineOptions sopts;
+  sopts.shards = args.shards;
+  sopts.link_rate = args.rate;
+  sopts.engine.producers = args.producers;
+  sopts.engine.ring_capacity = args.ring;
+  sopts.engine.buffer_limit = args.buffer;
+  sopts.engine.overload_policy = args.policy == "pushout"
+                                     ? net::OverloadPolicy::kPushout
+                                     : net::OverloadPolicy::kTailDrop;
+  sopts.engine.stall_timeout = args.stall_timeout;
+  sopts.engine.restart_budget = args.restart_budget;
+  sopts.engine.admission_control = args.shed;
+  sopts.engine.fault_plan = args.fault_plan;
+  sopts.stats_interval = args.stats_interval;
+  sopts.stats_port = args.stats_port;
+  sopts.stats_console = args.stats_interval > 0.0;
+
+  const std::string sched_name = args.sched;
+  auto factory = [&](std::size_t, double share) {
+    SchedulerOptions so;
+    so.assumed_capacity = args.rate * share;
+    return make_scheduler(sched_name, so);
+  };
+  std::string err;
+  std::unique_ptr<rt::ShardedEngine> engine =
+      rt::ShardedEngine::try_create(factory, flows, sopts, &err);
+  if (!engine) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+
+  obs::telemetry::TelemetryOptions topts;
+  topts.shards = args.shards;
+  obs::telemetry::Telemetry telemetry(topts);
+  engine->set_telemetry(&telemetry);
+
+  std::vector<std::vector<rt::FlowLoad>> producer_flows(args.producers);
+  for (std::size_t f = 0; f < args.flows; ++f) {
+    rt::FlowLoad l;
+    l.flow = static_cast<FlowId>(f);
+    l.model = model_of(args.model);
+    l.rate = args.load * args.weights[f];
+    l.packet_bits = args.packet_bits;
+    l.seed = 1 + f;
+    producer_flows[f % args.producers].push_back(l);
+  }
+  rt::LoadGenOptions lg_opts;
+  lg_opts.paced = !args.unpaced;
+  lg_opts.block_on_full = args.unpaced;
+
+  std::printf("sfq_serve: %zu x %s shards on a %.3g bit/s link, %zu flows, "
+              "%zu producers, %s %s load x%.2f, %.2fs\n",
+              args.shards, args.sched.c_str(), args.rate, args.flows,
+              args.producers, args.unpaced ? "unpaced" : "paced",
+              args.model.c_str(), args.load, args.duration);
+
+  engine->start();
+  if (args.stats_port >= 0)
+    std::printf("stats endpoint: http://127.0.0.1:%u/metrics (and "
+                "/metrics.json)\n",
+                engine->stats_endpoint_port());
+  rt::LoadGen load_gen(*engine, std::move(producer_flows), lg_opts);
+
+  std::vector<std::vector<double>> snapshots;
+  const Time wall_start = engine->now();
+  load_gen.start(args.duration);
+  if (!args.unpaced) {
+    const Time snap_every = std::max(args.duration / 20.0, 0.05);
+    Time next_snap = wall_start + snap_every;
+    while (engine->now() - wall_start < args.duration) {
+      if (engine->stalled()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (engine->now() >= next_snap) {
+        snapshots.push_back(engine->service_snapshot());
+        next_snap += snap_every;
+      }
+    }
+  }
+  load_gen.join();
+  engine->stop(rt::StopMode::kDrain);
+  const Time wall_end = engine->now();
+
+  const rt::EngineStats st = engine->stats();
+  const double elapsed = wall_end - wall_start;
+
+  std::printf("\n%-8s %6s %14s %12s %14s %12s\n", "flow", "shard",
+              "weight(b/s)", "tx_packets", "tx_bits", "goodput(b/s)");
+  for (std::size_t f = 0; f < args.flows; ++f) {
+    const double bits = engine->flow_tx_bits(static_cast<FlowId>(f));
+    std::printf("%-8s %6zu %14.4g %12.0f %14.0f %12.4g\n",
+                flow_names[f].c_str(), engine->shard_of(f), args.weights[f],
+                bits / args.packet_bits, bits, bits / elapsed);
+  }
+
+  // Per-shard ledgers + occupancy (which shard is hot), then the global sum.
+  std::printf("\n%-8s %6s %12s %12s %12s %12s %6s %5s\n", "shard", "flows",
+              "weight(b/s)", "tx_packets", "drops", "backlog", "occ%", "ov");
+  for (std::size_t k = 0; k < args.shards; ++k) {
+    const rt::EngineStats es = engine->shard_stats(k);
+    std::size_t nflows = 0;
+    for (std::size_t f = 0; f < args.flows; ++f)
+      if (engine->shard_of(f) == k) ++nflows;
+    const double occ = args.buffer > 0
+                           ? 100.0 * static_cast<double>(es.backlog) /
+                                 static_cast<double>(args.buffer)
+                           : 0.0;
+    std::printf("%-8zu %6zu %12.4g %12llu %12llu %12llu %6.0f %5d\n", k,
+                nflows, engine->shard_weight(k),
+                static_cast<unsigned long long>(es.transmitted),
+                static_cast<unsigned long long>(es.dropped() +
+                                                es.ingress_drops),
+                static_cast<unsigned long long>(es.backlog), occ,
+                es.overload_state);
+  }
+
+  std::printf("\nproduced %llu  ingress_drops %llu  accepted %llu  "
+              "transmitted %llu  backlog %llu  abandoned %llu\n",
+              static_cast<unsigned long long>(load_gen.produced_total()),
+              static_cast<unsigned long long>(st.ingress_drops),
+              static_cast<unsigned long long>(st.accepted),
+              static_cast<unsigned long long>(st.transmitted),
+              static_cast<unsigned long long>(st.backlog),
+              static_cast<unsigned long long>(st.abandoned));
+  std::printf("drops by cause:");
+  for (std::size_t c = 0; c < obs::kDropCauseCount; ++c)
+    if (st.drops[c] != 0)
+      std::printf(" %s=%llu", obs::to_string(static_cast<obs::DropCause>(c)),
+                  static_cast<unsigned long long>(st.drops[c]));
+  if (st.dropped() == 0) std::printf(" none");
+  std::printf("\nthroughput %.3g packets/s (%.3g bit/s), wall %.3fs, "
+              "max pacing lag %.3g ms, worst overload state %d\n",
+              st.transmitted / elapsed, st.tx_bits / elapsed, elapsed,
+              1e3 * st.max_service_lag, engine->overload_state());
+
+  // Conservation: each shard's ledger must satisfy the engine identities
+  // exactly, and the global identities must hold for the sums — every
+  // offered packet is accounted on exactly one shard.
+  bool conserve_ok = true;
+  {
+    struct Identity {
+      const char* name;
+      uint64_t lhs, rhs;
+    };
+    auto check = [&](const std::string& where, const rt::EngineStats& es,
+                     uint64_t offers, bool have_offers) {
+      const auto d = [&](obs::DropCause c) {
+        return es.drops[static_cast<std::size_t>(c)];
+      };
+      const uint64_t pre = d(obs::DropCause::kUnknownFlow) +
+                           d(obs::DropCause::kBufferLimit) +
+                           d(obs::DropCause::kShed);
+      const uint64_t post =
+          d(obs::DropCause::kPushout) + d(obs::DropCause::kFlowRemoved);
+      std::vector<Identity> ids = {
+          {"ingress_pushed == accepted + pre_enqueue_drops + abandoned",
+           es.ingress_pushed, es.accepted + pre + es.abandoned},
+          {"accepted == transmitted + backlog + post_enqueue_drops",
+           es.accepted, es.transmitted + es.backlog + post},
+      };
+      if (have_offers)
+        ids.insert(ids.begin(),
+                   {"offers == ingress_pushed + ingress_drops", offers,
+                    es.ingress_pushed + es.ingress_drops});
+      for (const Identity& id : ids)
+        if (id.lhs != id.rhs) {
+          std::printf("conservation VIOLATED (%s): %s (%llu != %llu)\n",
+                      where.c_str(), id.name,
+                      static_cast<unsigned long long>(id.lhs),
+                      static_cast<unsigned long long>(id.rhs));
+          conserve_ok = false;
+        }
+    };
+    for (std::size_t k = 0; k < args.shards; ++k)
+      check("shard " + std::to_string(k), engine->shard_stats(k), 0, false);
+    check("global sum", st, load_gen.produced_total(), true);
+    if (conserve_ok)
+      std::printf("conservation OK: every offered packet is accounted on "
+                  "exactly one shard (sum of %zu shard ledgers == offers)\n",
+                  args.shards);
+  }
+
+  // Hierarchical fairness: worst per-pair normalized gap over middle-of-run
+  // windows vs fairness_bound(f, m) — Theorem 1 within a shard, + both
+  // shards' eq.-65 slack across shards. Slack: one in-flight quantum per
+  // flow, as in the single-engine verdict.
+  bool fairness_ok = true;
+  if (snapshots.size() >= 4 && args.flows >= 2) {
+    const std::size_t lo = snapshots.size() / 4;
+    const std::size_t hi = snapshots.size() - snapshots.size() / 4;
+    double worst_ratio = 0.0;
+    double worst_gap = 0.0, worst_bound = 0.0;
+    std::size_t worst_f = 0, worst_m = 1;
+    bool worst_cross = false;
+    for (std::size_t f = 0; f < args.flows; ++f) {
+      for (std::size_t m = f + 1; m < args.flows; ++m) {
+        const double bound =
+            engine->fairness_bound(static_cast<FlowId>(f),
+                                   static_cast<FlowId>(m)) +
+            stats::sfq_fairness_bound(args.packet_bits, args.weights[f],
+                                      args.packet_bits, args.weights[m]);
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::size_t j = i + 1; j < hi; ++j) {
+            const double df = snapshots[j][f] - snapshots[i][f];
+            const double dm = snapshots[j][m] - snapshots[i][m];
+            const double gap =
+                std::fabs(df / args.weights[f] - dm / args.weights[m]);
+            if (gap / bound > worst_ratio) {
+              worst_ratio = gap / bound;
+              worst_gap = gap;
+              worst_bound = bound;
+              worst_f = f;
+              worst_m = m;
+              worst_cross = engine->shard_of(f) != engine->shard_of(m);
+            }
+          }
+        }
+      }
+    }
+    const bool gate = args.fault_plan.empty();
+    std::printf("fairness  worst |dW_%zu/r - dW_%zu/r| = %.4g ms vs "
+                "hierarchical bound %.4g ms (%s pair): %s%s\n",
+                worst_f, worst_m, 1e3 * worst_gap, 1e3 * worst_bound,
+                worst_cross ? "cross-shard" : "same-shard",
+                worst_ratio <= 1.0 ? "OK" : "VIOLATED",
+                gate ? "" : " (informational: faults injected)");
+    fairness_ok = !gate || worst_ratio <= 1.0;
+  }
+
+  bool ok = fairness_ok && conserve_ok;
+  if (engine->stalled()) {
+    std::printf("WATCHDOG: PERMANENT STALL — %llu stall(s), %llu recovered; "
+                "restart budget %u exhausted wedged at stage %s\n",
+                static_cast<unsigned long long>(st.stalls),
+                static_cast<unsigned long long>(st.recoveries),
+                args.restart_budget, rt::to_string(st.last_stall_stage));
+    ok = false;
+  } else if (st.stalls > 0) {
+    std::printf("WATCHDOG: recovered — %llu stall(s) detected (last stage "
+                "%s), %llu recovery(ies); service resumed and the run "
+                "completed\n",
+                static_cast<unsigned long long>(st.stalls),
+                rt::to_string(st.last_stall_stage),
+                static_cast<unsigned long long>(st.recoveries));
+  }
+  if (!args.metrics_path.empty()) {
+    // The root stats thread owns this gauge while running; restate it here
+    // so a dump without --stats-interval still carries the worst-of state.
+    telemetry.set_gauge(obs::telemetry::GaugeId::kOverloadWorst,
+                        static_cast<double>(engine->overload_state()));
+    obs::telemetry::TelemetrySnapshot tsnap = telemetry.snapshot();
+    obs::MetricsRegistry registry;
+    obs::telemetry::bridge_to_registry(tsnap, registry);
+    std::ofstream out(args.metrics_path);
+    out << registry.json() << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sfq;
   const Args args = parse(argc, argv);
+  if (args.shards > 1) return run_sharded(args);
 
   SchedulerOptions sched_opts;
   sched_opts.assumed_capacity = args.rate;

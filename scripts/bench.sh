@@ -61,25 +61,44 @@ done
 # Append this sweep to the tracked BENCH_HISTORY.jsonl: one JSON line per
 # (bench, scenario, metric) record, stamped with the git SHA, so the perf
 # trajectory is queryable across commits without walking git history for the
-# canonical snapshots.
+# canonical snapshots. Re-running a sweep at the same SHA (filtered re-runs,
+# local iteration) must not accumulate duplicates: the history is deduped on
+# (bench, scenario, metric, sha), keeping the latest record for each key, so
+# every key appears once per commit with its freshest value.
 shopt -s nullglob
 reports=("$BENCH_DIR"/BENCH_*.json)
 shopt -u nullglob
 if ((${#reports[@]})) && command -v python3 >/dev/null; then
   sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
   python3 - "$sha" "${reports[@]}" <<'EOF'
-import json, sys
+import json, os, sys
 sha, paths = sys.argv[1], sys.argv[2:]
-with open("BENCH_HISTORY.jsonl", "a") as hist:
-    n = 0
-    for path in paths:
-        for rec in json.load(open(path)):
-            rec = {"bench": rec["bench"], "scenario": rec["scenario"],
-                   "metric": rec["metric"], "value": rec["value"],
-                   "sha": sha}
-            hist.write(json.dumps(rec) + "\n")
-            n += 1
-print(f"history: appended {n} records @ {sha} to BENCH_HISTORY.jsonl")
+hist_path = "BENCH_HISTORY.jsonl"
+records = []
+if os.path.exists(hist_path):
+    with open(hist_path) as hist:
+        for line in hist:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+n = 0
+for path in paths:
+    for rec in json.load(open(path)):
+        records.append({"bench": rec["bench"], "scenario": rec["scenario"],
+                        "metric": rec["metric"], "value": rec["value"],
+                        "sha": sha})
+        n += 1
+# Last write wins per key; insertion order of the surviving records is the
+# order each key was FIRST seen, so the file stays chronologically stable.
+deduped = {}
+for rec in records:
+    deduped[(rec["bench"], rec["scenario"], rec["metric"], rec["sha"])] = rec
+dropped = len(records) - len(deduped)
+with open(hist_path, "w") as hist:
+    for rec in deduped.values():
+        hist.write(json.dumps(rec) + "\n")
+print(f"history: appended {n} records @ {sha} to {hist_path}"
+      + (f" ({dropped} duplicate(s) collapsed)" if dropped else ""))
 EOF
 else
   echo "no JSON reports or no python3 - BENCH_HISTORY.jsonl not appended"

@@ -1,10 +1,12 @@
 #include "chaos/differential.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <random>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "chaos/scenario_generator.h"
@@ -15,6 +17,7 @@
 #include "obs/telemetry/telemetry.h"
 #include "obs/trace.h"
 #include "rt/engine.h"
+#include "rt/shard/sharded_engine.h"
 
 namespace sfq::chaos {
 
@@ -189,6 +192,310 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
   return check_rt(spec, seed, opts);
 }
 
+namespace {
+
+// Sharded capture->replay check (RtCheckOptions::shards > 1): the offered
+// load routes through a ShardedEngine, each shard's op sequence replays
+// independently against a fresh scheduler built the way the shard factory
+// built the live one, the summed cross-shard ledger must conserve exactly,
+// and clean unlimited-buffer runs additionally hold the hierarchical
+// cross-shard fairness bound over sampled drain windows.
+CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
+                             const RtCheckOptions& rt_opts) {
+  namespace tel = obs::telemetry;
+  const std::size_t packets = rt_opts.packets;
+  const std::size_t shards = rt_opts.shards;
+  CheckResult res;
+  const SchedulerOptions base_opts = scheduler_options_for(spec);
+
+  // Same deterministic per-seed offer schedule as the single-engine path;
+  // global flow ids are the spec order (the sharded engine owns
+  // registration and remaps to shard-local ids internally).
+  struct Offer {
+    FlowId flow;
+    uint64_t seq;
+    double bits;
+  };
+  std::vector<Offer> offers;
+  {
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    std::vector<uint64_t> next_seq(spec.flows.size(), 1);
+    std::vector<double> weights;
+    for (const config::FlowSpec& f : spec.flows) weights.push_back(f.weight);
+    std::discrete_distribution<std::size_t> which(weights.begin(),
+                                                  weights.end());
+    offers.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+      const std::size_t fi = which(rng);
+      offers.push_back(
+          Offer{static_cast<FlowId>(fi), next_seq[fi]++, spec.flows[fi].packet});
+    }
+  }
+  double total_bits = 0.0;
+  for (const Offer& o : offers) total_bits += o.bits;
+  const double rate = std::max(spec.link_rate(), total_bits / 0.025);
+
+  rt::EngineOptions eng_opts;
+  eng_opts.producers = 1;
+  eng_opts.buffer_limit = spec.hops.front().buffer_packets;
+  eng_opts.overload_policy = spec.hops.front().pushout
+                                 ? net::OverloadPolicy::kPushout
+                                 : net::OverloadPolicy::kTailDrop;
+  eng_opts.stall_timeout = 5.0;
+  if (rt_opts.inject_faults) {
+    const Time horizon = 0.05;
+    eng_opts.fault_plan = generate_rt_faults(seed, horizon);
+    eng_opts.stall_timeout = 0.02;
+    eng_opts.restart_budget = 1000;
+    eng_opts.admission_control = true;
+    if (eng_opts.buffer_limit == 0) eng_opts.buffer_limit = 32;
+  }
+
+  std::vector<rt::ShardFlow> flows;
+  flows.reserve(spec.flows.size());
+  for (const config::FlowSpec& f : spec.flows)
+    flows.push_back(rt::ShardFlow{f.weight, f.packet, f.name});
+  rt::ShardedEngineOptions sopts;
+  sopts.shards = shards;
+  sopts.link_rate = rate;
+  sopts.engine = eng_opts;
+  auto factory = [&](std::size_t, double share) {
+    SchedulerOptions so = base_opts;
+    so.assumed_capacity = rate * share;
+    return make_scheduler(spec.scheduler, so);
+  };
+  std::string err;
+  std::unique_ptr<rt::ShardedEngine> engine =
+      rt::ShardedEngine::try_create(factory, flows, sopts, &err);
+  if (!engine) {
+    res.fail("error", "sharded engine build failed: " + err);
+    return res;
+  }
+  std::vector<std::vector<rt::CaptureOp>> ops;
+  engine->set_capture(&ops);
+  tel::TelemetryOptions topts;
+  topts.shards = shards;
+  tel::Telemetry tele(topts);
+  engine->set_telemetry(&tele);
+  engine->start();
+  for (const Offer& o : offers) {
+    Packet p;
+    p.flow = o.flow;
+    p.seq = o.seq;
+    p.length_bits = o.bits;
+    if (!engine->offer_wait(0, p)) break;
+  }
+
+  // Root fairness sampling over the drain (clean runs only: no drops to
+  // break the backlog premise, no injected faults warping the clock). A
+  // shard's backlog is monotone non-increasing once offers stop, so backlog
+  // > 0 at a window's END means the shard stayed busy throughout it — the
+  // window the eq.-65 bound covers.
+  struct Sample {
+    std::vector<double> service;
+    std::vector<uint64_t> shard_backlog;
+  };
+  std::vector<Sample> samples;
+  const bool fairness_scope = !rt_opts.inject_faults &&
+                              spec.hops.front().buffer_packets == 0 &&
+                              spec.flows.size() >= 2;
+  if (fairness_scope) {
+    while (engine->stats().backlog > 0 && samples.size() < 64) {
+      Sample s;
+      s.service = engine->service_snapshot();
+      s.shard_backlog.reserve(shards);
+      for (std::size_t k = 0; k < shards; ++k)
+        s.shard_backlog.push_back(engine->shard_stats(k).backlog);
+      samples.push_back(std::move(s));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  engine->stop(rt::StopMode::kDrain);
+  if (engine->stalled()) {
+    res.fail("rt-stall", "stall watchdog tripped while draining the load");
+    return res;
+  }
+  if (rt_opts.inject_faults) {
+    const rt::EngineStats es = engine->stats();
+    if (es.stalls > 0 && es.recoveries == 0) {
+      res.fail("rt-stall", "injected faults caused " +
+                               std::to_string(es.stalls) +
+                               " stall(s) but no recovery was recorded");
+      return res;
+    }
+    if (es.transmitted == 0) {
+      res.fail("rt-stall", "no packet transmitted under the injected faults");
+      return res;
+    }
+  }
+
+  // Cross-shard ledger conservation: the telemetry plane sums counters over
+  // every shard's cells, the engine sums the per-shard ledgers — both must
+  // agree exactly, and backlog is the sum of the per-shard backlog gauges.
+  {
+    const tel::TelemetrySnapshot ts = tele.snapshot();
+    const rt::EngineStats es = engine->stats();
+    auto c = [&](tel::CounterId id) { return ts.counter_total(id); };
+    const uint64_t pre_drops = c(tel::CounterId::kDropUnknownFlow) +
+                               c(tel::CounterId::kDropBufferLimit) +
+                               c(tel::CounterId::kDropShed);
+    const uint64_t post_drops = c(tel::CounterId::kDropPushout) +
+                                c(tel::CounterId::kDropFlowRemoved);
+    uint64_t backlog = 0;
+    for (std::size_t k = 0; k < shards; ++k)
+      backlog +=
+          static_cast<uint64_t>(ts.gauge(tel::GaugeId::kBacklogPackets, k));
+    auto conserve = [&](const char* what, uint64_t lhs, uint64_t rhs) {
+      if (lhs == rhs) return true;
+      std::ostringstream ss;
+      ss << "sharded telemetry conservation broken (" << what << "): " << lhs
+         << " != " << rhs;
+      res.fail("telemetry", ss.str());
+      return false;
+    };
+    if (!conserve("pushed == accepted + pre-drops + abandoned",
+                  c(tel::CounterId::kIngressPushed),
+                  c(tel::CounterId::kAccepted) + pre_drops +
+                      c(tel::CounterId::kAbandoned)) ||
+        !conserve("accepted == transmitted + backlog + post-drops",
+                  c(tel::CounterId::kAccepted),
+                  c(tel::CounterId::kTransmitted) + backlog + post_drops) ||
+        !conserve("plane vs ledger: ingress_pushed",
+                  c(tel::CounterId::kIngressPushed), es.ingress_pushed) ||
+        !conserve("plane vs ledger: accepted", c(tel::CounterId::kAccepted),
+                  es.accepted) ||
+        !conserve("plane vs ledger: transmitted",
+                  c(tel::CounterId::kTransmitted), es.transmitted) ||
+        !conserve("plane vs ledger: backlog", backlog, es.backlog) ||
+        !conserve("plane vs ledger: abandoned", c(tel::CounterId::kAbandoned),
+                  es.abandoned))
+      return res;
+    for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) {
+      const obs::DropCause cause = static_cast<obs::DropCause>(i);
+      if (cause == obs::DropCause::kNone) continue;
+      if (!conserve(obs::to_string(cause), c(tel::drop_counter(cause)),
+                    es.drops[i]))
+        return res;
+    }
+  }
+
+  // Hierarchical root bound over the sampled middle windows: for every pair
+  // of flows that both received service in a window whose home shards stayed
+  // busy through it, the normalized-service gap must stay within
+  // fairness_bound(f, m) plus one packet quantum per flow (window-edge
+  // granularity, same slack the bench's wall-clock fairness check uses).
+  if (samples.size() >= 4) {
+    for (std::size_t w = 1; w + 2 < samples.size() && res.ok; ++w) {
+      const Sample& s0 = samples[w];
+      const Sample& s1 = samples[w + 1];
+      for (FlowId f = 0; f < spec.flows.size() && res.ok; ++f) {
+        const double df = s1.service[f] - s0.service[f];
+        if (df <= 0.0) continue;
+        if (s1.shard_backlog[engine->shard_of(f)] == 0) continue;
+        for (FlowId m = f + 1; m < spec.flows.size(); ++m) {
+          const double dm = s1.service[m] - s0.service[m];
+          if (dm <= 0.0) continue;
+          if (s1.shard_backlog[engine->shard_of(m)] == 0) continue;
+          const double wf = spec.flows[f].weight;
+          const double wm = spec.flows[m].weight;
+          const double gap = std::abs(df / wf - dm / wm);
+          const double bound = engine->fairness_bound(f, m) +
+                               spec.flows[f].packet / wf +
+                               spec.flows[m].packet / wm;
+          if (gap > bound) {
+            std::ostringstream ss;
+            ss << "root fairness bound broken in drain window " << w
+               << ": flows " << f << " (shard " << engine->shard_of(f)
+               << ") vs " << m << " (shard " << engine->shard_of(m)
+               << ") gap " << gap << " > hierarchical bound " << bound
+               << " (seed " << seed << ", " << shards << " shards)";
+            res.fail("fairness", ss.str());
+            break;
+          }
+        }
+      }
+    }
+    if (!res.ok) return res;
+  }
+
+  // Per-shard single-threaded replay: rebuild shard k's scheduler exactly
+  // as the live factory did (same options, same ascending-global-id flow
+  // registration) and apply its captured op sequence.
+  double total_weight = 0.0;
+  for (std::size_t k = 0; k < shards; ++k)
+    total_weight += engine->shard_weight(k);
+  for (std::size_t k = 0; k < shards && res.ok; ++k) {
+    const double share =
+        engine->shard_weight(k) > 0.0
+            ? engine->shard_weight(k) / total_weight
+            : 1.0 / static_cast<double>(shards);
+    std::unique_ptr<Scheduler> replay_owned;
+    try {
+      replay_owned = factory(k, share);
+      for (FlowId f = 0; f < spec.flows.size(); ++f)
+        if (engine->shard_of(f) == k)
+          replay_owned->add_flow(spec.flows[f].weight, spec.flows[f].packet,
+                                 spec.flows[f].name);
+    } catch (const std::exception& e) {
+      res.fail("error", std::string("shard replay build threw: ") + e.what());
+      return res;
+    }
+    Scheduler& replay = *replay_owned;
+    auto mismatch = [&](std::size_t i, const char* what, const Packet& want,
+                        const Packet* got) {
+      std::ostringstream ss;
+      ss << "rt replay diverges on shard " << k << " at op " << i << " ("
+         << what << "): engine saw flow " << want.flow << " seq " << want.seq
+         << " S " << want.start_tag << " F " << want.finish_tag
+         << ", replay ";
+      if (got == nullptr) {
+        ss << "returned nothing";
+      } else {
+        ss << "returned flow " << got->flow << " seq " << got->seq << " S "
+           << got->start_tag << " F " << got->finish_tag;
+      }
+      res.fail("rt-divergence", ss.str());
+    };
+    for (std::size_t i = 0; i < ops[k].size() && res.ok; ++i) {
+      const rt::CaptureOp& op = ops[k][i];
+      switch (op.kind) {
+        case rt::CaptureOp::Kind::kEnqueue:
+          replay.enqueue(op.packet, op.t);
+          break;
+        case rt::CaptureOp::Kind::kDequeue: {
+          std::optional<Packet> got = replay.dequeue(op.t);
+          if (!got || got->flow != op.packet.flow ||
+              got->seq != op.packet.seq ||
+              got->start_tag != op.packet.start_tag ||
+              got->finish_tag != op.packet.finish_tag)
+            mismatch(i, "dequeue", op.packet, got ? &*got : nullptr);
+          break;
+        }
+        case rt::CaptureOp::Kind::kComplete:
+          replay.on_transmit_complete(op.packet, op.t);
+          break;
+        case rt::CaptureOp::Kind::kPushout: {
+          std::optional<Packet> got = replay.pushout(op.packet.flow, op.t);
+          if (!got || got->flow != op.packet.flow ||
+              got->seq != op.packet.seq ||
+              got->start_tag != op.packet.start_tag ||
+              got->finish_tag != op.packet.finish_tag)
+            mismatch(i, "pushout", op.packet, got ? &*got : nullptr);
+          break;
+        }
+      }
+    }
+    if (res.ok && !replay.empty() != !engine->scheduler(k).empty())
+      res.fail("rt-divergence",
+               "shard " + std::to_string(k) +
+                   " replay backlog disagrees with the live scheduler after " +
+                   std::to_string(ops[k].size()) + " ops");
+  }
+  return res;
+}
+
+}  // namespace
+
 CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                      const RtCheckOptions& rt_opts) {
   const std::size_t packets = rt_opts.packets;
@@ -197,6 +504,11 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
     res.fail("error", "check_rt needs a single-hop fault-free spec");
     return res;
   }
+  // Sharded mode, for specs the sharded engine can split (flat flow tables;
+  // HSFQ / class hierarchies keep the single-dispatcher path).
+  if (rt_opts.shards > 1 && spec.classes.empty() && spec.scheduler != "HSFQ" &&
+      !spec.flows.empty())
+    return check_rt_sharded(spec, seed, rt_opts);
   const SchedulerOptions opts = scheduler_options_for(spec);
 
   config::BuiltScheduler live;

@@ -66,6 +66,15 @@ struct RtCheckOptions {
   // per-cause ledger — kShed included — still mirrors the engine's own
   // counters bit-exactly after the recoveries.
   bool inject_faults = false;
+  // Sharded mode (docs/REALTIME.md sharding section): route the same offered
+  // load through a ShardedEngine with this many dispatcher shards, capture
+  // every shard's op sequence independently and replay each against a fresh
+  // scheduler, check the summed cross-shard ledger identities, and — on
+  // clean unlimited-buffer runs — sample the drain and hold the hierarchical
+  // (eq.-65) cross-shard fairness bound at the root. 1 = the single-engine
+  // path. Specs the sharded engine cannot split (HSFQ / class hierarchies)
+  // fall back to 1 shard automatically.
+  std::size_t shards = 1;
 };
 CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                      const RtCheckOptions& opts);

@@ -13,12 +13,22 @@ namespace sfq::chaos {
 namespace {
 
 CheckResult run_check(const config::ExperimentSpec& spec, uint64_t seed,
-                      bool rt, bool rt_faults, const HarnessOptions& opts) {
+                      bool rt, bool rt_faults, std::size_t shards,
+                      const HarnessOptions& opts) {
   if (!rt) return check_sim(spec, seed);
   RtCheckOptions rc;
   rc.packets = opts.rt_packets;
   rc.inject_faults = rt_faults;
+  rc.shards = shards;
   return check_rt(spec, seed, rc);
+}
+
+// Shard count for the i-th rt seed: cycle {1, 2, 4} capped at the option, so
+// a sweep exercises the single-dispatcher path and both sharded compositions.
+std::size_t shard_cycle(uint64_t i, std::size_t max_shards) {
+  static constexpr std::size_t kCycle[] = {1, 2, 4};
+  const std::size_t want = kCycle[i % 3];
+  return want <= max_shards ? want : 1;
 }
 
 std::string write_repro(const ChaosFailure& f, const std::string& dir) {
@@ -32,8 +42,11 @@ std::string write_repro(const ChaosFailure& f, const std::string& dir) {
           : f.rt      ? " (rt differential)"
                       : "")
       << ", failure kind: " << f.kind << "\n";
+  if (f.shards > 1) out << "# rt shards: " << f.shards << "\n";
   out << "# replay: sfq_chaos replay --seed " << f.seed
-      << (f.rt_faults ? " --faults" : f.rt ? " --rt" : "") << "\n";
+      << (f.rt_faults ? " --faults" : f.rt ? " --rt" : "");
+  if (f.shards > 1) out << " --shards " << f.shards;
+  out << "\n";
   std::istringstream detail(f.detail);
   std::string line;
   while (std::getline(detail, line)) out << "# " << line << "\n";
@@ -42,25 +55,28 @@ std::string write_repro(const ChaosFailure& f, const std::string& dir) {
 }
 
 ChaosFailure check_one(const config::ExperimentSpec& spec, uint64_t seed,
-                       bool rt, bool rt_faults, const HarnessOptions& opts) {
+                       bool rt, bool rt_faults, std::size_t shards,
+                       const HarnessOptions& opts) {
   ChaosFailure f;
   f.seed = seed;
   f.rt = rt;
   f.rt_faults = rt_faults;
+  f.shards = shards;
   f.spec = spec;
   f.minimized = spec;
-  CheckResult res = run_check(spec, seed, rt, rt_faults, opts);
+  CheckResult res = run_check(spec, seed, rt, rt_faults, shards, opts);
   if (res.ok) return f;  // kind stays empty == pass
   f.kind = res.kind;
   f.detail = res.detail;
   if (opts.shrink_failures) {
     ShrinkResult sh = shrink(spec, [&](const config::ExperimentSpec& c) {
-      return !run_check(c, seed, rt, rt_faults, opts).ok;
+      return !run_check(c, seed, rt, rt_faults, shards, opts).ok;
     });
     f.minimized = std::move(sh.spec);
     // Report the minimized scenario's own failure detail: that is what the
     // repro file reproduces.
-    CheckResult mres = run_check(f.minimized, seed, rt, rt_faults, opts);
+    CheckResult mres =
+        run_check(f.minimized, seed, rt, rt_faults, shards, opts);
     if (!mres.ok) f.detail = mres.detail;
   }
   if (!opts.repro_dir.empty()) f.repro_path = write_repro(f, opts.repro_dir);
@@ -77,13 +93,16 @@ void sweep(bool rt, bool rt_faults, uint64_t n_seeds,
                                 : report.sim_seeds_run;
   for (uint64_t i = 0; i < n_seeds; ++i) {
     const uint64_t seed = opts.first_seed + i;
+    const std::size_t shards = rt ? shard_cycle(i, opts.rt_shards) : 1;
     ChaosFailure f =
-        check_one(generator.generate(seed), seed, rt, rt_faults, opts);
+        check_one(generator.generate(seed), seed, rt, rt_faults, shards, opts);
     ++counter;
     if (f.kind.empty()) continue;
     if (opts.log) {
       *opts.log << (rt_faults ? "rt-fault seed " : rt ? "rt seed " : "seed ")
-                << seed << ": FAIL [" << f.kind << "] " << f.detail << "\n";
+                << seed;
+      if (shards > 1) *opts.log << " (" << shards << " shards)";
+      *opts.log << ": FAIL [" << f.kind << "] " << f.detail << "\n";
       if (!f.repro_path.empty())
         *opts.log << "  minimized repro: " << f.repro_path << "\n";
     }
@@ -108,8 +127,9 @@ ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
                          bool rt_faults) {
   GeneratorOptions gen = opts.gen;
   gen.rt_compatible = rt || rt_faults;
-  return check_one(ScenarioGenerator(gen).generate(seed), seed,
-                   rt || rt_faults, rt_faults, opts);
+  const bool is_rt = rt || rt_faults;
+  return check_one(ScenarioGenerator(gen).generate(seed), seed, is_rt,
+                   rt_faults, is_rt ? opts.rt_shards : 1, opts);
 }
 
 }  // namespace sfq::chaos

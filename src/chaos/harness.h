@@ -22,6 +22,11 @@ struct HarnessOptions {
   uint64_t rt_fault_seeds = 0;
   GeneratorOptions gen;      // rt scenarios force gen.rt_compatible
   std::size_t rt_packets = 1500;  // offered packets per rt seed
+  // Max dispatcher-shard count for the rt checks (RtCheckOptions::shards).
+  // Sweeps cycle each rt seed through {1, 2, 4} capped at this value, so one
+  // run exercises the single-dispatcher path and the sharded compositions;
+  // replay_seed uses the value directly (the repro header records it).
+  std::size_t rt_shards = 1;
   bool shrink_failures = true;
   // When set, each failure's minimized spec is written to
   // <repro_dir>/chaos_repro_seed<seed>[_rt].conf with a provenance header.
@@ -36,6 +41,7 @@ struct ChaosFailure {
   uint64_t seed = 0;
   bool rt = false;
   bool rt_faults = false;  // the fault-injected rt mode
+  std::size_t shards = 1;  // dispatcher shards the failing rt check ran with
   std::string kind;    // determinism|invariant|fairness|throughput|rt-*|error
   std::string detail;
   config::ExperimentSpec spec;       // as generated

@@ -53,6 +53,13 @@ enum class GaugeId : uint16_t {
   kFairnessBound,       // analytic bound l_f/r_f + l_m/r_m for the worst pair
   kOverloadState,       // overload state machine: 0 Normal, 1 Shedding,
                         // 2 Critical (docs/ROBUSTNESS.md)
+  // Sharded-engine root aggregation (docs/REALTIME.md sharding section).
+  // Written at shard 0 by the ShardedEngine stats thread; the per-shard
+  // variants above carry the shard label of the dispatcher they describe.
+  kRootFairnessGap,     // worst cross-shard normalized-service gap (s)
+  kRootFairnessGapMax,  // worst root gap seen this run (s)
+  kRootFairnessBound,   // hierarchical (eq.-65) bound for the worst pair
+  kOverloadWorst,       // max overload state across shards
   kCount,
 };
 inline constexpr std::size_t kGaugeCount =
@@ -93,6 +100,8 @@ constexpr const char* name(GaugeId id) {
   constexpr const char* kNames[kGaugeCount] = {
       "rt.backlog_packets", "rt.service_lag_max", "fairness.gap",
       "fairness.gap_max",   "fairness.bound",     "rt.overload_state",
+      "fairness.root_gap",  "fairness.root_gap_max",
+      "fairness.root_bound", "rt.overload_state_worst",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -129,6 +138,10 @@ constexpr const char* prometheus_name(GaugeId id) {
       "sfq_backlog_packets",      "sfq_service_lag_max_seconds",
       "sfq_fairness_gap_seconds", "sfq_fairness_gap_max_seconds",
       "sfq_fairness_bound_seconds", "sfq_overload_state",
+      "sfq_fairness_root_gap_seconds",
+      "sfq_fairness_root_gap_max_seconds",
+      "sfq_fairness_root_bound_seconds",
+      "sfq_overload_state_worst",
   };
   return kNames[static_cast<std::size_t>(id)];
 }

@@ -19,6 +19,7 @@
 #include "rt/clock.h"
 #include "rt/fault_clock.h"
 #include "rt/ingress.h"
+#include "rt/ingress_target.h"
 #include "sim/event_queue.h"
 
 namespace sfq::rt {
@@ -113,16 +114,8 @@ struct CaptureOp {
   Time t = 0.0;
 };
 
-// Result of a non-blocking try_offer (docs/ROBUSTNESS.md). kBackpressure is
-// the explicit ring-full signal: nothing was counted, the caller owns the
-// packet and decides — retry (note_offer_retry), give up
-// (note_offer_abandoned) or block. kClosed means the engine stopped
-// accepting; retrying is pointless.
-enum class OfferStatus : uint8_t {
-  kAccepted = 0,
-  kBackpressure,
-  kClosed,
-};
+// OfferStatus lives in rt/ingress_target.h with the IngressTarget interface
+// both RtEngine and the sharded engine implement.
 
 // Dispatcher stage the watchdog diagnosed as wedged (EngineStats).
 enum class StallStage : int8_t {
@@ -199,7 +192,7 @@ struct EngineStats {
 //
 // See docs/REALTIME.md for the architecture and for which paper guarantees
 // carry over to wall-clock operation.
-class RtEngine {
+class RtEngine : public IngressTarget {
  public:
   // Flows must be registered on `sched` before start(); the flow table must
   // not change while the engine runs. Throws std::invalid_argument on
@@ -213,30 +206,29 @@ class RtEngine {
   static std::unique_ptr<RtEngine> try_create(
       Scheduler& sched, std::unique_ptr<net::RateProfile>& profile,
       EngineOptions opts = {}, std::string* error = nullptr);
-  ~RtEngine();  // stop(kAbandon) if still running
+  ~RtEngine() override;  // stop(kAbandon) if still running
 
   RtEngine(const RtEngine&) = delete;
   RtEngine& operator=(const RtEngine&) = delete;
 
-  // Producer API: thread `i` in [0, producers) offers a packet. The wall
-  // clock stamps the arrival. False => counted ingress drop (ring full, or
-  // the engine is not accepting).
-  bool offer(std::size_t i, Packet p);
-  // Blocking variant: spins (yielding) while the ring is full. False once
-  // the engine stops accepting.
-  bool offer_wait(std::size_t i, Packet p);
-  // Non-blocking backpressure variant: a full ring returns kBackpressure and
-  // counts NOTHING — the caller still owns the packet and must resolve the
-  // attempt via a later successful try_offer, note_offer_abandoned, or
+  // Producer API (rt/ingress_target.h): thread `i` in [0, producers) offers
+  // a packet. The wall clock stamps the arrival. offer: false => counted
+  // ingress drop (ring full, or the engine is not accepting). offer_wait:
+  // spins (yielding) while the ring is full; false once the engine stops
+  // accepting. try_offer: a full ring returns kBackpressure and counts
+  // NOTHING — the caller still owns the packet and must resolve the attempt
+  // via a later successful try_offer, note_offer_abandoned, or
   // offer()/offer_wait(). LoadGen's retry/backoff path rides on this.
-  OfferStatus try_offer(std::size_t i, const Packet& p);
+  bool offer(std::size_t i, Packet p) override;
+  bool offer_wait(std::size_t i, Packet p) override;
+  OfferStatus try_offer(std::size_t i, const Packet& p) override;
   // Ledger hooks for retry loops. note_offer_retry only bumps the
   // rt.offer_retries telemetry counter. note_offer_abandoned resolves a
   // backpressured attempt as given up: it counts an ingress drop (so
   // `offers == ingress_pushed + ingress_drops` stays exact) plus the
   // rt.offer_abandoned telemetry counter.
-  void note_offer_retry(std::size_t i);
-  void note_offer_abandoned(std::size_t i);
+  void note_offer_retry(std::size_t i) override;
+  void note_offer_abandoned(std::size_t i) override;
 
   // Attach before start(); events fire on the dispatcher thread. Wrap sinks
   // you want to read mid-run in rt::SyncSink.
@@ -268,7 +260,9 @@ class RtEngine {
   // a push racing stop(kDrain) may or may not be served.
   void stop(StopMode mode = StopMode::kDrain);
   bool running() const { return running_.load(std::memory_order_acquire); }
-  bool accepting() const { return accepting_.load(std::memory_order_acquire); }
+  bool accepting() const override {
+    return accepting_.load(std::memory_order_acquire);
+  }
   // True once the stall watchdog exhausted its restart budget and stopped
   // the dispatcher permanently; the engine no longer accepts or serves.
   // Recovered stalls (stats().recoveries) do NOT set this.
@@ -278,11 +272,11 @@ class RtEngine {
     return ov_state_.load(std::memory_order_relaxed);
   }
 
-  Time now() const { return clock_.now(); }
+  Time now() const override { return clock_.now(); }
   const FaultClock& clock() const { return clock_; }
   Scheduler& scheduler() { return sched_; }
   const Ingress& ingress() const { return ingress_; }
-  std::size_t producers() const { return ingress_.producers(); }
+  std::size_t producers() const override { return ingress_.producers(); }
 
   EngineStats stats() const;
 

@@ -1,0 +1,56 @@
+// Producer-facing ingress contract shared by the single-dispatcher RtEngine
+// and the sharded multi-core ShardedEngine (docs/REALTIME.md).
+//
+// LoadGen and any other traffic source programs against this interface, so
+// the same generator drives one dispatcher or N of them unchanged: the
+// sharded engine routes each offer to its flow's home shard behind these
+// calls (rt/shard/shard_router.h) and the ledger hooks resolve against the
+// same shard the routed attempt landed on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/packet.h"
+#include "core/types.h"
+
+namespace sfq::rt {
+
+// Result of a non-blocking try_offer (docs/ROBUSTNESS.md). kBackpressure is
+// the explicit ring-full signal: nothing was counted, the caller owns the
+// packet and decides — retry (note_offer_retry), give up
+// (note_offer_abandoned) or block. kClosed means the engine stopped
+// accepting; retrying is pointless.
+enum class OfferStatus : uint8_t {
+  kAccepted = 0,
+  kBackpressure,
+  kClosed,
+};
+
+class IngressTarget {
+ public:
+  virtual ~IngressTarget() = default;
+
+  // Producer thread `i` in [0, producers()) offers a packet. Each variant
+  // keeps RtEngine's contract (rt/engine.h): offer counts a failure as an
+  // ingress drop, offer_wait blocks while the ring is full, try_offer
+  // returns explicit backpressure and counts nothing.
+  virtual bool offer(std::size_t i, Packet p) = 0;
+  virtual bool offer_wait(std::size_t i, Packet p) = 0;
+  virtual OfferStatus try_offer(std::size_t i, const Packet& p) = 0;
+
+  // Ledger hooks for retry loops; they resolve producer i's most recent
+  // try_offer attempt (producer threads are single-threaded per slot, so
+  // "most recent" is well defined even when offers are routed across
+  // shards). note_offer_retry only bumps telemetry; note_offer_abandoned
+  // counts the given-up attempt as an ingress drop so
+  // offers == ingress_pushed + ingress_drops stays exact.
+  virtual void note_offer_retry(std::size_t i) = 0;
+  virtual void note_offer_abandoned(std::size_t i) = 0;
+
+  virtual bool accepting() const = 0;
+  virtual Time now() const = 0;
+  virtual std::size_t producers() const = 0;
+};
+
+}  // namespace sfq::rt

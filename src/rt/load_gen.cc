@@ -23,7 +23,7 @@ struct TimedPacket {
 // Waits (yield below 1 ms, sleep above) until the shared wall clock reaches
 // `target`. Coarse is fine: the ingress stamp, not this wait, is the arrival
 // time the engine sees.
-void wait_until(const RtEngine& engine, Time target) {
+void wait_until(const IngressTarget& engine, Time target) {
   for (;;) {
     const Time gap = target - engine.now();
     if (gap <= 0.0) return;
@@ -39,7 +39,7 @@ void wait_until(const RtEngine& engine, Time target) {
 namespace {
 
 std::optional<std::string> validate_specs(
-    const RtEngine& engine,
+    const IngressTarget& engine,
     const std::vector<std::vector<FlowLoad>>& specs,
     const LoadGenOptions& opts) {
   if (specs.size() > engine.producers())
@@ -53,7 +53,8 @@ std::optional<std::string> validate_specs(
 
 }  // namespace
 
-LoadGen::LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+LoadGen::LoadGen(IngressTarget& engine,
+                 std::vector<std::vector<FlowLoad>> producers,
                  LoadGenOptions opts)
     : engine_(engine), specs_(std::move(producers)), opts_(opts) {
   if (auto err = validate_specs(engine_, specs_, opts_))
@@ -64,7 +65,7 @@ LoadGen::LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
 }
 
 std::unique_ptr<LoadGen> LoadGen::try_create(
-    RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+    IngressTarget& engine, std::vector<std::vector<FlowLoad>> producers,
     LoadGenOptions opts, std::string* error) {
   if (auto err = validate_specs(engine, producers, opts)) {
     if (error) *error = *err;

@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/types.h"
-#include "rt/engine.h"
+#include "rt/ingress_target.h"
 
 namespace sfq::rt {
 
@@ -62,17 +63,19 @@ struct LoadGenOptions {
   Time offer_deadline = 0.0;
 };
 
-// Multi-threaded load generator: producer thread i feeds engine shard i with
-// the flows of `producers[i]`. Start the engine first; join() returns when
-// every producer has emitted its full `duration` of traffic.
+// Multi-threaded load generator: producer thread i feeds ingress slot i with
+// the flows of `producers[i]`. The target is any IngressTarget — a single
+// RtEngine or a ShardedEngine routing behind the interface. Start the engine
+// first; join() returns when every producer has emitted its full `duration`
+// of traffic.
 class LoadGen {
  public:
   // Throws std::invalid_argument on malformed options or flow specs
   // (rt::validate); try_create is the no-throw path.
-  LoadGen(RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+  LoadGen(IngressTarget& engine, std::vector<std::vector<FlowLoad>> producers,
           LoadGenOptions opts = {});
   static std::unique_ptr<LoadGen> try_create(
-      RtEngine& engine, std::vector<std::vector<FlowLoad>> producers,
+      IngressTarget& engine, std::vector<std::vector<FlowLoad>> producers,
       LoadGenOptions opts = {}, std::string* error = nullptr);
   ~LoadGen();  // joins
 
@@ -114,7 +117,7 @@ class LoadGen {
 
   void produce(std::size_t i, Time duration);
 
-  RtEngine& engine_;
+  IngressTarget& engine_;
   std::vector<std::vector<FlowLoad>> specs_;
   LoadGenOptions opts_;
   std::vector<std::thread> threads_;

@@ -1,0 +1,38 @@
+// Stable flow -> shard placement for the sharded RT engine
+// (docs/REALTIME.md). The route is a pure function of (flow id, shard
+// count) — no state, no registration — so a flow that leaves and rejoins
+// always lands on the same shard, which is what keeps per-shard SFQ tag
+// re-anchoring (rejoin start tag = max(v(t), previous finish)) meaningful
+// across churn: the history the tag re-anchors against lives on the shard
+// the flow returns to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sfq::rt {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+  std::size_t shards() const { return shards_; }
+
+  // SplitMix64 finalizer over the flow id: cheap (a few multiplies), and
+  // avalanches low-entropy sequential flow ids across shards far better
+  // than a bare modulus would.
+  std::size_t shard_of(FlowId f) const {
+    uint64_t x = static_cast<uint64_t>(f) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards_);
+  }
+
+ private:
+  std::size_t shards_;
+};
+
+}  // namespace sfq::rt

@@ -1,0 +1,481 @@
+#include "rt/shard/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "net/rate_profile.h"
+#include "obs/telemetry/exposition.h"
+#include "stats/fairness.h"
+
+namespace sfq::rt {
+
+namespace tel = obs::telemetry;
+
+namespace {
+
+// Per-shard service rate with a rebalance-writable cell: the root thread
+// redistributes the link over busy shards by storing into the atomic while
+// the shard dispatcher reads it per transmission. Relaxed is enough — a
+// rate observed one transmission late only shifts that packet's pacing
+// deadline, never the ledger.
+class AtomicRate final : public net::RateProfile {
+ public:
+  explicit AtomicRate(double rate) : rate_(rate) {}
+
+  Time finish_time(Time start, double bits) override {
+    return start + bits / rate_.load(std::memory_order_relaxed);
+  }
+  double work(Time t1, Time t2) override {
+    return (t2 - t1) * rate_.load(std::memory_order_relaxed);
+  }
+  double average_rate() const override {
+    return rate_.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<double>& cell() { return rate_; }
+
+ private:
+  std::atomic<double> rate_;
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const SchedulerFactory& factory,
+                             std::vector<ShardFlow> flows,
+                             ShardedEngineOptions opts)
+    : opts_(opts), router_(opts.shards) {
+  if (opts_.shards == 0)
+    throw std::invalid_argument("ShardedEngine: shards must be >= 1");
+  if (!(opts_.link_rate > 0.0))
+    throw std::invalid_argument("ShardedEngine: link_rate must be > 0");
+  if (!factory)
+    throw std::invalid_argument("ShardedEngine: null scheduler factory");
+  if (flows.empty())
+    throw std::invalid_argument("ShardedEngine: at least one flow required");
+
+  // Pass 1: route every global flow and accumulate per-shard weight sums —
+  // the H-SFQ root weights W_k that fix each shard's rate share.
+  const std::size_t n = flows.size();
+  shard_of_.resize(n);
+  local_id_.resize(n);
+  flow_weight_.resize(n);
+  flow_max_bits_.resize(n);
+  shards_.resize(opts_.shards);
+  for (FlowId f = 0; f < n; ++f) {
+    const std::size_t k = router_.shard_of(f);
+    shard_of_[f] = k;
+    flow_weight_[f] = flows[f].weight;
+    flow_max_bits_[f] = flows[f].max_packet_bits;
+    shards_[k].weight_sum += flows[f].weight;
+    total_weight_ += flows[f].weight;
+  }
+  if (!(total_weight_ > 0.0))
+    throw std::invalid_argument("ShardedEngine: total weight must be > 0");
+
+  // Pass 2: one scheduler per shard at its weight-share rate. A shard that
+  // drew no flows keeps a 1/N fallback share so hash-unmapped (unknown-flow)
+  // traffic routed there still drains into the drop ledger instead of
+  // wedging a zero-rate link.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& s = shards_[k];
+    const double share = s.weight_sum > 0.0
+                             ? s.weight_sum / total_weight_
+                             : 1.0 / static_cast<double>(shards_.size());
+    s.rate = opts_.link_rate * share;
+    s.sched = factory(k, share);
+    if (!s.sched)
+      throw std::invalid_argument("ShardedEngine: factory returned null");
+  }
+
+  // Pass 3: register flows in ascending GLOBAL id order, so shard-local ids
+  // are reproducible from (flow table, shard count) alone — replay tooling
+  // repeats this walk to rebuild a shard's scheduler.
+  for (FlowId f = 0; f < n; ++f) {
+    Shard& s = shards_[shard_of_[f]];
+    local_id_[f] = s.sched->add_flow(flows[f].weight, flows[f].max_packet_bits,
+                                     flows[f].name);
+    s.global_ids.push_back(f);
+  }
+
+  // eq.-65 slack per shard: treating shard k as a virtual server of rate
+  // R*W_k/W, its service fluctuation adds (l_k^max + sum_{g in k} l_g^max)
+  // worth of bits at weight W_k to any cross-shard Theorem-1 comparison.
+  for (Shard& s : shards_) {
+    if (!(s.weight_sum > 0.0)) continue;
+    double lmax = 0.0;
+    double lsum = 0.0;
+    for (FlowId g : s.global_ids) {
+      lmax = std::max(lmax, flow_max_bits_[g]);
+      lsum += flow_max_bits_[g];
+    }
+    s.slack = (lmax + lsum) / s.weight_sum;
+  }
+
+  // Pass 4: a full RtEngine per shard — the root owns stats publication and
+  // the telemetry label, everything else comes from the shared template.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    EngineOptions eo = opts_.engine;
+    eo.telemetry_shard = k;
+    eo.stats_interval = 0.0;
+    eo.stats_port = -1;
+    eo.stats_console = false;
+    auto profile = std::make_unique<AtomicRate>(shards_[k].rate);
+    shards_[k].rate_cell = &profile->cell();
+    shards_[k].engine =
+        std::make_unique<RtEngine>(*shards_[k].sched, std::move(profile), eo);
+  }
+  last_shard_.resize(std::max<std::size_t>(opts_.engine.producers, 1));
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::try_create(
+    const SchedulerFactory& factory, std::vector<ShardFlow> flows,
+    ShardedEngineOptions opts, std::string* error) {
+  try {
+    return std::make_unique<ShardedEngine>(factory, std::move(flows), opts);
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (running()) stop(StopMode::kAbandon);
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (rebal_thread_.joinable()) rebal_thread_.join();
+  if (stats_thread_.joinable()) stats_thread_.join();
+  if (stats_server_) stats_server_->stop();
+}
+
+std::size_t ShardedEngine::route(const Packet& p, std::size_t i) {
+  // In-table flows use the precomputed map; unknown global ids fall back to
+  // the hash so they deterministically land (and get ledgered as
+  // kUnknownFlow) on the same shard every time. Recording the shard even
+  // for attempts that end up rejected keeps the note_* hooks resolving
+  // against the shard that actually saw the attempt.
+  const std::size_t k = p.flow < shard_of_.size() ? shard_of_[p.flow]
+                                                  : router_.shard_of(p.flow);
+  last_shard_[i].shard = k;
+  return k;
+}
+
+bool ShardedEngine::offer(std::size_t i, Packet p) {
+  const std::size_t k = route(p, i);
+  if (p.flow < local_id_.size()) p.flow = local_id_[p.flow];
+  return shards_[k].engine->offer(i, std::move(p));
+}
+
+bool ShardedEngine::offer_wait(std::size_t i, Packet p) {
+  const std::size_t k = route(p, i);
+  if (p.flow < local_id_.size()) p.flow = local_id_[p.flow];
+  return shards_[k].engine->offer_wait(i, std::move(p));
+}
+
+OfferStatus ShardedEngine::try_offer(std::size_t i, const Packet& p) {
+  const std::size_t k = route(p, i);
+  Packet q = p;
+  if (q.flow < local_id_.size()) q.flow = local_id_[q.flow];
+  return shards_[k].engine->try_offer(i, q);
+}
+
+void ShardedEngine::note_offer_retry(std::size_t i) {
+  shards_[last_shard_[i].shard].engine->note_offer_retry(i);
+}
+
+void ShardedEngine::note_offer_abandoned(std::size_t i) {
+  shards_[last_shard_[i].shard].engine->note_offer_abandoned(i);
+}
+
+void ShardedEngine::set_telemetry(tel::Telemetry* plane) {
+  if (running())
+    throw std::logic_error("ShardedEngine: set_telemetry while running");
+  if (plane && plane->shards() < shards_.size())
+    throw std::invalid_argument(
+        "ShardedEngine: telemetry plane has fewer shards than the engine");
+  tele_ = plane;
+  for (Shard& s : shards_) s.engine->set_telemetry(plane);
+}
+
+void ShardedEngine::set_capture(std::vector<std::vector<CaptureOp>>* out) {
+  if (running())
+    throw std::logic_error("ShardedEngine: set_capture while running");
+  if (out == nullptr) {
+    for (Shard& s : shards_) s.engine->set_capture(nullptr);
+    return;
+  }
+  // The outer vector must not reallocate afterwards — each shard engine
+  // holds a pointer into it for the run.
+  out->resize(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k)
+    shards_[k].engine->set_capture(&(*out)[k]);
+}
+
+void ShardedEngine::start() {
+  if (started_) throw std::logic_error("ShardedEngine: start() called twice");
+  started_ = true;
+  for (Shard& s : shards_) s.engine->start();
+  running_.store(true, std::memory_order_release);
+  if (tele_ && (opts_.stats_interval > 0.0 || opts_.stats_port >= 0)) {
+    if (opts_.stats_port >= 0) {
+      stats_server_ = std::make_unique<tel::StatsServer>();
+      stats_server_->start(static_cast<uint16_t>(opts_.stats_port));
+    }
+    bg_stop_ = false;
+    stats_thread_ = std::thread([this] { stats_loop(); });
+  }
+  if (opts_.rebalance && shards_.size() > 1)
+    rebal_thread_ = std::thread([this] { rebalance_loop(); });
+}
+
+void ShardedEngine::stop(StopMode mode) {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  // Stop every shard concurrently: a kDrain stop lets all shards serve out
+  // their backlogs in parallel instead of serializing N drains. The
+  // rebalance thread keeps running through the drain (idle shards cede rate
+  // to draining ones, which only speeds the drain up) and is settled before
+  // the stats thread's final publication.
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(shards_.size());
+  for (Shard& s : shards_)
+    stoppers.emplace_back([&s, mode] { s.engine->stop(mode); });
+  for (std::thread& t : stoppers) t.join();
+  {
+    std::lock_guard<std::mutex> block(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (rebal_thread_.joinable()) rebal_thread_.join();
+  if (stats_thread_.joinable()) stats_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+bool ShardedEngine::accepting() const {
+  for (const Shard& s : shards_)
+    if (s.engine->accepting()) return true;
+  return false;
+}
+
+bool ShardedEngine::stalled() const {
+  for (const Shard& s : shards_)
+    if (s.engine->stalled()) return true;
+  return false;
+}
+
+int ShardedEngine::overload_state() const {
+  int worst = 0;
+  for (const Shard& s : shards_)
+    worst = std::max(worst, s.engine->overload_state());
+  return worst;
+}
+
+EngineStats ShardedEngine::stats() const {
+  EngineStats total;
+  for (const Shard& s : shards_) {
+    const EngineStats es = s.engine->stats();
+    total.ingress_pushed += es.ingress_pushed;
+    total.ingress_drops += es.ingress_drops;
+    total.accepted += es.accepted;
+    total.transmitted += es.transmitted;
+    total.tx_bits += es.tx_bits;
+    total.abandoned += es.abandoned;
+    for (std::size_t c = 0; c < obs::kDropCauseCount; ++c)
+      total.drops[c] += es.drops[c];
+    total.backlog += es.backlog;
+    total.max_service_lag = std::max(total.max_service_lag,
+                                     es.max_service_lag);
+    total.stalls += es.stalls;
+    total.recoveries += es.recoveries;
+    if (es.last_stall_stage != StallStage::kNone)
+      total.last_stall_stage = es.last_stall_stage;
+    total.overload_state = std::max(total.overload_state, es.overload_state);
+  }
+  return total;
+}
+
+EngineStats ShardedEngine::shard_stats(std::size_t k) const {
+  return shards_[k].engine->stats();
+}
+
+double ShardedEngine::flow_tx_bits(FlowId global) const {
+  if (global >= shard_of_.size()) return 0.0;
+  return shards_[shard_of_[global]].engine->flow_tx_bits(local_id_[global]);
+}
+
+std::vector<double> ShardedEngine::service_snapshot() const {
+  std::vector<double> out(shard_of_.size());
+  for (FlowId f = 0; f < out.size(); ++f) out[f] = flow_tx_bits(f);
+  return out;
+}
+
+double ShardedEngine::fairness_bound(FlowId f, FlowId m) const {
+  // Same shard: the flows share one SFQ server, plain Theorem 1. Across
+  // shards: each shard is an eq.-65 virtual server, so both shards' service
+  // fluctuation slack joins the bound (docs/REALTIME.md derives this).
+  double b = stats::sfq_fairness_bound(flow_max_bits_[f], flow_weight_[f],
+                                       flow_max_bits_[m], flow_weight_[m]);
+  if (shard_of_[f] != shard_of_[m])
+    b += shards_[shard_of_[f]].slack + shards_[shard_of_[m]].slack;
+  return b;
+}
+
+void ShardedEngine::stats_loop() {
+  const double interval =
+      opts_.stats_interval > 0.0 ? opts_.stats_interval : 0.5;
+  std::vector<double> prev_service = service_snapshot();
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!bg_stop_) {
+    bg_cv_.wait_for(lock, std::chrono::duration<double>(interval),
+                    [this] { return bg_stop_; });
+    lock.unlock();
+    publish_stats(prev_service);
+    lock.lock();
+  }
+  lock.unlock();
+  // Final pass after stop() joined every shard dispatcher, so the published
+  // snapshot matches the settled summed ledger.
+  publish_stats(prev_service);
+}
+
+void ShardedEngine::publish_stats(std::vector<double>& prev_service) {
+  const std::vector<double> cur = service_snapshot();
+
+  // Per-shard Theorem-1 monitor, same window proxy as the single engine:
+  // only pairs where both flows received service in the window count.
+  std::vector<char> shard_busy(shards_.size(), 0);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const EngineStats es = shard_stats(k);
+    shard_busy[k] = es.backlog > 0 ? 1 : 0;
+    tele_->set_gauge(tel::GaugeId::kBacklogPackets,
+                     static_cast<double>(es.backlog), k);
+    tele_->set_gauge(tel::GaugeId::kServiceLagMax, es.max_service_lag, k);
+    const std::vector<FlowId>& ids = shards_[k].global_ids;
+    double gap = 0.0;
+    double bound = 0.0;
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      const FlowId f = ids[a];
+      const double df = cur[f] - prev_service[f];
+      if (df <= 0.0) continue;
+      for (std::size_t b2 = a + 1; b2 < ids.size(); ++b2) {
+        const FlowId m = ids[b2];
+        const double dm = cur[m] - prev_service[m];
+        if (dm <= 0.0) continue;
+        gap = std::max(gap,
+                       std::abs(df / flow_weight_[f] - dm / flow_weight_[m]));
+        bound = std::max(bound, fairness_bound(f, m));
+      }
+    }
+    tele_->set_gauge(tel::GaugeId::kFairnessGap, gap, k);
+    if (gap > tele_->gauge(tel::GaugeId::kFairnessGapMax, k))
+      tele_->set_gauge(tel::GaugeId::kFairnessGapMax, gap, k);
+    tele_->set_gauge(tel::GaugeId::kFairnessBound, bound, k);
+  }
+
+  // Root monitor: every served pair across the whole flow table, with the
+  // hierarchical bound (cross-shard pairs carry both shards' eq.-65 slack).
+  // The cross-shard bound additionally assumes both *shards* stay busy over
+  // the window (a drained shard's virtual server idles, so its flows are no
+  // longer continuously backlogged even if they received some service) —
+  // require backlog on both home shards at the window end, which during a
+  // monotone drain implies busyness throughout the window.
+  double root_gap = 0.0;
+  double root_bound = 0.0;
+  for (FlowId f = 0; f < cur.size(); ++f) {
+    const double df = cur[f] - prev_service[f];
+    if (df <= 0.0) continue;
+    for (FlowId m = f + 1; m < cur.size(); ++m) {
+      const double dm = cur[m] - prev_service[m];
+      if (dm <= 0.0) continue;
+      if (shard_of_[f] != shard_of_[m] &&
+          (!shard_busy[shard_of_[f]] || !shard_busy[shard_of_[m]]))
+        continue;
+      root_gap = std::max(
+          root_gap, std::abs(df / flow_weight_[f] - dm / flow_weight_[m]));
+      root_bound = std::max(root_bound, fairness_bound(f, m));
+    }
+  }
+  prev_service = cur;
+  tele_->set_gauge(tel::GaugeId::kRootFairnessGap, root_gap, 0);
+  if (root_gap > tele_->gauge(tel::GaugeId::kRootFairnessGapMax, 0))
+    tele_->set_gauge(tel::GaugeId::kRootFairnessGapMax, root_gap, 0);
+  tele_->set_gauge(tel::GaugeId::kRootFairnessBound, root_bound, 0);
+  tele_->set_gauge(tel::GaugeId::kOverloadWorst,
+                   static_cast<double>(overload_state()), 0);
+
+  const tel::TelemetrySnapshot snap = tele_->snapshot();
+  if (stats_server_)
+    stats_server_->publish(tel::to_prometheus(snap), tel::to_json(snap));
+  if (opts_.stats_console) {
+    const EngineStats total = stats();
+    std::fprintf(stderr,
+                 "[sfq stats] shards=%zu tx=%llu drops=%llu backlog=%llu "
+                 "root_gap=%.3gms root_bound=%.3gms ov_worst=%d\n",
+                 shards_.size(),
+                 static_cast<unsigned long long>(total.transmitted),
+                 static_cast<unsigned long long>(total.dropped() +
+                                                 total.ingress_drops),
+                 static_cast<unsigned long long>(total.backlog),
+                 root_gap * 1e3, root_bound * 1e3, overload_state());
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const EngineStats es = shard_stats(k);
+      const double occ =
+          opts_.engine.buffer_limit > 0
+              ? 100.0 * static_cast<double>(es.backlog) /
+                    static_cast<double>(opts_.engine.buffer_limit)
+              : 0.0;
+      std::fprintf(stderr,
+                   "[sfq shard %zu] tx=%llu drops=%llu backlog=%llu "
+                   "occ=%.0f%% ov=%d gap=%.3gms bound=%.3gms\n",
+                   k, static_cast<unsigned long long>(es.transmitted),
+                   static_cast<unsigned long long>(es.dropped() +
+                                                   es.ingress_drops),
+                   static_cast<unsigned long long>(es.backlog), occ,
+                   es.overload_state,
+                   tele_->gauge(tel::GaugeId::kFairnessGap, k) * 1e3,
+                   tele_->gauge(tel::GaugeId::kFairnessBound, k) * 1e3);
+    }
+  }
+}
+
+void ShardedEngine::rebalance_loop() {
+  // H-SFQ root as a work-conserving rate server: the link splits over BUSY
+  // shards in proportion to W_k. When every shard is busy — the window the
+  // cross-shard bound covers — this equals the static R*W_k/W split, so the
+  // bound's premise sees exactly the analyzed allocation.
+  std::vector<char> busy(shards_.size(), 0);
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!bg_stop_) {
+    bg_cv_.wait_for(lock,
+                    std::chrono::duration<double>(opts_.rebalance_interval),
+                    [this] { return bg_stop_; });
+    if (bg_stop_) break;
+    lock.unlock();
+    double busy_w = 0.0;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      busy[k] = shards_[k].weight_sum > 0.0 &&
+                shards_[k].engine->stats().backlog > 0;
+      if (busy[k]) busy_w += shards_[k].weight_sum;
+    }
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const double rate =
+          busy[k] && busy_w > 0.0
+              ? opts_.link_rate * shards_[k].weight_sum / busy_w
+              : shards_[k].rate;  // idle (or empty) shard: static share
+      shards_[k].rate_cell->store(rate, std::memory_order_relaxed);
+    }
+    lock.lock();
+  }
+  // Leave static shares behind so a post-stop drain paces predictably.
+  lock.unlock();
+  for (Shard& s : shards_)
+    s.rate_cell->store(s.rate, std::memory_order_relaxed);
+}
+
+}  // namespace sfq::rt

@@ -1,0 +1,228 @@
+// Sharded multi-core RT engine (docs/REALTIME.md, "Sharding" section).
+//
+//   producer threads --SPSC rings--> dispatcher 0 --> scheduler 0 --> R*W0/W
+//                    --SPSC rings--> dispatcher 1 --> scheduler 1 --> R*W1/W
+//                    ...                 (one full RtEngine per shard)
+//
+// The single-dispatcher RtEngine serializes every packet through one thread;
+// ShardedEngine partitions the flow table across N dispatcher shards with a
+// stable flow->shard hash (rt/shard/shard_router.h) and composes them under
+// an H-SFQ root: each shard is a virtual server whose service rate is its
+// weight-sum fraction R*W_k/W of the link. The paper's eq. 65 makes an
+// SFQ-scheduled virtual server itself Fluctuation Constrained, so Theorem 1
+// recurses — the cross-shard gap between flows f (on shard A) and m (on
+// shard B) over an interval where both stay backlogged and every shard is
+// busy is bounded by
+//
+//   l_f/w_f + l_m/w_m + slack(A) + slack(B),
+//   slack(k) = (l_k^max + sum_{g in k} l_g^max) / W_k
+//
+// (units: bits per unit weight, same axis as the single-engine Theorem-1
+// monitor). Same-shard pairs keep the plain Theorem-1 bound. The root stats
+// thread validates both live: per-shard fairness gauges under each shard's
+// telemetry label, root gauges (fairness.root_gap / root_bound) at shard 0.
+//
+// Each shard is a complete PR-3/PR-7 engine — its own scheduler, ingress
+// rings, overload machine, and watchdog — so every robustness plane stays
+// lock-free and shard-local; the only cross-shard coupling is the routing
+// table (immutable while running) and the optional root rebalance thread,
+// which redistributes R over busy shards through per-shard atomic rates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "obs/telemetry/stats_server.h"
+#include "obs/telemetry/telemetry.h"
+#include "rt/engine.h"
+#include "rt/ingress_target.h"
+#include "rt/shard/shard_router.h"
+
+namespace sfq::rt {
+
+// Global flow table entry: ShardedEngine owns flow registration (unlike
+// RtEngine, which takes a pre-registered scheduler) because flows must land
+// on their hash-designated shard's scheduler with remapped local ids.
+struct ShardFlow {
+  double weight = 1.0;
+  double max_packet_bits = 0.0;  // l_f^max, drives the fairness bounds
+  std::string name;
+};
+
+struct ShardedEngineOptions {
+  std::size_t shards = 2;
+  // Aggregate link rate R (bits/s), split across shards by weight-sum
+  // fraction. Required > 0.
+  double link_rate = 0.0;
+  // Per-shard engine template: producers/ring_capacity/buffer_limit/
+  // overload/watchdog/fault_plan apply to EVERY shard (buffer_limit is
+  // per shard). telemetry_shard and the stats fields are overridden — the
+  // root owns stats publication, each shard k reports under label k.
+  EngineOptions engine;
+  // Root stats publication (requires set_telemetry): per-shard + root
+  // fairness gauges, single Prometheus/JSON endpoint, per-shard occupancy
+  // console lines. Same semantics as EngineOptions' stats fields.
+  double stats_interval = 0.0;
+  int stats_port = -1;
+  bool stats_console = false;
+  // H-SFQ root rebalance: periodically redistribute R over busy
+  // (backlogged) shards in proportion to W_k, so a shard with idle flows
+  // does not strand its rate share. During all-busy intervals — the windows
+  // the cross-shard bound covers — the allocation equals the static
+  // R*W_k/W split exactly.
+  bool rebalance = true;
+  double rebalance_interval = 0.002;
+};
+
+class ShardedEngine : public IngressTarget {
+ public:
+  // Builds shard k's scheduler; `rate_share` is the shard's fraction of
+  // link_rate (useful for disciplines that take an assumed capacity). Flows
+  // are registered by ShardedEngine afterwards, in ascending global-id
+  // order — replay tooling reconstructs local ids by repeating that walk.
+  using SchedulerFactory =
+      std::function<std::unique_ptr<Scheduler>(std::size_t shard,
+                                               double rate_share)>;
+
+  // Throws std::invalid_argument on malformed options (rt::validate on the
+  // engine template, plus the sharding fields); try_create is the no-throw
+  // path.
+  ShardedEngine(const SchedulerFactory& factory, std::vector<ShardFlow> flows,
+                ShardedEngineOptions opts);
+  static std::unique_ptr<ShardedEngine> try_create(
+      const SchedulerFactory& factory, std::vector<ShardFlow> flows,
+      ShardedEngineOptions opts, std::string* error = nullptr);
+  ~ShardedEngine() override;  // stop(kAbandon) if still running
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Producer API (rt/ingress_target.h): routes by the packet's GLOBAL flow
+  // id to its home shard and offers the remapped (local-id) packet to that
+  // shard's ring for slot i. Unknown global ids route by hash unmapped and
+  // land as kUnknownFlow drops on the target shard, keeping the seven-cause
+  // ledger exact. note_* hooks resolve against the shard producer i's most
+  // recent attempt routed to (per-producer slot state; slots are
+  // single-threaded by contract).
+  bool offer(std::size_t i, Packet p) override;
+  bool offer_wait(std::size_t i, Packet p) override;
+  OfferStatus try_offer(std::size_t i, const Packet& p) override;
+  void note_offer_retry(std::size_t i) override;
+  void note_offer_abandoned(std::size_t i) override;
+
+  // Attaches the telemetry plane to every shard engine: shard k's cells,
+  // histograms and gauges carry label k (TelemetryOptions::shards must be
+  // >= shards()). Attach before start(); nullptr detaches.
+  void set_telemetry(obs::telemetry::Telemetry* plane);
+  // Differential-replay capture: (*out)[k] receives shard k's operation
+  // sequence. Attach before start(); read only after stop() returned.
+  void set_capture(std::vector<std::vector<CaptureOp>>* out);
+
+  // One run per engine. stop() stops every shard concurrently (kDrain lets
+  // each shard serve out its backlog in parallel), then settles the root
+  // stats thread so its final publication matches the summed ledger.
+  void start();
+  void stop(StopMode mode = StopMode::kDrain);
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool accepting() const override;
+  bool stalled() const;        // any shard watchdog-stopped permanently
+  int overload_state() const;  // max (worst) across shards
+
+  Time now() const override { return shards_.front().engine->now(); }
+  std::size_t producers() const override { return opts_.engine.producers; }
+
+  // Summed ledger across shards. Exact after stop(): every identity the
+  // single-engine EngineStats documents holds for the sums because each
+  // shard's ledger is exact and every offer lands on exactly one shard.
+  // max_service_lag is the max, overload_state the max, last_stall_stage
+  // the most recent shard diagnosis.
+  EngineStats stats() const;
+  EngineStats shard_stats(std::size_t k) const;
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t shard_of(FlowId global) const { return shard_of_[global]; }
+  FlowId local_id(FlowId global) const { return local_id_[global]; }
+  std::size_t flow_count() const { return shard_of_.size(); }
+  Scheduler& scheduler(std::size_t k) { return *shards_[k].sched; }
+  RtEngine& engine(std::size_t k) { return *shards_[k].engine; }
+  const RtEngine& engine(std::size_t k) const { return *shards_[k].engine; }
+
+  // Per-flow service in GLOBAL flow-id order (fetched from the home shard
+  // under the local id), so wall-clock fairness checks read one coherent
+  // axis across shards.
+  double flow_tx_bits(FlowId global) const;
+  std::vector<double> service_snapshot() const;
+
+  // H-SFQ bound plumbing. shard_weight(k) = W_k; shard_slack(k) is the
+  // eq.-65 virtual-server term (l_k^max + sum_g l_g^max)/W_k;
+  // fairness_bound(f, m) returns the Theorem-1 bound for same-shard pairs
+  // and adds both shards' slack for cross-shard pairs (global flow ids).
+  double shard_weight(std::size_t k) const { return shards_[k].weight_sum; }
+  double shard_slack(std::size_t k) const { return shards_[k].slack; }
+  double fairness_bound(FlowId f, FlowId m) const;
+
+  // Port the root stats endpoint bound (0 when disabled).
+  uint16_t stats_endpoint_port() const {
+    return stats_server_ ? stats_server_->port() : 0;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Scheduler> sched;
+    std::unique_ptr<RtEngine> engine;
+    std::vector<FlowId> global_ids;  // local id -> global id
+    double weight_sum = 0.0;         // W_k
+    double slack = 0.0;              // eq.-65 virtual-server slack
+    double rate = 0.0;               // static share R*W_k/W
+    // Rebalance handle into the shard's AtomicRate profile (owned by the
+    // engine; stable for the engine's lifetime).
+    std::atomic<double>* rate_cell = nullptr;
+  };
+  // Producer slot i's most recently routed shard; written and read only by
+  // producer i (slots are single-threaded), padded so neighbouring
+  // producers never share a cache line.
+  struct alignas(64) LastShard {
+    std::size_t shard = 0;
+  };
+
+  std::size_t route(const Packet& p, std::size_t i);
+  void stats_loop();
+  void publish_stats(std::vector<double>& prev_service);
+  void rebalance_loop();
+
+  ShardedEngineOptions opts_;
+  ShardRouter router_;
+  std::vector<std::size_t> shard_of_;  // global flow -> shard
+  std::vector<FlowId> local_id_;       // global flow -> shard-local id
+  std::vector<double> flow_weight_;    // global flow table (immutable)
+  std::vector<double> flow_max_bits_;
+  double total_weight_ = 0.0;
+  std::vector<Shard> shards_;
+  std::vector<LastShard> last_shard_;
+
+  obs::telemetry::Telemetry* tele_ = nullptr;
+
+  // Root background threads: stats publication and H-SFQ rebalance. Both
+  // share one stop latch; stats_loop does a final pass after the shard
+  // engines settled, mirroring RtEngine::stats_loop.
+  std::unique_ptr<obs::telemetry::StatsServer> stats_server_;
+  std::thread stats_thread_;
+  std::thread rebal_thread_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+
+  bool started_ = false;
+  std::mutex stop_mu_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sfq::rt

@@ -1,0 +1,321 @@
+// Sharded multi-core engine (rt/shard/, docs/REALTIME.md "Sharding"):
+// stable flow->shard routing, exact global ledger conservation (the sum of
+// the per-shard ledgers IS the offer ledger), per-shard + cross-shard
+// hierarchical fairness under sustained overload with shedding, routing
+// stability across flow leave/rejoin churn, and the chaos differential
+// driven through the sharded path. Timing-sensitive assertions use ledger
+// identities (exact by construction) or generous Theorem-1 bounds.
+#include "rt/shard/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/differential.h"
+#include "chaos/scenario_generator.h"
+#include "core/scheduler_factory.h"
+#include "core/sfq_scheduler.h"
+#include "rt/load_gen.h"
+#include "rt/shard/shard_router.h"
+#include "stats/fairness.h"
+
+namespace sfq::rt {
+namespace {
+
+constexpr double kBits = 4000.0;
+
+Packet make_packet(FlowId flow, uint64_t seq, double bits = kBits) {
+  Packet p{};
+  p.flow = flow;
+  p.seq = seq;
+  p.length_bits = bits;
+  return p;
+}
+
+uint64_t cause(const EngineStats& s, obs::DropCause c) {
+  return s.drops[static_cast<std::size_t>(c)];
+}
+
+// The per-engine exact identities (docs/ROBUSTNESS.md), valid after stop().
+void expect_ledger(const EngineStats& s, const std::string& where) {
+  const uint64_t pre = cause(s, obs::DropCause::kUnknownFlow) +
+                       cause(s, obs::DropCause::kBufferLimit) +
+                       cause(s, obs::DropCause::kShed);
+  const uint64_t post = cause(s, obs::DropCause::kPushout) +
+                        cause(s, obs::DropCause::kFlowRemoved);
+  EXPECT_EQ(s.ingress_pushed, s.accepted + pre + s.abandoned) << where;
+  EXPECT_EQ(s.accepted, s.transmitted + s.backlog + post) << where;
+}
+
+ShardedEngine::SchedulerFactory sfq_factory(double link_rate) {
+  return [link_rate](std::size_t, double share) {
+    SchedulerOptions so;
+    so.assumed_capacity = link_rate * share;
+    return make_scheduler("SFQ", so);
+  };
+}
+
+TEST(ShardRouter, StableCoversAndMatchesEngine) {
+  // Pure function of (flow, shard count): two routers agree everywhere, every
+  // shard receives flows at a plausible rate, and the engine's routing table
+  // is exactly the router's answer.
+  for (const std::size_t shards : {2u, 4u}) {
+    ShardRouter a(shards), b(shards);
+    std::vector<std::size_t> hits(shards, 0);
+    for (FlowId f = 0; f < 1024; ++f) {
+      ASSERT_EQ(a.shard_of(f), b.shard_of(f)) << "flow " << f;
+      ASSERT_LT(a.shard_of(f), shards);
+      ++hits[a.shard_of(f)];
+    }
+    for (std::size_t k = 0; k < shards; ++k)
+      EXPECT_GT(hits[k], 1024 / shards / 2) << "shard " << k << " starved";
+  }
+
+  std::vector<ShardFlow> flows(8, ShardFlow{1e6, kBits, ""});
+  ShardedEngineOptions opts;
+  opts.shards = 4;
+  opts.link_rate = 8e6;
+  opts.engine.producers = 1;
+  auto engine =
+      ShardedEngine::try_create(sfq_factory(opts.link_rate), flows, opts);
+  ASSERT_NE(engine, nullptr);
+  ShardRouter router(4);
+  std::vector<std::size_t> next_local(4, 0);
+  for (FlowId f = 0; f < 8; ++f) {
+    EXPECT_EQ(engine->shard_of(f), router.shard_of(f));
+    // Local ids are assigned in ascending global order within each shard —
+    // the contract replay tooling relies on to rebuild the mapping.
+    EXPECT_EQ(engine->local_id(f), next_local[engine->shard_of(f)]++);
+  }
+}
+
+TEST(ShardedEngine, GlobalLedgerConservationIsExact) {
+  // 4 shards behind tiny per-shard buffers, blasted unpaced with a mix of
+  // known and unknown flow ids. After stop(kDrain): each shard's ledger
+  // satisfies the engine identities, the summed ledger satisfies them too,
+  // and offers == ingress_pushed + ingress_drops — every offer is accounted
+  // on exactly one shard, none double-counted.
+  std::vector<ShardFlow> flows(8, ShardFlow{1e6, kBits, ""});
+  ShardedEngineOptions opts;
+  opts.shards = 4;
+  opts.link_rate = 2e8;  // fast link: the blast drains quickly
+  opts.engine.producers = 1;
+  opts.engine.buffer_limit = 8;  // small: forces kBufferLimit drops
+  auto engine =
+      ShardedEngine::try_create(sfq_factory(opts.link_rate), flows, opts);
+  ASSERT_NE(engine, nullptr);
+
+  engine->start();
+  uint64_t offers = 0;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    // Every 97th offer targets an unregistered global id: it must route
+    // somewhere deterministic and land as a kUnknownFlow drop.
+    const FlowId f = i % 97 == 0 ? static_cast<FlowId>(1000 + i % 7)
+                                 : static_cast<FlowId>(i % 8);
+    engine->offer(0, make_packet(f, i));
+    ++offers;  // failed offers count too: they are ingress_drops
+  }
+  engine->stop(StopMode::kDrain);
+
+  EngineStats sum;
+  uint64_t unknown = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const EngineStats es = engine->shard_stats(k);
+    expect_ledger(es, "shard " + std::to_string(k));
+    EXPECT_EQ(es.backlog, 0u) << "shard " << k << " did not drain";
+    sum.ingress_pushed += es.ingress_pushed;
+    sum.ingress_drops += es.ingress_drops;
+    sum.accepted += es.accepted;
+    sum.transmitted += es.transmitted;
+    sum.abandoned += es.abandoned;
+    sum.backlog += es.backlog;
+    for (std::size_t c = 0; c < obs::kDropCauseCount; ++c)
+      sum.drops[c] += es.drops[c];
+    unknown += cause(es, obs::DropCause::kUnknownFlow);
+  }
+  const EngineStats st = engine->stats();
+  EXPECT_EQ(st.ingress_pushed, sum.ingress_pushed);
+  EXPECT_EQ(st.transmitted, sum.transmitted);
+  EXPECT_EQ(st.dropped(), sum.dropped());
+  expect_ledger(st, "global sum");
+  EXPECT_EQ(offers, st.ingress_pushed + st.ingress_drops);
+  EXPECT_GT(unknown, 0u) << "unregistered ids must land as kUnknownFlow";
+  EXPECT_GT(cause(st, obs::DropCause::kBufferLimit), 0u)
+      << "the tiny buffer never filled — the drop path went untested";
+}
+
+TEST(ShardedEngine, FairnessBoundHoldsUnderOverloadWithShedding) {
+  // 4 equal flows over 2 shards (flow 2 hashes alone to shard 0; flows
+  // 0/1/3 share shard 1), paced at 2.5x the 1 Mb/s link with the admission
+  // machine armed. Every pair's normalized service gap over steady-state
+  // windows must stay within fairness_bound(f, m) — plain Theorem 1 within
+  // a shard, + both shards' eq.-65 slack across shards — plus one pacing
+  // quantum per flow. Low rates keep the gate robust under sanitizers and
+  // on few-core machines: the bound scales as l/w while OS-timeslice pauses
+  // of a dispatcher thread (which hit cross-shard pairs only — same-shard
+  // flows freeze together) are absolute wall time, so the bound must
+  // dominate a scheduling quantum by a wide margin.
+  const double w = 2.5e5;
+  const double link = 1e6;
+  std::vector<ShardFlow> flows(4, ShardFlow{w, kBits, ""});
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.link_rate = link;
+  opts.engine.producers = 2;
+  opts.engine.buffer_limit = 64;
+  opts.engine.admission_control = true;
+  auto engine = ShardedEngine::try_create(sfq_factory(link), flows, opts);
+  ASSERT_NE(engine, nullptr);
+  ASSERT_NE(engine->shard_of(0), engine->shard_of(2))
+      << "expected a cross-shard pair; the router changed";
+
+  std::vector<std::vector<FlowLoad>> producers(2);
+  for (FlowId f = 0; f < 4; ++f) {
+    FlowLoad l;
+    l.flow = f;
+    l.model = FlowLoad::Model::kCbr;
+    l.rate = 2.5 * w;
+    l.packet_bits = kBits;
+    l.seed = 1 + f;
+    producers[f % 2].push_back(l);
+  }
+
+  engine->start();
+  const Time t0 = engine->now();
+  LoadGen gen(*engine, std::move(producers), {});
+  gen.start(1.5);
+  std::vector<std::vector<double>> snaps;
+  Time next = t0 + 0.05;
+  while (engine->now() - t0 < 1.5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (engine->now() >= next) {
+      snaps.push_back(engine->service_snapshot());
+      next += 0.05;
+    }
+  }
+  gen.join();
+  engine->stop(StopMode::kDrain);
+
+  const EngineStats st = engine->stats();
+  EXPECT_GT(cause(st, obs::DropCause::kShed), 0u)
+      << "2.5x load never tripped the shedding gate";
+  int worst = 0;
+  for (std::size_t k = 0; k < 2; ++k)
+    worst = std::max(worst, engine->shard_stats(k).overload_state);
+  EXPECT_EQ(st.overload_state, worst)
+      << "summed stats must report the worst shard's overload state";
+
+  ASSERT_GE(snaps.size(), 8u);
+  // Without a core per dispatcher the root premise — each shard actually
+  // receives its R*W_k/W share in wall time — is broken by OS timeslicing:
+  // same-shard flows freeze together, but a cross-shard pair drifts by
+  // however long one dispatcher sat descheduled. Grant those pairs one
+  // scheduling-epoch allowance on starved machines; a genuine fairness bug
+  // still fails, because a misrouted or starved flow opens a gap on the
+  // order of the full measurement window (~750 ms here).
+  const double cpu_slack =
+      std::thread::hardware_concurrency() >= 2 * opts.shards ? 0.0 : 0.25;
+  const std::size_t lo = snaps.size() / 4;
+  const std::size_t hi = snaps.size() - snaps.size() / 4;
+  for (FlowId f = 0; f < 4; ++f) {
+    for (FlowId m = f + 1; m < 4; ++m) {
+      const bool cross = engine->shard_of(f) != engine->shard_of(m);
+      const double bound = engine->fairness_bound(f, m) +
+                           stats::sfq_fairness_bound(kBits, w, kBits, w) +
+                           (cross ? cpu_slack : 0.0);
+      double worst_gap = 0.0;
+      for (std::size_t i = lo; i < hi; ++i)
+        for (std::size_t j = i + 1; j < hi; ++j)
+          worst_gap = std::max(
+              worst_gap, std::fabs((snaps[j][f] - snaps[i][f]) / w -
+                                   (snaps[j][m] - snaps[i][m]) / w));
+      EXPECT_LE(worst_gap, bound)
+          << "flows " << f << "/" << m << (cross ? " (cross-shard)" : "")
+          << ": gap " << 1e3 * worst_gap << " ms > bound " << 1e3 * bound
+          << " ms";
+      if (cross) {
+        // The cross-shard bound must actually include both shards' slack.
+        EXPECT_GT(engine->fairness_bound(f, m),
+                  stats::sfq_fairness_bound(kBits, w, kBits, w));
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, RoutingStableAcrossFlowChurn) {
+  // The flow->shard map is a pure hash and the routing table is immutable:
+  // removing and rejoining a flow at the scheduler level must not move any
+  // flow, and the rejoined flow's first start tag takes the max against its
+  // pre-departure finish tag (no fairness credit for leaving).
+  std::vector<ShardFlow> flows(4, ShardFlow{1e6, kBits, ""});
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  opts.link_rate = 2e6;
+  opts.engine.producers = 1;
+  auto engine =
+      ShardedEngine::try_create(sfq_factory(opts.link_rate), flows, opts);
+  ASSERT_NE(engine, nullptr);
+
+  std::vector<std::size_t> before(4);
+  for (FlowId f = 0; f < 4; ++f) before[f] = engine->shard_of(f);
+
+  // Drive shard 0's scheduler directly (the engine is not running, so the
+  // dispatcher contract is not in play). Flow 2 lives alone on shard 0.
+  const FlowId victim = 2;
+  const std::size_t home = engine->shard_of(victim);
+  const FlowId local = engine->local_id(victim);
+  Scheduler& sched = engine->scheduler(home);
+  ASSERT_TRUE(sched.enqueue(make_packet(local, 0), 0.0));
+  const std::optional<Packet> served = sched.dequeue(0.0);
+  ASSERT_TRUE(served.has_value());
+  const double f_prev = served->finish_tag;
+  sched.on_transmit_complete(*served, 0.001);
+
+  sched.remove_flow(local, 0.002);
+  sched.rejoin_flow(local, 0.003);
+  for (FlowId f = 0; f < 4; ++f)
+    EXPECT_EQ(engine->shard_of(f), before[f]) << "churn moved flow " << f;
+
+  ASSERT_TRUE(sched.enqueue(make_packet(local, 1), 0.003));
+  const std::optional<Packet> rejoined = sched.dequeue(0.003);
+  ASSERT_TRUE(rejoined.has_value());
+  EXPECT_GE(rejoined->start_tag, f_prev)
+      << "rejoin must not restart the flow's tags below its last finish";
+
+  // End to end: after the churn, the rejoined flow's packets still land on
+  // its home shard's ledger.
+  engine->start();
+  const uint64_t tx_before = engine->shard_stats(home).transmitted;
+  for (uint64_t i = 0; i < 50; ++i)
+    ASSERT_TRUE(engine->offer_wait(0, make_packet(victim, 100 + i)));
+  engine->stop(StopMode::kDrain);
+  EXPECT_EQ(engine->shard_stats(home).transmitted, tx_before + 50);
+  for (std::size_t k = 0; k < 2; ++k)
+    expect_ledger(engine->shard_stats(k), "shard " + std::to_string(k));
+}
+
+TEST(ShardedEngine, ChaosDifferentialPassesThroughShardedPath) {
+  // Generated rt scenarios through chaos::check_rt with shards=2: the
+  // deterministic offer schedule, per-shard capture->replay, conservation
+  // and the root-bound sampling must all hold on clean seeds.
+  chaos::GeneratorOptions gen_opts;
+  gen_opts.rt_compatible = true;
+  chaos::ScenarioGenerator gen(gen_opts);
+  chaos::RtCheckOptions rc;
+  rc.packets = 400;
+  rc.shards = 2;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const chaos::CheckResult res = chaos::check_rt(gen.generate(seed), seed, rc);
+    EXPECT_TRUE(res.ok) << "seed " << seed << " [" << res.kind << "] "
+                        << res.detail;
+  }
+}
+
+}  // namespace
+}  // namespace sfq::rt
