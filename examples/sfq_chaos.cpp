@@ -32,10 +32,10 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
-      "usage: %s run    [--seeds N] [--rt N] [--rt-faults N] [--first S]"
-      " [--out DIR]\n"
-      "       %s replay --seed S [--rt|--faults]\n"
-      "       %s shrink --seed S [--rt|--faults] [--out DIR]\n"
+      "usage: %s run    [--seeds N] [--rt N] [--rt-faults N] [--rt-kill N]"
+      " [--first S] [--out DIR]\n"
+      "       %s replay --seed S [--rt|--faults|--kill-shard]\n"
+      "       %s shrink --seed S [--rt|--faults|--kill-shard] [--out DIR]\n"
       "  --seeds N          sim seeds to sweep (default 64)\n"
       "  --rt N|--rt        rt differential seeds (run: count, default 0;\n"
       "                     replay/shrink: flag)\n"
@@ -44,6 +44,13 @@ namespace {
       "                     + overload burst; the engine must self-heal and\n"
       "                     conserve (docs/ROBUSTNESS.md)\n"
       "  --faults           replay/shrink the fault-injected rt mode\n"
+      "  --rt-kill N        shard-kill failover seeds (run: count, default 0):\n"
+      "                     a seed-derived kill fells one dispatcher shard\n"
+      "                     mid-load; the supervisor must fence, rehome and\n"
+      "                     restart it with the ledger exact across the\n"
+      "                     migration (docs/ROBUSTNESS.md). Cycles 2/4 shards\n"
+      "                     capped at --shards\n"
+      "  --kill-shard       replay/shrink the shard-kill failover mode\n"
       "  --first S          first seed of the block (default 1)\n"
       "  --seed S           the single seed to replay/shrink\n"
       "  --out DIR          write minimized repro .conf files here\n"
@@ -69,6 +76,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 0;
   bool rt_flag = false;
   bool faults_flag = false;
+  bool kill_flag = false;
   bool have_seed = false;
 
   auto need = [&](int& i) -> const char* {
@@ -84,7 +92,10 @@ int main(int argc, char** argv) {
         opts.rt_seeds = std::strtoull(need(i), nullptr, 10);
     } else if (f == "--rt-faults") {
       opts.rt_fault_seeds = std::strtoull(need(i), nullptr, 10);
+    } else if (f == "--rt-kill") {
+      opts.rt_kill_seeds = std::strtoull(need(i), nullptr, 10);
     } else if (f == "--faults") faults_flag = true;
+    else if (f == "--kill-shard") kill_flag = true;
     else if (f == "--first") opts.first_seed = std::strtoull(need(i), nullptr, 10);
     else if (f == "--seed") { seed = std::strtoull(need(i), nullptr, 10); have_seed = true; }
     else if (f == "--out") opts.repro_dir = need(i);
@@ -96,17 +107,20 @@ int main(int argc, char** argv) {
 
   if (mode == "run") {
     std::printf("sfq_chaos: sweeping %llu sim seed(s) + %llu rt seed(s) "
-                "+ %llu rt-fault seed(s) from seed %llu\n",
+                "+ %llu rt-fault seed(s) + %llu rt-kill seed(s) from seed "
+                "%llu\n",
                 static_cast<unsigned long long>(opts.sim_seeds),
                 static_cast<unsigned long long>(opts.rt_seeds),
                 static_cast<unsigned long long>(opts.rt_fault_seeds),
+                static_cast<unsigned long long>(opts.rt_kill_seeds),
                 static_cast<unsigned long long>(opts.first_seed));
     const chaos::ChaosReport report = chaos::run_chaos(opts);
-    std::printf("ran %llu sim + %llu rt + %llu rt-fault seeds: "
-                "%zu failure(s)\n",
+    std::printf("ran %llu sim + %llu rt + %llu rt-fault + %llu rt-kill "
+                "seeds: %zu failure(s)\n",
                 static_cast<unsigned long long>(report.sim_seeds_run),
                 static_cast<unsigned long long>(report.rt_seeds_run),
                 static_cast<unsigned long long>(report.rt_fault_seeds_run),
+                static_cast<unsigned long long>(report.rt_kill_seeds_run),
                 report.failures.size());
     return report.ok() ? 0 : 1;
   }
@@ -115,10 +129,13 @@ int main(int argc, char** argv) {
     if (!have_seed) usage(argv[0]);
     opts.shrink_failures = mode == "shrink";
     const chaos::ChaosFailure f =
-        chaos::replay_seed(seed, rt_flag, opts, faults_flag);
+        chaos::replay_seed(seed, rt_flag, opts, faults_flag, kill_flag);
     std::printf("# scenario for seed %llu%s\n%s",
                 static_cast<unsigned long long>(seed),
-                faults_flag ? " (rt, injected faults)" : rt_flag ? " (rt)" : "",
+                kill_flag     ? " (rt, shard-kill failover)"
+                : faults_flag ? " (rt, injected faults)"
+                : rt_flag     ? " (rt)"
+                              : "",
                 f.spec.serialize().c_str());
     if (f.kind.empty()) {
       std::printf("verdict: PASS\n");

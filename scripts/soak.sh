@@ -12,19 +12,89 @@
 #   * shedding actually engaged (weighted-fair `shed` drops under overload),
 #   * the ledger conservation self-check passed exactly.
 #
+# With --kill-shard the soak instead exercises shard failover
+# (docs/ROBUSTNESS.md "Shard failover"): a 4-shard run at 2.5x load takes a
+# permanent mid-run shard kill under --failover. The gate asserts the
+# supervisor completes the full lifecycle — fence + harvest, rehome onto
+# survivors, cold restart, rehome back — with the migration-extended ledger
+# exact and the survivors' fairness within the extended bound:
+#
+#   * exit status 0 — sfq_serve self-checks conservation and fairness,
+#   * the failover epoch log reports >= 1 completed failover and
+#     "cold restart OK, flows rehomed back",
+#   * "conservation OK" — migrated_in == migrated_out settled exactly,
+#   * the fairness verdict line is OK (survivors within
+#     fairness_bound + migration_slack).
+#
+# The kill soak uses --policy pushout: synchronized CBR + taildrop + a small
+# shared buffer phase-locks the producer ring drain order and starves
+# specific flows even WITHOUT a kill (a pre-existing traffic pathology, not
+# a failover property), so taildrop would gate on the wrong thing here.
+#
 # The full run transcript lands in the out-dir so CI can upload it as the
 # repro artifact when the gate fails.
 #
-#   scripts/soak.sh [out-dir]      # default out-dir: soak-out/
+#   scripts/soak.sh [out-dir]               # default out-dir: soak-out/
+#   scripts/soak.sh --kill-shard [out-dir]  # shard-failover soak
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD_DIR:-build-soak}
+MODE=overload
+if [[ "${1:-}" == "--kill-shard" ]]; then
+  MODE=kill
+  shift
+fi
 OUT=${1:-soak-out}
 mkdir -p "$OUT"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DSFQ_WERROR=ON
 cmake --build "$BUILD" -j"$(nproc)" --target sfq_serve
+
+if [[ "$MODE" == kill ]]; then
+  # 8 flows spread over 4 shards by the rendezvous router; the kill at
+  # t=0.8 fences shard 1 mid-run, its flows rehome onto the 3 survivors,
+  # and the supervised cold restart rehomes them back — all while the
+  # producers keep offering 2.5x the per-flow reservation.
+  log="$OUT/soak_kill.txt"
+  status=0
+  "$BUILD/examples/sfq_serve" \
+      --sched SFQ --shards 4 --flows 8 --producers 2 --rate 80e6 \
+      --duration 2.5 --load 2.5 --buffer 128 --policy pushout \
+      --stall-timeout 0.1 --failover --fault-kill 0.8,1 \
+      > "$log" 2>&1 || status=$?
+
+  cat "$log"
+  if ((status != 0)); then
+    echo "soak.sh: sfq_serve exited $status (failover stuck, conservation" \
+         "violation, or fairness outside the extended bound; transcript:" \
+         "$log)"
+    exit 1
+  fi
+  if ! grep -Eq "^failover  [1-9]" "$log"; then
+    echo "soak.sh: expected >= 1 completed shard failover in the epoch log;" \
+         "transcript: $log"
+    exit 1
+  fi
+  if ! grep -q "cold restart OK, flows rehomed back" "$log"; then
+    echo "soak.sh: the killed shard never restarted and took its flows" \
+         "back (supervisor lifecycle incomplete); transcript: $log"
+    exit 1
+  fi
+  if ! grep -q "conservation OK" "$log"; then
+    echo "soak.sh: migration-extended ledger conservation self-check line" \
+         "missing; transcript: $log"
+    exit 1
+  fi
+  if ! grep -Eq "^fairness .*: OK" "$log"; then
+    echo "soak.sh: survivors' fairness verdict not OK against the" \
+         "migration-extended bound; transcript: $log"
+    exit 1
+  fi
+  echo "soak.sh: shard-failover soak passed (kill -> rehome -> restart ->" \
+       "rehome back; ledger exact, fairness within extended bound)"
+  exit 0
+fi
 
 # Default weights give the 4 flows half the 2 Mb/s link, so --load 5 offers
 # 2.5x capacity. The 0.3 s pause at t=0.8 must trip the 0.1 s watchdog; the

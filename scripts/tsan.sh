@@ -16,14 +16,17 @@ cmake --build "$BUILD" -j"$(nproc)" --target sfq_tests sfq_serve
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure \
-  -R 'SpscRing|RtEngine|ShardedEngine|ShardRouter|Telemetry'
+  -R 'SpscRing|RtEngine|ShardedEngine|ShardRouter|ShardFailover|Telemetry'
 
 # Smoke: 4 producers paced at moderate overload, traced (SyncSink path), then
 # a second unpaced blast run (offer_wait/backpressure path), then a stats run
 # that races the stats thread (console + HTTP exposition) against the
 # dispatcher and producers, then a 4-shard sharded-engine run that races 4
 # dispatchers, the root stats thread and the rebalance thread against the
-# producers (cross-shard routing + per-shard ledgers under TSAN).
+# producers (cross-shard routing + per-shard ledgers under TSAN), and
+# finally a shard-failover run that races the supervisor thread (fence,
+# harvest, rehome, cold restart, rehome back) against dispatchers, stats,
+# rebalance and producers while shard 1 is killed mid-run.
 "$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.3 \
   --rate 20e6 --load 1.5 --buffer 128 --policy pushout > /dev/null
 "$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.05 \
@@ -34,5 +37,9 @@ ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure \
 "$BUILD/examples/sfq_serve" --shards 4 --producers 4 --flows 8 \
   --duration 0.5 --rate 20e6 --load 2.5 --buffer 64 --shed \
   --stats-interval 0.1 --stats-port 0 > /dev/null 2>&1
+"$BUILD/examples/sfq_serve" --shards 4 --producers 2 --flows 8 \
+  --duration 0.8 --rate 20e6 --load 2.5 --buffer 128 --policy pushout \
+  --stats-interval 0.2 --stats-port 0 --stall-timeout 0.1 \
+  --failover --fault-kill 0.25,1 > /dev/null 2>&1
 
 echo "tsan.sh: TSAN clean"

@@ -259,6 +259,19 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
   sopts.shards = shards;
   sopts.link_rate = rate;
   sopts.engine = eng_opts;
+  const bool kill_mode = rt_opts.kill_shard && shards > 1;
+  std::size_t kill_victim = 0;
+  if (kill_mode) {
+    // Seeded shard kill mid-load, supervisor armed: the run must survive it
+    // by failover (fence -> rehome -> cold restart -> rehome back).
+    const ShardKillScenario kill = generate_shard_kill(seed, 0.02, shards);
+    kill_victim = kill.shard;
+    sopts.shard_faults.push_back({kill.shard, kill.plan});
+    sopts.failover.enabled = true;
+    sopts.failover.poll_interval = 0.0005;
+    sopts.failover.shard_restart_budget = 1;
+    sopts.failover.restart_backoff = 0.002;
+  }
   auto factory = [&](std::size_t, double share) {
     SchedulerOptions so = base_opts;
     so.assumed_capacity = rate * share;
@@ -286,6 +299,28 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
     if (!engine->offer_wait(0, p)) break;
   }
 
+  // A kill run must give the supervisor room to finish the whole epoch
+  // before the drain stop settles everything: kill fires on the victim's
+  // raw clock mid-drain, then fence -> rehome -> cold restart -> rehome
+  // back. Wait (bounded) for a completed failover, the victim's second
+  // engine epoch, and the migrated ledger to cancel out.
+  if (kill_mode) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto waited = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    while (waited() < 5.0) {
+      const rt::EngineStats es = engine->stats();
+      if (engine->shard_failovers() > 0 &&
+          engine->engine_epochs(kill_victim) > 1 &&
+          es.migrated_in == es.migrated_out)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
   // Root fairness sampling over the drain (clean runs only: no drops to
   // break the backlog premise, no injected faults warping the clock). A
   // shard's backlog is monotone non-increasing once offers stop, so backlog
@@ -296,7 +331,13 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
     std::vector<uint64_t> shard_backlog;
   };
   std::vector<Sample> samples;
-  const bool fairness_scope = !rt_opts.inject_faults &&
+  // Kill runs are excluded: a window straddling the evacuation or the
+  // rehome-back sees a flow re-anchor its tags on a NEW server mid-window,
+  // which voids the Theorem-1 premise (continuously backlogged on one
+  // server) that the per-window proxy below leans on. The failover soak
+  // gate asserts the migration-extended bound at whole-run granularity
+  // instead (scripts/soak.sh --kill-shard).
+  const bool fairness_scope = !rt_opts.inject_faults && !kill_mode &&
                               spec.hops.front().buffer_packets == 0 &&
                               spec.flows.size() >= 2;
   if (fairness_scope) {
@@ -328,6 +369,26 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
       return res;
     }
   }
+  if (kill_mode) {
+    const rt::EngineStats es = engine->stats();
+    if (engine->shard_failovers() == 0) {
+      res.fail("rt-failover",
+               "shard kill injected but no failover completed (seed " +
+                   std::to_string(seed) + ")");
+      return res;
+    }
+    if (es.migrated_in != es.migrated_out) {
+      res.fail("rt-failover",
+               "migration did not settle: migrated_in " +
+                   std::to_string(es.migrated_in) + " != migrated_out " +
+                   std::to_string(es.migrated_out));
+      return res;
+    }
+    if (es.transmitted == 0) {
+      res.fail("rt-failover", "no packet transmitted across the failover");
+      return res;
+    }
+  }
 
   // Cross-shard ledger conservation: the telemetry plane sums counters over
   // every shard's cells, the engine sums the per-shard ledgers — both must
@@ -341,10 +402,18 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
                                c(tel::CounterId::kDropShed);
     const uint64_t post_drops = c(tel::CounterId::kDropPushout) +
                                 c(tel::CounterId::kDropFlowRemoved);
+    // A migration epoch moves packets between shard ledgers: adopted
+    // packets count accepted (and migrated_in) at the destination without
+    // an ingress push there, harvested ones leave the source as
+    // migrated_out. The summed identities pick up those two terms and
+    // cancel exactly once every migration settled. The per-shard backlog
+    // gauge is each epoch's final publication — a fenced epoch publishes
+    // its pre-harvest backlog — so kill runs check the ledger's backlog.
     uint64_t backlog = 0;
     for (std::size_t k = 0; k < shards; ++k)
       backlog +=
           static_cast<uint64_t>(ts.gauge(tel::GaugeId::kBacklogPackets, k));
+    if (kill_mode) backlog = es.backlog;
     auto conserve = [&](const char* what, uint64_t lhs, uint64_t rhs) {
       if (lhs == rhs) return true;
       std::ostringstream ss;
@@ -353,20 +422,22 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
       res.fail("telemetry", ss.str());
       return false;
     };
-    if (!conserve("pushed == accepted + pre-drops + abandoned",
-                  c(tel::CounterId::kIngressPushed),
+    if (!conserve("pushed + migrated_in == accepted + pre-drops + abandoned",
+                  c(tel::CounterId::kIngressPushed) + es.migrated_in,
                   c(tel::CounterId::kAccepted) + pre_drops +
                       c(tel::CounterId::kAbandoned)) ||
-        !conserve("accepted == transmitted + backlog + post-drops",
+        !conserve("accepted == transmitted + backlog + post-drops + migrated",
                   c(tel::CounterId::kAccepted),
-                  c(tel::CounterId::kTransmitted) + backlog + post_drops) ||
+                  c(tel::CounterId::kTransmitted) + backlog + post_drops +
+                      es.migrated_out) ||
         !conserve("plane vs ledger: ingress_pushed",
                   c(tel::CounterId::kIngressPushed), es.ingress_pushed) ||
         !conserve("plane vs ledger: accepted", c(tel::CounterId::kAccepted),
                   es.accepted) ||
         !conserve("plane vs ledger: transmitted",
                   c(tel::CounterId::kTransmitted), es.transmitted) ||
-        !conserve("plane vs ledger: backlog", backlog, es.backlog) ||
+        (!kill_mode &&
+         !conserve("plane vs ledger: backlog", backlog, es.backlog)) ||
         !conserve("plane vs ledger: abandoned", c(tel::CounterId::kAbandoned),
                   es.abandoned))
       return res;
@@ -399,7 +470,10 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
           const double wf = spec.flows[f].weight;
           const double wm = spec.flows[m].weight;
           const double gap = std::abs(df / wf - dm / wm);
+          // migration_slack() is 0 unless a failover epoch overlapped the
+          // run (docs/ROBUSTNESS.md derives the extended bound).
           const double bound = engine->fairness_bound(f, m) +
+                               engine->migration_slack() +
                                spec.flows[f].packet / wf +
                                spec.flows[m].packet / wm;
           if (gap > bound) {
@@ -432,10 +506,15 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
     std::unique_ptr<Scheduler> replay_owned;
     try {
       replay_owned = factory(k, share);
-      for (FlowId f = 0; f < spec.flows.size(); ++f)
-        if (engine->shard_of(f) == k)
-          replay_owned->add_flow(spec.flows[f].weight, spec.flows[f].packet,
-                                 spec.flows[f].name);
+      // Unified registration, exactly as the live engine built the shard:
+      // every flow in ascending global-id order, non-home flows deactivated.
+      // Residency changes after that are IN the transcript (kRemove /
+      // kRejoin ops), so the replay tracks migrations by construction.
+      for (FlowId f = 0; f < spec.flows.size(); ++f) {
+        replay_owned->add_flow(spec.flows[f].weight, spec.flows[f].packet,
+                               spec.flows[f].name);
+        if (engine->home_shard_of(f) != k) replay_owned->remove_flow(f, 0.0);
+      }
     } catch (const std::exception& e) {
       res.fail("error", std::string("shard replay build threw: ") + e.what());
       return res;
@@ -483,6 +562,14 @@ CheckResult check_rt_sharded(const config::ExperimentSpec& spec, uint64_t seed,
             mismatch(i, "pushout", op.packet, got ? &*got : nullptr);
           break;
         }
+        case rt::CaptureOp::Kind::kRemove:
+          // Harvest/evict: the backlog left with the flow (it re-enqueues
+          // behind a kRejoin in the destination shard's transcript).
+          replay.remove_flow(op.packet.flow, op.t);
+          break;
+        case rt::CaptureOp::Kind::kRejoin:
+          replay.rejoin_flow(op.packet.flow, op.t);
+          break;
       }
     }
     if (res.ok && !replay.empty() != !engine->scheduler(k).empty())
@@ -711,6 +798,14 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
         }
         break;
       }
+      // Residency ops only appear in sharded failover transcripts; a
+      // single-engine capture never emits them, but replay them faithfully.
+      case rt::CaptureOp::Kind::kRemove:
+        replay.remove_flow(op.packet.flow, op.t);
+        break;
+      case rt::CaptureOp::Kind::kRejoin:
+        replay.rejoin_flow(op.packet.flow, op.t);
+        break;
     }
   }
   if (!replay.empty() != !live.scheduler->empty()) {

@@ -75,6 +75,14 @@ struct RtCheckOptions {
   // path. Specs the sharded engine cannot split (HSFQ / class hierarchies)
   // fall back to 1 shard automatically.
   std::size_t shards = 1;
+  // Shard-kill failover mode (docs/ROBUSTNESS.md "Shard failover"; needs
+  // shards > 1): derive a shard-kill fault from the seed
+  // (generate_shard_kill), run with the shard supervisor enabled, and demand
+  // that the failover completed (>= 1 recorded), that the summed ledger
+  // stays exact across the migration epoch — including the migrated_in ==
+  // migrated_out settlement — and that every shard's capture transcript
+  // (kRemove/kRejoin residency ops included) still replays bit-exactly.
+  bool kill_shard = false;
 };
 CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                      const RtCheckOptions& opts);

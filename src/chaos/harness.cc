@@ -1,5 +1,6 @@
 #include "chaos/harness.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -12,13 +13,17 @@ namespace sfq::chaos {
 
 namespace {
 
+// Which rt-check mode a seed runs under (one per sweep).
+enum class Mode { kSim, kRt, kRtFaults, kRtKill };
+
 CheckResult run_check(const config::ExperimentSpec& spec, uint64_t seed,
-                      bool rt, bool rt_faults, std::size_t shards,
+                      Mode mode, std::size_t shards,
                       const HarnessOptions& opts) {
-  if (!rt) return check_sim(spec, seed);
+  if (mode == Mode::kSim) return check_sim(spec, seed);
   RtCheckOptions rc;
   rc.packets = opts.rt_packets;
-  rc.inject_faults = rt_faults;
+  rc.inject_faults = mode == Mode::kRtFaults;
+  rc.kill_shard = mode == Mode::kRtKill;
   rc.shards = shards;
   return check_rt(spec, seed, rc);
 }
@@ -31,20 +36,36 @@ std::size_t shard_cycle(uint64_t i, std::size_t max_shards) {
   return want <= max_shards ? want : 1;
 }
 
+// Shard-kill seeds need survivors: cycle {2, 4} capped at the option,
+// floored at 2.
+std::size_t kill_shard_cycle(uint64_t i, std::size_t max_shards) {
+  const std::size_t want = (i % 2) ? 4 : 2;
+  return std::max<std::size_t>(2, std::min(want, max_shards));
+}
+
+const char* mode_tag(const ChaosFailure& f) {
+  return f.rt_kill     ? "_rtkill"
+         : f.rt_faults ? "_rtfault"
+         : f.rt        ? "_rt"
+                       : "";
+}
+
 std::string write_repro(const ChaosFailure& f, const std::string& dir) {
   std::ostringstream name;
-  name << dir << "/chaos_repro_seed" << f.seed
-       << (f.rt_faults ? "_rtfault" : f.rt ? "_rt" : "") << ".conf";
+  name << dir << "/chaos_repro_seed" << f.seed << mode_tag(f) << ".conf";
   std::ofstream out(name.str());
   if (!out) return "";
   out << "# chaos repro: seed " << f.seed
-      << (f.rt_faults ? " (rt differential, injected rt faults)"
-          : f.rt      ? " (rt differential)"
-                      : "")
+      << (f.rt_kill     ? " (rt differential, shard-kill failover)"
+          : f.rt_faults ? " (rt differential, injected rt faults)"
+          : f.rt        ? " (rt differential)"
+                        : "")
       << ", failure kind: " << f.kind << "\n";
   if (f.shards > 1) out << "# rt shards: " << f.shards << "\n";
   out << "# replay: sfq_chaos replay --seed " << f.seed
-      << (f.rt_faults ? " --faults" : f.rt ? " --rt" : "");
+      << (f.rt_kill ? " --kill-shard" : f.rt_faults ? " --faults"
+                                      : f.rt        ? " --rt"
+                                                    : "");
   if (f.shards > 1) out << " --shards " << f.shards;
   out << "\n";
   std::istringstream detail(f.detail);
@@ -55,51 +76,59 @@ std::string write_repro(const ChaosFailure& f, const std::string& dir) {
 }
 
 ChaosFailure check_one(const config::ExperimentSpec& spec, uint64_t seed,
-                       bool rt, bool rt_faults, std::size_t shards,
+                       Mode mode, std::size_t shards,
                        const HarnessOptions& opts) {
   ChaosFailure f;
   f.seed = seed;
-  f.rt = rt;
-  f.rt_faults = rt_faults;
+  f.rt = mode != Mode::kSim;
+  f.rt_faults = mode == Mode::kRtFaults;
+  f.rt_kill = mode == Mode::kRtKill;
   f.shards = shards;
   f.spec = spec;
   f.minimized = spec;
-  CheckResult res = run_check(spec, seed, rt, rt_faults, shards, opts);
+  CheckResult res = run_check(spec, seed, mode, shards, opts);
   if (res.ok) return f;  // kind stays empty == pass
   f.kind = res.kind;
   f.detail = res.detail;
   if (opts.shrink_failures) {
     ShrinkResult sh = shrink(spec, [&](const config::ExperimentSpec& c) {
-      return !run_check(c, seed, rt, rt_faults, shards, opts).ok;
+      return !run_check(c, seed, mode, shards, opts).ok;
     });
     f.minimized = std::move(sh.spec);
     // Report the minimized scenario's own failure detail: that is what the
     // repro file reproduces.
-    CheckResult mres =
-        run_check(f.minimized, seed, rt, rt_faults, shards, opts);
+    CheckResult mres = run_check(f.minimized, seed, mode, shards, opts);
     if (!mres.ok) f.detail = mres.detail;
   }
   if (!opts.repro_dir.empty()) f.repro_path = write_repro(f, opts.repro_dir);
   return f;
 }
 
-void sweep(bool rt, bool rt_faults, uint64_t n_seeds,
-           const HarnessOptions& opts, ChaosReport& report) {
+void sweep(Mode mode, uint64_t n_seeds, const HarnessOptions& opts,
+           ChaosReport& report) {
   GeneratorOptions gen = opts.gen;
-  gen.rt_compatible = rt;
+  gen.rt_compatible = mode != Mode::kSim;
   ScenarioGenerator generator(gen);
-  uint64_t& counter = rt_faults ? report.rt_fault_seeds_run
-                      : rt      ? report.rt_seeds_run
-                                : report.sim_seeds_run;
+  uint64_t& counter = mode == Mode::kRtKill     ? report.rt_kill_seeds_run
+                      : mode == Mode::kRtFaults ? report.rt_fault_seeds_run
+                      : mode == Mode::kRt       ? report.rt_seeds_run
+                                                : report.sim_seeds_run;
   for (uint64_t i = 0; i < n_seeds; ++i) {
     const uint64_t seed = opts.first_seed + i;
-    const std::size_t shards = rt ? shard_cycle(i, opts.rt_shards) : 1;
-    ChaosFailure f =
-        check_one(generator.generate(seed), seed, rt, rt_faults, shards, opts);
+    const std::size_t shards = mode == Mode::kRtKill
+                                   ? kill_shard_cycle(i, opts.rt_shards)
+                               : mode != Mode::kSim
+                                   ? shard_cycle(i, opts.rt_shards)
+                                   : 1;
+    ChaosFailure f = check_one(generator.generate(seed), seed, mode, shards,
+                               opts);
     ++counter;
     if (f.kind.empty()) continue;
     if (opts.log) {
-      *opts.log << (rt_faults ? "rt-fault seed " : rt ? "rt seed " : "seed ")
+      *opts.log << (mode == Mode::kRtKill     ? "rt-kill seed "
+                    : mode == Mode::kRtFaults ? "rt-fault seed "
+                    : mode == Mode::kRt       ? "rt seed "
+                                              : "seed ")
                 << seed;
       if (shards > 1) *opts.log << " (" << shards << " shards)";
       *opts.log << ": FAIL [" << f.kind << "] " << f.detail << "\n";
@@ -115,21 +144,30 @@ void sweep(bool rt, bool rt_faults, uint64_t n_seeds,
 
 ChaosReport run_chaos(const HarnessOptions& opts) {
   ChaosReport report;
-  sweep(/*rt=*/false, /*rt_faults=*/false, opts.sim_seeds, opts, report);
+  sweep(Mode::kSim, opts.sim_seeds, opts, report);
   if (report.ok() || !opts.stop_on_failure)
-    sweep(/*rt=*/true, /*rt_faults=*/false, opts.rt_seeds, opts, report);
+    sweep(Mode::kRt, opts.rt_seeds, opts, report);
   if (report.ok() || !opts.stop_on_failure)
-    sweep(/*rt=*/true, /*rt_faults=*/true, opts.rt_fault_seeds, opts, report);
+    sweep(Mode::kRtFaults, opts.rt_fault_seeds, opts, report);
+  if (report.ok() || !opts.stop_on_failure)
+    sweep(Mode::kRtKill, opts.rt_kill_seeds, opts, report);
   return report;
 }
 
 ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
-                         bool rt_faults) {
+                         bool rt_faults, bool rt_kill) {
   GeneratorOptions gen = opts.gen;
-  gen.rt_compatible = rt || rt_faults;
-  const bool is_rt = rt || rt_faults;
-  return check_one(ScenarioGenerator(gen).generate(seed), seed, is_rt,
-                   rt_faults, is_rt ? opts.rt_shards : 1, opts);
+  const Mode mode = rt_kill     ? Mode::kRtKill
+                    : rt_faults ? Mode::kRtFaults
+                    : rt        ? Mode::kRt
+                                : Mode::kSim;
+  gen.rt_compatible = mode != Mode::kSim;
+  const std::size_t shards =
+      mode == Mode::kRtKill ? std::max<std::size_t>(2, opts.rt_shards)
+      : mode != Mode::kSim  ? opts.rt_shards
+                            : 1;
+  return check_one(ScenarioGenerator(gen).generate(seed), seed, mode, shards,
+                   opts);
 }
 
 }  // namespace sfq::chaos

@@ -20,6 +20,12 @@ struct HarnessOptions {
   // seed-derived dispatcher pauses, clock jumps/skews and an overload burst
   // against the shedding gate; the engine must self-heal and conserve).
   uint64_t rt_fault_seeds = 0;
+  // Seeds through the shard-kill failover check (RtCheckOptions::kill_shard:
+  // a seed-derived kill fault fells one dispatcher shard mid-load; the shard
+  // supervisor must fence, rehome and restart it with the summed ledger
+  // exact across the migration epoch). Needs rt_shards >= 2; seeds cycle
+  // through shard counts {2, 4} capped at rt_shards.
+  uint64_t rt_kill_seeds = 0;
   GeneratorOptions gen;      // rt scenarios force gen.rt_compatible
   std::size_t rt_packets = 1500;  // offered packets per rt seed
   // Max dispatcher-shard count for the rt checks (RtCheckOptions::shards).
@@ -41,6 +47,7 @@ struct ChaosFailure {
   uint64_t seed = 0;
   bool rt = false;
   bool rt_faults = false;  // the fault-injected rt mode
+  bool rt_kill = false;    // the shard-kill failover mode
   std::size_t shards = 1;  // dispatcher shards the failing rt check ran with
   std::string kind;    // determinism|invariant|fairness|throughput|rt-*|error
   std::string detail;
@@ -53,6 +60,7 @@ struct ChaosReport {
   uint64_t sim_seeds_run = 0;
   uint64_t rt_seeds_run = 0;
   uint64_t rt_fault_seeds_run = 0;
+  uint64_t rt_kill_seeds_run = 0;
   std::vector<ChaosFailure> failures;
 
   bool ok() const { return failures.empty(); }
@@ -62,8 +70,9 @@ ChaosReport run_chaos(const HarnessOptions& opts);
 
 // Re-runs the check for one seed (the `replay` workflow: a CI failure names
 // a seed; this reproduces it locally with full detail). `rt_faults` selects
-// the fault-injected rt mode (implies rt).
+// the fault-injected rt mode, `rt_kill` the shard-kill failover mode (each
+// implies rt; rt_kill uses opts.rt_shards, floored at 2).
 ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
-                         bool rt_faults = false);
+                         bool rt_faults = false, bool rt_kill = false);
 
 }  // namespace sfq::chaos

@@ -52,6 +52,23 @@ rt::RtFaultPlan generate_rt_faults(uint64_t seed, Time horizon) {
   return plan;
 }
 
+ShardKillScenario generate_shard_kill(uint64_t seed, Time horizon,
+                                      std::size_t shards) {
+  // Decorrelated from both generate() and generate_rt_faults(): the same
+  // seed can drive all three without the kill echoing their choices.
+  std::mt19937_64 rng(mix(seed ^ 0x5ca1ab1edeadbeefULL));
+  auto uni = [&](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+  ShardKillScenario kill;
+  kill.shard = std::uniform_int_distribution<std::size_t>(
+      0, shards > 0 ? shards - 1 : 0)(rng);
+  // Inside the busy window: the victim holds real backlog when it dies, so
+  // the failover migrates packets, not just idle flow records.
+  kill.plan.kills.push_back({/*at=*/uni(0.15, 0.6) * horizon});
+  return kill;
+}
+
 config::ExperimentSpec ScenarioGenerator::generate(uint64_t seed) const {
   std::mt19937_64 rng(mix(seed));
   auto uni = [&](double lo, double hi) {

@@ -48,6 +48,20 @@ struct GeneratorOptions {
 // the seed reproduces it exactly.
 rt::RtFaultPlan generate_rt_faults(uint64_t seed, Time horizon);
 
+// Seeded shard-kill scenario for the failover differential path
+// (RtCheckOptions::kill_shard): picks a victim shard and a raw-clock kill
+// instant inside the busy window — the dispatcher dies permanently there
+// and the shard supervisor must fence, rehome and cold-restart it. A pure
+// function of (seed, horizon, shards), decorrelated from both generate()
+// and generate_rt_faults(), so a repro .conf plus the seed reproduces the
+// exact failover epoch.
+struct ShardKillScenario {
+  std::size_t shard = 0;
+  rt::RtFaultPlan plan;
+};
+ShardKillScenario generate_shard_kill(uint64_t seed, Time horizon,
+                                      std::size_t shards);
+
 class ScenarioGenerator {
  public:
   explicit ScenarioGenerator(GeneratorOptions opts = {}) : opts_(opts) {}

@@ -37,6 +37,8 @@ enum class CounterId : uint16_t {
   kRecoveries,      // stall episodes the watchdog healed (service resumed)
   kOfferRetries,    // producer backpressure retries (LoadGen backoff)
   kOfferAbandoned,  // offers given up after retries / per-packet deadline
+  kShardFailovers,  // completed shard failovers (fence -> rehome settled)
+  kFlowsRehomed,    // flows migrated between shards (both directions)
   kCount,
 };
 inline constexpr std::size_t kCounterCount =
@@ -60,6 +62,10 @@ enum class GaugeId : uint16_t {
   kRootFairnessGapMax,  // worst root gap seen this run (s)
   kRootFairnessBound,   // hierarchical (eq.-65) bound for the worst pair
   kOverloadWorst,       // max overload state across shards
+  kShardStalled,        // per shard: 1 while the dispatcher is permanently
+                        // dead (killed or budget-exhausted), else 0
+  kLastStallStage,      // per shard: StallStage of the latest stall as a
+                        // number (-1 none .. 3 killed), live during the run
   kCount,
 };
 inline constexpr std::size_t kGaugeCount =
@@ -74,6 +80,7 @@ enum class HistId : uint16_t {
   kStageSchedule,
   kStageTransmit,
   kStageSimEvent,
+  kMigrationLatency,  // shard failover: fence -> flows resident (s)
   kCount,
 };
 inline constexpr std::size_t kHistCount =
@@ -92,6 +99,7 @@ constexpr const char* name(CounterId id) {
       "sched.drops.shed",
       "rt.stalls",         "rt.recoveries",
       "rt.offer_retries",  "rt.offer_abandoned",
+      "rt.shard_failovers", "rt.flows_rehomed",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -102,6 +110,7 @@ constexpr const char* name(GaugeId id) {
       "fairness.gap_max",   "fairness.bound",     "rt.overload_state",
       "fairness.root_gap",  "fairness.root_gap_max",
       "fairness.root_bound", "rt.overload_state_worst",
+      "rt.shard_stalled",   "rt.last_stall_stage",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -110,7 +119,7 @@ constexpr const char* name(HistId id) {
   constexpr const char* kNames[kHistCount] = {
       "rt.queue_delay",   "rt.ingress_dwell",   "rt.service_lag",
       "rt.stage.drain",   "rt.stage.schedule",  "rt.stage.transmit",
-      "sim.stage.event",
+      "sim.stage.event",  "rt.migration_latency",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -129,6 +138,7 @@ constexpr const char* prometheus_name(CounterId id) {
       "sfq_drops_shed_total",
       "sfq_stalls_total",         "sfq_recoveries_total",
       "sfq_offer_retries_total",  "sfq_offer_abandoned_total",
+      "sfq_shard_failovers_total", "sfq_flows_rehomed_total",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -142,6 +152,7 @@ constexpr const char* prometheus_name(GaugeId id) {
       "sfq_fairness_root_gap_max_seconds",
       "sfq_fairness_root_bound_seconds",
       "sfq_overload_state_worst",
+      "sfq_shard_stalled",        "sfq_last_stall_stage",
   };
   return kNames[static_cast<std::size_t>(id)];
 }
@@ -151,7 +162,7 @@ constexpr const char* prometheus_name(HistId id) {
       "sfq_queue_delay_seconds",    "sfq_ingress_dwell_seconds",
       "sfq_service_lag_seconds",    "sfq_stage_drain_seconds",
       "sfq_stage_schedule_seconds", "sfq_stage_transmit_seconds",
-      "sfq_sim_event_seconds",
+      "sfq_sim_event_seconds",      "sfq_migration_latency_seconds",
   };
   return kNames[static_cast<std::size_t>(id)];
 }

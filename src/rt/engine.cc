@@ -39,6 +39,15 @@ constexpr auto kIdleSleep = std::chrono::microseconds(50);
 // size: one MTU-ish packet (1500 bytes) as the burst unit.
 constexpr double kShedDefaultPacketBits = 12000.0;
 
+// How far behind the wall clock the pacing chain may start the next packet
+// while the link has been continuously busy. Dispatcher wakeups land a few
+// microseconds past each deadline; pacing from `now` would discard that
+// link time on every packet, a rate deficit proportional to packets/s that
+// systematically starves high-rate shards. Back-dating within this window
+// recovers routine scheduling jitter, while anything longer (a fault pause,
+// a stall, a descheduled core) stays genuinely lost link time.
+constexpr Time kPacingCatchup = 1e-3;
+
 }  // namespace
 
 const char* to_string(StallStage s) {
@@ -47,9 +56,22 @@ const char* to_string(StallStage s) {
     case StallStage::kDrain: return "drain";
     case StallStage::kSchedule: return "schedule";
     case StallStage::kTransmit: return "transmit";
+    case StallStage::kKilled: return "killed";
   }
   return "?";
 }
+
+// Migration control op: parked by adopt_flows/evict_flows, executed by the
+// dispatcher between batches, completion signalled back through ctrl_cv_.
+struct RtEngine::ControlOp {
+  enum class Kind { kAdopt, kEvict };
+  Kind kind = Kind::kAdopt;
+  std::vector<Migration>* adopt = nullptr;     // kAdopt input (consumed)
+  const std::vector<FlowId>* evict = nullptr;  // kEvict input
+  std::vector<Migration>* out = nullptr;       // kEvict output
+  bool done = false;
+  bool ok = false;
+};
 
 RtEngine::RtEngine(Scheduler& sched, std::unique_ptr<net::RateProfile> profile,
                    EngineOptions opts)
@@ -193,19 +215,21 @@ void RtEngine::start() {
   // profile's nominal rate and then tracks the measured service rate.
   ov_on_ = opts_.admission_control && opts_.buffer_limit > 0 && n > 0;
   if (ov_on_) {
-    double total_w = 0.0;
-    for (FlowId f = 0; f < n; ++f) total_w += sched_.flows().weight(f);
     ov_share_.resize(n);
     ov_cap_.resize(n);
     ov_tokens_.resize(n);
     ov_refill_.assign(n, 0.0);
     for (FlowId f = 0; f < n; ++f) {
-      ov_share_[f] = sched_.flows().weight(f) / total_w;
       const double lmax = sched_.flows().spec(f).max_packet_bits;
       ov_cap_[f] =
           opts_.shed_burst * (lmax > 0.0 ? lmax : kShedDefaultPacketBits);
       ov_tokens_[f] = ov_cap_[f];
     }
+    // Shares cover the *active* flow set: a sharded deployment registers
+    // every flow on every shard but activates only the resident ones, and
+    // migration moves flows between shards mid-run (recomputed after each
+    // adopt/evict on the dispatcher).
+    recompute_shed_shares();
     const Time ft = profile_->finish_time(0.0, 1e6);
     ov_rate_ewma_ = ft > 0.0 ? 1e6 / ft : 0.0;
   }
@@ -213,8 +237,10 @@ void RtEngine::start() {
   running_.store(true, std::memory_order_release);
   dispatcher_ = std::thread([this] {
     run();
-    // Whatever ended the run (stop() or the watchdog), leave the gauges
-    // describing the final state for post-run scrapes and bridges.
+    // Whatever ended the run (stop(), the watchdog or a kill fault), fail
+    // any parked migration control ops, then leave the gauges describing
+    // the final state for post-run scrapes and bridges.
+    dispatcher_exit_cleanup();
     if (tele_on_) publish_final_gauges();
   });
   if (tele_on_ && (opts_.stats_interval > 0.0 || opts_.stats_port >= 0)) {
@@ -284,6 +310,21 @@ void RtEngine::run() {
       }
     }
 
+    // 0a. Scripted shard-kill fault: the dispatcher dies permanently at the
+    //     scripted raw time — the adversary the shard supervisor trains
+    //     against. The ledger closes exactly like an exhausted restart
+    //     budget: ring leftovers become `abandoned`, the scheduler backlog
+    //     stays visible (and harvestable) in stats().backlog.
+    {
+      const auto& kills = clock_.plan().kills;
+      if (next_kill_ < kills.size() &&
+          clock_.raw_now() >= kills[next_kill_].at) {
+        ++next_kill_;
+        permanent_stop(StallStage::kKilled);
+        return;
+      }
+    }
+
     // 0b. Stall watchdog, at the top of the loop so a wedge (or the pause we
     //     just slept through) is observed before drain/serve can make
     //     progress. On detection the dispatcher diagnoses the stage and
@@ -301,6 +342,11 @@ void RtEngine::run() {
     // 0c. Overload state machine: one occupancy reading per loop drives the
     //     Normal/Shedding/Critical transitions (hysteresis in overload_tick).
     if (ov_on_) overload_tick(clock_.now());
+
+    // 0d. Migration control ops (shard failover): adopt/evict requests from
+    //     the supervisor execute here so only this thread ever touches the
+    //     scheduler. One relaxed-ish load on the common path.
+    if (ctrl_pending_.load(std::memory_order_acquire)) serve_control_ops();
 
     // 1. Drain a bounded batch of arrivals, earliest ingress stamp first.
     //    An abandoning engine leaves ring items where they are (step 3
@@ -344,14 +390,27 @@ void RtEngine::run() {
         SFQ_PROF_SCOPE(profiler_.get(), tel::HistId::kStageSchedule);
         next = sched_.dequeue(now);
       }
-      if (!next) break;
+      if (!next) {
+        // Nothing queued and (after the pop above) nothing in flight: the
+        // link is genuinely idle, so the pacing chain's continuity ends
+        // here — the next packet paces from its own `now`.
+        if (timers_.empty())
+          link_free_ = std::numeric_limits<double>::infinity();
+        break;
+      }
       if (capture_ != nullptr)
         capture_->push_back({CaptureOp::Kind::kDequeue, *next, now});
       if (trace_on_) [[unlikely]]
         tracer_->emit(obs::make_event(obs::TraceEventType::kTxStart, *next,
                                       now, /*vtime=*/0.0,
                                       sched_.backlog_packets()));
-      const Time deadline = profile_->finish_time(now, next->length_bits);
+      // Pace from the previous finish, not from `now`: clamp keeps the
+      // chain within kPacingCatchup of the wall clock (and maps the
+      // idle/+inf sentinel to `now`), so per-wakeup latency does not
+      // compound into a rate deficit.
+      const Time start = std::clamp(link_free_, now - kPacingCatchup, now);
+      const Time deadline = profile_->finish_time(start, next->length_bits);
+      link_free_ = deadline;
       timers_.schedule_packet(deadline, sim::EventOp::kServiceComplete,
                               /*target=*/nullptr, *next);
       progressed = true;
@@ -462,6 +521,10 @@ bool RtEngine::watchdog_stall(Time now, Time raw_now) {
       timers_.schedule_packet(now, sim::EventOp::kServiceComplete,
                               /*target=*/nullptr, done.event.packet);
     }
+    // A stall window is not scheduling jitter: break the pacing chain so
+    // the restart paces from its own `now` instead of back-dating into the
+    // wedge it just recovered from.
+    link_free_ = std::numeric_limits<double>::infinity();
     last_progress_raw_ = raw_now;
     return true;
   }
@@ -469,13 +532,19 @@ bool RtEngine::watchdog_stall(Time now, Time raw_now) {
   // Restart budget exhausted: permanent stop (the pre-recovery behavior).
   // Scheduler backlog stays visible in stats().backlog, ring leftovers
   // become `abandoned`, and both conservation identities still balance.
+  permanent_stop(stage);
+  return false;
+}
+
+void RtEngine::permanent_stop(StallStage stage) {
+  last_stall_stage_.store(static_cast<int8_t>(stage),
+                          std::memory_order_relaxed);
   accepting_.store(false, std::memory_order_release);
   uint64_t left = 0;
   while (ingress_.pop_earliest()) ++left;
   abandoned_.fetch_add(left, std::memory_order_relaxed);
   if (tele_on_) disp_writer_.inc(tel::CounterId::kAbandoned, left);
   stalled_.store(true, std::memory_order_release);
-  return false;
 }
 
 void RtEngine::overload_tick(Time now) {
@@ -675,8 +744,11 @@ EngineStats RtEngine::stats() const {
   s.abandoned = abandoned_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < obs::kDropCauseCount; ++i)
     s.drops[i] = cause_drops_[i].load(std::memory_order_relaxed);
-  const uint64_t done =
-      s.transmitted + post_enqueue_drops_.load(std::memory_order_relaxed);
+  s.migrated_in = migrated_in_.load(std::memory_order_relaxed);
+  s.migrated_out = migrated_out_.load(std::memory_order_relaxed);
+  const uint64_t done = s.transmitted +
+                        post_enqueue_drops_.load(std::memory_order_relaxed) +
+                        s.migrated_out;
   s.backlog = s.accepted > done ? s.accepted - done : 0;
   s.max_service_lag = max_service_lag_.load(std::memory_order_relaxed);
   s.stalls = stalls_.load(std::memory_order_relaxed);
@@ -690,6 +762,177 @@ EngineStats RtEngine::stats() const {
 void RtEngine::set_capture(std::vector<CaptureOp>* out) {
   if (running()) throw std::logic_error("RtEngine: set_capture while running");
   capture_ = out;
+}
+
+bool RtEngine::adopt_flows(std::vector<Migration>& flows) {
+  ControlOp op;
+  op.kind = ControlOp::Kind::kAdopt;
+  op.adopt = &flows;
+  return submit_control(op);
+}
+
+bool RtEngine::evict_flows(const std::vector<FlowId>& flows,
+                           std::vector<Migration>& out) {
+  ControlOp op;
+  op.kind = ControlOp::Kind::kEvict;
+  op.evict = &flows;
+  op.out = &out;
+  return submit_control(op);
+}
+
+std::vector<RtEngine::Migration> RtEngine::harvest_flows(
+    const std::vector<FlowId>& flows) {
+  if (started_ && !dispatcher_done_.load(std::memory_order_acquire))
+    throw std::logic_error("RtEngine: harvest_flows on a live dispatcher");
+  std::vector<Migration> out;
+  exec_evict(flows, out);
+  return out;
+}
+
+bool RtEngine::submit_control(ControlOp& op) {
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    if (dispatcher_done_.load(std::memory_order_acquire) ||
+        !running_.load(std::memory_order_acquire))
+      return false;
+    ctrl_queue_.push_back(&op);
+    ctrl_pending_.store(true, std::memory_order_release);
+  }
+  std::unique_lock<std::mutex> lock(ctrl_mu_);
+  ctrl_cv_.wait(lock, [&] {
+    return op.done || dispatcher_done_.load(std::memory_order_acquire);
+  });
+  return op.done && op.ok;
+}
+
+void RtEngine::serve_control_ops() {
+  for (;;) {
+    ControlOp* op = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      if (ctrl_queue_.empty()) {
+        ctrl_pending_.store(false, std::memory_order_release);
+        return;
+      }
+      op = ctrl_queue_.front();
+      ctrl_queue_.erase(ctrl_queue_.begin());
+    }
+    if (op->kind == ControlOp::Kind::kAdopt)
+      exec_adopt(*op->adopt);
+    else
+      exec_evict(*op->evict, *op->out);
+    // The resident flow set changed; the shedding shares must follow it or
+    // migrated flows would be admitted at a dead shard's share (zero).
+    recompute_shed_shares();
+    {
+      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      op->ok = true;
+      op->done = true;
+    }
+    ctrl_cv_.notify_all();
+  }
+}
+
+void RtEngine::dispatcher_exit_cleanup() {
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    dispatcher_done_.store(true, std::memory_order_release);
+    ctrl_queue_.clear();  // waiters see dispatcher_done_ and report failure
+    ctrl_pending_.store(false, std::memory_order_release);
+  }
+  ctrl_cv_.notify_all();
+}
+
+void RtEngine::exec_adopt(std::vector<Migration>& flows) {
+  const Time now = clock_.now();
+  for (Migration& m : flows) {
+    const FlowTable& table = sched_.flows();
+    if (m.flow < table.size() && !table.active(m.flow)) {
+      // Rejoin rule (paper §3.1): the flow's start tag re-anchors to
+      // max(v(t) here, the finish tag it last recorded on THIS scheduler) —
+      // virtual times of different shards are incomparable, so the source
+      // shard's tags are deliberately left behind.
+      if (capture_ != nullptr) {
+        Packet marker;
+        marker.flow = m.flow;
+        capture_->push_back({CaptureOp::Kind::kRejoin, marker, now});
+      }
+      sched_.rejoin_flow(m.flow, now);
+    }
+    for (Packet& p : m.backlog) {
+      migrated_in_.fetch_add(1, std::memory_order_relaxed);
+      // Arrival path minus the shed gate: traffic the source shard already
+      // admitted must not be shed a second time. Buffer pressure still
+      // resolves through the configured overload policy so the destination
+      // ledger stays exact under taildrop AND pushout.
+      if (opts_.buffer_limit != 0 &&
+          sched_.backlog_packets() >= opts_.buffer_limit) {
+        bool made_room = false;
+        if (opts_.overload_policy == net::OverloadPolicy::kPushout) {
+          const FlowId victim = longest_queue();
+          if (victim != kInvalidFlow) {
+            if (std::optional<Packet> evicted = sched_.pushout(victim, now)) {
+              post_enqueue_drops_.fetch_add(1, std::memory_order_relaxed);
+              if (capture_ != nullptr)
+                capture_->push_back(
+                    {CaptureOp::Kind::kPushout, *evicted, now});
+              drop(std::move(*evicted), now, obs::DropCause::kPushout);
+              made_room = true;
+            }
+          }
+        }
+        if (!made_room) {
+          drop(std::move(p), now, obs::DropCause::kBufferLimit);
+          continue;
+        }
+      }
+      const std::size_t before = sched_.backlog_packets();
+      if (capture_ != nullptr)
+        capture_->push_back({CaptureOp::Kind::kEnqueue, p, now});
+      sched_.enqueue(std::move(p), now);
+      if (sched_.backlog_packets() == before) {
+        cause_drops_[static_cast<std::size_t>(obs::DropCause::kUnknownFlow)]
+            .fetch_add(1, std::memory_order_relaxed);
+        if (tele_on_) disp_writer_.drop(obs::DropCause::kUnknownFlow);
+        continue;
+      }
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (tele_on_) disp_writer_.inc(tel::CounterId::kAccepted);
+    }
+    m.backlog.clear();
+  }
+}
+
+void RtEngine::exec_evict(const std::vector<FlowId>& flows,
+                          std::vector<Migration>& out) {
+  const Time now = clock_.now();
+  for (FlowId f : flows) {
+    Migration m;
+    m.flow = f;
+    if (f < sched_.flows().size() && sched_.flows().active(f)) {
+      if (capture_ != nullptr) {
+        Packet marker;
+        marker.flow = f;
+        capture_->push_back({CaptureOp::Kind::kRemove, marker, now});
+      }
+      m.backlog = sched_.remove_flow(f, now);
+      migrated_out_.fetch_add(m.backlog.size(), std::memory_order_relaxed);
+    }
+    out.push_back(std::move(m));
+  }
+}
+
+void RtEngine::recompute_shed_shares() {
+  if (!ov_on_) return;
+  const FlowTable& table = sched_.flows();
+  double total_w = 0.0;
+  const std::size_t n = std::min<std::size_t>(table.size(), ov_share_.size());
+  for (FlowId f = 0; f < n; ++f)
+    if (table.active(f)) total_w += table.weight(f);
+  for (FlowId f = 0; f < n; ++f)
+    ov_share_[f] = (total_w > 0.0 && table.active(f))
+                       ? table.weight(f) / total_w
+                       : 0.0;
 }
 
 double RtEngine::flow_tx_bits(FlowId f) const {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -108,6 +109,11 @@ struct CaptureOp {
     kDequeue,   // packet as returned (tags stamped); t = dequeue time
     kComplete,  // transmission completed; t = completion time
     kPushout,   // victim evicted under overload; t = eviction time
+    // Migration epoch markers (shard failover, docs/ROBUSTNESS.md). Only
+    // packet.flow is meaningful; the replay applies remove_flow/rejoin_flow
+    // so the op stream stays a complete state transcript across a rehome.
+    kRemove,    // flow evicted/harvested off this scheduler; t = removal time
+    kRejoin,    // flow adopted onto this scheduler; t = rejoin time
   };
   Kind kind = Kind::kEnqueue;
   Packet packet;
@@ -123,6 +129,7 @@ enum class StallStage : int8_t {
   kDrain = 0,     // no obligations visible, yet no progress (ingress wedge)
   kSchedule = 1,  // scheduler backlogged but dequeue yields nothing
   kTransmit = 2,  // transmission in flight whose deadline never arrives
+  kKilled = 3,    // RtFaultPlan shard-kill fault fired (dispatcher died)
 };
 const char* to_string(StallStage s);
 
@@ -140,12 +147,16 @@ enum class StopMode {
 // Relaxed snapshot of engine counters; safe to take from any thread while
 // the engine runs. The ledger it satisfies (exactly, once stop() returned):
 //
-//   offers            == ingress_pushed + ingress_drops
-//   ingress_pushed    == accepted + pre-enqueue drops + abandoned
-//   accepted          == transmitted + backlog + post-enqueue drops
+//   offers                         == ingress_pushed + ingress_drops
+//   ingress_pushed + migrated_in   == accepted + pre-enqueue drops + abandoned
+//   accepted                       == transmitted + backlog
+//                                     + post-enqueue drops + migrated_out
 //
 // where pre-enqueue causes are kUnknownFlow/kBufferLimit/kShed and
 // post-enqueue causes are kPushout/kFlowRemoved (see docs/ROBUSTNESS.md).
+// migrated_in/migrated_out count packets that crossed a shard-failover
+// rehome: summed over engines they cancel once every migration settles, so
+// the global identity is exact including migrated packets.
 struct EngineStats {
   uint64_t ingress_pushed = 0;
   uint64_t ingress_drops = 0;  // ring full, or offer() after stop
@@ -154,7 +165,11 @@ struct EngineStats {
   double tx_bits = 0.0;
   uint64_t abandoned = 0;  // ring items discarded by stop(kAbandon)
   uint64_t drops[obs::kDropCauseCount] = {};  // engine drops, by cause
-  uint64_t backlog = 0;  // accepted - transmitted - post-enqueue drops
+  // Shard-failover migration ledger: packets adopted from / evicted to
+  // another engine (see adopt_flows/evict_flows/harvest_flows).
+  uint64_t migrated_in = 0;
+  uint64_t migrated_out = 0;
+  uint64_t backlog = 0;  // accepted - transmitted - post drops - migrated_out
   // Worst observed lateness of a transmission-complete callback versus the
   // pacing deadline the rate profile set (dispatcher scheduling jitter).
   double max_service_lag = 0.0;
@@ -280,6 +295,39 @@ class RtEngine : public IngressTarget {
 
   EngineStats stats() const;
 
+  // --- Shard-failover migration hooks (docs/ROBUSTNESS.md) ---------------
+  // One flow's movable state: the id plus its harvested backlog in exact
+  // service order. Tag state is NOT carried — the destination scheduler
+  // re-anchors the flow's start tag via the rejoin rule
+  // (start = max(v_dest(t), previous finish recorded at the destination)).
+  struct Migration {
+    FlowId flow = kInvalidFlow;
+    std::vector<Packet> backlog;
+  };
+  // adopt_flows / evict_flows execute on the dispatcher thread (queued as
+  // control ops between batches; the caller blocks until done) so the
+  // scheduler stays single-threaded. adopt_flows re-activates each flow
+  // (rejoin rule) and enqueues its backlog — counted migrated_in, then
+  // accepted or dropped (kBufferLimit/kPushout) exactly like an arrival,
+  // but never shed: admitted traffic must not be shed twice. Returns false
+  // when the dispatcher is gone (stopped/stalled/killed) and nothing was
+  // applied. evict_flows deactivates each flow and returns its backlog in
+  // service order (counted migrated_out); flows with no local state yield
+  // an entry with an empty backlog so the caller can still rejoin them.
+  bool adopt_flows(std::vector<Migration>& flows);
+  bool evict_flows(const std::vector<FlowId>& flows,
+                   std::vector<Migration>& out);
+  // Fenced harvest: same as evict_flows, but callable only once the
+  // dispatcher has exited (killed / watchdog-stopped / stop() returned) —
+  // the supervisor strips a dead shard single-threadedly. Throws
+  // std::logic_error if the dispatcher is still live.
+  std::vector<Migration> harvest_flows(const std::vector<FlowId>& flows);
+  // True once the dispatcher thread has exited for any reason (the
+  // supervisor's liveness probe; stop() may not have been called yet).
+  bool dispatcher_done() const {
+    return dispatcher_done_.load(std::memory_order_acquire);
+  }
+
   // Cumulative transmitted bits per flow (relaxed; monotone per flow), for
   // wall-clock fairness measurement: sample W_f at coarse instants and check
   // |dW_f/r_f - dW_m/r_m| against the Theorem-1 bound over any window where
@@ -303,6 +351,21 @@ class RtEngine : public IngressTarget {
   // Watchdog (dispatcher thread only). Returns false when the restart
   // budget is exhausted and the dispatcher must exit permanently.
   bool watchdog_stall(Time now, Time raw_now);
+  // Permanent-death path shared by budget exhaustion and the kill fault:
+  // stop accepting, abandon ring leftovers, latch stalled_ + the stage.
+  void permanent_stop(StallStage stage);
+  // Control-op plumbing (adopt/evict) and the post-exit cleanup that fails
+  // any waiters once the dispatcher is gone.
+  struct ControlOp;
+  bool submit_control(ControlOp& op);
+  void serve_control_ops();
+  void dispatcher_exit_cleanup();
+  void exec_adopt(std::vector<Migration>& flows);
+  void exec_evict(const std::vector<FlowId>& flows,
+                  std::vector<Migration>& out);
+  // Recompute the shedding weight shares over currently-active flows
+  // (migration changes the resident set; dispatcher thread only).
+  void recompute_shed_shares();
 
   Scheduler& sched_;
   std::unique_ptr<net::RateProfile> profile_;
@@ -372,6 +435,8 @@ class RtEngine : public IngressTarget {
   std::atomic<double> max_service_lag_{0.0};
   std::atomic<uint64_t> stalls_{0};
   std::atomic<bool> stalled_{false};
+  std::atomic<uint64_t> migrated_in_{0};
+  std::atomic<uint64_t> migrated_out_{0};
   // Single-writer (dispatcher) per-flow service totals; sized at start().
   std::vector<std::unique_ptr<std::atomic<double>>> flow_bits_;
 
@@ -384,6 +449,26 @@ class RtEngine : public IngressTarget {
   Time last_progress_raw_ = 0.0;      // watchdog runs on the raw clock so
                                       // fault-injected jumps cannot blind it
   std::size_t next_pause_ = 0;        // cursor into fault_plan.pauses
+  std::size_t next_kill_ = 0;         // cursor into fault_plan.kills
+
+  // Pacing chain (dispatcher thread only): the instant the in-flight/last
+  // transmission frees the link while service has been continuously busy;
+  // +inf when the link went idle (or after a stall), meaning "no continuity
+  // — pace the next packet from now". Keeping the chain on this absolute
+  // grid stops per-wakeup dispatcher latency from compounding into a
+  // rate deficit that scales with packets/s (which skews cross-shard
+  // fairness against high-rate shards).
+  Time link_free_ = std::numeric_limits<double>::infinity();
+
+  // Migration control ops: callers park an op and block; the dispatcher
+  // executes it between batches so the scheduler stays single-threaded.
+  // dispatcher_done_ turns true when the dispatcher exits (any path) and
+  // fails all current and future waiters.
+  std::mutex ctrl_mu_;
+  std::condition_variable ctrl_cv_;
+  std::vector<ControlOp*> ctrl_queue_;
+  std::atomic<bool> ctrl_pending_{false};
+  std::atomic<bool> dispatcher_done_{false};
 
   // Overload machine state (latched at start(); dispatcher thread owns the
   // buckets, ov_state_ is relaxed-readable from anywhere).

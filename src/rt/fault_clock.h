@@ -46,12 +46,21 @@ struct RtFaultPlan {
     Time at = 0.0;        // raw wall time the dispatcher stops dead
     Time duration = 0.0;  // how long it sleeps (seconds)
   };
+  struct Kill {
+    Time at = 0.0;  // raw wall time the dispatcher dies permanently
+  };
 
   std::vector<Jump> jumps;
   std::vector<Skew> skews;
   std::vector<Pause> pauses;
+  // Shard-kill: the dispatcher stops accepting, abandons its rings and exits
+  // with StallStage::kKilled — the adversary the shard supervisor trains
+  // against. Consumed by RtEngine::run on the raw axis, not by the clock.
+  std::vector<Kill> kills;
 
-  bool empty() const { return jumps.empty() && skews.empty() && pauses.empty(); }
+  bool empty() const {
+    return jumps.empty() && skews.empty() && pauses.empty() && kills.empty();
+  }
 };
 
 class FaultClock {
@@ -66,6 +75,11 @@ class FaultClock {
               [](const RtFaultPlan::Pause& a, const RtFaultPlan::Pause& b) {
                 return a.at < b.at;
               });
+    std::sort(plan_.kills.begin(), plan_.kills.end(),
+              [](const RtFaultPlan::Kill& a, const RtFaultPlan::Kill& b) {
+                return a.at < b.at;
+              });
+    // Kills (like pauses) do not transform the clock reading.
     active_ = !plan_.jumps.empty() || !plan_.skews.empty();
   }
   const RtFaultPlan& plan() const { return plan_; }

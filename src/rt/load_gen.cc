@@ -21,14 +21,18 @@ struct TimedPacket {
 };
 
 // Waits (yield below 1 ms, sleep above) until the shared wall clock reaches
-// `target`. Coarse is fine: the ingress stamp, not this wait, is the arrival
-// time the engine sees.
-void wait_until(const IngressTarget& engine, Time target) {
+// `target` or a stop is requested. Coarse is fine: the ingress stamp, not
+// this wait, is the arrival time the engine sees. Long sleeps are chunked so
+// a stop request interrupts within ~10 ms.
+void wait_until(const IngressTarget& engine, Time target,
+                const std::atomic<bool>& stop) {
   for (;;) {
+    if (stop.load(std::memory_order_relaxed)) return;
     const Time gap = target - engine.now();
     if (gap <= 0.0) return;
     if (gap > 1e-3)
-      std::this_thread::sleep_for(std::chrono::duration<double>(gap - 0.5e-3));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::min(gap - 0.5e-3, 10e-3)));
     else
       std::this_thread::yield();
   }
@@ -87,6 +91,10 @@ void LoadGen::start(Time duration) {
 void LoadGen::join() {
   for (std::thread& t : threads_)
     if (t.joinable()) t.join();
+}
+
+void LoadGen::request_stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
 }
 
 uint64_t LoadGen::produced(std::size_t i) const {
@@ -162,6 +170,7 @@ void LoadGen::produce(std::size_t i, Time duration) {
   bool engine_closed = false;
 
   while (!engine_closed) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
     if (slice_buf.empty()) {
       if (horizon >= duration) break;  // sources emit strictly before duration
       horizon = std::min(horizon + opts_.slice, duration);
@@ -169,7 +178,10 @@ void LoadGen::produce(std::size_t i, Time duration) {
       continue;
     }
     TimedPacket& tp = slice_buf.front();
-    if (opts_.paced) wait_until(engine_, t0 + tp.t);
+    if (opts_.paced) {
+      wait_until(engine_, t0 + tp.t, stop_requested_);
+      if (stop_requested_.load(std::memory_order_relaxed)) break;
+    }
     ++local.attempts;
     if (retry_mode) {
       OfferStatus st = engine_.try_offer(i, tp.p);

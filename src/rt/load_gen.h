@@ -87,6 +87,14 @@ class LoadGen {
   void start(Time duration);
   void join();
 
+  // Asks every producer to stop at its next packet boundary (graceful drain:
+  // sfq_serve's SIGINT/SIGTERM path). Paced waits are interrupted, the
+  // current slice is discarded, and the per-producer ledgers are published
+  // exactly — attempts == pushed + dropped + abandoned still holds, only the
+  // un-offered tail of the timeline is never counted as attempted. Safe from
+  // any thread (including a signal-watcher); join() afterwards as usual.
+  void request_stop();
+
   // Per-producer offer accounting. Exact once join() returned; relaxed
   // (periodically published) while producing. Identity, exact after join:
   //   attempts == pushed + dropped + abandoned
@@ -122,6 +130,7 @@ class LoadGen {
   LoadGenOptions opts_;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<Cells>> cells_;
+  std::atomic<bool> stop_requested_{false};
   bool started_ = false;
 };
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/types.h"
 
@@ -29,6 +30,37 @@ class ShardRouter {
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     x ^= x >> 31;
     return static_cast<std::size_t>(x % shards_);
+  }
+
+  // Failover placement (docs/ROBUSTNESS.md "Shard failover"): the primary
+  // placement above when that shard is alive, else rendezvous (highest
+  // random weight) hashing over the alive subset. Minimal movement both
+  // ways: a flow moves only when its current home dies, and when the home
+  // returns the primary preference sends it straight back. Pure function of
+  // (flow, alive set), so every observer agrees without coordination.
+  // alive[k] == 0 marks shard k dead; an all-dead set returns the primary.
+  std::size_t rehome(FlowId f, const std::vector<char>& alive) const {
+    const std::size_t home = shard_of(f);
+    if (home < alive.size() && alive[home]) return home;
+    uint64_t best = 0;
+    std::size_t best_k = home;
+    bool found = false;
+    for (std::size_t k = 0; k < shards_ && k < alive.size(); ++k) {
+      if (!alive[k]) continue;
+      // Independent per-(flow, shard) score: mix the pair through the same
+      // finalizer the primary route uses.
+      uint64_t x = (static_cast<uint64_t>(f) << 20) ^
+                   (static_cast<uint64_t>(k) + 0x9e3779b97f4a7c15ULL);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      if (!found || x > best) {
+        best = x;
+        best_k = k;
+        found = true;
+      }
+    }
+    return best_k;
   }
 
  private:

@@ -25,8 +25,18 @@
 // Each shard is a complete PR-3/PR-7 engine — its own scheduler, ingress
 // rings, overload machine, and watchdog — so every robustness plane stays
 // lock-free and shard-local; the only cross-shard coupling is the routing
-// table (immutable while running) and the optional root rebalance thread,
-// which redistributes R over busy shards through per-shard atomic rates.
+// table (versioned: immutable except for supervisor failover remaps), the
+// optional root rebalance thread, which redistributes R over busy shards
+// through per-shard atomic rates, and the shard supervisor
+// (rt/shard/shard_supervisor.h), which fences dead shards, rehomes their
+// flows onto survivors and cold-restarts them as fresh engine epochs.
+//
+// Flow registration is UNIFIED: every flow is registered on every shard's
+// scheduler (shard-local id == global id), with non-resident flows
+// immediately deactivated (remove_flow). A misrouted packet lands as a
+// kUnknownFlow drop; a migrated flow is adopted by re-activating it
+// (rejoin_flow — the paper's tag re-anchoring), so failover needs no id
+// remapping and tag history survives wherever a flow has ever lived.
 #pragma once
 
 #include <atomic>
@@ -45,6 +55,7 @@
 #include "rt/engine.h"
 #include "rt/ingress_target.h"
 #include "rt/shard/shard_router.h"
+#include "rt/shard/shard_supervisor.h"
 
 namespace sfq::rt {
 
@@ -80,14 +91,29 @@ struct ShardedEngineOptions {
   // R*W_k/W split exactly.
   bool rebalance = true;
   double rebalance_interval = 0.002;
+  // Shard-targeted rt faults: `plan` is appended to the engine template's
+  // fault_plan for shard `shard` only (chaos shard-kill scenarios and
+  // sfq_serve --fault-kill AT,SHARD ride through this).
+  struct ShardFault {
+    std::size_t shard = 0;
+    RtFaultPlan plan;
+  };
+  std::vector<ShardFault> shard_faults;
+  // Shard failover (rt/shard/shard_supervisor.h): when enabled, a dead
+  // shard is fenced, its flows rehomed onto survivors and a cold restart
+  // attempted, instead of wedging the run.
+  FailoverOptions failover;
 };
 
 class ShardedEngine : public IngressTarget {
  public:
   // Builds shard k's scheduler; `rate_share` is the shard's fraction of
   // link_rate (useful for disciplines that take an assumed capacity). Flows
-  // are registered by ShardedEngine afterwards, in ascending global-id
-  // order — replay tooling reconstructs local ids by repeating that walk.
+  // are registered by ShardedEngine afterwards: EVERY flow on EVERY shard in
+  // ascending global-id order (local id == global id), with non-resident
+  // flows deactivated — replay tooling rebuilds a shard by repeating that
+  // walk. The discipline must support remove_flow/rejoin_flow (all the
+  // library's per-flow disciplines do) for deactivation and failover.
   using SchedulerFactory =
       std::function<std::unique_ptr<Scheduler>(std::size_t shard,
                                                double rate_share)>;
@@ -133,27 +159,67 @@ class ShardedEngine : public IngressTarget {
   void stop(StopMode mode = StopMode::kDrain);
   bool running() const { return running_.load(std::memory_order_acquire); }
   bool accepting() const override;
-  bool stalled() const;        // any shard watchdog-stopped permanently
+  // Without failover: any shard watchdog-stopped permanently. With failover
+  // enabled, a dead shard is the supervisor's to handle — stalled() then
+  // reports only an unrecoverable run (ShardSupervisor::wedged: no survivor
+  // left, or a migration step failed terminally).
+  bool stalled() const;
+  // Live epoch of shard k died permanently (killed / budget-exhausted) and
+  // has not been restarted (rt.shard_stalled gauge mirrors this).
+  bool shard_stalled(std::size_t k) const;
   int overload_state() const;  // max (worst) across shards
 
-  Time now() const override { return shards_.front().engine->now(); }
+  Time now() const override { return live(0).now(); }
   std::size_t producers() const override { return opts_.engine.producers; }
 
-  // Summed ledger across shards. Exact after stop(): every identity the
-  // single-engine EngineStats documents holds for the sums because each
-  // shard's ledger is exact and every offer lands on exactly one shard.
+  // Summed ledger across shards AND engine epochs (a restarted shard's
+  // retired epoch keeps its frozen ledger). Exact after stop(): every
+  // identity the single-engine EngineStats documents holds for the sums
+  // because each epoch's ledger is exact, every offer lands on exactly one
+  // engine, and migrated_in == migrated_out once all migrations settled.
   // max_service_lag is the max, overload_state the max, last_stall_stage
   // the most recent shard diagnosis.
   EngineStats stats() const;
   EngineStats shard_stats(std::size_t k) const;
 
   std::size_t shards() const { return shards_.size(); }
-  std::size_t shard_of(FlowId global) const { return shard_of_[global]; }
-  FlowId local_id(FlowId global) const { return local_id_[global]; }
-  std::size_t flow_count() const { return shard_of_.size(); }
-  Scheduler& scheduler(std::size_t k) { return *shards_[k].sched; }
-  RtEngine& engine(std::size_t k) { return *shards_[k].engine; }
-  const RtEngine& engine(std::size_t k) const { return *shards_[k].engine; }
+  // Current (versioned) routing: supervisor remaps flip these atomically.
+  std::size_t shard_of(FlowId global) const {
+    return shard_of_[global].load(std::memory_order_acquire);
+  }
+  // Primary (hash) placement, before any failover remap.
+  std::size_t home_shard_of(FlowId global) const { return home_of_[global]; }
+  // Unified registration: shard-local ids equal global ids.
+  FlowId local_id(FlowId global) const { return global; }
+  std::size_t flow_count() const { return home_of_.size(); }
+  // Bumped on every routing remap (failover evacuation or rehome-back).
+  uint64_t route_version() const {
+    return route_version_.load(std::memory_order_acquire);
+  }
+  Scheduler& scheduler(std::size_t k) { return *shards_[k]->sched; }
+  // Live engine epoch of shard k (the restarted engine after a failover).
+  RtEngine& engine(std::size_t k) { return live(k); }
+  const RtEngine& engine(std::size_t k) const { return live(k); }
+  // Engine epochs of shard k, oldest first; back() is the live one.
+  std::size_t engine_epochs(std::size_t k) const {
+    return shards_[k]->epoch_count.load(std::memory_order_acquire);
+  }
+
+  // Failover plumbing (all 0/false when failover is disabled).
+  bool failover_enabled() const { return supervisor_ != nullptr; }
+  uint64_t shard_failovers() const {
+    return supervisor_ ? supervisor_->failovers() : 0;
+  }
+  uint64_t flows_rehomed() const {
+    return supervisor_ ? supervisor_->flows_rehomed() : 0;
+  }
+  // Worst per-epoch migration slack (seconds): the extra term windows
+  // overlapping a migration may add to fairness_bound (see
+  // shard_supervisor.h for the derivation).
+  double migration_slack() const {
+    return supervisor_ ? supervisor_->migration_slack() : 0.0;
+  }
+  const ShardSupervisor* supervisor() const { return supervisor_.get(); }
 
   // Per-flow service in GLOBAL flow-id order (fetched from the home shard
   // under the local id), so wall-clock fairness checks read one coherent
@@ -165,8 +231,14 @@ class ShardedEngine : public IngressTarget {
   // eq.-65 virtual-server term (l_k^max + sum_g l_g^max)/W_k;
   // fairness_bound(f, m) returns the Theorem-1 bound for same-shard pairs
   // and adds both shards' slack for cross-shard pairs (global flow ids).
-  double shard_weight(std::size_t k) const { return shards_[k].weight_sum; }
-  double shard_slack(std::size_t k) const { return shards_[k].slack; }
+  // All three track the CURRENT residency — the supervisor re-weights W_k
+  // and recomputes slack on every migration.
+  double shard_weight(std::size_t k) const {
+    return shards_[k]->weight_sum.load(std::memory_order_acquire);
+  }
+  double shard_slack(std::size_t k) const {
+    return shards_[k]->slack.load(std::memory_order_acquire);
+  }
   double fairness_bound(FlowId f, FlowId m) const;
 
   // Port the root stats endpoint bound (0 when disabled).
@@ -175,16 +247,24 @@ class ShardedEngine : public IngressTarget {
   }
 
  private:
+  friend class ShardSupervisor;  // fences/harvests/restarts shards
+
   struct Shard {
     std::unique_ptr<Scheduler> sched;
-    std::unique_ptr<RtEngine> engine;
-    std::vector<FlowId> global_ids;  // local id -> global id
-    double weight_sum = 0.0;         // W_k
-    double slack = 0.0;              // eq.-65 virtual-server slack
-    double rate = 0.0;               // static share R*W_k/W
-    // Rebalance handle into the shard's AtomicRate profile (owned by the
-    // engine; stable for the engine's lifetime).
-    std::atomic<double>* rate_cell = nullptr;
+    // Engine epochs over `sched`, oldest first: a cold restart pushes a
+    // fresh RtEngine and flips `live`; retired epochs stay alive so their
+    // frozen ledgers keep summing and raw pointers held by producers stay
+    // valid. Mutated only by the supervisor thread (or construction);
+    // readers go through `live` / `epoch_count`.
+    std::vector<std::unique_ptr<RtEngine>> epochs;
+    std::atomic<RtEngine*> live{nullptr};
+    std::atomic<std::size_t> epoch_count{0};
+    std::vector<FlowId> global_ids;    // primary-resident flows (home set)
+    std::atomic<double> weight_sum{0.0};  // W_k over current residents
+    std::atomic<double> slack{0.0};       // eq.-65 slack, current residents
+    std::atomic<double> rate{0.0};        // static share R*W_k/W_live
+    // Rebalance handle into the live epoch's AtomicRate profile.
+    std::atomic<std::atomic<double>*> rate_cell{nullptr};
   };
   // Producer slot i's most recently routed shard; written and read only by
   // producer i (slots are single-threaded), padded so neighbouring
@@ -194,21 +274,38 @@ class ShardedEngine : public IngressTarget {
   };
 
   std::size_t route(const Packet& p, std::size_t i);
+  RtEngine& live(std::size_t k) const {
+    return *shards_[k]->live.load(std::memory_order_acquire);
+  }
+  // Builds an engine epoch over shard k's scheduler at the given rate.
+  // `initial` epochs take the shard-targeted fault plans; restart epochs get
+  // an empty plan (their fresh WallClock would re-fire the kill otherwise).
+  std::unique_ptr<RtEngine> make_engine_epoch(std::size_t k, double rate,
+                                              bool initial);
   void stats_loop();
   void publish_stats(std::vector<double>& prev_service);
   void rebalance_loop();
 
   ShardedEngineOptions opts_;
   ShardRouter router_;
-  std::vector<std::size_t> shard_of_;  // global flow -> shard
-  std::vector<FlowId> local_id_;       // global flow -> shard-local id
+  // Versioned routing table: producers read it per packet, the supervisor
+  // flips entries during a failover remap. home_of_ keeps the primary
+  // (hash) placement for rehome-back decisions and replay tooling.
+  std::unique_ptr<std::atomic<uint32_t>[]> shard_of_;
+  std::vector<std::size_t> home_of_;
+  std::atomic<uint64_t> route_version_{0};
   std::vector<double> flow_weight_;    // global flow table (immutable)
   std::vector<double> flow_max_bits_;
   double total_weight_ = 0.0;
-  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<LastShard> last_shard_;
 
   obs::telemetry::Telemetry* tele_ = nullptr;
+  // set_capture target, remembered so a restarted epoch re-attaches to the
+  // same per-shard op stream (the capture stays one continuous transcript
+  // across a migration epoch).
+  std::vector<std::vector<CaptureOp>>* capture_out_ = nullptr;
+  std::unique_ptr<ShardSupervisor> supervisor_;
 
   // Root background threads: stats publication and H-SFQ rebalance. Both
   // share one stop latch; stats_loop does a final pass after the shard

@@ -49,6 +49,9 @@ std::optional<std::string> validate(const EngineOptions& opts) {
   for (const auto& p : opts.fault_plan.pauses)
     if (bad(p.at) || bad(p.duration) || p.at < 0.0 || p.duration < 0.0)
       return "EngineOptions: fault pause must have at >= 0 and duration >= 0";
+  for (const auto& k : opts.fault_plan.kills)
+    if (bad(k.at) || k.at < 0.0)
+      return "EngineOptions: fault kill must have finite at >= 0";
   return std::nullopt;
 }
 

@@ -383,6 +383,8 @@ TEST(RtEngine, CaptureRecordsTheFullOpSequence) {
       case CaptureOp::Kind::kDequeue: ++deq; break;
       case CaptureOp::Kind::kComplete: ++done; break;
       case CaptureOp::Kind::kPushout: break;
+      case CaptureOp::Kind::kRemove: break;   // residency ops: failover only
+      case CaptureOp::Kind::kRejoin: break;
     }
     EXPECT_GE(op.t, prev);
     prev = op.t;

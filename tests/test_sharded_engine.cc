@@ -86,12 +86,13 @@ TEST(ShardRouter, StableCoversAndMatchesEngine) {
       ShardedEngine::try_create(sfq_factory(opts.link_rate), flows, opts);
   ASSERT_NE(engine, nullptr);
   ShardRouter router(4);
-  std::vector<std::size_t> next_local(4, 0);
   for (FlowId f = 0; f < 8; ++f) {
     EXPECT_EQ(engine->shard_of(f), router.shard_of(f));
-    // Local ids are assigned in ascending global order within each shard —
-    // the contract replay tooling relies on to rebuild the mapping.
-    EXPECT_EQ(engine->local_id(f), next_local[engine->shard_of(f)]++);
+    // Unified registration: every flow is registered on every shard under
+    // its global id (non-home copies deactivated), so a failover rehome is
+    // a plain rejoin on the destination — local id IS the global id, the
+    // contract replay tooling and the supervisor both rely on.
+    EXPECT_EQ(engine->local_id(f), f);
   }
 }
 
