@@ -22,6 +22,14 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           double assumed_capacity,
                                           double quantum_per_weight) {
   if (name == "SFQ") return std::make_unique<SfqScheduler>();
+  if (name == "SFQ-W") {
+    // Timestamp-wheel core; one max-packet service time at the assumed
+    // capacity as the quantization window (the config layer's default).
+    SfqOptions opts;
+    opts.core = SfqCore::kWheel;
+    opts.wheel_quantum = 8000.0 / assumed_capacity;
+    return std::make_unique<SfqScheduler>(opts);
+  }
   if (name == "SCFQ") return std::make_unique<ScfqScheduler>();
   if (name == "WFQ") return std::make_unique<WfqScheduler>(assumed_capacity);
   if (name == "FQS") return std::make_unique<FqsScheduler>(assumed_capacity);

@@ -33,9 +33,10 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s run    [--seeds N] [--rt N] [--rt-faults N] [--rt-kill N]"
-      " [--first S] [--out DIR]\n"
-      "       %s replay --seed S [--rt|--faults|--kill-shard]\n"
-      "       %s shrink --seed S [--rt|--faults|--kill-shard] [--out DIR]\n"
+      " [--wheel N] [--first S] [--out DIR]\n"
+      "       %s replay --seed S [--rt|--faults|--kill-shard|--wheel]\n"
+      "       %s shrink --seed S [--rt|--faults|--kill-shard|--wheel]"
+      " [--out DIR]\n"
       "  --seeds N          sim seeds to sweep (default 64)\n"
       "  --rt N|--rt        rt differential seeds (run: count, default 0;\n"
       "                     replay/shrink: flag)\n"
@@ -51,6 +52,14 @@ namespace {
       "                     migration (docs/ROBUSTNESS.md). Cycles 2/4 shards\n"
       "                     capped at --shards\n"
       "  --kill-shard       replay/shrink the shard-kill failover mode\n"
+      "  --wheel N|--wheel  heap-vs-wheel core differential seeds (run:\n"
+      "                     count, default 0; replay/shrink: flag). Each\n"
+      "                     seed's scenario is forced onto SFQ and run on\n"
+      "                     both the exact heap core and the SFQ-W timestamp\n"
+      "                     wheel; the wheel must hold the quantized-order\n"
+      "                     invariant profile, the slack-widened Theorem-1\n"
+      "                     bound and the cross-core service tolerance\n"
+      "                     (docs/PERFORMANCE.md)\n"
       "  --first S          first seed of the block (default 1)\n"
       "  --seed S           the single seed to replay/shrink\n"
       "  --out DIR          write minimized repro .conf files here\n"
@@ -77,6 +86,7 @@ int main(int argc, char** argv) {
   bool rt_flag = false;
   bool faults_flag = false;
   bool kill_flag = false;
+  bool wheel_flag = false;
   bool have_seed = false;
 
   auto need = [&](int& i) -> const char* {
@@ -94,6 +104,10 @@ int main(int argc, char** argv) {
       opts.rt_fault_seeds = std::strtoull(need(i), nullptr, 10);
     } else if (f == "--rt-kill") {
       opts.rt_kill_seeds = std::strtoull(need(i), nullptr, 10);
+    } else if (f == "--wheel") {
+      wheel_flag = true;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+        opts.wheel_seeds = std::strtoull(need(i), nullptr, 10);
     } else if (f == "--faults") faults_flag = true;
     else if (f == "--kill-shard") kill_flag = true;
     else if (f == "--first") opts.first_seed = std::strtoull(need(i), nullptr, 10);
@@ -107,20 +121,22 @@ int main(int argc, char** argv) {
 
   if (mode == "run") {
     std::printf("sfq_chaos: sweeping %llu sim seed(s) + %llu rt seed(s) "
-                "+ %llu rt-fault seed(s) + %llu rt-kill seed(s) from seed "
-                "%llu\n",
+                "+ %llu rt-fault seed(s) + %llu rt-kill seed(s) + %llu "
+                "wheel seed(s) from seed %llu\n",
                 static_cast<unsigned long long>(opts.sim_seeds),
                 static_cast<unsigned long long>(opts.rt_seeds),
                 static_cast<unsigned long long>(opts.rt_fault_seeds),
                 static_cast<unsigned long long>(opts.rt_kill_seeds),
+                static_cast<unsigned long long>(opts.wheel_seeds),
                 static_cast<unsigned long long>(opts.first_seed));
     const chaos::ChaosReport report = chaos::run_chaos(opts);
     std::printf("ran %llu sim + %llu rt + %llu rt-fault + %llu rt-kill "
-                "seeds: %zu failure(s)\n",
+                "+ %llu wheel seeds: %zu failure(s)\n",
                 static_cast<unsigned long long>(report.sim_seeds_run),
                 static_cast<unsigned long long>(report.rt_seeds_run),
                 static_cast<unsigned long long>(report.rt_fault_seeds_run),
                 static_cast<unsigned long long>(report.rt_kill_seeds_run),
+                static_cast<unsigned long long>(report.wheel_seeds_run),
                 report.failures.size());
     return report.ok() ? 0 : 1;
   }
@@ -128,11 +144,12 @@ int main(int argc, char** argv) {
   if (mode == "replay" || mode == "shrink") {
     if (!have_seed) usage(argv[0]);
     opts.shrink_failures = mode == "shrink";
-    const chaos::ChaosFailure f =
-        chaos::replay_seed(seed, rt_flag, opts, faults_flag, kill_flag);
+    const chaos::ChaosFailure f = chaos::replay_seed(
+        seed, rt_flag, opts, faults_flag, kill_flag, wheel_flag);
     std::printf("# scenario for seed %llu%s\n%s",
                 static_cast<unsigned long long>(seed),
-                kill_flag     ? " (rt, shard-kill failover)"
+                wheel_flag    ? " (heap-vs-wheel core differential)"
+                : kill_flag   ? " (rt, shard-kill failover)"
                 : faults_flag ? " (rt, injected faults)"
                 : rt_flag     ? " (rt)"
                               : "",

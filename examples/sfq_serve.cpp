@@ -66,6 +66,7 @@ extern "C" void on_stop_signal(int sig) { g_stop_signal = sig; }
 
 struct Args {
   std::string sched = "SFQ";
+  double quantum = 0.0;  // SFQ-W tag-quantization window, s; 0 = auto
   std::size_t flows = 4;
   std::size_t producers = 2;
   std::vector<double> weights;  // bits/s; filled from --weights or derived
@@ -99,7 +100,13 @@ struct Args {
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --sched NAME        discipline (default SFQ; see scheduler_names)\n"
+      "  --sched NAME        discipline (default SFQ; see scheduler_names).\n"
+      "                      SFQ-W is the timestamp-wheel SFQ core: exact\n"
+      "                      order up to one quantization window, widened\n"
+      "                      fairness bound (docs/PERFORMANCE.md)\n"
+      "  --quantum T         SFQ-W tag-quantization window in seconds\n"
+      "                      (default: one max-size packet time,\n"
+      "                      --packet-bits / link share)\n"
       "  --flows N           number of flows (default 4)\n"
       "  --producers N       producer threads (default 2)\n"
       "  --weights a,b,...   flow weights in bits/s (default: split 1/2 of "
@@ -177,6 +184,7 @@ Args parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string f = argv[i];
     if (f == "--sched") a.sched = need(i);
+    else if (f == "--quantum") a.quantum = std::stod(need(i));
     else if (f == "--flows") a.flows = std::strtoul(need(i), nullptr, 10);
     else if (f == "--producers") a.producers = std::strtoul(need(i), nullptr, 10);
     else if (f == "--weights") a.weights = parse_list(need(i));
@@ -311,6 +319,11 @@ int run_sharded(const Args& args) {
   auto factory = [&](std::size_t, double share) {
     SchedulerOptions so;
     so.assumed_capacity = args.rate * share;
+    // SFQ-W quantum: explicit, else one max-size packet time on this
+    // shard's link share (the factory ignores it for other disciplines).
+    so.sfq_wheel_quantum = args.quantum > 0.0
+                               ? args.quantum
+                               : args.packet_bits / (args.rate * share);
     return make_scheduler(sched_name, so);
   };
   std::string err;
@@ -650,6 +663,10 @@ int main(int argc, char** argv) {
 
   SchedulerOptions sched_opts;
   sched_opts.assumed_capacity = args.rate;
+  // SFQ-W quantum: explicit, else one max-size packet time on the link (the
+  // factory ignores it for other disciplines).
+  sched_opts.sfq_wheel_quantum =
+      args.quantum > 0.0 ? args.quantum : args.packet_bits / args.rate;
   std::unique_ptr<Scheduler> sched;
   try {
     sched = make_scheduler(args.sched, sched_opts);
@@ -709,8 +726,10 @@ int main(int argc, char** argv) {
     attach(*metrics_sink);
   }
   if (args.check) {
-    checker = std::make_unique<obs::InvariantChecker>(
-        obs::InvariantChecker::for_scheduler(args.sched));
+    obs::InvariantChecker::Options copts =
+        obs::InvariantChecker::for_scheduler(args.sched);
+    copts.order_slack = sched->quantization_window();
+    checker = std::make_unique<obs::InvariantChecker>(copts);
     attach(*checker);
   }
   if (tracer.sink_count() > 0) engine.set_tracer(&tracer);

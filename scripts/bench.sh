@@ -51,7 +51,8 @@ ls "$BENCH_DIR" | grep '\.json$' || true
 
 # Canonical trajectory: the perf-relevant reports live (tracked) at the repo
 # root so the perf history survives in git instead of an ignored scratch dir.
-for perf in sim_throughput scheduler_perf rt_engine telemetry_overhead; do
+for perf in sim_throughput scheduler_perf rt_engine telemetry_overhead \
+            flow_scale; do
   if [[ -f "$BENCH_DIR/BENCH_$perf.json" ]]; then
     cp "$BENCH_DIR/BENCH_$perf.json" "BENCH_$perf.json"
     echo "canonical: BENCH_$perf.json"

@@ -16,7 +16,7 @@ cmake --build "$BUILD" -j"$(nproc)" --target sfq_tests sfq_serve
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure \
-  -R 'SpscRing|RtEngine|ShardedEngine|ShardRouter|ShardFailover|Telemetry'
+  -R 'SpscRing|RtEngine|ShardedEngine|ShardRouter|ShardFailover|Telemetry|CalendarQueue|FlowTable|SfqWheel'
 
 # Smoke: 4 producers paced at moderate overload, traced (SyncSink path), then
 # a second unpaced blast run (offer_wait/backpressure path), then a stats run
@@ -24,9 +24,11 @@ ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure \
 # dispatcher and producers, then a 4-shard sharded-engine run that races 4
 # dispatchers, the root stats thread and the rebalance thread against the
 # producers (cross-shard routing + per-shard ledgers under TSAN), and
-# finally a shard-failover run that races the supervisor thread (fence,
+# a shard-failover run that races the supervisor thread (fence,
 # harvest, rehome, cold restart, rehome back) against dispatchers, stats,
-# rebalance and producers while shard 1 is killed mid-run.
+# rebalance and producers while shard 1 is killed mid-run, and finally an
+# SFQ-W run driving the timestamp-wheel ready core (+ flow GC reclaim paths)
+# under the same multi-producer ingress races.
 "$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.3 \
   --rate 20e6 --load 1.5 --buffer 128 --policy pushout > /dev/null
 "$BUILD/examples/sfq_serve" --producers 4 --flows 4 --duration 0.05 \
@@ -41,5 +43,8 @@ ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure \
   --duration 0.8 --rate 20e6 --load 2.5 --buffer 128 --policy pushout \
   --stats-interval 0.2 --stats-port 0 --stall-timeout 0.1 \
   --failover --fault-kill 0.25,1 > /dev/null 2>&1
+"$BUILD/examples/sfq_serve" --sched SFQ-W --producers 4 --flows 4 \
+  --duration 0.3 --rate 20e6 --load 1.5 --buffer 128 \
+  --policy pushout > /dev/null
 
 echo "tsan.sh: TSAN clean"

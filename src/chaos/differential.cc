@@ -67,6 +67,9 @@ SchedulerOptions scheduler_options_for(const config::ExperimentSpec& spec) {
     max_packet = std::max(max_packet, f.packet);
   opts.quantum_per_weight =
       max_packet > 0.0 ? max_packet / spec.link_rate() * 4.0 : 1.0;
+  // Same deterministic wheel quantum as run_experiment, so the rt capture
+  // and its replay build bit-identical SFQ-W schedulers.
+  opts.sfq_wheel_quantum = config::sfq_wheel_quantum(spec);
   return opts;
 }
 
@@ -107,8 +110,9 @@ CheckResult check_sim(const config::ExperimentSpec& spec, uint64_t seed) {
   }
 
   // Invariant oracle over the recorded stream, seed baked into messages.
-  obs::InvariantChecker checker(
-      obs::InvariantChecker::for_scheduler(spec.scheduler));
+  auto checker_opts = obs::InvariantChecker::for_scheduler(spec.scheduler);
+  checker_opts.order_slack = config::sfq_wheel_quantum(spec);
+  obs::InvariantChecker checker(checker_opts);
   checker.set_context("seed " + std::to_string(seed));
   for (const obs::TraceEvent& e : ea) checker.on_event(e);
   checker.finish();
@@ -126,8 +130,11 @@ CheckResult check_sim(const config::ExperimentSpec& spec, uint64_t seed) {
   //   * single hop (the measure instruments the first hop's recorder).
   // A variable-rate (FC on/off) link stays in scope on purpose — Theorem 1
   // holds "for any server rate behaviour".
+  // SFQ-W stays in scope: run_experiment already widens the bound by the
+  // derived 2*quantum quantization slack, so the ratio premise is unchanged.
   bool fairness_scope =
-      (spec.scheduler == "SFQ" || spec.scheduler == "SCFQ") &&
+      (spec.scheduler == "SFQ" || spec.scheduler == "SFQ-W" ||
+       spec.scheduler == "SCFQ") &&
       spec.hops.size() == 1 && spec.hops.front().buffer_packets == 0 &&
       !spec.has_faults();
   for (const config::FlowSpec& f : spec.flows)
@@ -812,6 +819,102 @@ CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
     res.fail("rt-divergence",
              "replay backlog disagrees with the live scheduler after " +
                  std::to_string(ops.size()) + " ops");
+  }
+  return res;
+}
+
+CheckResult check_wheel(const config::ExperimentSpec& spec, uint64_t seed) {
+  CheckResult res;
+  if (spec.scheduler != "SFQ") {
+    res.fail("error", "check_wheel needs an SFQ spec (got '" + spec.scheduler +
+                          "')");
+    return res;
+  }
+  config::ExperimentSpec wheel_spec = spec;
+  wheel_spec.scheduler = "SFQ-W";  // quantum left 0 => auto l_max / C
+  const double qwindow = config::sfq_wheel_quantum(wheel_spec);
+
+  RecordingSink heap_rec, wheel_rec;
+  config::ExperimentResult heap_res, wheel_res;
+  try {
+    heap_res = config::run_experiment(spec, &heap_rec);
+    wheel_res = config::run_experiment(wheel_spec, &wheel_rec);
+  } catch (const std::exception& e) {
+    res.fail("error", std::string("run_experiment threw: ") + e.what());
+    return res;
+  }
+
+  // Wheel-run invariant profile: dequeue order within one quantization
+  // window, exact vtime monotonicity, exact per-flow tag chains, fault-aware
+  // conservation. This subsumes the "almost sorted" property the wheel
+  // promises in exchange for O(1) operations.
+  auto checker_opts = obs::InvariantChecker::for_scheduler("SFQ-W");
+  checker_opts.order_slack = qwindow;
+  obs::InvariantChecker checker(checker_opts);
+  checker.set_context("wheel seed " + std::to_string(seed));
+  for (const obs::TraceEvent& e : wheel_rec.events()) checker.on_event(e);
+  checker.finish();
+  if (!checker.ok()) {
+    res.fail("invariant", checker.report());
+    return res;
+  }
+
+  // Fairness oracle with the derived slack: run_experiment's ratio divides
+  // by (Theorem-1 bound + 2*quantum) for SFQ-W, so > 1 here means the
+  // analytic quantization-slack term is wrong, not just "the wheel differs".
+  bool fairness_scope = spec.hops.size() == 1 &&
+                        spec.hops.front().buffer_packets == 0 &&
+                        !spec.has_faults();
+  for (const config::FlowSpec& f : spec.flows)
+    fairness_scope &= f.packet > 0.0 && f.kind != "vbr";
+  if (fairness_scope && wheel_res.worst_fairness_ratio > 1.0 + 1e-6) {
+    std::ostringstream ss;
+    ss << "wheel run exceeds Theorem-1 bound + 2*quantum slack: ratio "
+       << wheel_res.worst_fairness_ratio << " (quantum " << qwindow
+       << ", seed " << seed << ")";
+    res.fail("fairness", ss.str());
+    return res;
+  }
+
+  // Cross-core service comparison, clean no-drop specs only (a single drop
+  // decision can cascade into arbitrarily different service sets). Both
+  // cores serve the same arrivals work-conservingly; each flow's normalized
+  // service deviates from the fluid share by at most its Theorem-1 deviation
+  // plus (wheel only) the quantization window, so the cores differ per flow
+  // by at most r_f * (2*quantum) + a few max-packets of edge granularity.
+  if (fairness_scope) {
+    double max_packet = 0.0;
+    for (const config::FlowSpec& f : spec.flows)
+      max_packet = std::max(max_packet, f.packet);
+    std::vector<double> heap_bits, wheel_bits;
+    auto tally = [](const std::vector<obs::TraceEvent>& events,
+                    std::vector<double>& bits) {
+      for (const obs::TraceEvent& e : events) {
+        if (e.type != obs::TraceEventType::kDequeue) continue;
+        if (e.flow == kInvalidFlow) continue;
+        if (e.flow >= bits.size()) bits.resize(e.flow + 1, 0.0);
+        bits[e.flow] += e.length_bits;
+      }
+    };
+    tally(heap_rec.events(), heap_bits);
+    tally(wheel_rec.events(), wheel_bits);
+    const std::size_t flows = std::max(heap_bits.size(), wheel_bits.size());
+    heap_bits.resize(flows, 0.0);
+    wheel_bits.resize(flows, 0.0);
+    for (std::size_t i = 0; i < spec.flows.size() && i < flows; ++i) {
+      const double tol =
+          spec.flows[i].weight * 2.0 * qwindow + 4.0 * max_packet;
+      const double diff = std::abs(heap_bits[i] - wheel_bits[i]);
+      if (diff > tol) {
+        std::ostringstream ss;
+        ss << "cores diverge on flow " << i << " ('" << spec.flows[i].name
+           << "'): heap served " << heap_bits[i] << " bits, wheel "
+           << wheel_bits[i] << " (|diff| " << diff << " > tolerance " << tol
+           << ", quantum " << qwindow << ", seed " << seed << ")";
+        res.fail("wheel-divergence", ss.str());
+        return res;
+      }
+    }
   }
   return res;
 }

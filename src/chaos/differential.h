@@ -87,4 +87,18 @@ struct RtCheckOptions {
 CheckResult check_rt(const config::ExperimentSpec& spec, uint64_t seed,
                      const RtCheckOptions& opts);
 
+// Old-core vs new-core differential (docs/PERFORMANCE.md, "The flow-scale
+// core"): run the same SFQ spec once on the exact IndexedHeap core and once
+// on the SFQ-W timestamp wheel (auto quantum), then hold the wheel run to
+//   * the SFQ-W invariant profile — start tags served in order up to one
+//     quantization window, exact vtime monotonicity, exact per-flow tag
+//     chains, fault-aware conservation;
+//   * the Theorem-1 fairness oracle with the derived 2*quantum slack
+//     (via run_experiment's widened bound), same premises as check_sim;
+//   * per-flow served bits within the analytic cross-core tolerance of the
+//     heap run (clean single-hop no-drop specs only: drop decisions cascade,
+//     so lossy runs are covered by the invariant profile alone).
+// The spec must use scheduler SFQ (the wheel twin is derived internally).
+CheckResult check_wheel(const config::ExperimentSpec& spec, uint64_t seed);
+
 }  // namespace sfq::chaos

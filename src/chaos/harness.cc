@@ -13,13 +13,14 @@ namespace sfq::chaos {
 
 namespace {
 
-// Which rt-check mode a seed runs under (one per sweep).
-enum class Mode { kSim, kRt, kRtFaults, kRtKill };
+// Which check mode a seed runs under (one per sweep).
+enum class Mode { kSim, kRt, kRtFaults, kRtKill, kWheel };
 
 CheckResult run_check(const config::ExperimentSpec& spec, uint64_t seed,
                       Mode mode, std::size_t shards,
                       const HarnessOptions& opts) {
   if (mode == Mode::kSim) return check_sim(spec, seed);
+  if (mode == Mode::kWheel) return check_wheel(spec, seed);
   RtCheckOptions rc;
   rc.packets = opts.rt_packets;
   rc.inject_faults = mode == Mode::kRtFaults;
@@ -44,10 +45,22 @@ std::size_t kill_shard_cycle(uint64_t i, std::size_t max_shards) {
 }
 
 const char* mode_tag(const ChaosFailure& f) {
-  return f.rt_kill     ? "_rtkill"
+  return f.wheel       ? "_wheel"
+         : f.rt_kill   ? "_rtkill"
          : f.rt_faults ? "_rtfault"
          : f.rt        ? "_rt"
                        : "";
+}
+
+// check_wheel needs a flat SFQ spec: pin the discipline and strip the H-SFQ
+// class tree (everything else — flows, faults, hops — is seed-derived as
+// usual, so wheel seeds still sweep churn, pushout and link faults).
+config::ExperimentSpec to_wheel_scenario(config::ExperimentSpec spec) {
+  spec.scheduler = "SFQ";
+  spec.sfq_quantum = 0.0;
+  spec.classes.clear();
+  for (config::FlowSpec& f : spec.flows) f.cls.clear();
+  return spec;
 }
 
 std::string write_repro(const ChaosFailure& f, const std::string& dir) {
@@ -56,16 +69,19 @@ std::string write_repro(const ChaosFailure& f, const std::string& dir) {
   std::ofstream out(name.str());
   if (!out) return "";
   out << "# chaos repro: seed " << f.seed
-      << (f.rt_kill     ? " (rt differential, shard-kill failover)"
+      << (f.wheel       ? " (heap-vs-wheel core differential)"
+          : f.rt_kill   ? " (rt differential, shard-kill failover)"
           : f.rt_faults ? " (rt differential, injected rt faults)"
           : f.rt        ? " (rt differential)"
                         : "")
       << ", failure kind: " << f.kind << "\n";
   if (f.shards > 1) out << "# rt shards: " << f.shards << "\n";
   out << "# replay: sfq_chaos replay --seed " << f.seed
-      << (f.rt_kill ? " --kill-shard" : f.rt_faults ? " --faults"
-                                      : f.rt        ? " --rt"
-                                                    : "");
+      << (f.wheel     ? " --wheel"
+          : f.rt_kill ? " --kill-shard"
+          : f.rt_faults ? " --faults"
+          : f.rt        ? " --rt"
+                        : "");
   if (f.shards > 1) out << " --shards " << f.shards;
   out << "\n";
   std::istringstream detail(f.detail);
@@ -80,9 +96,10 @@ ChaosFailure check_one(const config::ExperimentSpec& spec, uint64_t seed,
                        const HarnessOptions& opts) {
   ChaosFailure f;
   f.seed = seed;
-  f.rt = mode != Mode::kSim;
+  f.rt = mode != Mode::kSim && mode != Mode::kWheel;
   f.rt_faults = mode == Mode::kRtFaults;
   f.rt_kill = mode == Mode::kRtKill;
+  f.wheel = mode == Mode::kWheel;
   f.shards = shards;
   f.spec = spec;
   f.minimized = spec;
@@ -107,27 +124,30 @@ ChaosFailure check_one(const config::ExperimentSpec& spec, uint64_t seed,
 void sweep(Mode mode, uint64_t n_seeds, const HarnessOptions& opts,
            ChaosReport& report) {
   GeneratorOptions gen = opts.gen;
-  gen.rt_compatible = mode != Mode::kSim;
+  const bool rt_mode = mode != Mode::kSim && mode != Mode::kWheel;
+  gen.rt_compatible = rt_mode;
   ScenarioGenerator generator(gen);
   uint64_t& counter = mode == Mode::kRtKill     ? report.rt_kill_seeds_run
                       : mode == Mode::kRtFaults ? report.rt_fault_seeds_run
                       : mode == Mode::kRt       ? report.rt_seeds_run
+                      : mode == Mode::kWheel    ? report.wheel_seeds_run
                                                 : report.sim_seeds_run;
   for (uint64_t i = 0; i < n_seeds; ++i) {
     const uint64_t seed = opts.first_seed + i;
     const std::size_t shards = mode == Mode::kRtKill
                                    ? kill_shard_cycle(i, opts.rt_shards)
-                               : mode != Mode::kSim
-                                   ? shard_cycle(i, opts.rt_shards)
-                                   : 1;
-    ChaosFailure f = check_one(generator.generate(seed), seed, mode, shards,
-                               opts);
+                               : rt_mode ? shard_cycle(i, opts.rt_shards)
+                                         : 1;
+    config::ExperimentSpec spec = generator.generate(seed);
+    if (mode == Mode::kWheel) spec = to_wheel_scenario(std::move(spec));
+    ChaosFailure f = check_one(spec, seed, mode, shards, opts);
     ++counter;
     if (f.kind.empty()) continue;
     if (opts.log) {
       *opts.log << (mode == Mode::kRtKill     ? "rt-kill seed "
                     : mode == Mode::kRtFaults ? "rt-fault seed "
                     : mode == Mode::kRt       ? "rt seed "
+                    : mode == Mode::kWheel    ? "wheel seed "
                                               : "seed ")
                 << seed;
       if (shards > 1) *opts.log << " (" << shards << " shards)";
@@ -151,23 +171,28 @@ ChaosReport run_chaos(const HarnessOptions& opts) {
     sweep(Mode::kRtFaults, opts.rt_fault_seeds, opts, report);
   if (report.ok() || !opts.stop_on_failure)
     sweep(Mode::kRtKill, opts.rt_kill_seeds, opts, report);
+  if (report.ok() || !opts.stop_on_failure)
+    sweep(Mode::kWheel, opts.wheel_seeds, opts, report);
   return report;
 }
 
 ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
-                         bool rt_faults, bool rt_kill) {
+                         bool rt_faults, bool rt_kill, bool wheel) {
   GeneratorOptions gen = opts.gen;
-  const Mode mode = rt_kill     ? Mode::kRtKill
+  const Mode mode = wheel       ? Mode::kWheel
+                    : rt_kill   ? Mode::kRtKill
                     : rt_faults ? Mode::kRtFaults
                     : rt        ? Mode::kRt
                                 : Mode::kSim;
-  gen.rt_compatible = mode != Mode::kSim;
+  const bool rt_mode = mode != Mode::kSim && mode != Mode::kWheel;
+  gen.rt_compatible = rt_mode;
   const std::size_t shards =
       mode == Mode::kRtKill ? std::max<std::size_t>(2, opts.rt_shards)
-      : mode != Mode::kSim  ? opts.rt_shards
+      : rt_mode             ? opts.rt_shards
                             : 1;
-  return check_one(ScenarioGenerator(gen).generate(seed), seed, mode, shards,
-                   opts);
+  config::ExperimentSpec spec = ScenarioGenerator(gen).generate(seed);
+  if (mode == Mode::kWheel) spec = to_wheel_scenario(std::move(spec));
+  return check_one(spec, seed, mode, shards, opts);
 }
 
 }  // namespace sfq::chaos

@@ -26,6 +26,13 @@ struct HarnessOptions {
   // exact across the migration epoch). Needs rt_shards >= 2; seeds cycle
   // through shard counts {2, 4} capped at rt_shards.
   uint64_t rt_kill_seeds = 0;
+  // Seeds through the old-core vs new-core differential (check_wheel): the
+  // generated scenario is forced onto scheduler SFQ (classes stripped) and
+  // run on both the exact heap core and the SFQ-W timestamp wheel; the wheel
+  // run must satisfy the quantized-order invariant profile, the fairness
+  // bound with the derived 2*quantum slack, and — on clean no-drop specs —
+  // per-flow service within the analytic cross-core tolerance of the heap.
+  uint64_t wheel_seeds = 0;
   GeneratorOptions gen;      // rt scenarios force gen.rt_compatible
   std::size_t rt_packets = 1500;  // offered packets per rt seed
   // Max dispatcher-shard count for the rt checks (RtCheckOptions::shards).
@@ -48,6 +55,7 @@ struct ChaosFailure {
   bool rt = false;
   bool rt_faults = false;  // the fault-injected rt mode
   bool rt_kill = false;    // the shard-kill failover mode
+  bool wheel = false;      // the heap-vs-wheel core differential
   std::size_t shards = 1;  // dispatcher shards the failing rt check ran with
   std::string kind;    // determinism|invariant|fairness|throughput|rt-*|error
   std::string detail;
@@ -61,6 +69,7 @@ struct ChaosReport {
   uint64_t rt_seeds_run = 0;
   uint64_t rt_fault_seeds_run = 0;
   uint64_t rt_kill_seeds_run = 0;
+  uint64_t wheel_seeds_run = 0;
   std::vector<ChaosFailure> failures;
 
   bool ok() const { return failures.empty(); }
@@ -71,8 +80,10 @@ ChaosReport run_chaos(const HarnessOptions& opts);
 // Re-runs the check for one seed (the `replay` workflow: a CI failure names
 // a seed; this reproduces it locally with full detail). `rt_faults` selects
 // the fault-injected rt mode, `rt_kill` the shard-kill failover mode (each
-// implies rt; rt_kill uses opts.rt_shards, floored at 2).
+// implies rt; rt_kill uses opts.rt_shards, floored at 2); `wheel` selects
+// the heap-vs-wheel core differential (sim-side, ignores the rt flags).
 ChaosFailure replay_seed(uint64_t seed, bool rt, const HarnessOptions& opts,
-                         bool rt_faults = false, bool rt_kill = false);
+                         bool rt_faults = false, bool rt_kill = false,
+                         bool wheel = false);
 
 }  // namespace sfq::chaos

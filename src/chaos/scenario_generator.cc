@@ -86,10 +86,10 @@ config::ExperimentSpec ScenarioGenerator::generate(uint64_t seed) const {
 
   // Discipline: weighted toward the paper's algorithm and its closest
   // relatives, with the rest of the library as cross-checks.
-  static const char* kScheds[] = {"SFQ",  "SFQ", "SFQ",  "SCFQ", "SCFQ",
-                                  "WFQ",  "FQS", "VC",   "DRR",  "WRR",
-                                  "FIFO", "EDD", "FairAirport", "HSFQ",
-                                  "HSFQ"};
+  static const char* kScheds[] = {"SFQ",  "SFQ", "SFQ",  "SFQ-W", "SFQ-W",
+                                  "SCFQ", "SCFQ", "WFQ", "FQS",   "VC",
+                                  "DRR",  "WRR", "FIFO", "EDD",  "FairAirport",
+                                  "HSFQ", "HSFQ"};
   spec.scheduler = kScheds[pick(0, std::size(kScheds) - 1)];
 
   spec.duration = round3(uni(opts_.min_duration, opts_.max_duration));

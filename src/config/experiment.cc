@@ -221,6 +221,23 @@ ExperimentSpec ExperimentSpec::parse(std::istream& in) {
       if (!(ss >> spec.scheduler))
         throw std::invalid_argument("line " + std::to_string(lineno) +
                                     ": scheduler needs a name");
+      for (const auto& [key, value] : parse_kv(ss, lineno)) {
+        if (key == "quantum") {
+          spec.sfq_quantum = parse_time(value);
+          if (spec.sfq_quantum <= 0.0)
+            throw std::invalid_argument(
+                "line " + std::to_string(lineno) +
+                ": scheduler quantum must be positive");
+        } else {
+          throw std::invalid_argument("line " + std::to_string(lineno) +
+                                      ": unknown scheduler key '" + key + "'");
+        }
+      }
+      if (spec.sfq_quantum > 0.0 && spec.scheduler != "SFQ-W")
+        throw std::invalid_argument(
+            "line " + std::to_string(lineno) +
+            ": scheduler quantum= requires SFQ-W (got '" + spec.scheduler +
+            "')");
     } else if (directive == "duration") {
       std::string v;
       if (!(ss >> v))
@@ -456,7 +473,9 @@ std::string num(double v) {
 
 std::string ExperimentSpec::serialize() const {
   std::ostringstream out;
-  out << "scheduler " << scheduler << "\n";
+  out << "scheduler " << scheduler;
+  if (sfq_quantum > 0.0) out << " quantum=" << num(sfq_quantum);
+  out << "\n";
   for (const HopSpec& h : hops) {
     out << "link rate=" << num(h.rate);
     if (h.delta > 0.0) out << " delta=" << num(h.delta);
@@ -521,6 +540,16 @@ std::string ExperimentSpec::serialize() const {
   return out.str();
 }
 
+double sfq_wheel_quantum(const ExperimentSpec& spec) {
+  if (spec.scheduler != "SFQ-W") return 0.0;
+  if (spec.sfq_quantum > 0.0) return spec.sfq_quantum;
+  double max_packet = 0.0;
+  for (const FlowSpec& f : spec.flows)
+    max_packet = std::max(max_packet, f.packet > 0.0 ? f.packet : 400.0);
+  if (max_packet <= 0.0) max_packet = 400.0;
+  return max_packet / spec.link_rate();
+}
+
 BuiltScheduler build_experiment_scheduler(const ExperimentSpec& spec,
                                           const SchedulerOptions& opts) {
   BuiltScheduler built;
@@ -557,6 +586,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     max_packet = std::max(max_packet, f.packet);
   opts.quantum_per_weight =
       max_packet > 0.0 ? max_packet / spec.link_rate() * 4.0 : 1.0;
+  // SFQ-W: one deterministic quantum for every hop and every oracle.
+  opts.sfq_wheel_quantum = sfq_wheel_quantum(spec);
+  const double qwindow = opts.sfq_wheel_quantum;
 
   auto make_profile = [](const HopSpec& hop) -> std::unique_ptr<net::RateProfile> {
     if (hop.delta > 0.0)
@@ -647,8 +679,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       tracer.own(std::move(jsonl));
     }
     if (spec.obs.check_invariants) {
-      auto c = std::make_unique<obs::InvariantChecker>(
-          obs::InvariantChecker::for_scheduler(spec.scheduler));
+      auto copts = obs::InvariantChecker::for_scheduler(spec.scheduler);
+      // The wheel serves start tags only up to one quantization window out
+      // of order; everything else (vtime, per-flow chains) stays exact.
+      copts.order_slack = qwindow;
+      auto c = std::make_unique<obs::InvariantChecker>(copts);
       checker = c.get();
       tracer.own(std::move(c));
     }
@@ -788,13 +823,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       const double h = stats::empirical_fairness(
           *recorder, ids[i], spec.flows[i].weight, ids[j],
           spec.flows[j].weight);
+      // Theorem-1 bound, plus the derived 2*quantum quantization slack when
+      // the wheel core ran (docs/PERFORMANCE.md, "Quantization slack").
       const double bound = stats::sfq_fairness_bound(
-          std::max(spec.flows[i].packet, 1.0), spec.flows[i].weight,
-          std::max(spec.flows[j].packet, 1.0), spec.flows[j].weight);
+                               std::max(spec.flows[i].packet, 1.0),
+                               spec.flows[i].weight,
+                               std::max(spec.flows[j].packet, 1.0),
+                               spec.flows[j].weight) +
+                           2.0 * qwindow;
       result.worst_fairness_ratio =
           std::max(result.worst_fairness_ratio, h / bound);
     }
   }
+  result.quantization_window = qwindow;
   return result;
 }
 

@@ -138,6 +138,10 @@ struct ObsSpec {
 
 struct ExperimentSpec {
   std::string scheduler = "SFQ";
+  // `scheduler SFQ-W [quantum=<time>]`: bucket width of the timestamp wheel
+  // in virtual seconds. 0 = auto (l_max / C, one max-packet service time at
+  // link rate — see sfq_wheel_quantum()). Only valid with SFQ-W.
+  double sfq_quantum = 0.0;
   // One `link` directive per hop; several build a tandem path that every
   // flow traverses (delays are then end-to-end).
   std::vector<HopSpec> hops;
@@ -193,8 +197,12 @@ struct ExperimentResult {
   // Non-zero drop causes, summed over hops ({"buffer_limit", n}, ...).
   std::vector<std::pair<std::string, uint64_t>> drop_causes;
   // Worst pairwise empirical H(f,m) over Theorem-1 bound across all flow
-  // pairs (<= 1 means every pair within the fair-queueing bound).
+  // pairs (<= 1 means every pair within the fair-queueing bound). For SFQ-W
+  // the bound includes the extra 2*quantization_window slack term
+  // (docs/PERFORMANCE.md, "Quantization slack").
   double worst_fairness_ratio = 0.0;
+  // Tag-quantization window of the scheduler that ran (0 except SFQ-W).
+  double quantization_window = 0.0;
 
   // Filled when spec.obs is active.
   uint64_t trace_events = 0;
@@ -222,5 +230,12 @@ struct BuiltScheduler {
 // when `class` directives are present) and registers every flow.
 BuiltScheduler build_experiment_scheduler(const ExperimentSpec& spec,
                                           const SchedulerOptions& opts);
+
+// The wheel quantum the experiment will run with: 0 unless spec.scheduler is
+// SFQ-W, else spec.sfq_quantum when set, else the auto default l_max / C
+// (largest configured packet over the first hop's rate). Deterministic
+// function of the spec, shared by run_experiment, the rt replay path, and
+// the chaos oracles so live and replay runs agree bit-for-bit.
+double sfq_wheel_quantum(const ExperimentSpec& spec);
 
 }  // namespace sfq::config

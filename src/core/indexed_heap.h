@@ -30,6 +30,13 @@ class IndexedHeap {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
+  // Pre-sizes both the entry storage and the id->position index so that
+  // pushes of ids < n never allocate (zero-alloc steady-state gates).
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    if (n > pos_.size()) pos_.resize(n, kAbsent);
+  }
+
   bool contains(uint32_t id) const {
     return id < pos_.size() && pos_[id] != kAbsent;
   }

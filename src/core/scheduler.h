@@ -55,6 +55,13 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
+  // Width of the tag-quantization window in virtual seconds, when the
+  // discipline serves tags only approximately in order (the SFQ timestamp
+  // wheel). 0 means exact tag order. Consumers: the invariant checker's
+  // dequeue-order slack and the fairness oracles' extra 2*window term (see
+  // docs/PERFORMANCE.md, "Quantization slack").
+  virtual VirtualTime quantization_window() const { return 0.0; }
+
   // Whether packets must belong to a flow registered via add_flow. Servers
   // drop (with cause) rather than enqueue when this holds and the flow is
   // unknown; FIFO-like disciplines that take any packet return false.
@@ -176,6 +183,10 @@ class PerFlowQueues {
   void ensure(FlowId f) {
     if (f >= queues_.size()) queues_.resize(f + 1);
   }
+
+  // Pre-sizes the per-flow directory so ensure() up to id n-1 cannot
+  // reallocate (zero-alloc steady state under churn with recycled ids).
+  void reserve(std::size_t n) { queues_.reserve(n); }
 
   void push(Packet p) {
     ensure(p.flow);

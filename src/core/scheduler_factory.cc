@@ -17,7 +17,21 @@ namespace sfq {
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           const SchedulerOptions& options) {
-  if (name == "SFQ") return std::make_unique<SfqScheduler>();
+  if (name == "SFQ") {
+    SfqOptions o;
+    o.flow_gc = options.sfq_flow_gc;
+    return std::make_unique<SfqScheduler>(o);
+  }
+  if (name == "SFQ-W") {
+    SfqOptions o;
+    o.core = SfqCore::kWheel;
+    o.wheel_quantum = options.sfq_wheel_quantum;
+    o.flow_gc = options.sfq_flow_gc;
+    if (!(o.wheel_quantum > 0.0))
+      throw std::invalid_argument(
+          "make_scheduler: SFQ-W needs options.sfq_wheel_quantum > 0");
+    return std::make_unique<SfqScheduler>(o);
+  }
   if (name == "SCFQ") return std::make_unique<ScfqScheduler>();
   if (name == "WFQ")
     return std::make_unique<WfqScheduler>(options.assumed_capacity);
@@ -36,8 +50,8 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
 }
 
 std::vector<std::string> scheduler_names() {
-  return {"SFQ", "SCFQ", "WFQ",  "FQS",         "DRR", "WRR",
-          "VC",  "EDD",  "FIFO", "FairAirport", "HSFQ"};
+  return {"SFQ", "SFQ-W", "SCFQ", "WFQ",  "FQS",         "DRR",
+          "WRR", "VC",    "EDD",  "FIFO", "FairAirport", "HSFQ"};
 }
 
 }  // namespace sfq

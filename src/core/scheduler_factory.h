@@ -14,10 +14,17 @@ struct SchedulerOptions {
   double assumed_capacity = 1e6;
   // DRR: bits of quantum per unit of weight.
   double quantum_per_weight = 1.0;
+  // SFQ-W: bucket width of the timestamp wheel in virtual seconds (must be
+  // > 0 for SFQ-W; callers usually derive it as l_max / C — see
+  // config::sfq_wheel_quantum).
+  double sfq_wheel_quantum = 0.0;
+  // SFQ/SFQ-W: recycle removed flow ids once tag-safe (see SfqOptions).
+  bool sfq_flow_gc = false;
 };
 
 // Creates any scheduler in the library by name:
-//   SFQ, SCFQ, WFQ, FQS, DRR, WRR, VC (VirtualClock), EDD (DelayEDD),
+//   SFQ, SFQ-W (SFQ on the timestamp-wheel core),
+//   SCFQ, WFQ, FQS, DRR, WRR, VC (VirtualClock), EDD (DelayEDD),
 //   FIFO, FairAirport, HSFQ (hierarchical SFQ, flat until classes are added).
 // Throws std::invalid_argument for unknown names.
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,

@@ -7,7 +7,10 @@ namespace sfq::obs {
 InvariantChecker::Options InvariantChecker::for_scheduler(
     const std::string& name) {
   Options o;
-  if (name == "SFQ") {
+  if (name == "SFQ" || name == "SFQ-W") {
+    // SFQ-W callers must additionally set order_slack to the scheduler's
+    // quantization_window() — the wheel serves start tags only up to that
+    // window out of order (docs/PERFORMANCE.md, "Quantization slack").
     o.order = OrderTag::kStartTag;
   } else if (name == "SCFQ" || name == "VC") {
     o.order = OrderTag::kFinishTag;
@@ -91,7 +94,7 @@ void InvariantChecker::on_event(const TraceEvent& e) {
       if (opts_.order != OrderTag::kNone) {
         const double tag =
             opts_.order == OrderTag::kStartTag ? e.start_tag : e.finish_tag;
-        if (tag < last_order_tag_ - eps) {
+        if (tag < last_order_tag_ - eps - opts_.order_slack) {
           std::ostringstream ss;
           ss << (opts_.order == OrderTag::kStartTag ? "start" : "finish")
              << " tags dequeued out of order: flow " << e.flow << " seq "

@@ -46,6 +46,11 @@ class InvariantChecker final : public TraceSink {
     bool check_tags = true;
     bool check_conservation = true;
     double epsilon = 1e-9;             // tolerance on tag comparisons
+    // Extra allowance on the dequeue-order check only: a quantized-order
+    // discipline (SFQ-W) may serve tags up to one quantization window out of
+    // order. Set to Scheduler::quantization_window(). The vtime and per-flow
+    // tag-chain checks take no slack — the scheduler keeps those exact.
+    double order_slack = 0.0;
     std::size_t max_violations = 64;   // stop recording past this many
   };
 

@@ -15,7 +15,7 @@ FlowId WrrScheduler::add_flow(double weight, double max_packet_bits,
 
 uint64_t WrrScheduler::packets_per_round(FlowId f) const {
   double min_w = kTimeInfinity;
-  for (const auto& spec : flows_.all())
+  for (const auto& spec : flows_.slots())
     if (spec.active) min_w = std::min(min_w, spec.weight);
   const double ratio = flows_.weight(f) / min_w;
   return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(ratio)));

@@ -87,6 +87,34 @@ TEST(ChaosHarness, CleanSeedBlockPasses) {
                   << f.seed << " [" << f.kind << "] " << f.detail;
 }
 
+// Heap-vs-wheel core differential (this PR's tentpole oracle): generated
+// scenarios re-run with the SFQ-W timestamp wheel (quantum = l_max / C) must
+// stay within the derived per-flow slack of the exact heap core across the
+// whole seed block — the analytic 2*quantum fairness widening, checked
+// empirically over the corpus.
+TEST(ChaosHarness, WheelSeedBlockPassesTheCoreDifferential) {
+  HarnessOptions opts;
+  opts.sim_seeds = 0;
+  opts.wheel_seeds = 24;
+  const ChaosReport report = run_chaos(opts);
+  EXPECT_EQ(report.wheel_seeds_run, 24u);
+  EXPECT_EQ(report.sim_seeds_run, 0u);
+  for (const ChaosFailure& f : report.failures)
+    ADD_FAILURE() << "wheel seed " << f.seed << " [" << f.kind << "] "
+                  << f.detail;
+}
+
+TEST(ChaosHarness, WheelReplayMatchesTheSweep) {
+  // replay_seed with wheel=true runs the same check the sweep ran: a clean
+  // seed replays clean, and the failure record carries the wheel marker.
+  HarnessOptions opts;
+  const ChaosFailure f =
+      replay_seed(/*seed=*/7, /*rt=*/false, opts, /*rt_faults=*/false,
+                  /*rt_kill=*/false, /*wheel=*/true);
+  EXPECT_TRUE(f.wheel);
+  EXPECT_EQ(f.kind, "") << f.detail;
+}
+
 TEST(ScenarioGenerator, RtFaultPlansArePureAndNonEmpty) {
   for (uint64_t seed = 1; seed <= 100; ++seed) {
     const rt::RtFaultPlan a = generate_rt_faults(seed, 0.05);

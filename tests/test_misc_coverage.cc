@@ -18,7 +18,11 @@ namespace {
 
 TEST(SchedulerFactory, CreatesEveryAdvertisedName) {
   for (const std::string& name : scheduler_names()) {
-    auto s = make_scheduler(name);
+    SchedulerOptions opts;
+    // SFQ-W is the one advertised name with a mandatory option: the tag
+    // quantization window has no universal default (it is l_max / C).
+    if (name == "SFQ-W") opts.sfq_wheel_quantum = 0.1;
+    auto s = make_scheduler(name, opts);
     ASSERT_NE(s, nullptr) << name;
     // Factory name and self-reported name agree up to known aliases.
     if (name == "VC") EXPECT_EQ(s->name(), "VirtualClock");
